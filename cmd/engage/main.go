@@ -1,0 +1,445 @@
+// Command engage is the command-line front end to the Engage deployment
+// management system:
+//
+//	engage check  file.rdl...                     statically check resource types
+//	engage solve  [-rdl files] -partial spec.json run the configuration engine
+//	engage explain [-rdl files] -partial spec.json show hypergraph + constraints
+//	engage deploy [-rdl files] -partial spec.json  configure and deploy (simulated)
+//	engage demo                                    OpenMRS quickstart end to end
+//
+// Without -rdl, commands run against the bundled resource library (the
+// paper's Java and Django stacks). Deployment runs on the simulated
+// machine substrate, so it is safe to run anywhere.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+
+	"engage/internal/config"
+	"engage/internal/constraint"
+	"engage/internal/deploy"
+	"engage/internal/hypergraph"
+	"engage/internal/library"
+	"engage/internal/machine"
+	"engage/internal/paas"
+	"engage/internal/pkgmgr"
+	"engage/internal/rdl"
+	"engage/internal/resource"
+	"engage/internal/sat"
+	"engage/internal/spec"
+	"engage/internal/typecheck"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "engage:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	if len(args) == 0 {
+		usage(out)
+		return fmt.Errorf("missing subcommand")
+	}
+	switch args[0] {
+	case "check":
+		return cmdCheck(args[1:], out)
+	case "solve":
+		return cmdSolve(args[1:], out)
+	case "explain":
+		return cmdExplain(args[1:], out)
+	case "deploy":
+		return cmdDeploy(args[1:], out)
+	case "alternatives":
+		return cmdAlternatives(args[1:], out)
+	case "fmt":
+		return cmdFmt(args[1:], out)
+	case "serve":
+		return cmdServe(args[1:], out)
+	case "demo":
+		return cmdDemo(out)
+	case "help", "-h", "--help":
+		usage(out)
+		return nil
+	default:
+		usage(out)
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func usage(out *os.File) {
+	fmt.Fprint(out, `usage: engage <command> [flags]
+
+commands:
+  check   file.rdl...                      statically check resource types
+  solve   [-rdl f1,f2] -partial spec.json  compute a full installation spec
+  explain [-rdl f1,f2] -partial spec.json  show the hypergraph and constraints
+  deploy  [-rdl f1,f2] -partial spec.json  configure and deploy (simulated)
+  alternatives [-rdl f1,f2] -partial spec.json [-limit N]
+                                           enumerate all valid full specs
+  fmt     file.rdl...                      reformat RDL sources canonically
+  serve   [-addr :8080]                    run the PaaS web service (simulated cloud)
+  demo                                     OpenMRS quickstart end to end
+`)
+}
+
+// loadRegistry builds the registry: from -rdl files when given,
+// otherwise the bundled library.
+func loadRegistry(rdlFiles string) (*resource.Registry, bool, error) {
+	if rdlFiles == "" {
+		reg, err := library.Registry()
+		return reg, true, err
+	}
+	sources := make(map[string]string)
+	for _, f := range strings.Split(rdlFiles, ",") {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return nil, false, err
+		}
+		sources[f] = string(data)
+	}
+	reg, err := rdl.ParseAndResolve(sources)
+	if err != nil {
+		return nil, false, err
+	}
+	return reg, false, typecheck.CheckTypes(reg)
+}
+
+func loadPartial(path string) (*spec.Partial, error) {
+	if path == "" {
+		return nil, fmt.Errorf("-partial is required")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var p spec.Partial
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &p, nil
+}
+
+func cmdCheck(args []string, out *os.File) error {
+	if len(args) == 0 {
+		return fmt.Errorf("check: need at least one .rdl file")
+	}
+	sources := make(map[string]string)
+	for _, f := range args {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return err
+		}
+		sources[f] = string(data)
+	}
+	reg, err := rdl.ParseAndResolve(sources)
+	if err != nil {
+		return err
+	}
+	if err := typecheck.CheckTypes(reg); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "ok: %d resource types are well-formed\n", reg.Len())
+	for _, k := range reg.Keys() {
+		t := reg.MustLookup(k)
+		kind := "concrete"
+		if t.Abstract {
+			kind = "abstract"
+		}
+		fmt.Fprintf(out, "  %-36s %s\n", k, kind)
+	}
+	return nil
+}
+
+func cmdSolve(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("solve", flag.ContinueOnError)
+	rdlFiles := fs.String("rdl", "", "comma-separated RDL files (default: bundled library)")
+	partialPath := fs.String("partial", "", "partial installation specification (JSON)")
+	solverName := fs.String("solver", "cdcl", "SAT solver: cdcl or dpll")
+	encName := fs.String("encoding", "pairwise", "exactly-one encoding: pairwise or ladder")
+	minimal := fs.Bool("minimal", false, "compute a subset-minimal installation (OPIUM-style)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	reg, _, err := loadRegistry(*rdlFiles)
+	if err != nil {
+		return err
+	}
+	p, err := loadPartial(*partialPath)
+	if err != nil {
+		return err
+	}
+	eng := config.New(reg)
+	switch *solverName {
+	case "cdcl":
+		eng.Solver = sat.NewCDCL()
+	case "dpll":
+		eng.Solver = sat.NewDPLL()
+	default:
+		return fmt.Errorf("unknown solver %q", *solverName)
+	}
+	switch *encName {
+	case "pairwise":
+		eng.Encoding = constraint.Pairwise
+	case "ladder":
+		eng.Encoding = constraint.Ladder
+	default:
+		return fmt.Errorf("unknown encoding %q", *encName)
+	}
+	var full *spec.Full
+	var st config.Stats
+	if *minimal {
+		full, err = eng.ConfigureMinimal(p)
+	} else {
+		full, st, err = eng.ConfigureStats(p)
+	}
+	if err != nil {
+		return err
+	}
+	text, err := spec.Render(full)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, text)
+	fmt.Fprintf(out, "// partial: %d instances, %d lines\n", len(p.Instances), spec.LineCount(p))
+	fmt.Fprintf(out, "// full:    %d instances, %d lines\n", len(full.Instances), spec.LineCount(full))
+	fmt.Fprintf(out, "// graph:   %d nodes, %d hyperedges; sat: %d vars, %d clauses, %d decisions, %d conflicts\n",
+		st.GraphNodes, st.GraphEdges, st.Vars, st.Clauses, st.Solver.Decisions, st.Solver.Conflicts)
+	return nil
+}
+
+func cmdAlternatives(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("alternatives", flag.ContinueOnError)
+	rdlFiles := fs.String("rdl", "", "comma-separated RDL files (default: bundled library)")
+	partialPath := fs.String("partial", "", "partial installation specification (JSON)")
+	limit := fs.Int("limit", 16, "maximum alternatives to enumerate (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	reg, _, err := loadRegistry(*rdlFiles)
+	if err != nil {
+		return err
+	}
+	p, err := loadPartial(*partialPath)
+	if err != nil {
+		return err
+	}
+	alts, err := config.New(reg).Alternatives(p, *limit)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%d alternative full installation specification(s):\n", len(alts))
+	for i, alt := range alts {
+		keys := make([]string, 0, len(alt.Instances))
+		for _, inst := range alt.Instances {
+			keys = append(keys, fmt.Sprintf("%s (%s)", inst.ID, inst.Key))
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(out, "  #%d: %s\n", i+1, strings.Join(keys, ", "))
+	}
+	return nil
+}
+
+func cmdFmt(args []string, out *os.File) error {
+	if len(args) == 0 {
+		return fmt.Errorf("fmt: need at least one .rdl file")
+	}
+	sources := make(map[string]string)
+	for _, f := range args {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return err
+		}
+		sources[f] = string(data)
+	}
+	reg, err := rdl.ParseAndResolve(sources)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, rdl.FormatRegistry(reg))
+	return nil
+}
+
+func cmdExplain(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("explain", flag.ContinueOnError)
+	rdlFiles := fs.String("rdl", "", "comma-separated RDL files (default: bundled library)")
+	partialPath := fs.String("partial", "", "partial installation specification (JSON)")
+	dot := fs.Bool("dot", false, "emit the hypergraph in Graphviz DOT format")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	reg, _, err := loadRegistry(*rdlFiles)
+	if err != nil {
+		return err
+	}
+	p, err := loadPartial(*partialPath)
+	if err != nil {
+		return err
+	}
+	g, err := hypergraph.Generate(reg, p)
+	if err != nil {
+		return err
+	}
+	if *dot {
+		fmt.Fprint(out, g.Dot())
+		return nil
+	}
+	fmt.Fprintln(out, "hypergraph nodes:")
+	for _, n := range g.Nodes() {
+		mark := " "
+		if n.FromSpec {
+			mark = "*"
+		}
+		fmt.Fprintf(out, "  %s %-28s %-24s machine=%s\n", mark, n.ID, n.Key, n.Machine)
+	}
+	fmt.Fprintln(out, "hyperedges:")
+	for _, e := range g.Edges {
+		fmt.Fprintf(out, "  %-28s --%s--> {%s}\n", e.Source, e.Class, strings.Join(e.Targets, ", "))
+	}
+	prob := constraint.Encode(g, constraint.Pairwise)
+	fmt.Fprintf(out, "constraints (%d vars, %d clauses):\n", prob.Formula.NumVars, len(prob.Formula.Clauses))
+	fmt.Fprint(out, sat.Dimacs(prob.Formula))
+	return nil
+}
+
+func cmdDeploy(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("deploy", flag.ContinueOnError)
+	rdlFiles := fs.String("rdl", "", "comma-separated RDL files (default: bundled library)")
+	partialPath := fs.String("partial", "", "partial installation specification (JSON)")
+	parallel := fs.Bool("parallel", false, "deploy independent resources in parallel (virtual time)")
+	multihost := fs.Bool("multihost", false, "use the master/slave multi-host coordinator")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	reg, bundled, err := loadRegistry(*rdlFiles)
+	if err != nil {
+		return err
+	}
+	p, err := loadPartial(*partialPath)
+	if err != nil {
+		return err
+	}
+	full, err := config.New(reg).Configure(p)
+	if err != nil {
+		return err
+	}
+	w := machine.NewWorld()
+	drivers := deploy.NewDriverRegistry()
+	index := pkgmgr.NewIndex()
+	if bundled {
+		drivers = library.Drivers()
+		index = library.PackageIndex()
+	}
+	opts := deploy.Options{
+		Registry: reg, Drivers: drivers, World: w, Index: index,
+		Cache: pkgmgr.NewCache(), Parallel: *parallel,
+		ProvisionMissing: true, OSOf: library.OSOf,
+	}
+	if *multihost {
+		mh, err := deploy.NewMultiHost(full, opts)
+		if err != nil {
+			return err
+		}
+		if err := mh.Deploy(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "deployed %d instances across machines %v in %v (simulated)\n",
+			len(full.Instances), mh.Order, mh.Elapsed())
+		printStatusMap(out, mh.Status())
+		return nil
+	}
+	d, err := deploy.New(full, opts)
+	if err != nil {
+		return err
+	}
+	if err := d.Deploy(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "deployed %d instances in %v (simulated)\n", len(full.Instances), d.Elapsed())
+	st := map[string]string{}
+	for id, s := range d.Status() {
+		st[id] = string(s)
+	}
+	printStatusMap(out, st)
+	return nil
+}
+
+func printStatusMap(out *os.File, st map[string]string) {
+	ids := make([]string, 0, len(st))
+	for id := range st {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		fmt.Fprintf(out, "  %-28s %s\n", id, st[id])
+	}
+}
+
+func cmdServe(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	platform, err := paas.NewPlatform()
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "engage PaaS listening on %s (simulated cloud)\n", ln.Addr())
+	fmt.Fprintln(out, "  POST /apps  GET /apps  GET /apps/{name}/status  POST /apps/{name}/upgrade  DELETE /apps/{name}")
+	return (&http.Server{Handler: platform.Handler()}).Serve(ln)
+}
+
+func cmdDemo(out *os.File) error {
+	reg, err := library.Registry()
+	if err != nil {
+		return err
+	}
+	p := &spec.Partial{}
+	p.Add("server", resource.MakeKey("Mac-OSX", "10.6")).
+		Set("hostname", resource.Str("localhost"))
+	p.Add("tomcat", resource.MakeKey("Tomcat", "6.0.18")).In("server")
+	p.Add("openmrs", resource.MakeKey("OpenMRS", "1.8")).In("tomcat")
+
+	fmt.Fprintf(out, "partial installation specification (%d lines):\n", spec.LineCount(p))
+	text, _ := spec.Render(p)
+	fmt.Fprintln(out, text)
+
+	full, st, err := config.New(reg).ConfigureStats(p)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\nconfiguration engine: %d nodes, %d vars, %d clauses → %d instances (%d lines)\n",
+		st.GraphNodes, st.Vars, st.Clauses, len(full.Instances), spec.LineCount(full))
+
+	w := machine.NewWorld()
+	d, err := deploy.New(full, deploy.Options{
+		Registry: reg, Drivers: library.Drivers(), World: w,
+		Index: library.PackageIndex(), Cache: pkgmgr.NewCache(),
+		ProvisionMissing: true, OSOf: library.OSOf,
+	})
+	if err != nil {
+		return err
+	}
+	if err := d.Deploy(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "deployed in %v of simulated time; services:\n", d.Elapsed())
+	m, _ := w.Machine("server")
+	for _, proc := range m.Processes() {
+		fmt.Fprintf(out, "  pid %-4d %-12s ports %v\n", proc.PID, proc.Name, proc.Ports)
+	}
+	return nil
+}

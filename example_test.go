@@ -1,0 +1,107 @@
+package engage_test
+
+import (
+	"fmt"
+	"log"
+
+	"engage"
+)
+
+// The §2 walk-through: three partial instances expand to the full
+// OpenMRS stack.
+func ExampleSystem_Configure() {
+	sys, err := engage.NewSystem()
+	if err != nil {
+		log.Fatal(err)
+	}
+	partial := engage.NewPartial()
+	partial.Add("server", engage.ParseKey("Mac-OSX 10.6"))
+	partial.Add("tomcat", engage.ParseKey("Tomcat 6.0.18")).In("server")
+	partial.Add("openmrs", engage.ParseKey("OpenMRS 1.8")).In("tomcat")
+
+	full, err := sys.Configure(partial)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d instances; derived MySQL config: %s\n",
+		len(full.Instances),
+		full.MustFind("openmrs").Output["jdbc_url"].AsString())
+	// Output:
+	// 5 instances; derived MySQL config: jdbc:mysql://localhost:3306/openmrs
+}
+
+// Theorem 1's satisfying assignments, enumerated: the OpenMRS partial
+// spec admits exactly two full specifications (JDK vs JRE).
+func ExampleSystem_Alternatives() {
+	sys, err := engage.NewSystem()
+	if err != nil {
+		log.Fatal(err)
+	}
+	partial := engage.NewPartial()
+	partial.Add("server", engage.ParseKey("Mac-OSX 10.6"))
+	partial.Add("tomcat", engage.ParseKey("Tomcat 6.0.18")).In("server")
+	partial.Add("openmrs", engage.ParseKey("OpenMRS 1.8")).In("tomcat")
+
+	alts, err := sys.Alternatives(partial, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(alts), "alternatives")
+	// Output:
+	// 2 alternatives
+}
+
+// Deploying runs driver state machines in dependency order on the
+// simulated substrate.
+func ExampleSystem_Deploy() {
+	sys, err := engage.NewSystem()
+	if err != nil {
+		log.Fatal(err)
+	}
+	partial := engage.NewPartial()
+	partial.Add("server", engage.ParseKey("Ubuntu 12.04"))
+	partial.Add("redis", engage.ParseKey("Redis 2.4")).In("server")
+
+	full, err := sys.Configure(partial)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dep, err := sys.Deploy(full)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, _ := dep.StateOf("redis")
+	m, _ := sys.World.Machine("server")
+	fmt.Printf("redis: %s, listening on 6379: %v\n", st, m.Listening(6379))
+	// Output:
+	// redis: active, listening on 6379: true
+}
+
+// The Django packager extracts deployment metadata from the app's own
+// files; RegisterApp generates its resource type.
+func ExampleSystem_PackageApp() {
+	sys, err := engage.NewSystem()
+	if err != nil {
+		log.Fatal(err)
+	}
+	arch, err := sys.PackageApp(engage.App{
+		Name:    "demo",
+		Version: "1.0",
+		Files: map[string]string{
+			"manage.py":        "#!/usr/bin/env python",
+			"settings.py":      `DATABASES = {"default": {"ENGINE": "django.db.backends.sqlite3", "NAME": "demo.db"}}`,
+			"requirements.txt": "Markdown==2.1\n",
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	key, err := sys.RegisterApp(arch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s (db=%s, packages=%d)\n",
+		key, arch.Manifest.DatabaseEngine, len(arch.Manifest.PythonPackages))
+	// Output:
+	// DjangoApp-demo 1.0 (db=sqlite, packages=1)
+}

@@ -1,0 +1,100 @@
+// Django platform (§6.2): package a Django application from its source
+// tree, register it (generating its resource type — no app-specific
+// deployment code), and deploy it under several of the 256 supported
+// single-node configurations: different OS, web server, database, and
+// optional components.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"engage"
+)
+
+func main() {
+	// A small Django application, as a developer would hand it to the
+	// platform: manage.py, settings.py, requirements.txt.
+	app := engage.App{
+		Name:    "guestbook",
+		Version: "1.0",
+		Files: map[string]string{
+			"manage.py": "#!/usr/bin/env python",
+			"settings.py": `
+DEBUG = False
+DATABASES = {"default": {"ENGINE": "django.db.backends.mysql", "NAME": "guestbook"}}
+INSTALLED_APPS = ["django.contrib.auth", "south", "guestbook"]
+CACHES = {"default": {"BACKEND": "django.core.cache.backends.memcached.MemcachedCache"}}
+CRON_JOBS = ["0 4 * * * purge_spam"]
+`,
+			"requirements.txt":                     "south==0.7.3\npython-memcached==1.48\nMarkdown==2.1\n",
+			"guestbook/models.py":                  "class Entry: pass",
+			"guestbook/migrations/0001_initial.py": "# initial",
+		},
+	}
+
+	sys, err := engage.NewSystem()
+	if err != nil {
+		log.Fatal(err)
+	}
+	arch, err := sys.PackageApp(app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("packaged %s %s: packages=%v db=%s memcached=%v migrations=%v\n",
+		arch.Manifest.Name, arch.Manifest.Version, arch.Manifest.PythonPackages,
+		arch.Manifest.DatabaseEngine, arch.Manifest.UsesMemcached, arch.Manifest.HasMigrations)
+
+	key, err := sys.RegisterApp(arch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated resource type: %s\n\n", key)
+
+	// Deploy the same application under three different configurations —
+	// the paper's development-to-production migration story.
+	configs := []struct {
+		label string
+		cfg   engage.DeployConfig
+	}{
+		{"development (mac, gunicorn, monit off)", engage.DeployConfig{
+			OS:        engage.ParseKey("Mac-OSX 10.7"),
+			WebServer: engage.ParseKey("Gunicorn 0.13"),
+			Database:  engage.ParseKey("MySQL 5.1"),
+		}},
+		{"staging (ubuntu, gunicorn, memcached)", engage.DeployConfig{
+			OS:        engage.ParseKey("Ubuntu 12.04"),
+			WebServer: engage.ParseKey("Gunicorn 0.13"),
+			Database:  engage.ParseKey("MySQL 5.1"),
+			Memcached: true,
+		}},
+		{"production (ubuntu, apache, memcached, monit)", engage.DeployConfig{
+			OS:        engage.ParseKey("Ubuntu 12.04"),
+			WebServer: engage.ParseKey("Apache 2.2"),
+			Database:  engage.ParseKey("MySQL 5.1"),
+			Memcached: true,
+			Monit:     true,
+		}},
+	}
+
+	for _, c := range configs {
+		// Each configuration gets a fresh world (a fresh set of
+		// machines) but the same registry and app type.
+		sys.World = engage.NewWorld()
+		partial := engage.DjangoPartial(c.cfg, arch.Manifest)
+		full, err := sys.Configure(partial)
+		if err != nil {
+			log.Fatalf("%s: %v", c.label, err)
+		}
+		dep, err := sys.Deploy(full)
+		if err != nil {
+			log.Fatalf("%s: %v", c.label, err)
+		}
+		appInst := full.MustFind("app")
+		fmt.Printf("%-48s %2d instances, %6v, url=%s\n",
+			c.label, len(full.Instances), dep.Elapsed(), appInst.Output["url"].AsString())
+	}
+
+	fmt.Printf("\nconfiguration space: %d distinct single-node configurations\n",
+		len(engage.AllConfigs()))
+}

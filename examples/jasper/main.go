@@ -1,0 +1,84 @@
+// JasperReports (§6.1): automate the 77-page manual install. The same
+// partial specification is deployed twice — once downloading every
+// package from the simulated internet, once against a warm local file
+// cache — reproducing the paper's 17-minute vs 5-minute contrast in
+// shape.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"engage"
+)
+
+func jasperPartial() *engage.Partial {
+	p := engage.NewPartial()
+	p.Add("server", engage.ParseKey("Ubuntu 12.04"))
+	p.Add("tomcat", engage.ParseKey("Tomcat 6.0.18")).In("server")
+	p.Add("jasper", engage.ParseKey("JasperReports 4.5")).In("tomcat")
+	return p
+}
+
+func install(warmCache bool, sysTemplate *engage.System) (time.Duration, int, int) {
+	sys, err := engage.NewSystem()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if warmCache && sysTemplate != nil {
+		// Share the file cache from the previous install: the paper's
+		// "obtained from a local file cache" scenario.
+		sys.Cache = sysTemplate.Cache
+	}
+	partial := jasperPartial()
+	full, err := sys.Configure(partial)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dep, err := sys.Deploy(full)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if sysTemplate != nil {
+		sysTemplate.Cache = sys.Cache
+	}
+	return dep.Elapsed(), engage.LineCount(partial), engage.LineCount(full)
+}
+
+func main() {
+	shared, err := engage.NewSystem()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cold, pLines, fLines := install(true, shared) // first run fills the shared cache
+	warm, _, _ := install(true, shared)           // second run hits it
+
+	fmt.Println("JasperReports Server automated install (simulated):")
+	fmt.Printf("  partial spec: %d lines → full spec: %d lines\n", pLines, fLines)
+	fmt.Printf("  install, packages from internet:    %v\n", cold)
+	fmt.Printf("  install, packages from local cache: %v\n", warm)
+	fmt.Printf("  speedup: %.1fx (paper: 17 min → 5 min, 3.4x)\n",
+		float64(cold)/float64(warm))
+
+	// The installed system is managed: status checks come from the
+	// runtime, not ad hoc scripts.
+	sys, err := engage.NewSystem()
+	if err != nil {
+		log.Fatal(err)
+	}
+	full, err := sys.Configure(jasperPartial())
+	if err != nil {
+		log.Fatal(err)
+	}
+	dep, err := sys.Deploy(full)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nmanaged services after install:")
+	mon := sys.Monitor(dep)
+	for _, st := range mon.Status() {
+		fmt.Printf("  %-24s running=%v pid=%d\n", st.Instance, st.Running, st.PID)
+	}
+}

@@ -1,0 +1,102 @@
+// Platform-as-a-service (§6.2): the commercial story behind Engage.
+// Start the PaaS web service over the simulated cloud, upload a packaged
+// Django application over HTTP, inspect its status, upgrade it, and tear
+// it down — the developer never sees Engage's internals.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+
+	"engage/internal/paas"
+	"engage/internal/packager"
+)
+
+func main() {
+	platform, err := paas.NewPlatform()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	server := &http.Server{Handler: platform.Handler()}
+	go func() { _ = server.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("PaaS listening on %s\n\n", base)
+
+	// The developer packages their app locally…
+	app := packager.App{
+		Name:    "notes",
+		Version: "1.0",
+		Files: map[string]string{
+			"manage.py": "#!/usr/bin/env python",
+			"settings.py": `
+DATABASES = {"default": {"ENGINE": "django.db.backends.mysql", "NAME": "notes"}}
+INSTALLED_APPS = ["django.contrib.auth", "notes"]
+`,
+			"requirements.txt": "Markdown==2.1\n",
+		},
+	}
+	arch, err := packager.Package(app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	payload, err := arch.Bytes()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// …and uploads it.
+	resp, err := http.Post(base+"/apps?monit=1", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("POST /apps", resp)
+
+	resp, err = http.Get(base + "/apps/notes/status")
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("GET /apps/notes/status", resp)
+
+	// Upgrade to 1.1.
+	app.Version = "1.1"
+	arch2, err := packager.Package(app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	payload2, _ := arch2.Bytes()
+	resp, err = http.Post(base+"/apps/notes/upgrade", "application/json", bytes.NewReader(payload2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("POST /apps/notes/upgrade", resp)
+
+	// Tear down.
+	req, _ := http.NewRequest(http.MethodDelete, base+"/apps/notes", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("DELETE /apps/notes", resp)
+
+	_ = server.Close()
+}
+
+func show(label string, resp *http.Response) {
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	var pretty bytes.Buffer
+	if json.Indent(&pretty, body, "  ", "  ") == nil {
+		fmt.Printf("%s → %s\n  %s\n\n", label, resp.Status, pretty.String())
+	} else {
+		fmt.Printf("%s → %s\n  %s\n\n", label, resp.Status, body)
+	}
+}

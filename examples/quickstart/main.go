@@ -1,0 +1,64 @@
+// Quickstart: the paper's §2 walk-through. Deploy OpenMRS — a Java
+// servlet inside Tomcat, with Java and MySQL dependencies resolved
+// automatically — on one Mac OS X server, from a three-instance partial
+// installation specification.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"engage"
+)
+
+func main() {
+	sys, err := engage.NewSystem()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The partial installation specification of Fig. 2: the user lists
+	// only the main components and the machine; Java (JDK or JRE, the
+	// solver chooses) and MySQL are derived.
+	partial := engage.NewPartial()
+	partial.Add("server", engage.ParseKey("Mac-OSX 10.6")).
+		Set("hostname", engage.Str("localhost")).
+		Set("os_user_name", engage.Str("root"))
+	partial.Add("tomcat", engage.ParseKey("Tomcat 6.0.18")).In("server")
+	partial.Add("openmrs", engage.ParseKey("OpenMRS 1.8")).In("tomcat")
+
+	full, stats, err := sys.ConfigureStats(partial)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("configuration engine: %d-node hypergraph, %d clauses → %d instances\n",
+		stats.GraphNodes, stats.Clauses, len(full.Instances))
+	fmt.Printf("spec sizes: partial %d lines → full %d lines\n",
+		engage.LineCount(partial), engage.LineCount(full))
+	for _, inst := range full.Instances {
+		fmt.Printf("  %-24s %s\n", inst.ID, inst.Key)
+	}
+
+	dep, err := sys.Deploy(full)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndeployed in %v of simulated time\n", dep.Elapsed())
+
+	// Port propagation gave OpenMRS its JDBC connection string.
+	openmrs := full.MustFind("openmrs")
+	fmt.Printf("openmrs jdbc_url = %s\n", openmrs.Output["jdbc_url"].AsString())
+
+	// The runtime tracks every driver's state.
+	fmt.Println("\ndriver states:")
+	for _, inst := range dep.Instances() {
+		st, _ := dep.StateOf(inst.ID)
+		fmt.Printf("  %-24s %s\n", inst.ID, st)
+	}
+
+	// Shut down in reverse dependency order.
+	if err := dep.Shutdown(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nshutdown complete (reverse dependency order)")
+}

@@ -1,0 +1,121 @@
+// Upgrades with rollback (§5.2 and the §6.2 FA case study): deploy FA
+// v1, seed database content, upgrade to v2 with a South schema
+// migration, then demonstrate that an injected failure during an
+// upgrade automatically rolls the system back to the prior version with
+// content intact. Also shows monit-style failure recovery.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"engage"
+)
+
+func main() {
+	sys, err := engage.NewSystem()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var fa engage.App
+	for _, a := range engage.TableOneApps() {
+		if a.Name == "fa" {
+			fa = a
+		}
+	}
+	archV1, err := sys.PackageApp(fa)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sys.RegisterApp(archV1); err != nil {
+		log.Fatal(err)
+	}
+
+	faV2 := fa
+	faV2.Version = "2.0"
+	faV2.Files["fa/migrations/0003_reviewers.py"] = "# split reviewers table"
+	archV2, err := sys.PackageApp(faV2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sys.RegisterApp(archV2); err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := engage.DeployConfig{
+		OS:        engage.ParseKey("Ubuntu 12.04"),
+		WebServer: engage.ParseKey("Gunicorn 0.13"),
+		Database:  engage.ParseKey("MySQL 5.1"),
+		Monit:     true,
+	}
+
+	oldFull, err := sys.Configure(engage.DjangoPartial(cfg, archV1.Manifest))
+	if err != nil {
+		log.Fatal(err)
+	}
+	oldDep, err := sys.Deploy(oldFull)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("FA 1.0 deployed: %d instances in %v\n", len(oldFull.Instances), oldDep.Elapsed())
+
+	// Monit-style failure recovery: kill the database daemon and let the
+	// monitor restart it.
+	mon := sys.Monitor(oldDep)
+	m, _ := sys.World.Machine("server")
+	if proc, ok := m.FindProcess("mysql"); ok {
+		fmt.Printf("\ninjecting failure: killing mysql (pid %d)\n", proc.PID)
+		if err := m.KillProcess(proc.PID); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, ev := range mon.Check() {
+		fmt.Printf("monitor: instance %s dead (pid %d), restarted=%v\n",
+			ev.Instance, ev.PID, ev.Restarted)
+	}
+
+	// Upgrade to v2.
+	newFull, err := sys.Configure(engage.DjangoPartial(cfg, archV2.Manifest))
+	if err != nil {
+		log.Fatal(err)
+	}
+	newDep, res, err := sys.Upgrade(oldDep, oldFull, newFull)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nupgrade to FA 2.0: rolled_back=%v changed=%v elapsed=%v\n",
+		res.RolledBack, res.Diff.Changed, res.Elapsed)
+	if !newDep.Deployed() {
+		log.Fatal("upgrade left system down")
+	}
+
+	// Now break an upgrade on purpose: the next configuration adds
+	// Redis, but a rogue process is squatting Redis's port, so the new
+	// system cannot deploy — Engage must roll back to FA 2.0.
+	squatter, err := m.StartProcess("squatter", "nc -l 6379", 6379)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ninjecting failure: port 6379 squatted by pid %d\n", squatter.PID)
+
+	cfgRedis := cfg
+	cfgRedis.Redis = true
+	redisFull, err := sys.Configure(engage.DjangoPartial(cfgRedis, archV2.Manifest))
+	if err != nil {
+		log.Fatal(err)
+	}
+	back, res2, err := sys.Upgrade(newDep, newFull, redisFull)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res2.RolledBack {
+		fmt.Printf("upgrade failed as intended (%v)\n", res2.Cause)
+		fmt.Println("system automatically rolled back; status:")
+		for id, st := range back.Status() {
+			fmt.Printf("  %-24s %s\n", id, st)
+		}
+	} else {
+		fmt.Println("note: upgrade unexpectedly succeeded")
+	}
+}

@@ -1,0 +1,3 @@
+module engage
+
+go 1.22

@@ -1,0 +1,117 @@
+// Package cloud implements simulated cloud providers in the shape of the
+// paper's libcloud integration with Rackspace and Amazon Web Services:
+// provisioning a node yields a machine with hostname, IP, and OS
+// metadata that Engage merges into the installation specification before
+// configuration. Provisioning latency advances the simulated clock, and
+// providers enforce a capacity limit.
+package cloud
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"engage/internal/machine"
+)
+
+// Provider is a simulated cloud provider.
+type Provider struct {
+	Name             string
+	World            *machine.World
+	ProvisionLatency time.Duration
+	Capacity         int // 0 = unlimited
+
+	mu    sync.Mutex
+	seq   int
+	nodes map[string]*machine.Machine
+}
+
+// NewRackspaceSim returns a provider shaped like the paper's Rackspace
+// integration: moderate capacity, tens of seconds of provisioning time.
+func NewRackspaceSim(w *machine.World) *Provider {
+	return &Provider{Name: "rackspace-sim", World: w, ProvisionLatency: 45 * time.Second, Capacity: 64,
+		nodes: make(map[string]*machine.Machine)}
+}
+
+// NewAWSSim returns a provider shaped like the paper's AWS integration.
+func NewAWSSim(w *machine.World) *Provider {
+	return &Provider{Name: "aws-sim", World: w, ProvisionLatency: 60 * time.Second, Capacity: 256,
+		nodes: make(map[string]*machine.Machine)}
+}
+
+// Provision creates a node running the given OS, advancing the clock by
+// the provisioning latency, and returns its machine.
+func (p *Provider) Provision(name, os string) (*machine.Machine, error) {
+	p.mu.Lock()
+	if p.nodes == nil {
+		p.nodes = make(map[string]*machine.Machine)
+	}
+	if p.Capacity > 0 && len(p.nodes) >= p.Capacity {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("cloud %s: capacity %d exhausted", p.Name, p.Capacity)
+	}
+	if _, dup := p.nodes[name]; dup {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("cloud %s: node %q already provisioned", p.Name, name)
+	}
+	p.seq++
+	p.mu.Unlock()
+
+	p.World.Clock.Advance(p.ProvisionLatency)
+	m, err := p.World.AddMachine(name, os)
+	if err != nil {
+		return nil, fmt.Errorf("cloud %s: %v", p.Name, err)
+	}
+
+	p.mu.Lock()
+	p.nodes[name] = m
+	p.mu.Unlock()
+	return m, nil
+}
+
+// Terminate destroys a node.
+func (p *Provider) Terminate(name string) error {
+	p.mu.Lock()
+	_, ok := p.nodes[name]
+	delete(p.nodes, name)
+	p.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("cloud %s: no node %q", p.Name, name)
+	}
+	p.World.Remove(name)
+	return nil
+}
+
+// Nodes lists provisioned node names, sorted.
+func (p *Provider) Nodes() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.nodes))
+	for n := range p.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NodeInfo is the host metadata a provider reports for a provisioned
+// node; Engage merges it into the installation specification (§5.2,
+// Provisioning).
+type NodeInfo struct {
+	Hostname string
+	IP       string
+	OS       string
+	Arch     string
+}
+
+// Describe returns metadata for a node.
+func (p *Provider) Describe(name string) (NodeInfo, error) {
+	p.mu.Lock()
+	m, ok := p.nodes[name]
+	p.mu.Unlock()
+	if !ok {
+		return NodeInfo{}, fmt.Errorf("cloud %s: no node %q", p.Name, name)
+	}
+	return NodeInfo{Hostname: m.Hostname, IP: m.IP, OS: m.OS, Arch: m.Arch}, nil
+}

@@ -1,0 +1,85 @@
+package cloud
+
+import (
+	"testing"
+	"time"
+
+	"engage/internal/machine"
+)
+
+func TestProvisionBasics(t *testing.T) {
+	w := machine.NewWorld()
+	p := NewRackspaceSim(w)
+	t0 := w.Clock.Now()
+	m, err := p.Provision("web1", "ubuntu-12.04")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Clock.Since(t0) != 45*time.Second {
+		t.Errorf("provision latency = %v", w.Clock.Since(t0))
+	}
+	if m.OS != "ubuntu-12.04" || m.IP == "" {
+		t.Errorf("node metadata wrong: %+v", m)
+	}
+	if _, ok := w.Machine("web1"); !ok {
+		t.Error("machine should join the world")
+	}
+	info, err := p.Describe("web1")
+	if err != nil || info.Hostname != "web1" || info.OS != "ubuntu-12.04" || info.Arch != "x86_64" {
+		t.Errorf("Describe = %+v, %v", info, err)
+	}
+	if nodes := p.Nodes(); len(nodes) != 1 || nodes[0] != "web1" {
+		t.Errorf("Nodes = %v", nodes)
+	}
+}
+
+func TestProvisionDuplicate(t *testing.T) {
+	w := machine.NewWorld()
+	p := NewAWSSim(w)
+	if _, err := p.Provision("n", "ubuntu-12.04"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Provision("n", "ubuntu-12.04"); err == nil {
+		t.Error("duplicate provision should fail")
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	w := machine.NewWorld()
+	p := &Provider{Name: "tiny", World: w, Capacity: 2}
+	if _, err := p.Provision("a", "os"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Provision("b", "os"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Provision("c", "os"); err == nil {
+		t.Error("capacity should be enforced")
+	}
+	if err := p.Terminate("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Provision("c", "os"); err != nil {
+		t.Errorf("terminate should free capacity: %v", err)
+	}
+}
+
+func TestTerminate(t *testing.T) {
+	w := machine.NewWorld()
+	p := NewAWSSim(w)
+	if _, err := p.Provision("n", "os"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Terminate("n"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := w.Machine("n"); ok {
+		t.Error("terminated machine should leave the world")
+	}
+	if err := p.Terminate("n"); err == nil {
+		t.Error("double terminate should error")
+	}
+	if _, err := p.Describe("n"); err == nil {
+		t.Error("describe of terminated node should error")
+	}
+}

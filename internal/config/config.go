@@ -1,0 +1,268 @@
+// Package config implements Engage's configuration engine (§4 of the
+// paper): it takes a collection of resource types and a partial
+// installation specification and produces a full installation
+// specification, by (1) generating the dependency hypergraph,
+// (2) generating Boolean constraints and solving them, and
+// (3) propagating configuration options along the application stack in
+// topological order of dependencies.
+package config
+
+import (
+	"fmt"
+
+	"engage/internal/constraint"
+	"engage/internal/hypergraph"
+	"engage/internal/resource"
+	"engage/internal/sat"
+	"engage/internal/spec"
+	"engage/internal/typecheck"
+)
+
+// Engine is the configuration engine. The zero Solver/Encoding default
+// to the CDCL solver with the paper's pairwise exactly-one encoding.
+type Engine struct {
+	Registry *resource.Registry
+	Solver   sat.Solver
+	Encoding constraint.Encoding
+	// SkipCheck disables the final CheckSpec pass (used only by
+	// benchmarks isolating solver cost).
+	SkipCheck bool
+}
+
+// New returns an engine over a registry with default solver settings.
+func New(reg *resource.Registry) *Engine {
+	return &Engine{Registry: reg, Solver: sat.NewCDCL()}
+}
+
+// Stats reports the work done by a Configure call.
+type Stats struct {
+	GraphNodes int
+	GraphEdges int
+	Vars       int
+	Clauses    int
+	Solver     sat.Stats
+}
+
+// UnsatError is returned when no full installation specification extends
+// the partial specification (Theorem 1's "iff" in the negative).
+type UnsatError struct{}
+
+func (UnsatError) Error() string {
+	return "config: no full installation specification extends the partial specification (constraints unsatisfiable)"
+}
+
+// Configure computes a full installation specification extending the
+// partial specification, or an error.
+func (e *Engine) Configure(partial *spec.Partial) (*spec.Full, error) {
+	full, _, err := e.ConfigureStats(partial)
+	return full, err
+}
+
+// ConfigureStats is Configure with effort statistics.
+func (e *Engine) ConfigureStats(partial *spec.Partial) (*spec.Full, Stats, error) {
+	var st Stats
+	g, err := hypergraph.Generate(e.Registry, partial)
+	if err != nil {
+		return nil, st, err
+	}
+	st.GraphNodes = g.Len()
+	st.GraphEdges = len(g.Edges)
+
+	prob := constraint.Encode(g, e.Encoding)
+	st.Vars = prob.Formula.NumVars
+	st.Clauses = len(prob.Formula.Clauses)
+
+	solver := e.Solver
+	if solver == nil {
+		solver = sat.NewCDCL()
+	}
+	res := solver.Solve(prob.Formula)
+	st.Solver = res.Stats
+	switch res.Status {
+	case sat.Sat:
+	case sat.Unsat:
+		return nil, st, UnsatError{}
+	default:
+		return nil, st, fmt.Errorf("config: solver %q gave up", solver.Name())
+	}
+
+	selected := prob.Selected(res.Model)
+	full, err := e.build(g, partial, selected)
+	if err != nil {
+		return nil, st, err
+	}
+	if !e.SkipCheck {
+		if err := checkAfterBuild(e, full); err != nil {
+			return nil, st, err
+		}
+	}
+	return full, st, nil
+}
+
+// checkAfterBuild validates an engine-generated specification.
+func checkAfterBuild(e *Engine, full *spec.Full) error {
+	if err := typecheck.CheckSpec(e.Registry, full); err != nil {
+		return fmt.Errorf("config: generated specification fails static checking: %w", err)
+	}
+	return nil
+}
+
+// build assembles the full specification from the solved selection and
+// propagates port values.
+func (e *Engine) build(g *hypergraph.Graph, partial *spec.Partial, selected map[string]bool) (*spec.Full, error) {
+	full := &spec.Full{}
+	byID := make(map[string]*spec.Instance)
+
+	for _, n := range g.Nodes() {
+		if !selected[n.ID] {
+			continue
+		}
+		inst := &spec.Instance{
+			ID:      n.ID,
+			Key:     n.Key,
+			Machine: n.Machine,
+			Inside:  n.Inside,
+			Config:  make(map[string]resource.Value),
+			Input:   make(map[string]resource.Value),
+			Output:  make(map[string]resource.Value),
+		}
+		for k, v := range n.Config {
+			inst.Config[k] = v
+		}
+		full.Instances = append(full.Instances, inst)
+		byID[n.ID] = inst
+	}
+
+	// Resolve hyperedges to concrete links.
+	for _, edge := range g.Edges {
+		src := byID[edge.Source]
+		if src == nil {
+			continue // source not deployed
+		}
+		target, err := constraint.ChosenTarget(edge, selected)
+		if err != nil {
+			return nil, err
+		}
+		src.Deps = append(src.Deps, spec.DepLink{
+			Class:          edge.Class,
+			Target:         target,
+			PortMap:        edge.PortMap,
+			ReversePortMap: edge.ReversePortMap,
+		})
+	}
+
+	if err := e.propagate(full, byID); err != nil {
+		return nil, err
+	}
+	return full, nil
+}
+
+// propagate computes port values: static ports first (they are known at
+// instantiation time and may flow in reverse), then a linear pass in
+// topological order filling input ports from upstream outputs, config
+// ports from overrides or defaults, and output ports from their
+// definitions (§4, final paragraph).
+func (e *Engine) propagate(full *spec.Full, byID map[string]*spec.Instance) error {
+	// Pass 0: static config and output ports.
+	for _, inst := range full.Instances {
+		t := e.Registry.MustLookup(inst.Key)
+		for _, p := range t.Config {
+			if !p.Static {
+				continue
+			}
+			if _, overridden := inst.Config[p.Name]; overridden {
+				continue
+			}
+			if p.Def == nil {
+				return fmt.Errorf("config: instance %q: static config port %q has no value", inst.ID, p.Name)
+			}
+			v, err := p.Def.Eval(resource.MapScope{})
+			if err != nil {
+				return fmt.Errorf("config: instance %q: static config port %q: %v", inst.ID, p.Name, err)
+			}
+			inst.Config[p.Name] = v
+		}
+		for _, p := range t.Output {
+			if !p.Static {
+				continue
+			}
+			v, err := p.Def.Eval(resource.MapScope{Configs: inst.Config})
+			if err != nil {
+				return fmt.Errorf("config: instance %q: static output port %q: %v", inst.ID, p.Name, err)
+			}
+			inst.Output[p.Name] = v
+		}
+	}
+
+	// Reverse flows: static outputs of dependents feed dependee inputs.
+	for _, inst := range full.Instances {
+		for _, l := range inst.Deps {
+			for outPort, inPort := range l.ReversePortMap {
+				v, ok := inst.Output[outPort]
+				if !ok {
+					return fmt.Errorf("config: instance %q: reverse-mapped output %q not computed (must be static)", inst.ID, outPort)
+				}
+				target := byID[l.Target]
+				if target == nil {
+					return fmt.Errorf("config: instance %q: reverse map targets unknown instance %q", inst.ID, l.Target)
+				}
+				target.Input[inPort] = v
+			}
+		}
+	}
+
+	// Main pass in dependency order.
+	order, err := full.TopoOrder()
+	if err != nil {
+		return err
+	}
+	for _, inst := range order {
+		t := e.Registry.MustLookup(inst.Key)
+
+		// Inputs from upstream outputs.
+		for _, l := range inst.Deps {
+			target := byID[l.Target]
+			for outPort, inPort := range l.PortMap {
+				v, ok := target.Output[outPort]
+				if !ok {
+					return fmt.Errorf("config: instance %q: upstream %q has no output %q", inst.ID, l.Target, outPort)
+				}
+				inst.Input[inPort] = v
+			}
+		}
+
+		scope := resource.MapScope{Inputs: inst.Input, Configs: inst.Config}
+
+		// Config ports: override > default expression.
+		for _, p := range t.Config {
+			if _, done := inst.Config[p.Name]; done {
+				continue
+			}
+			if p.Def == nil {
+				return fmt.Errorf("config: instance %q: config port %q has no value and no default", inst.ID, p.Name)
+			}
+			v, err := p.Def.Eval(scope)
+			if err != nil {
+				return fmt.Errorf("config: instance %q: config port %q: %v", inst.ID, p.Name, err)
+			}
+			if !v.Type().AssignableTo(p.Type) {
+				return fmt.Errorf("config: instance %q: config port %q: %s not assignable to %s",
+					inst.ID, p.Name, v.Type(), p.Type)
+			}
+			inst.Config[p.Name] = v
+		}
+
+		// Output ports.
+		for _, p := range t.Output {
+			if _, done := inst.Output[p.Name]; done {
+				continue // static, already computed
+			}
+			v, err := p.Def.Eval(scope)
+			if err != nil {
+				return fmt.Errorf("config: instance %q: output port %q: %v", inst.ID, p.Name, err)
+			}
+			inst.Output[p.Name] = v
+		}
+	}
+	return nil
+}

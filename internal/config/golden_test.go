@@ -1,0 +1,53 @@
+package config
+
+import (
+	"flag"
+	"os"
+	"testing"
+
+	"engage/internal/spec"
+	"engage/internal/testlib"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestOpenMRSGolden pins the entire pipeline's output — hypergraph,
+// constraint solving, port propagation, JSON rendering — against a
+// committed golden file. Any unintended change to defaults, ordering,
+// or encoding shows up as a diff. Regenerate deliberately with
+// `go test ./internal/config -run Golden -update`.
+func TestOpenMRSGolden(t *testing.T) {
+	reg, err := testlib.OpenMRSRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := testlib.Fig2Partial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := New(reg).Configure(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := spec.Render(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := text + "\n"
+
+	const path = "testdata/openmrs_full.golden.json"
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("full specification changed; run with -update if intended.\n--- got ---\n%s\n--- want ---\n%s",
+			got, want)
+	}
+}

@@ -1,0 +1,85 @@
+package config
+
+import (
+	"fmt"
+
+	"engage/internal/constraint"
+	"engage/internal/hypergraph"
+	"engage/internal/sat"
+	"engage/internal/spec"
+)
+
+// ConfigureMinimal is Configure with a subset-minimality guarantee: the
+// returned full installation specification deploys a set of instances
+// such that no instance can be removed while still satisfying all
+// constraints. This is the flavor of "optimal install" the paper's
+// related work explores (OPIUM, apt-pbo); plain Configure relies on the
+// solver's default-false branching, which yields small but not provably
+// minimal models.
+//
+// Minimization is the standard iterative strengthening: solve once, then
+// for each instance selected but not in the partial specification, try
+// re-solving with that instance forced out; keep it out if still
+// satisfiable. Each step adds a unit clause, so the loop runs at most
+// one solve per graph node.
+func (e *Engine) ConfigureMinimal(partial *spec.Partial) (*spec.Full, error) {
+	g, err := hypergraph.Generate(e.Registry, partial)
+	if err != nil {
+		return nil, err
+	}
+	prob := constraint.Encode(g, e.Encoding)
+	solver := e.Solver
+	if solver == nil {
+		solver = sat.NewCDCL()
+	}
+
+	work := &sat.Formula{
+		NumVars: prob.Formula.NumVars,
+		Clauses: append([]sat.Clause(nil), prob.Formula.Clauses...),
+	}
+	res := solver.Solve(work)
+	switch res.Status {
+	case sat.Sat:
+	case sat.Unsat:
+		return nil, UnsatError{}
+	default:
+		return nil, fmt.Errorf("config: solver %q gave up", solver.Name())
+	}
+	model := res.Model
+
+	fromSpec := make(map[string]bool, len(partial.Instances))
+	for _, pi := range partial.Instances {
+		fromSpec[pi.ID] = true
+	}
+
+	// Try to shed every selected non-spec instance, in graph order.
+	for _, id := range g.Order {
+		v := prob.VarOf[id]
+		if fromSpec[id] || !model[v] {
+			continue
+		}
+		trial := &sat.Formula{
+			NumVars: work.NumVars,
+			Clauses: append(append([]sat.Clause(nil), work.Clauses...), sat.Clause{sat.Lit(-v)}),
+		}
+		r := solver.Solve(trial)
+		if r.Status == sat.Sat {
+			work = trial
+			model = r.Model
+		} else {
+			// Pin it in so later trials cannot flip it back.
+			work.Clauses = append(work.Clauses, sat.Clause{sat.Lit(v)})
+		}
+	}
+
+	full, err := e.build(g, partial, prob.Selected(model))
+	if err != nil {
+		return nil, err
+	}
+	if !e.SkipCheck {
+		if err := checkAfterBuild(e, full); err != nil {
+			return nil, err
+		}
+	}
+	return full, nil
+}

@@ -1,0 +1,158 @@
+package deploy
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"engage/internal/driver"
+	"engage/internal/machine"
+)
+
+// DeployConcurrent brings every instance to the active state using one
+// goroutine per instance, realizing the paper's blocking-transition
+// semantics (§5.1: "the transition blocks until the guard becomes true,
+// at which point the action is executed") with real concurrency: each
+// worker fires its driver's actions as soon as the guards allow,
+// coordinated only through the deployment's state tracking. Virtual
+// time is accounted per instance and combined as the dependency
+// critical path, as in the Parallel option.
+//
+// DeployConcurrent exists alongside the deterministic Deploy to
+// demonstrate (and stress-test, under -race) that the guard discipline
+// alone suffices to order a distributed deployment — no global plan is
+// needed.
+func (d *Deployment) DeployConcurrent() error {
+	var (
+		mu     sync.Mutex
+		cond   = sync.NewCond(&mu)
+		failed error
+	)
+	// concurrentEnv evaluates guards under the shared mutex and wakes
+	// waiters whenever any state changes.
+	env := &concurrentEnv{d: d, mu: &mu}
+
+	finish := make(map[string]time.Duration, len(d.order))
+	var wg sync.WaitGroup
+	for _, inst := range d.order {
+		inst := inst
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			drv := d.drivers[inst.ID]
+			sink := &atomicSink{}
+
+			mu.Lock()
+			ctx := drv.Ctx
+			prevCtxSink, prevMgrSink := ctx.Sink, ctx.PkgMgr.Sink
+			mu.Unlock()
+
+			path := drv.SM.PathTo(drv.State(), driver.Active)
+			if path == nil {
+				mu.Lock()
+				failed = fmt.Errorf("deploy: instance %q: no path to active", inst.ID)
+				cond.Broadcast()
+				mu.Unlock()
+				return
+			}
+			for _, action := range path {
+				mu.Lock()
+				for {
+					if failed != nil {
+						mu.Unlock()
+						return
+					}
+					// Fire under the lock: driver actions mutate shared
+					// simulated machines, and the state update must be
+					// atomic with the guard check.
+					ctx.Sink, ctx.PkgMgr.Sink = sink, sink
+					err := drv.Fire(action, env)
+					ctx.Sink, ctx.PkgMgr.Sink = prevCtxSink, prevMgrSink
+					if err == nil {
+						cond.Broadcast()
+						break
+					}
+					if _, blocked := err.(*driver.BlockedError); !blocked {
+						failed = fmt.Errorf("deploy: instance %q: %w", inst.ID, err)
+						cond.Broadcast()
+						mu.Unlock()
+						return
+					}
+					cond.Wait() // guard not yet true; wait for a state change
+				}
+				mu.Unlock()
+			}
+			mu.Lock()
+			finish[inst.ID] = sink.total()
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if failed != nil {
+		return failed
+	}
+
+	// Combine per-instance durations into the dependency critical path.
+	var maxFinish time.Duration
+	memo := make(map[string]time.Duration, len(d.order))
+	var chain func(id string) time.Duration
+	chain = func(id string) time.Duration {
+		if v, ok := memo[id]; ok {
+			return v
+		}
+		start := time.Duration(0)
+		if inst, ok := d.full.Find(id); ok {
+			for _, dep := range inst.DependencyIDs() {
+				if f := chain(dep); f > start {
+					start = f
+				}
+			}
+		}
+		v := start + finish[id]
+		memo[id] = v
+		return v
+	}
+	for _, inst := range d.order {
+		if f := chain(inst.ID); f > maxFinish {
+			maxFinish = f
+		}
+	}
+	d.elapsed = maxFinish
+	d.advanceClock()
+	return nil
+}
+
+// concurrentEnv adapts the deployment's neighbour-state view for use
+// under the concurrency mutex (which the caller already holds when
+// guards are evaluated inside Fire).
+type concurrentEnv struct {
+	d  *Deployment
+	mu *sync.Mutex
+}
+
+// NeighbourStates implements driver.GuardEnv; the caller holds the
+// mutex.
+func (e *concurrentEnv) NeighbourStates(id string, dir driver.Direction) []driver.State {
+	return e.d.NeighbourStates(id, dir)
+}
+
+// atomicSink accumulates charged durations; accessed only under the
+// deployment mutex but kept separate per instance.
+type atomicSink struct {
+	mu sync.Mutex
+	d  time.Duration
+}
+
+func (s *atomicSink) Charge(d time.Duration) {
+	s.mu.Lock()
+	s.d += d
+	s.mu.Unlock()
+}
+
+func (s *atomicSink) total() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.d
+}
+
+var _ machine.TimeSink = (*atomicSink)(nil)

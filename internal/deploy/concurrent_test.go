@@ -1,0 +1,106 @@
+package deploy
+
+import (
+	"strings"
+	"testing"
+
+	"engage/internal/driver"
+	"engage/internal/machine"
+	"engage/internal/testlib"
+)
+
+func TestDeployConcurrentOpenMRS(t *testing.T) {
+	log := &eventLog{}
+	d, w := newDeployment(t, log, true)
+	if err := d.DeployConcurrent(); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Deployed() {
+		t.Fatalf("all drivers should be active: %v", d.Status())
+	}
+	m, _ := w.Machine("server")
+	if !m.Listening(3306) || !m.Listening(8080) {
+		t.Error("services should be listening")
+	}
+
+	// Ordering invariants hold even under concurrency: starts respect
+	// the guard discipline.
+	mysqlID := ""
+	for _, inst := range d.Instances() {
+		if inst.Key.Name == "MySQL" {
+			mysqlID = inst.ID
+		}
+	}
+	if log.indexOf("start:tomcat") > log.indexOf("start:openmrs") {
+		t.Error("tomcat must start before openmrs")
+	}
+	if log.indexOf("start:"+mysqlID) > log.indexOf("start:openmrs") {
+		t.Error("mysql must start before openmrs")
+	}
+	if log.indexOf("install:tomcat") > log.indexOf("start:tomcat") {
+		t.Error("tomcat must install before starting")
+	}
+
+	// Critical-path accounting matches the deterministic parallel mode.
+	logB := &eventLog{}
+	det, _ := newDeployment(t, logB, true)
+	if err := det.Deploy(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Elapsed() != det.Elapsed() {
+		t.Errorf("concurrent elapsed %v != deterministic parallel elapsed %v",
+			d.Elapsed(), det.Elapsed())
+	}
+}
+
+func TestDeployConcurrentRepeatable(t *testing.T) {
+	// Run several times to give the race detector material and verify
+	// the outcome is always a fully deployed system.
+	for i := 0; i < 10; i++ {
+		log := &eventLog{}
+		d, _ := newDeployment(t, log, true)
+		if err := d.DeployConcurrent(); err != nil {
+			t.Fatal(err)
+		}
+		if !d.Deployed() {
+			t.Fatalf("iteration %d: %v", i, d.Status())
+		}
+		if err := d.Shutdown(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDeployConcurrentFailurePropagates(t *testing.T) {
+	reg, err := testlib.OpenMRSRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr := testDrivers(&eventLog{})
+	// Override MySQL with a failing installer.
+	dr.RegisterName("MySQL", func(ctx *driver.Context) *driver.StateMachine {
+		return driver.ServiceMachine(
+			func(*driver.Context) error { return errFailingDisk },
+			nil, nil, nil, nil)
+	})
+	w := machine.NewWorld()
+	d, err := New(openmrsFull(t), Options{
+		Registry: reg, Drivers: dr, World: w, Index: testIndex(), ProvisionMissing: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = d.DeployConcurrent()
+	if err == nil || !strings.Contains(err.Error(), "failing disk") {
+		t.Errorf("failure should propagate: %v", err)
+	}
+	if d.Deployed() {
+		t.Error("failed concurrent deploy must not report deployed")
+	}
+}
+
+var errFailingDisk = errDisk{}
+
+type errDisk struct{}
+
+func (errDisk) Error() string { return "failing disk" }

@@ -1,0 +1,425 @@
+// Package deploy implements Engage's deployment engine (§5.2 of the
+// paper): given a full installation specification, it instantiates a
+// driver per resource instance and executes driver transitions — in
+// dependency order, optionally in (virtual-time) parallel — until every
+// state machine is active, at which point the system is deployed. It
+// also implements dependency-respecting shutdown (reverse order) and
+// teardown, and tracks every driver's state so it can evaluate the
+// ↑s / ↓s guards.
+package deploy
+
+import (
+	"fmt"
+	"time"
+
+	"engage/internal/driver"
+	"engage/internal/machine"
+	"engage/internal/pkgmgr"
+	"engage/internal/resource"
+	"engage/internal/spec"
+)
+
+// Options configure a deployment.
+type Options struct {
+	Registry *resource.Registry
+	Drivers  *DriverRegistry
+	World    *machine.World
+	Index    *pkgmgr.Index
+	Cache    *pkgmgr.Cache
+	// Parallel deploys independent instances concurrently in virtual
+	// time: total elapsed time is the dependency-graph critical path
+	// rather than the sum of all action durations.
+	Parallel bool
+	// ProvisionMissing creates world machines for machine instances not
+	// already present, using OSOf to derive the OS identifier.
+	ProvisionMissing bool
+	// NoClockAdvance computes Elapsed without advancing the world
+	// clock; the multi-host coordinator uses it to combine per-slave
+	// times into a critical path.
+	NoClockAdvance bool
+	// Plugins run after deployment lifecycle transitions (§5.2's
+	// plugin framework); see the monitor package for the monit plugin.
+	Plugins []Plugin
+	// OSOf maps a machine instance to an OS identifier; nil uses the
+	// lower-cased resource key.
+	OSOf func(inst *spec.Instance) string
+}
+
+// Deployment is a managed deployment of one full installation
+// specification.
+type Deployment struct {
+	opts  Options
+	full  *spec.Full
+	order []*spec.Instance
+
+	drivers    map[string]*driver.Driver
+	managers   map[string]*pkgmgr.Manager // per machine
+	downstream map[string][]string
+	elapsed    time.Duration
+	events     []Event
+}
+
+// Event records one driver action executed by the deployment engine,
+// with the virtual time consumed so far by that instance's actions.
+type Event struct {
+	Seq      int
+	Instance string
+	Action   string
+	To       driver.State
+	// Spent is the cumulative virtual time the instance's actions had
+	// consumed when this action completed.
+	Spent time.Duration
+}
+
+// Events returns the action log, in execution order.
+func (d *Deployment) Events() []Event {
+	out := make([]Event, len(d.events))
+	copy(out, d.events)
+	return out
+}
+
+// New prepares a deployment: it resolves machines, builds per-machine
+// package managers, and instantiates a driver for every instance.
+func New(full *spec.Full, opts Options) (*Deployment, error) {
+	if opts.Registry == nil || opts.World == nil {
+		return nil, fmt.Errorf("deploy: Registry and World are required")
+	}
+	if opts.Drivers == nil {
+		opts.Drivers = NewDriverRegistry()
+	}
+	if opts.Index == nil {
+		opts.Index = pkgmgr.NewIndex()
+	}
+	order, err := full.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	d := &Deployment{
+		opts:       opts,
+		full:       full,
+		order:      order,
+		drivers:    make(map[string]*driver.Driver, len(order)),
+		managers:   make(map[string]*pkgmgr.Manager),
+		downstream: full.Downstream(),
+	}
+
+	// Machines first: every machine instance must exist in the world.
+	for _, inst := range order {
+		if inst.Inside != "" {
+			continue
+		}
+		m, ok := opts.World.Machine(inst.ID)
+		if !ok {
+			if !opts.ProvisionMissing {
+				return nil, fmt.Errorf("deploy: machine %q not present in world (provision it or set ProvisionMissing)", inst.ID)
+			}
+			os := osOf(opts, inst)
+			m, err = opts.World.AddMachine(inst.ID, os)
+			if err != nil {
+				return nil, err
+			}
+		}
+		d.managers[inst.ID] = pkgmgr.NewManager(opts.Index, opts.Cache, m)
+	}
+
+	// Drivers for every instance.
+	for _, inst := range order {
+		mname := inst.Machine
+		if mname == "" {
+			mname = inst.ID
+		}
+		m, ok := opts.World.Machine(mname)
+		if !ok {
+			return nil, fmt.Errorf("deploy: instance %q: machine %q missing", inst.ID, mname)
+		}
+		mgr := d.managers[mname]
+		if mgr == nil {
+			return nil, fmt.Errorf("deploy: instance %q: no package manager for machine %q", inst.ID, mname)
+		}
+		t, ok := opts.Registry.Lookup(inst.Key)
+		if !ok {
+			return nil, fmt.Errorf("deploy: instance %q: unknown resource type %q", inst.ID, inst.Key)
+		}
+		factory, err := opts.Drivers.Resolve(t)
+		if err != nil {
+			return nil, err
+		}
+		ctx := &driver.Context{Instance: inst, Machine: m, PkgMgr: mgr}
+		sm := factory(ctx)
+		if err := sm.Validate(); err != nil {
+			return nil, fmt.Errorf("deploy: instance %q: %v", inst.ID, err)
+		}
+		d.drivers[inst.ID] = driver.NewDriver(sm, ctx)
+	}
+	return d, nil
+}
+
+func osOf(opts Options, inst *spec.Instance) string {
+	if opts.OSOf != nil {
+		return opts.OSOf(inst)
+	}
+	return inst.Key.String()
+}
+
+// NeighbourStates implements driver.GuardEnv.
+func (d *Deployment) NeighbourStates(id string, dir driver.Direction) []driver.State {
+	var ids []string
+	if dir == driver.Upstream {
+		inst, ok := d.full.Find(id)
+		if !ok {
+			return nil
+		}
+		ids = inst.DependencyIDs()
+	} else {
+		ids = d.downstream[id]
+	}
+	out := make([]driver.State, 0, len(ids))
+	for _, nid := range ids {
+		if drv, ok := d.drivers[nid]; ok {
+			out = append(out, drv.State())
+		}
+	}
+	return out
+}
+
+// StateOf returns an instance's driver state.
+func (d *Deployment) StateOf(id string) (driver.State, bool) {
+	drv, ok := d.drivers[id]
+	if !ok {
+		return "", false
+	}
+	return drv.State(), true
+}
+
+// Status returns every instance's state.
+func (d *Deployment) Status() map[string]driver.State {
+	out := make(map[string]driver.State, len(d.drivers))
+	for id, drv := range d.drivers {
+		out[id] = drv.State()
+	}
+	return out
+}
+
+// Driver exposes an instance's driver; the monitor and upgrade
+// frameworks use it.
+func (d *Deployment) Driver(id string) (*driver.Driver, bool) {
+	drv, ok := d.drivers[id]
+	return drv, ok
+}
+
+// Instances returns the deployment's instances in dependency order.
+func (d *Deployment) Instances() []*spec.Instance { return d.order }
+
+// Elapsed reports the virtual time consumed by the last Deploy/Shutdown.
+func (d *Deployment) Elapsed() time.Duration { return d.elapsed }
+
+// Manager returns the package manager for a machine.
+func (d *Deployment) Manager(machineID string) (*pkgmgr.Manager, bool) {
+	m, ok := d.managers[machineID]
+	return m, ok
+}
+
+// costSink accumulates charged durations.
+type costSink struct{ d time.Duration }
+
+func (s *costSink) Charge(d time.Duration) { s.d += d }
+
+// driveTo fires actions along the shortest path from the instance's
+// current state to the target, charging durations to sink. Guards are
+// evaluated against the deployment's live states.
+func (d *Deployment) driveTo(id string, target driver.State, sink *costSink) error {
+	drv := d.drivers[id]
+	ctx := drv.Ctx
+	prevCtxSink, prevMgrSink := ctx.Sink, ctx.PkgMgr.Sink
+	ctx.Sink, ctx.PkgMgr.Sink = sink, sink
+	defer func() { ctx.Sink, ctx.PkgMgr.Sink = prevCtxSink, prevMgrSink }()
+
+	path := drv.SM.PathTo(drv.State(), target)
+	if path == nil {
+		return fmt.Errorf("deploy: instance %q: no path from %q to %q", id, drv.State(), target)
+	}
+	for _, action := range path {
+		if err := drv.Fire(action, d); err != nil {
+			return err
+		}
+		d.events = append(d.events, Event{
+			Seq:      len(d.events),
+			Instance: id,
+			Action:   action,
+			To:       drv.State(),
+			Spent:    sink.d,
+		})
+	}
+	return nil
+}
+
+// Deploy brings every instance to the active state in dependency order
+// (§5.2: "executes commands on the resource drivers … such that every
+// driver state machine is in its active state — at this point, the
+// system is defined to be deployed"). With Parallel set, instances
+// whose dependencies are satisfied proceed concurrently in virtual
+// time; the world clock advances by the critical-path duration.
+func (d *Deployment) Deploy() error {
+	finish := make(map[string]time.Duration, len(d.order))
+	var total, maxFinish time.Duration
+
+	for _, inst := range d.order {
+		sink := &costSink{}
+		if err := d.driveTo(inst.ID, driver.Active, sink); err != nil {
+			return err
+		}
+		if d.opts.Parallel {
+			start := time.Duration(0)
+			for _, dep := range inst.DependencyIDs() {
+				if finish[dep] > start {
+					start = finish[dep]
+				}
+			}
+			finish[inst.ID] = start + sink.d
+			if finish[inst.ID] > maxFinish {
+				maxFinish = finish[inst.ID]
+			}
+		} else {
+			total += sink.d
+		}
+	}
+	if d.opts.Parallel {
+		d.elapsed = maxFinish
+	} else {
+		d.elapsed = total
+	}
+	d.advanceClock()
+	return d.runPlugins("after-deploy", func(p Plugin) error { return p.AfterDeploy(d) })
+}
+
+func (d *Deployment) advanceClock() {
+	if !d.opts.NoClockAdvance {
+		d.opts.World.Clock.Advance(d.elapsed)
+	}
+}
+
+// Shutdown stops every instance in reverse dependency order (§5.2:
+// "shutting down an application goes in the reverse dependency order"),
+// bringing each driver to inactive.
+func (d *Deployment) Shutdown() error {
+	var total time.Duration
+	for i := len(d.order) - 1; i >= 0; i-- {
+		inst := d.order[i]
+		drv := d.drivers[inst.ID]
+		if drv.State() != driver.Active {
+			continue
+		}
+		sink := &costSink{}
+		if err := d.driveTo(inst.ID, driver.Inactive, sink); err != nil {
+			return err
+		}
+		total += sink.d
+	}
+	d.elapsed = total
+	d.advanceClock()
+	return d.runPlugins("after-shutdown", func(p Plugin) error { return p.AfterShutdown(d) })
+}
+
+// Uninstall tears the deployment down completely (reverse order, to the
+// uninstalled state); the upgrade framework uses it for components that
+// cannot be upgraded in place.
+func (d *Deployment) Uninstall() error {
+	var total time.Duration
+	// Pass 1: stop everything in reverse order (the ↓inactive stop
+	// guards require downstream instances to be exactly inactive, so
+	// nothing may be uninstalled while a dependency is still active).
+	for i := len(d.order) - 1; i >= 0; i-- {
+		inst := d.order[i]
+		if d.drivers[inst.ID].State() != driver.Active {
+			continue
+		}
+		sink := &costSink{}
+		if err := d.driveTo(inst.ID, driver.Inactive, sink); err != nil {
+			return err
+		}
+		total += sink.d
+	}
+	// Pass 2: uninstall in reverse order.
+	for i := len(d.order) - 1; i >= 0; i-- {
+		inst := d.order[i]
+		sink := &costSink{}
+		if err := d.driveTo(inst.ID, driver.Uninstalled, sink); err != nil {
+			return err
+		}
+		total += sink.d
+	}
+	d.elapsed = total
+	d.advanceClock()
+	return nil
+}
+
+// PlannedAction is one step of a dry-run plan.
+type PlannedAction struct {
+	Instance string
+	Action   string
+	From     driver.State
+	To       driver.State
+}
+
+// Plan computes the ordered action sequence a Deploy would execute from
+// the current driver states, without executing anything: a dry run. The
+// plan lists, in dependency order, each driver's shortest action path to
+// active.
+func (d *Deployment) Plan() []PlannedAction {
+	var plan []PlannedAction
+	simulated := make(map[string]driver.State, len(d.order))
+	for id, drv := range d.drivers {
+		simulated[id] = drv.State()
+	}
+	for _, inst := range d.order {
+		drv := d.drivers[inst.ID]
+		cur := simulated[inst.ID]
+		path := drv.SM.PathTo(cur, driver.Active)
+		for _, action := range path {
+			// Follow the transition to know intermediate states.
+			var to driver.State
+			for _, a := range drv.SM.Actions {
+				if a.From == cur && a.Name == action {
+					to = a.To
+					break
+				}
+			}
+			plan = append(plan, PlannedAction{Instance: inst.ID, Action: action, From: cur, To: to})
+			cur = to
+		}
+		simulated[inst.ID] = cur
+	}
+	return plan
+}
+
+// Adopt marks instances of this (not yet deployed) deployment as
+// already running, transferring their driver state and runtime scratch
+// (daemon PIDs) from a previous deployment. The incremental upgrade
+// strategy uses it to leave unaffected components untouched: a
+// subsequent Deploy finds their drivers already active and fires no
+// actions for them.
+func (d *Deployment) Adopt(prev *Deployment, ids []string) error {
+	for _, id := range ids {
+		newDrv, ok := d.drivers[id]
+		if !ok {
+			return fmt.Errorf("deploy: adopt: no instance %q in new deployment", id)
+		}
+		oldDrv, ok := prev.drivers[id]
+		if !ok {
+			return fmt.Errorf("deploy: adopt: no instance %q in previous deployment", id)
+		}
+		newDrv.SetState(oldDrv.State())
+		newDrv.Ctx.Scratch = oldDrv.Ctx.Scratch
+	}
+	return nil
+}
+
+// Deployed reports whether every instance is active.
+func (d *Deployment) Deployed() bool {
+	for _, drv := range d.drivers {
+		if drv.State() != driver.Active {
+			return false
+		}
+	}
+	return true
+}

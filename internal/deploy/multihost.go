@@ -1,0 +1,186 @@
+package deploy
+
+import (
+	"fmt"
+	"time"
+
+	"engage/internal/spec"
+)
+
+// MultiHost coordinates a deployment across several machines in the
+// paper's master/slave style (§5.2): the overall install specification
+// is broken into per-node specifications, a slave instance of Engage
+// runs each node's specification with no awareness of the others, and
+// the master orders the slaves by the machine partial order. Slaves
+// with no inter-dependencies run in parallel (virtual time).
+type MultiHost struct {
+	// Order is the machine partial order linearized.
+	Order []string
+	// Slaves maps each machine to its per-node deployment.
+	Slaves map[string]*Deployment
+
+	machineDeps map[string][]string // machine → machines it must follow
+	full        *spec.Full
+	opts        Options
+	elapsed     time.Duration
+}
+
+// NewMultiHost splits a full specification into per-machine slave
+// deployments. Cross-machine dependency links are dropped from the
+// slave specs (their port values are already propagated); the machine
+// ordering preserves their sequencing, per the paper's simplifying
+// assumption validated by MachineOrder.
+func NewMultiHost(full *spec.Full, opts Options) (*MultiHost, error) {
+	order, err := full.MachineOrder()
+	if err != nil {
+		return nil, err
+	}
+	mh := &MultiHost{
+		Order:       order,
+		Slaves:      make(map[string]*Deployment, len(order)),
+		machineDeps: make(map[string][]string, len(order)),
+		full:        full,
+		opts:        opts,
+	}
+
+	// Machine-level dependency edges (same computation as MachineOrder).
+	byID := make(map[string]*spec.Instance, len(full.Instances))
+	for _, inst := range full.Instances {
+		byID[inst.ID] = inst
+	}
+	depSet := make(map[string]map[string]bool, len(order))
+	for _, m := range order {
+		depSet[m] = make(map[string]bool)
+	}
+	for _, inst := range full.Instances {
+		for _, depID := range inst.DependencyIDs() {
+			dep := byID[depID]
+			if dep == nil {
+				continue
+			}
+			m1, m2 := machineOf(dep), machineOf(inst)
+			if m1 != "" && m2 != "" && m1 != m2 {
+				depSet[m2][m1] = true
+			}
+		}
+	}
+	for m, set := range depSet {
+		for dep := range set {
+			mh.machineDeps[m] = append(mh.machineDeps[m], dep)
+		}
+	}
+
+	// Build slave specs and deployments.
+	slaveOpts := opts
+	slaveOpts.NoClockAdvance = true
+	for _, m := range order {
+		sub := &spec.Full{}
+		for _, inst := range full.OnMachine(m) {
+			clone := *inst
+			clone.Deps = nil
+			for _, l := range inst.Deps {
+				if target, ok := byID[l.Target]; ok && machineOf(target) == m {
+					clone.Deps = append(clone.Deps, l)
+				}
+			}
+			if in, ok := byID[inst.Inside]; ok && machineOf(in) != m {
+				return nil, fmt.Errorf("deploy: instance %q is inside %q on a different machine", inst.ID, inst.Inside)
+			}
+			sub.Instances = append(sub.Instances, &clone)
+		}
+		slave, err := New(sub, slaveOpts)
+		if err != nil {
+			return nil, fmt.Errorf("deploy: slave for machine %q: %v", m, err)
+		}
+		mh.Slaves[m] = slave
+	}
+	return mh, nil
+}
+
+func machineOf(inst *spec.Instance) string {
+	if inst.Machine != "" {
+		return inst.Machine
+	}
+	if inst.Inside == "" {
+		return inst.ID
+	}
+	return ""
+}
+
+// Deploy runs every slave in machine order. Total virtual time is the
+// machine-graph critical path when opts.Parallel is set (independent
+// slaves overlap), otherwise the sum of slave times.
+func (mh *MultiHost) Deploy() error {
+	finish := make(map[string]time.Duration, len(mh.Order))
+	var total, maxFinish time.Duration
+	for _, m := range mh.Order {
+		slave := mh.Slaves[m]
+		if err := slave.Deploy(); err != nil {
+			return fmt.Errorf("deploy: slave %q: %w", m, err)
+		}
+		if mh.opts.Parallel {
+			start := time.Duration(0)
+			for _, dep := range mh.machineDeps[m] {
+				if finish[dep] > start {
+					start = finish[dep]
+				}
+			}
+			finish[m] = start + slave.Elapsed()
+			if finish[m] > maxFinish {
+				maxFinish = finish[m]
+			}
+		} else {
+			total += slave.Elapsed()
+		}
+	}
+	if mh.opts.Parallel {
+		mh.elapsed = maxFinish
+	} else {
+		mh.elapsed = total
+	}
+	if !mh.opts.NoClockAdvance {
+		mh.opts.World.Clock.Advance(mh.elapsed)
+	}
+	return nil
+}
+
+// Shutdown stops the slaves in reverse machine order.
+func (mh *MultiHost) Shutdown() error {
+	var total time.Duration
+	for i := len(mh.Order) - 1; i >= 0; i-- {
+		m := mh.Order[i]
+		if err := mh.Slaves[m].Shutdown(); err != nil {
+			return fmt.Errorf("deploy: slave %q shutdown: %w", m, err)
+		}
+		total += mh.Slaves[m].Elapsed()
+	}
+	mh.elapsed = total
+	if !mh.opts.NoClockAdvance {
+		mh.opts.World.Clock.Advance(total)
+	}
+	return nil
+}
+
+// Elapsed reports the virtual time of the last Deploy/Shutdown.
+func (mh *MultiHost) Elapsed() time.Duration { return mh.elapsed }
+
+// Deployed reports whether every slave is fully deployed.
+func (mh *MultiHost) Deployed() bool {
+	for _, s := range mh.Slaves {
+		if !s.Deployed() {
+			return false
+		}
+	}
+	return true
+}
+
+// Status merges the slave statuses.
+func (mh *MultiHost) Status() map[string]string {
+	out := make(map[string]string)
+	for _, s := range mh.Slaves {
+		for id, st := range s.Status() {
+			out[id] = string(st)
+		}
+	}
+	return out
+}

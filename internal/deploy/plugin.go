@@ -1,0 +1,28 @@
+package deploy
+
+import "fmt"
+
+// Plugin is the runtime's integration point for monitoring and
+// management tools (§5.2: "The runtime includes a plugin framework for
+// the automatic integration with monitoring and management tools").
+// Plugins run after lifecycle transitions of the whole deployment.
+type Plugin interface {
+	// Name identifies the plugin in errors.
+	Name() string
+	// AfterDeploy runs once the deployment reaches the deployed state
+	// (every driver active); the monit plugin uses it to register every
+	// service and write its configuration.
+	AfterDeploy(d *Deployment) error
+	// AfterShutdown runs after a successful Shutdown.
+	AfterShutdown(d *Deployment) error
+}
+
+// runPlugins applies a phase function over the options' plugins.
+func (d *Deployment) runPlugins(phase string, f func(Plugin) error) error {
+	for _, p := range d.opts.Plugins {
+		if err := f(p); err != nil {
+			return fmt.Errorf("deploy: plugin %q (%s): %w", p.Name(), phase, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package driver
+
+import (
+	"fmt"
+
+	"engage/internal/resource"
+)
+
+// Actions maps action names to implementations; the deployment engine's
+// action registry. Declarative drivers (resource.DriverSpec) reference
+// actions by name — the paper's split between the state machine (data,
+// written by the component developer in the resource definition) and the
+// guarded actions ("implemented in an underlying programming language").
+type Actions map[string]ActionFunc
+
+// CompileSpec turns a declarative driver specification into an
+// executable state machine, resolving action names against the action
+// registry. The special action name "" (or "noop") is a
+// bookkeeping-only transition. The compiled machine is validated.
+func CompileSpec(spec *resource.DriverSpec, actions Actions) (*StateMachine, error) {
+	if spec == nil {
+		return nil, fmt.Errorf("driver: nil driver spec")
+	}
+	sm := &StateMachine{}
+	seen := make(map[State]bool)
+	for _, s := range spec.States {
+		st := State(s)
+		if seen[st] {
+			return nil, fmt.Errorf("driver: duplicate state %q", s)
+		}
+		seen[st] = true
+		sm.States = append(sm.States, st)
+	}
+	// The basic states are implied if unlisted.
+	for _, b := range []State{Uninstalled, Inactive, Active} {
+		if !seen[b] {
+			sm.States = append(sm.States, b)
+			seen[b] = true
+		}
+	}
+
+	for _, tr := range spec.Transitions {
+		a := Action{
+			Name: tr.Name,
+			From: State(tr.From),
+			To:   State(tr.To),
+		}
+		for _, g := range tr.Guards {
+			dir := Downstream
+			if g.Up {
+				dir = Upstream
+			}
+			a.Guard = append(a.Guard, Pred{Dir: dir, State: State(g.State)})
+		}
+		switch tr.Action {
+		case "", "noop":
+		default:
+			fn, ok := actions[tr.Action]
+			if !ok {
+				return nil, fmt.Errorf("driver: transition %q references unknown action %q", tr.Name, tr.Action)
+			}
+			a.Run = fn
+		}
+		sm.Actions = append(sm.Actions, a)
+	}
+	if err := sm.Validate(); err != nil {
+		return nil, err
+	}
+	return sm, nil
+}

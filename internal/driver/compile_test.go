@@ -1,0 +1,109 @@
+package driver
+
+import (
+	"strings"
+	"testing"
+
+	"engage/internal/resource"
+)
+
+func fig3Spec() *resource.DriverSpec {
+	return &resource.DriverSpec{
+		States: []string{"uninstalled", "inactive", "active"},
+		Transitions: []resource.DriverTransition{
+			{Name: "install", From: "uninstalled", To: "inactive", Action: "install"},
+			{Name: "start", From: "inactive", To: "active",
+				Guards: []resource.DriverGuard{{Up: true, State: "active"}}, Action: "start"},
+			{Name: "stop", From: "active", To: "inactive",
+				Guards: []resource.DriverGuard{{Up: false, State: "inactive"}}, Action: "stop"},
+			{Name: "uninstall", From: "inactive", To: "uninstalled", Action: "noop"},
+		},
+	}
+}
+
+func TestCompileSpecFig3(t *testing.T) {
+	ran := map[string]int{}
+	actions := Actions{
+		"install": func(*Context) error { ran["install"]++; return nil },
+		"start":   func(*Context) error { ran["start"]++; return nil },
+		"stop":    func(*Context) error { ran["stop"]++; return nil },
+	}
+	sm, err := CompileSpec(fig3Spec(), actions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDriver(sm, testCtx(t))
+	env := fakeEnv{up: []State{Active}, down: []State{Inactive}}
+	for _, a := range []string{"install", "start", "stop", "uninstall"} {
+		if err := d.Fire(a, env); err != nil {
+			t.Fatalf("Fire(%q): %v", a, err)
+		}
+	}
+	if d.State() != Uninstalled {
+		t.Errorf("final state = %v", d.State())
+	}
+	if ran["install"] != 1 || ran["start"] != 1 || ran["stop"] != 1 {
+		t.Errorf("actions ran = %v", ran)
+	}
+}
+
+func TestCompileSpecGuardSemantics(t *testing.T) {
+	sm, err := CompileSpec(fig3Spec(), Actions{
+		"install": nil, "start": nil, "stop": nil,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDriver(sm, testCtx(t))
+	if err := d.Fire("install", fakeEnv{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Fire("start", fakeEnv{up: []State{Inactive}}); err == nil {
+		t.Error("↑active guard should block")
+	}
+	if err := d.Fire("start", fakeEnv{up: []State{Active}}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompileSpecImpliesBasicStates(t *testing.T) {
+	spec := &resource.DriverSpec{
+		Transitions: []resource.DriverTransition{
+			{Name: "install", From: "uninstalled", To: "active"},
+		},
+	}
+	sm, err := CompileSpec(spec, Actions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sm.States) != 3 {
+		t.Errorf("basic states should be implied: %v", sm.States)
+	}
+}
+
+func TestCompileSpecErrors(t *testing.T) {
+	if _, err := CompileSpec(nil, Actions{}); err == nil {
+		t.Error("nil spec should error")
+	}
+	dup := &resource.DriverSpec{States: []string{"active", "active"}}
+	if _, err := CompileSpec(dup, Actions{}); err == nil {
+		t.Error("duplicate state should error")
+	}
+	unknown := &resource.DriverSpec{
+		Transitions: []resource.DriverTransition{
+			{Name: "install", From: "uninstalled", To: "active", Action: "conjure"},
+		},
+	}
+	if _, err := CompileSpec(unknown, Actions{}); err == nil ||
+		!strings.Contains(err.Error(), "unknown action") {
+		t.Errorf("unknown action should error: %v", err)
+	}
+	unreachable := &resource.DriverSpec{
+		Transitions: []resource.DriverTransition{
+			{Name: "stop", From: "active", To: "inactive"},
+		},
+	}
+	if _, err := CompileSpec(unreachable, Actions{}); err == nil {
+		t.Error("unreachable active should fail validation")
+	}
+}

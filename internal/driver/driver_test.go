@@ -1,0 +1,301 @@
+package driver
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"engage/internal/machine"
+	"engage/internal/resource"
+	"engage/internal/spec"
+)
+
+// fakeEnv supplies fixed neighbour states.
+type fakeEnv struct {
+	up   []State
+	down []State
+}
+
+func (f fakeEnv) NeighbourStates(_ string, dir Direction) []State {
+	if dir == Upstream {
+		return f.up
+	}
+	return f.down
+}
+
+func testCtx(t *testing.T) *Context {
+	t.Helper()
+	w := machine.NewWorld()
+	m, err := w.AddMachine("server", "macosx-10.6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Context{
+		Instance: &spec.Instance{ID: "tomcat", Key: resource.MakeKey("Tomcat", "6.0.18")},
+		Machine:  m,
+	}
+}
+
+func TestFig3Lifecycle(t *testing.T) {
+	var log []string
+	record := func(name string) ActionFunc {
+		return func(*Context) error {
+			log = append(log, name)
+			return nil
+		}
+	}
+	sm := ServiceMachine(record("install"), record("start"), record("stop"), record("restart"), record("uninstall"))
+	if err := sm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d := NewDriver(sm, testCtx(t))
+	env := fakeEnv{up: []State{Active}, down: []State{Inactive}}
+
+	if d.State() != Uninstalled {
+		t.Fatalf("initial state = %v", d.State())
+	}
+	steps := []struct {
+		action string
+		want   State
+	}{
+		{"install", Inactive},
+		{"start", Active},
+		{"restart", Active},
+		{"stop", Inactive},
+		{"start", Active},
+		{"stop", Inactive},
+		{"uninstall", Uninstalled},
+	}
+	for _, s := range steps {
+		if err := d.Fire(s.action, env); err != nil {
+			t.Fatalf("Fire(%q): %v", s.action, err)
+		}
+		if d.State() != s.want {
+			t.Fatalf("after %q state = %v, want %v", s.action, d.State(), s.want)
+		}
+	}
+	want := "install,start,restart,stop,start,stop,uninstall"
+	if got := strings.Join(log, ","); got != want {
+		t.Errorf("action log = %s, want %s", got, want)
+	}
+}
+
+func TestStartBlockedUntilUpstreamActive(t *testing.T) {
+	sm := ServiceMachine(nil, nil, nil, nil, nil)
+	d := NewDriver(sm, testCtx(t))
+	if err := d.Fire("install", fakeEnv{}); err != nil {
+		t.Fatal(err)
+	}
+	// Upstream not yet active: start must block.
+	err := d.Fire("start", fakeEnv{up: []State{Inactive}})
+	var blocked *BlockedError
+	if !errors.As(err, &blocked) {
+		t.Fatalf("expected BlockedError, got %v", err)
+	}
+	if blocked.Action != "start" || !strings.Contains(blocked.Error(), "↑active") {
+		t.Errorf("blocked error = %v", blocked)
+	}
+	if d.State() != Inactive {
+		t.Error("blocked action must not change state")
+	}
+	// Once upstream is active the same action fires.
+	if err := d.Fire("start", fakeEnv{up: []State{Active, Active}}); err != nil {
+		t.Fatal(err)
+	}
+	if d.State() != Active {
+		t.Error("start should reach active")
+	}
+}
+
+func TestStopBlockedUntilDownstreamInactive(t *testing.T) {
+	sm := ServiceMachine(nil, nil, nil, nil, nil)
+	d := NewDriver(sm, testCtx(t))
+	env := fakeEnv{up: []State{Active}}
+	if err := d.Fire("install", env); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Fire("start", env); err != nil {
+		t.Fatal(err)
+	}
+	err := d.Fire("stop", fakeEnv{down: []State{Active}})
+	var blocked *BlockedError
+	if !errors.As(err, &blocked) {
+		t.Fatalf("expected BlockedError, got %v", err)
+	}
+	// ↓inactive has ordering semantics: uninstalled dependents are fine
+	// (they certainly are not using the service), active ones block.
+	if err := d.Fire("stop", fakeEnv{down: []State{Inactive, Uninstalled}}); err != nil {
+		t.Fatalf("uninstalled dependents must not block stop: %v", err)
+	}
+}
+
+func TestStartBlockedByUninstalledUpstream(t *testing.T) {
+	sm := ServiceMachine(nil, nil, nil, nil, nil)
+	d := NewDriver(sm, testCtx(t))
+	if err := d.Fire("install", fakeEnv{}); err != nil {
+		t.Fatal(err)
+	}
+	// ↑active: upstream below active blocks.
+	if err := d.Fire("start", fakeEnv{up: []State{Uninstalled}}); err == nil {
+		t.Fatal("uninstalled upstream must block start")
+	}
+	if err := d.Fire("start", fakeEnv{up: []State{"custom"}}); err == nil {
+		t.Fatal("non-basic upstream state must block an ↑active guard")
+	}
+}
+
+func TestUnknownAction(t *testing.T) {
+	sm := ServiceMachine(nil, nil, nil, nil, nil)
+	d := NewDriver(sm, testCtx(t))
+	if err := d.Fire("dance", fakeEnv{}); err == nil {
+		t.Error("unknown action should error")
+	}
+	// start is not available from uninstalled.
+	if err := d.Fire("start", fakeEnv{up: []State{Active}}); err == nil {
+		t.Error("start from uninstalled should error")
+	}
+}
+
+func TestActionErrorPropagates(t *testing.T) {
+	boom := func(*Context) error { return fmt.Errorf("disk full") }
+	sm := ServiceMachine(boom, nil, nil, nil, nil)
+	d := NewDriver(sm, testCtx(t))
+	err := d.Fire("install", fakeEnv{})
+	if err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Errorf("action error should propagate: %v", err)
+	}
+	if d.State() != Uninstalled {
+		t.Error("failed action must not change state")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := &StateMachine{States: []State{Uninstalled, Active}}
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "missing basic state") {
+		t.Errorf("missing basic state: %v", err)
+	}
+
+	bad2 := &StateMachine{
+		States:  []State{Uninstalled, Inactive, Active},
+		Actions: []Action{{Name: "x", From: "ghost", To: Active}},
+	}
+	if err := bad2.Validate(); err == nil || !strings.Contains(err.Error(), "undeclared states") {
+		t.Errorf("undeclared state: %v", err)
+	}
+
+	bad3 := &StateMachine{
+		States: []State{Uninstalled, Inactive, Active},
+		Actions: []Action{
+			{Name: "a", From: Uninstalled, To: Inactive},
+			{Name: "a", From: Uninstalled, To: Active},
+		},
+	}
+	if err := bad3.Validate(); err == nil || !strings.Contains(err.Error(), "duplicate action") {
+		t.Errorf("duplicate action: %v", err)
+	}
+
+	bad4 := &StateMachine{
+		States:  []State{Uninstalled, Inactive, Active},
+		Actions: []Action{{Name: "stop", From: Active, To: Inactive}},
+	}
+	if err := bad4.Validate(); err == nil || !strings.Contains(err.Error(), "unreachable") {
+		t.Errorf("unreachable active: %v", err)
+	}
+
+	for _, sm := range []*StateMachine{
+		ServiceMachine(nil, nil, nil, nil, nil),
+		LibraryMachine(nil, nil),
+		MachineMachine(),
+	} {
+		if err := sm.Validate(); err != nil {
+			t.Errorf("standard machine invalid: %v", err)
+		}
+	}
+}
+
+func TestPathTo(t *testing.T) {
+	sm := ServiceMachine(nil, nil, nil, nil, nil)
+	path := sm.PathTo(Uninstalled, Active)
+	if strings.Join(path, ",") != "install,start" {
+		t.Errorf("PathTo(uninstalled, active) = %v", path)
+	}
+	if got := sm.PathTo(Active, Uninstalled); strings.Join(got, ",") != "stop,uninstall" {
+		t.Errorf("PathTo(active, uninstalled) = %v", got)
+	}
+	if got := sm.PathTo(Active, Active); got == nil || len(got) != 0 {
+		t.Errorf("PathTo(x, x) should be empty non-nil: %v", got)
+	}
+	lonely := &StateMachine{States: []State{Uninstalled, Inactive, Active, "island"},
+		Actions: []Action{{Name: "install", From: Uninstalled, To: Inactive}, {Name: "start", From: Inactive, To: Active}}}
+	if lonely.PathTo(Uninstalled, "island") != nil {
+		t.Error("unreachable state should give nil path")
+	}
+}
+
+func TestLibraryMachineShape(t *testing.T) {
+	sm := LibraryMachine(nil, nil)
+	d := NewDriver(sm, testCtx(t))
+	env := fakeEnv{up: []State{Active}, down: []State{Inactive}}
+	if err := d.Fire("install", env); err != nil {
+		t.Fatal(err)
+	}
+	if d.State() != Active {
+		t.Errorf("library install should reach active directly, got %v", d.State())
+	}
+	if err := d.Fire("stop", env); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Fire("uninstall", env); err != nil {
+		t.Fatal(err)
+	}
+	if d.State() != Uninstalled {
+		t.Error("library uninstall failed")
+	}
+}
+
+func TestGuardString(t *testing.T) {
+	g := Guard{{Upstream, Active}, {Downstream, Inactive}}
+	if g.String() != "↑active ∧ ↓inactive" {
+		t.Errorf("Guard.String() = %q", g.String())
+	}
+	if (Guard{}).String() != "true" {
+		t.Error("empty guard should render true")
+	}
+}
+
+func TestScratchPIDs(t *testing.T) {
+	ctx := testCtx(t)
+	d := NewDriver(ServiceMachine(nil, nil, nil, nil, nil), ctx)
+	_ = d
+	ctx.PutPID("daemon", 42)
+	pid, ok := ctx.PID("daemon")
+	if !ok || pid != 42 {
+		t.Errorf("PID = %d, %v", pid, ok)
+	}
+	if _, ok := ctx.PID("ghost"); ok {
+		t.Error("missing PID should not resolve")
+	}
+}
+
+func TestSetState(t *testing.T) {
+	d := NewDriver(ServiceMachine(nil, nil, nil, nil, nil), testCtx(t))
+	d.SetState(Active)
+	if d.State() != Active {
+		t.Error("SetState failed")
+	}
+}
+
+func TestActionNames(t *testing.T) {
+	sm := ServiceMachine(nil, nil, nil, nil, nil)
+	names := sm.ActionNames()
+	want := []string{"install", "restart", "start", "stop", "uninstall"}
+	if len(names) != len(want) {
+		t.Fatalf("ActionNames = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("ActionNames[%d] = %q, want %q", i, names[i], want[i])
+		}
+	}
+}

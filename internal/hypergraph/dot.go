@@ -1,0 +1,62 @@
+package hypergraph
+
+import (
+	"fmt"
+	"strings"
+
+	"engage/internal/resource"
+)
+
+// Dot renders the hypergraph in Graphviz DOT format, in the style of
+// Fig. 5: spec instances are drawn with doubled borders (the figure's ✓
+// marks), machines as boxes, and hyperedges as a fan of styled arrows —
+// solid for inside, dashed for environment, dotted for peer. Disjunctive
+// hyperedges (more than one target) fan out through a small point node
+// so the exactly-one choice is visible.
+func (g *Graph) Dot() string {
+	var b strings.Builder
+	b.WriteString("digraph engage {\n")
+	b.WriteString("  rankdir=BT;\n")
+	b.WriteString("  node [fontname=\"Helvetica\"];\n")
+
+	for _, n := range g.Nodes() {
+		attrs := []string{fmt.Sprintf("label=\"%s\\n%s\"", n.ID, n.Key)}
+		if n.Inside == "" {
+			attrs = append(attrs, "shape=box")
+		} else {
+			attrs = append(attrs, "shape=ellipse")
+		}
+		if n.FromSpec {
+			attrs = append(attrs, "peripheries=2")
+		}
+		fmt.Fprintf(&b, "  %q [%s];\n", n.ID, strings.Join(attrs, ", "))
+	}
+
+	style := func(c resource.DependencyClass) string {
+		switch c {
+		case resource.DepInside:
+			return "solid"
+		case resource.DepEnv:
+			return "dashed"
+		default:
+			return "dotted"
+		}
+	}
+	for i, e := range g.Edges {
+		if len(e.Targets) == 1 {
+			fmt.Fprintf(&b, "  %q -> %q [style=%s, label=%q];\n",
+				e.Source, e.Targets[0], style(e.Class), e.Class.String())
+			continue
+		}
+		// Disjunction: fan through a choice point.
+		point := fmt.Sprintf("choice_%d", i)
+		fmt.Fprintf(&b, "  %q [shape=point, label=\"\"];\n", point)
+		fmt.Fprintf(&b, "  %q -> %q [style=%s, label=\"%s ⊕\"];\n",
+			e.Source, point, style(e.Class), e.Class.String())
+		for _, t := range e.Targets {
+			fmt.Fprintf(&b, "  %q -> %q [style=%s];\n", point, t, style(e.Class))
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

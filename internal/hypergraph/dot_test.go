@@ -1,0 +1,38 @@
+package hypergraph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDotFig5(t *testing.T) {
+	g := fig2Graph(t)
+	dot := g.Dot()
+
+	// Structure checks against Fig. 5.
+	for _, want := range []string{
+		"digraph engage",
+		`"server" [label="server\nMac-OSX 10.6", shape=box, peripheries=2];`,
+		`"tomcat" [label="tomcat\nTomcat 6.0.18", shape=ellipse, peripheries=2];`,
+		"style=dashed", // environment edges
+		"style=dotted", // peer edge
+		"shape=point",  // the jdk/jre choice fan
+		`label="environment ⊕"`,
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	// Auto-created nodes are single-bordered.
+	if strings.Contains(dot, `jdk-1.6@server", shape=ellipse, peripheries=2`) {
+		t.Error("auto-created nodes must not be double-bordered")
+	}
+	// Exactly two choice points: tomcat→{jdk,jre} and openmrs→{jdk,jre}.
+	if n := strings.Count(dot, "shape=point"); n != 2 {
+		t.Errorf("expected 2 disjunction fans, got %d", n)
+	}
+	// Deterministic.
+	if g.Dot() != dot {
+		t.Error("Dot output should be deterministic")
+	}
+}

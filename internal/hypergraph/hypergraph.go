@@ -1,0 +1,347 @@
+// Package hypergraph implements the hypergraph-generation phase of
+// Engage's configuration engine (§4 of the paper, procedure
+// GraphGen(R, I) and Lemma 1): a worklist algorithm that takes a partial
+// installation specification and constructs a directed hypergraph whose
+// nodes are resource instances and whose hyperedges represent
+// dependencies between them.
+package hypergraph
+
+import (
+	"fmt"
+	"strings"
+
+	"engage/internal/resource"
+	"engage/internal/spec"
+)
+
+// Node is a resource instance in the hypergraph.
+type Node struct {
+	ID       string
+	Key      resource.Key
+	Machine  string // ID of the machine node
+	Inside   string // ID of the container node; "" for machines
+	FromSpec bool   // appeared in the partial installation specification (the ✓ of Fig. 5)
+	Config   map[string]resource.Value
+}
+
+// Hyperedge is a dependency hyperedge: from Source to the disjunction of
+// Targets (exactly one of which must be deployed when Source is).
+type Hyperedge struct {
+	Source         string
+	Class          resource.DependencyClass
+	Targets        []string
+	PortMap        map[string]string
+	ReversePortMap map[string]string
+}
+
+// Graph is the generated hypergraph.
+type Graph struct {
+	nodes map[string]*Node
+	// Order lists node IDs in creation order (deterministic).
+	Order []string
+	Edges []Hyperedge
+}
+
+// NewGraph returns an empty graph; Generate is the usual constructor,
+// but synthetic graphs are useful in tests and benchmarks.
+func NewGraph() *Graph {
+	return &Graph{nodes: make(map[string]*Node)}
+}
+
+// AddNode inserts a node; it panics on duplicate IDs.
+func (g *Graph) AddNode(n *Node) {
+	if _, dup := g.nodes[n.ID]; dup {
+		panic(fmt.Sprintf("hypergraph: duplicate node %q", n.ID))
+	}
+	g.add(n)
+}
+
+// AddEdge appends a hyperedge.
+func (g *Graph) AddEdge(e Hyperedge) { g.Edges = append(g.Edges, e) }
+
+// Node returns the node with the given ID.
+func (g *Graph) Node(id string) (*Node, bool) {
+	n, ok := g.nodes[id]
+	return n, ok
+}
+
+// Nodes returns all nodes in creation order.
+func (g *Graph) Nodes() []*Node {
+	out := make([]*Node, len(g.Order))
+	for i, id := range g.Order {
+		out[i] = g.nodes[id]
+	}
+	return out
+}
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return len(g.Order) }
+
+func (g *Graph) add(n *Node) {
+	g.nodes[n.ID] = n
+	g.Order = append(g.Order, n.ID)
+}
+
+// Generate runs GraphGen(R, I): it processes the partial install
+// specification I against the registry R, creating nodes for every
+// resource instance that may participate in a full installation
+// specification extending I, and hyperedges for their dependencies.
+//
+// Per the paper: abstract dependency targets are replaced by their
+// concrete frontier; environment dependencies are resolved against
+// nodes on the same machine (creating new instances on that machine
+// when absent); peer dependencies are resolved against nodes anywhere
+// (new instances conservatively land on the dependent's machine); and
+// no new machines are ever created.
+func Generate(reg *resource.Registry, partial *spec.Partial) (*Graph, error) {
+	g := &Graph{nodes: make(map[string]*Node)}
+	sub := resource.NewSubtyper(reg)
+	var worklist []string
+
+	// Pass 1: create nodes for every instance in the partial spec.
+	for _, pi := range partial.Instances {
+		if _, dup := g.nodes[pi.ID]; dup {
+			return nil, fmt.Errorf("hypergraph: duplicate instance id %q", pi.ID)
+		}
+		t, ok := reg.Lookup(pi.Key)
+		if !ok {
+			return nil, fmt.Errorf("hypergraph: instance %q: unknown resource type %q", pi.ID, pi.Key)
+		}
+		if t.Abstract {
+			return nil, fmt.Errorf("hypergraph: instance %q: abstract type %q cannot be instantiated", pi.ID, pi.Key)
+		}
+		g.add(&Node{ID: pi.ID, Key: pi.Key, Inside: pi.Inside, FromSpec: true, Config: pi.Config})
+		worklist = append(worklist, pi.ID)
+	}
+
+	// Resolve machines for the spec nodes (inside chains must stay
+	// within the partial specification, per the paper's assumption).
+	for _, id := range g.Order {
+		m, err := g.resolveMachine(id)
+		if err != nil {
+			return nil, err
+		}
+		g.nodes[id].Machine = m
+	}
+
+	// Pass 2: worklist processing.
+	for len(worklist) > 0 {
+		id := worklist[0]
+		worklist = worklist[1:]
+		n := g.nodes[id]
+		t := reg.MustLookup(n.Key)
+
+		// Inside dependency.
+		if t.Inside != nil {
+			if n.Inside == "" {
+				return nil, fmt.Errorf("hypergraph: instance %q (type %q) has an unresolved inside dependency", n.ID, n.Key)
+			}
+			container, ok := g.nodes[n.Inside]
+			if !ok {
+				return nil, fmt.Errorf("hypergraph: instance %q: container %q not in specification", n.ID, n.Inside)
+			}
+			if !matchesAny(sub, container.Key, t.Inside.Alternatives) {
+				return nil, fmt.Errorf("hypergraph: instance %q: container %q (type %q) does not satisfy inside dependency %s",
+					n.ID, container.ID, container.Key, t.Inside)
+			}
+			g.Edges = append(g.Edges, Hyperedge{
+				Source:         n.ID,
+				Class:          resource.DepInside,
+				Targets:        []string{container.ID},
+				PortMap:        t.Inside.PortMap,
+				ReversePortMap: t.Inside.ReversePortMap,
+			})
+		}
+
+		// Environment dependencies: targets on the same machine.
+		for _, d := range t.Env {
+			edge, created, err := g.resolveDep(reg, sub, n, d, resource.DepEnv)
+			if err != nil {
+				return nil, err
+			}
+			g.Edges = append(g.Edges, edge)
+			worklist = append(worklist, created...)
+		}
+
+		// Peer dependencies: targets anywhere; new nodes on n's machine.
+		for _, d := range t.Peer {
+			edge, created, err := g.resolveDep(reg, sub, n, d, resource.DepPeer)
+			if err != nil {
+				return nil, err
+			}
+			g.Edges = append(g.Edges, edge)
+			worklist = append(worklist, created...)
+		}
+	}
+	return g, nil
+}
+
+// resolveDep resolves one environment or peer dependency of node n: for
+// each (frontier-expanded) disjunct, find a matching existing node or
+// create a new instance. Returns the hyperedge and the IDs of newly
+// created nodes.
+func (g *Graph) resolveDep(reg *resource.Registry, sub *resource.Subtyper,
+	n *Node, d resource.Dependency, class resource.DependencyClass) (Hyperedge, []string, error) {
+
+	var concrete []resource.Key
+	for _, alt := range d.Alternatives {
+		frontier, err := reg.Frontier(alt)
+		if err != nil {
+			return Hyperedge{}, nil, fmt.Errorf("hypergraph: instance %q: %v", n.ID, err)
+		}
+		concrete = append(concrete, frontier...)
+	}
+
+	edge := Hyperedge{
+		Source:         n.ID,
+		Class:          class,
+		PortMap:        d.PortMap,
+		ReversePortMap: d.ReversePortMap,
+	}
+	var created []string
+	seen := make(map[string]bool)
+	for _, k := range concrete {
+		target := g.findMatch(sub, k, n.Machine, class, n.ID)
+		if target == "" {
+			var err error
+			target, err = g.create(reg, sub, k, n.Machine)
+			if err != nil {
+				return Hyperedge{}, nil, fmt.Errorf("hypergraph: resolving %s dependency of %q: %v", class, n.ID, err)
+			}
+			created = append(created, target)
+		}
+		if !seen[target] {
+			seen[target] = true
+			edge.Targets = append(edge.Targets, target)
+		}
+	}
+	return edge, created, nil
+}
+
+// findMatch looks for an existing node whose key is a subtype of k; for
+// environment dependencies the node must live on the given machine. The
+// dependent itself is never a match — a resource cannot satisfy its own
+// dependency (that would be a self-cycle), even when structural
+// subtyping relates the types.
+func (g *Graph) findMatch(sub *resource.Subtyper, k resource.Key, machine string, class resource.DependencyClass, source string) string {
+	for _, id := range g.Order {
+		if id == source {
+			continue
+		}
+		node := g.nodes[id]
+		if class == resource.DepEnv && node.Machine != machine {
+			continue
+		}
+		if sub.IsSubtype(node.Key, k) {
+			return id
+		}
+	}
+	return ""
+}
+
+// create instantiates a new node for key k on the given machine,
+// resolving its container: the machine itself when the type's inside
+// dependency admits it, otherwise an existing node on the machine whose
+// key satisfies the dependency.
+func (g *Graph) create(reg *resource.Registry, sub *resource.Subtyper, k resource.Key, machine string) (string, error) {
+	t, ok := reg.Lookup(k)
+	if !ok {
+		return "", fmt.Errorf("unknown resource type %q", k)
+	}
+	if t.Abstract {
+		return "", fmt.Errorf("abstract type %q cannot be instantiated", k)
+	}
+	id := g.freshID(k, machine)
+	node := &Node{ID: id, Key: k, Machine: machine}
+	if t.Inside != nil {
+		mnode := g.nodes[machine]
+		if mnode == nil {
+			return "", fmt.Errorf("no machine %q for new instance of %q", machine, k)
+		}
+		if matchesAny(sub, mnode.Key, t.Inside.Alternatives) {
+			node.Inside = machine
+		} else {
+			container := ""
+			for _, cid := range g.Order {
+				c := g.nodes[cid]
+				if c.Machine != machine {
+					continue
+				}
+				if matchesAny(sub, c.Key, t.Inside.Alternatives) {
+					container = cid
+					break
+				}
+			}
+			if container == "" {
+				return "", fmt.Errorf("no container on machine %q satisfying inside dependency %s of %q",
+					machine, t.Inside, k)
+			}
+			node.Inside = container
+		}
+	} else {
+		// A machine-type dependency would require provisioning a new
+		// machine; the constraint-generation process assumes no new
+		// machines are created (§2).
+		return "", fmt.Errorf("dependency on machine type %q cannot be auto-instantiated (no new machines)", k)
+	}
+	g.add(node)
+	return id, nil
+}
+
+// freshID derives a deterministic unique node ID from a key and machine.
+func (g *Graph) freshID(k resource.Key, machine string) string {
+	base := strings.ToLower(strings.ReplaceAll(k.Name, " ", "-"))
+	if k.Version != "" {
+		base += "-" + k.Version
+	}
+	if machine != "" {
+		base += "@" + machine
+	}
+	id := base
+	for i := 2; ; i++ {
+		if _, taken := g.nodes[id]; !taken {
+			return id
+		}
+		id = fmt.Sprintf("%s#%d", base, i)
+	}
+}
+
+// resolveMachine follows inside links of spec nodes to a machine.
+func (g *Graph) resolveMachine(id string) (string, error) {
+	seen := make(map[string]bool)
+	cur := g.nodes[id]
+	for {
+		if cur.Inside == "" {
+			return cur.ID, nil
+		}
+		if seen[cur.ID] {
+			return "", fmt.Errorf("hypergraph: inside cycle at instance %q", id)
+		}
+		seen[cur.ID] = true
+		next, ok := g.nodes[cur.Inside]
+		if !ok {
+			return "", fmt.Errorf("hypergraph: instance %q: container %q not in specification", cur.ID, cur.Inside)
+		}
+		cur = next
+	}
+}
+
+func matchesAny(sub *resource.Subtyper, k resource.Key, alts []resource.Key) bool {
+	for _, a := range alts {
+		if sub.IsSubtype(k, a) {
+			return true
+		}
+	}
+	return false
+}
+
+// EdgesFrom returns the hyperedges with the given source, in order.
+func (g *Graph) EdgesFrom(source string) []Hyperedge {
+	var out []Hyperedge
+	for _, e := range g.Edges {
+		if e.Source == source {
+			out = append(out, e)
+		}
+	}
+	return out
+}

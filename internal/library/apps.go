@@ -1,0 +1,133 @@
+package library
+
+import (
+	"fmt"
+	"strings"
+
+	"engage/internal/packager"
+	"engage/internal/resource"
+	"engage/internal/spec"
+)
+
+// This file provides the eight Django applications of Table 1 as
+// synthetic fixtures. The paper's apps are third-party code we do not
+// have; what experiment E5 reproduces is the structural claim — "all
+// eight applications were deployable by Engage without requiring any
+// application-specific deployment code" — which depends only on each
+// app's deployment-relevant structure (package dependencies, database
+// engine, optional components, migrations, cron jobs), recreated here
+// from the paper's descriptions.
+
+func app(name, version, settings, requirements string, extra map[string]string) packager.App {
+	files := map[string]string{
+		"manage.py":   "#!/usr/bin/env python\n# Django management script",
+		"settings.py": settings,
+	}
+	if requirements != "" {
+		files["requirements.txt"] = requirements
+	}
+	for p, c := range extra {
+		files[p] = c
+	}
+	return packager.App{Name: name, Version: version, Files: files}
+}
+
+// TableOneApps returns the eight applications of Table 1.
+func TableOneApps() []packager.App {
+	// Django-Blog "installs 18 Python package dependencies".
+	blogReqs := make([]string, 18)
+	for i := range blogReqs {
+		blogReqs[i] = fmt.Sprintf("blog-dep-%02d==1.%d", i+1, i)
+	}
+
+	return []packager.App{
+		// Areneae: simple test app from a beta tester.
+		app("areneae", "1.0", `
+DEBUG = True
+DATABASES = {"default": {"ENGINE": "django.db.backends.sqlite3", "NAME": "areneae.db"}}
+INSTALLED_APPS = ["django.contrib.auth", "areneae"]
+`, "", nil),
+
+		// Buzzfire: Twitter bookmark and ranking app; uses Redis.
+		app("buzzfire", "1.2", `
+DEBUG = False
+DATABASES = {"default": {"ENGINE": "django.db.backends.mysql", "NAME": "buzzfire"}}
+INSTALLED_APPS = ["django.contrib.auth", "buzzfire"]
+REDIS_HOST = "localhost"
+`, "redis==2.4.9\ntweepy==1.9\n", nil),
+
+		// Codespeed: web application performance monitor.
+		app("codespeed", "0.8", `
+DEBUG = False
+DATABASES = {"default": {"ENGINE": "django.db.backends.sqlite3", "NAME": "codespeed.db"}}
+INSTALLED_APPS = ["django.contrib.admin", "codespeed"]
+`, "matplotlib==1.1\n", nil),
+
+		// Django-Blog: blogging platform with 18 package dependencies.
+		app("django-blog", "2.0", `
+DEBUG = False
+DATABASES = {"default": {"ENGINE": "django.db.backends.mysql", "NAME": "blog"}}
+INSTALLED_APPS = ["django.contrib.admin", "south", "blog"]
+`, strings.Join(blogReqs, "\n")+"\n", nil),
+
+		// Django-CMS: content management system.
+		app("django-cms", "2.2", `
+DEBUG = False
+DATABASES = {"default": {"ENGINE": "django.db.backends.mysql", "NAME": "cms"}}
+INSTALLED_APPS = ["django.contrib.admin", "cms", "menus", "south"]
+CACHES = {"default": {"BACKEND": "django.core.cache.backends.memcached.MemcachedCache"}}
+`, "django-cms==2.2\nPIL==1.1.7\nsouth\n", nil),
+
+		// FA: faculty/student/postdoc application management; the
+		// production app of the upgrade case study, with migrations.
+		app("fa", "1.0", `
+DEBUG = False
+DATABASES = {"default": {"ENGINE": "django.db.backends.mysql", "NAME": "fa"}}
+INSTALLED_APPS = ["django.contrib.admin", "south", "fa"]
+`, "south==0.7.3\nxlwt==0.7.2\n", map[string]string{
+			"fa/migrations/0001_initial.py": "# initial schema",
+			"fa/migrations/0002_status.py":  "# add status column",
+		}),
+
+		// Feature Collector: gathers software feature requests.
+		app("feature-collector", "1.1", `
+DEBUG = False
+DATABASES = {"default": {"ENGINE": "django.db.backends.sqlite3", "NAME": "features.db"}}
+INSTALLED_APPS = ["django.contrib.auth", "collector"]
+`, "", nil),
+
+		// WebApp: the production PaaS site — asynchronous messaging
+		// (Celery), cron jobs, and caching, per §6.2.
+		app("webapp", "3.4", `
+DEBUG = False
+DATABASES = {"default": {"ENGINE": "django.db.backends.mysql", "NAME": "webapp"}}
+INSTALLED_APPS = ["django.contrib.admin", "south", "djcelery", "webapp"]
+CACHES = {"default": {"BACKEND": "django.core.cache.backends.memcached.MemcachedCache"}}
+BROKER_URL = "amqp://guest@localhost//"
+REDIS_HOST = "localhost"
+CRON_JOBS = ["0 2 * * * backup_database", "*/10 * * * * collect_metrics", "0 6 * * 1 weekly_report"]
+`, "south==0.7.3\ncelery==2.4.6\nredis==2.4.9\npython-memcached==1.48\n", nil),
+	}
+}
+
+// WebAppProductionPartial builds the production WebApp topology of §6.2:
+// seven resources across three machines — the application server
+// (Gunicorn + app), the database server (MySQL), and the worker node
+// (Celery). The configuration engine derives the rest (Python, Django,
+// South, RabbitMQ, Redis, Memcached, per-machine runtimes). This is
+// experiment E8's partial specification.
+func WebAppProductionPartial(man packager.Manifest) *spec.Partial {
+	p := &spec.Partial{}
+	p.Add("appserver", resource.MakeKey("Ubuntu", "12.04")).
+		Set("hostname", resource.Str("app.example.com"))
+	p.Add("dbserver", resource.MakeKey("Ubuntu", "12.04")).
+		Set("hostname", resource.Str("db.example.com"))
+	p.Add("worker", resource.MakeKey("Ubuntu", "12.04")).
+		Set("hostname", resource.Str("worker.example.com"))
+	p.Add("webserver", resource.MakeKey("Gunicorn", "0.13")).In("appserver")
+	p.Add("database", resource.MakeKey("MySQL", "5.1")).In("dbserver").
+		Set("admin_password", resource.SecretV("prod-db-secret"))
+	p.Add("celery", resource.MakeKey("Celery", "2.4")).In("worker")
+	p.Add("app", AppKey(man)).In("webserver")
+	return p
+}

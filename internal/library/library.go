@@ -1,0 +1,332 @@
+// Package library is Engage's resource library: the RDL resource types,
+// the Go driver implementations, and the simulated package index for the
+// two case-study stacks of the paper — the Java stack (OpenMRS §2,
+// JasperReports §6.1) and the Django platform stack (§6.2). It is the
+// counterpart of the paper's 5K lines of metadata plus the reusable
+// parts of its 26K lines of Python driver code.
+package library
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"engage/internal/deploy"
+	"engage/internal/driver"
+	"engage/internal/pkgmgr"
+	"engage/internal/rdl"
+	"engage/internal/resource"
+	"engage/internal/spec"
+	"engage/internal/typecheck"
+)
+
+// Registry parses and resolves the library's RDL sources and verifies
+// well-formedness.
+func Registry() (*resource.Registry, error) {
+	reg, err := rdl.ParseAndResolve(Sources())
+	if err != nil {
+		return nil, fmt.Errorf("library: %w", err)
+	}
+	if err := typecheck.CheckTypes(reg); err != nil {
+		return nil, fmt.Errorf("library: %w", err)
+	}
+	return reg, nil
+}
+
+// OSName maps a machine resource key to its simulated OS identifier,
+// e.g. "Mac-OSX 10.6" → "mac-osx-10.6".
+func OSName(k resource.Key) string {
+	name := strings.ToLower(strings.ReplaceAll(k.Name, " ", "-"))
+	name = strings.ReplaceAll(name, "--", "-")
+	if k.Version == "" {
+		return name
+	}
+	return name + "-" + k.Version
+}
+
+// OSOf maps a machine instance to its simulated OS identifier; used as
+// deploy.Options.OSOf.
+func OSOf(inst *spec.Instance) string { return OSName(inst.Key) }
+
+// pkgName derives the simulated package name for a resource key:
+// "MySQL JDBC Connector 5.1.18" → "mysql-jdbc-connector".
+func pkgName(k resource.Key) string {
+	return strings.ToLower(strings.ReplaceAll(k.Name, " ", "-"))
+}
+
+// pkgEntry describes one package of the index with its simulated
+// durations; the shapes (not the absolute values) drive experiment E6.
+type pkgEntry struct {
+	name, version string
+	download      time.Duration
+	install       time.Duration
+}
+
+var packages = []pkgEntry{
+	{"jdk", "1.6", 3 * time.Minute, 60 * time.Second},
+	{"jre", "1.6", 2 * time.Minute, 40 * time.Second},
+	{"tomcat", "5.5", 2 * time.Minute, 40 * time.Second},
+	{"tomcat", "6.0.18", 2 * time.Minute, 40 * time.Second},
+	{"tomcat", "7.0", 2 * time.Minute, 40 * time.Second},
+	{"mysql", "5.1", 150 * time.Second, 50 * time.Second},
+	{"postgres", "9.1", 140 * time.Second, 55 * time.Second},
+	{"mysql-jdbc-connector", "5.1.18", 30 * time.Second, 10 * time.Second},
+	{"openmrs", "1.8", 3 * time.Minute, 80 * time.Second},
+	{"jasperreports", "4.5", 4 * time.Minute, 80 * time.Second},
+	{"python", "2.7", 90 * time.Second, 30 * time.Second},
+	{"pip", "1.0", 15 * time.Second, 5 * time.Second},
+	{"virtualenv", "1.7", 10 * time.Second, 5 * time.Second},
+	{"django", "1.3", 45 * time.Second, 20 * time.Second},
+	{"gunicorn", "0.13", 20 * time.Second, 10 * time.Second},
+	{"apache", "2.2", 80 * time.Second, 30 * time.Second},
+	{"sqlite", "3.7", 20 * time.Second, 5 * time.Second},
+	{"redis", "2.4", 30 * time.Second, 10 * time.Second},
+	{"rabbitmq", "2.7", 60 * time.Second, 25 * time.Second},
+	{"celery", "2.4", 25 * time.Second, 10 * time.Second},
+	{"memcached", "1.4", 20 * time.Second, 8 * time.Second},
+	{"south", "0.7", 15 * time.Second, 5 * time.Second},
+	{"monit", "5.3", 25 * time.Second, 10 * time.Second},
+}
+
+// pypiPackageTime is the per-package simulated cost of a PyPI install
+// performed by the Django application driver.
+const pypiPackageTime = 12 * time.Second
+
+// PackageIndex builds the simulated package index for the library.
+func PackageIndex() *pkgmgr.Index {
+	idx := pkgmgr.NewIndex()
+	for _, p := range packages {
+		idx.Publish(&pkgmgr.Package{
+			Name:    p.name,
+			Version: p.version,
+			Files: map[string]string{
+				"/opt/" + p.name + "/VERSION": p.version,
+			},
+			DownloadTime: p.download,
+			InstallTime:  p.install,
+		})
+	}
+	return idx
+}
+
+// servicePort names the config port carrying a service's TCP port, per
+// resource name; services without an entry claim no port.
+var servicePort = map[string]string{
+	"Tomcat":    "manager_port",
+	"MySQL":     "port",
+	"Postgres":  "port",
+	"Gunicorn":  "http_port",
+	"Apache":    "http_port",
+	"Redis":     "port",
+	"RabbitMQ":  "port",
+	"Memcached": "port",
+}
+
+// serviceStart is the simulated daemon start-up duration per resource
+// name; the deployment engine's guard discipline (↑active) is what
+// makes these delays safe to overlap.
+var serviceStart = map[string]time.Duration{
+	"Tomcat":        20 * time.Second,
+	"MySQL":         15 * time.Second,
+	"Postgres":      18 * time.Second,
+	"Gunicorn":      5 * time.Second,
+	"Apache":        8 * time.Second,
+	"Redis":         3 * time.Second,
+	"RabbitMQ":      10 * time.Second,
+	"Memcached":     2 * time.Second,
+	"Celery":        6 * time.Second,
+	"Monit":         3 * time.Second,
+	"OpenMRS":       25 * time.Second,
+	"JasperReports": 30 * time.Second,
+}
+
+// serviceMem is the simulated resident memory per service daemon, in
+// MB; the monitor reports it as the paper's per-service resource usage.
+var serviceMem = map[string]int{
+	"Tomcat":    512,
+	"MySQL":     384,
+	"Postgres":  320,
+	"Gunicorn":  96,
+	"Apache":    128,
+	"Redis":     64,
+	"RabbitMQ":  128,
+	"Memcached": 64,
+	"Celery":    160,
+	"Monit":     16,
+}
+
+// installFromIndex is the generic install action: install the package
+// matching the instance's key from the index.
+func installFromIndex(c *driver.Context) error {
+	return c.PkgMgr.Install(pkgName(c.Instance.Key), c.Instance.Key.Version)
+}
+
+func removeFromIndex(c *driver.Context) error {
+	return c.PkgMgr.Remove(pkgName(c.Instance.Key))
+}
+
+// spawnDaemon is the generic service-start action: after the §6.1
+// environment check that the required TCP port is free, it spawns the
+// daemon process, records its memory footprint, and stores the PID.
+func spawnDaemon(c *driver.Context) error {
+	name := c.Instance.Key.Name
+	procName := pkgName(c.Instance.Key)
+	c.Charge(serviceStart[name])
+	var ports []int
+	if cfgPort, ok := servicePort[name]; ok {
+		port := c.Instance.Config[cfgPort].Int
+		if port > 0 {
+			if !c.Machine.PortFree(port) {
+				return fmt.Errorf("library: %s: required TCP port %d is not available", c.Instance.ID, port)
+			}
+			ports = append(ports, port)
+		}
+	}
+	p, err := c.Machine.StartProcess(procName, procName+"d", ports...)
+	if err != nil {
+		return err
+	}
+	if mem := serviceMem[name]; mem > 0 {
+		_ = c.Machine.SetUsage(p.PID, mem)
+	}
+	c.PutPID("daemon", p.PID)
+	return nil
+}
+
+// killDaemon stops the recorded daemon process.
+func killDaemon(c *driver.Context) error {
+	pid, ok := c.PID("daemon")
+	if !ok {
+		return fmt.Errorf("library: %s: no recorded daemon pid", c.Instance.ID)
+	}
+	return c.Machine.StopProcess(pid)
+}
+
+// genericService builds the standard daemon driver: install from the
+// package index; start spawns a process claiming the configured port;
+// stop kills it; restart respawns.
+func genericService() deploy.Factory {
+	return func(ctx *driver.Context) *driver.StateMachine {
+		return driver.ServiceMachine(installFromIndex, spawnDaemon, killDaemon, spawnDaemon, removeFromIndex)
+	}
+}
+
+// genericLibrary builds the passive-resource driver (the paper's
+// reusable "generic driver code for downloading and extracting
+// archives").
+func genericLibrary() deploy.Factory {
+	return func(ctx *driver.Context) *driver.StateMachine {
+		return driver.LibraryMachine(installFromIndex, removeFromIndex)
+	}
+}
+
+// machineDriver is the driver for server resources: provisioning is
+// handled by the runtime before deployment, so transitions are free.
+func machineDriver() deploy.Factory {
+	return func(ctx *driver.Context) *driver.StateMachine {
+		return driver.MachineMachine()
+	}
+}
+
+// Drivers builds the library's driver registry.
+func Drivers() *deploy.DriverRegistry {
+	dr := deploy.NewDriverRegistry()
+	for _, name := range []string{"Mac-OSX", "Ubuntu", "Windows"} {
+		dr.RegisterName(name, machineDriver())
+	}
+	// Memcached is intentionally absent: its driver is declared in the
+	// RDL (driver clause) and compiled against the named actions below.
+	for _, name := range []string{"Tomcat", "MySQL", "Postgres", "Gunicorn", "Apache", "Redis", "RabbitMQ"} {
+		dr.RegisterName(name, genericService())
+	}
+	dr.RegisterAction("pkg_install", installFromIndex)
+	dr.RegisterAction("pkg_remove", removeFromIndex)
+	dr.RegisterAction("spawn_daemon", spawnDaemon)
+	dr.RegisterAction("kill_daemon", killDaemon)
+	for _, name := range []string{"JDK", "JRE", "MySQL JDBC Connector", "Python", "pip", "Virtualenv", "Django", "SQLite", "South"} {
+		dr.RegisterName(name, genericLibrary())
+	}
+	dr.RegisterName("Celery", celeryDriver())
+	dr.RegisterName("Monit", monitDriver())
+	dr.RegisterName("OpenMRS", servletDriver("openmrs"))
+	dr.RegisterName("JasperReports", servletDriver("jasperreports"))
+	return dr
+}
+
+// servletDriver deploys a webapp into its Tomcat container: install
+// places the package and a WAR marker under the container's webapps
+// directory; start charges warm-up time (the servlet runs inside the
+// container's process, so no new daemon is spawned).
+func servletDriver(war string) deploy.Factory {
+	return func(ctx *driver.Context) *driver.StateMachine {
+		name := ctx.Instance.Key.Name
+		install := func(c *driver.Context) error {
+			if err := installFromIndex(c); err != nil {
+				return err
+			}
+			c.Machine.WriteFile("/opt/tomcat/webapps/"+war+".war", war)
+			return nil
+		}
+		start := func(c *driver.Context) error {
+			c.Charge(serviceStart[name])
+			c.Machine.WriteFile("/opt/tomcat/webapps/"+war+"/DEPLOYED", "ok")
+			return nil
+		}
+		stop := func(c *driver.Context) error {
+			c.Machine.RemoveFile("/opt/tomcat/webapps/" + war + "/DEPLOYED")
+			return nil
+		}
+		uninstall := func(c *driver.Context) error {
+			c.Machine.RemoveFile("/opt/tomcat/webapps/" + war + ".war")
+			return removeFromIndex(c)
+		}
+		return driver.ServiceMachine(install, start, stop, start, uninstall)
+	}
+}
+
+// celeryDriver runs the task-queue worker: a daemon without a port,
+// connected to the broker URL from its input.
+func celeryDriver() deploy.Factory {
+	return func(ctx *driver.Context) *driver.StateMachine {
+		spawn := func(c *driver.Context) error {
+			c.Charge(serviceStart["Celery"])
+			broker := ""
+			if amqp, ok := c.Instance.Input["amqp"]; ok {
+				if u, ok := amqp.Field("url"); ok {
+					broker = u.Str
+				}
+			}
+			p, err := c.Machine.StartProcess("celery", "celery worker --broker="+broker)
+			if err != nil {
+				return err
+			}
+			c.PutPID("daemon", p.PID)
+			return nil
+		}
+		stop := func(c *driver.Context) error {
+			pid, _ := c.PID("daemon")
+			return c.Machine.StopProcess(pid)
+		}
+		return driver.ServiceMachine(installFromIndex, spawn, stop, spawn, removeFromIndex)
+	}
+}
+
+// monitDriver installs and runs the monitoring daemon.
+func monitDriver() deploy.Factory {
+	return func(ctx *driver.Context) *driver.StateMachine {
+		spawn := func(c *driver.Context) error {
+			c.Charge(serviceStart["Monit"])
+			p, err := c.Machine.StartProcess("monit", "monit -d")
+			if err != nil {
+				return err
+			}
+			c.PutPID("daemon", p.PID)
+			return nil
+		}
+		stop := func(c *driver.Context) error {
+			pid, _ := c.PID("daemon")
+			return c.Machine.StopProcess(pid)
+		}
+		return driver.ServiceMachine(installFromIndex, spawn, stop, spawn, removeFromIndex)
+	}
+}

@@ -1,0 +1,326 @@
+package library
+
+// This file holds the RDL sources of the resource library — the
+// counterpart of the paper's ~5K lines of resource metadata. The
+// library covers the two case-study stacks: the Java stack (§2 OpenMRS
+// and §6.1 JasperReports) and the Django platform stack (§6.2).
+
+// baseRDL defines machines: the abstract Server and the four concrete
+// operating systems the Django platform supports (two Mac OS X versions
+// and two Ubuntu versions, per §6.2).
+const baseRDL = `
+// A physical or virtual machine. Concrete subclasses fix the operating
+// system; the configuration ports carry host identity and credentials.
+abstract resource "Server" {
+    config {
+        hostname: string = "localhost"
+        ip: string = "127.0.0.1"
+        os_user_name: string = "root"
+    }
+    output {
+        host: struct { hostname: string, ip: string, os_user: string } = {
+            hostname: config.hostname, ip: config.ip, os_user: config.os_user_name
+        }
+    }
+}
+
+resource "Mac-OSX 10.6" extends "Server" {
+    output { os: string = "macosx-10.6" }
+}
+resource "Mac-OSX 10.7" extends "Server" {
+    output { os: string = "macosx-10.7" }
+}
+resource "Ubuntu 10.04" extends "Server" {
+    output { os: string = "ubuntu-10.04" }
+}
+resource "Ubuntu 12.04" extends "Server" {
+    output { os: string = "ubuntu-12.04" }
+}
+resource "Windows 7" extends "Server" {
+    output { os: string = "windows-7" }
+}
+`
+
+// javaRDL defines the Java application stack: the Java runtime
+// abstraction, the Tomcat servlet container (two versions, so the
+// paper's "[5.5, 6.0.29)" range constraint has something to choose
+// from), MySQL, the JDBC connector, OpenMRS, and JasperReports Server.
+const javaRDL = `
+// The Java runtime, abstract over the development kit and the bare
+// runtime; OpenMRS and Tomcat accept either (the paper's jdk ⊕ jre).
+abstract resource "Java" {
+    inside "Server"
+    output {
+        java: struct { home: string, version: string } = {
+            home: "/usr/java", version: "1.6"
+        }
+    }
+}
+
+resource "JDK 1.6" extends "Java" {
+    output { jdk_tools: string = "/usr/java/bin" }
+}
+resource "JRE 1.6" extends "Java" {
+    output { jre_lib: string = "/usr/java/lib" }
+}
+
+// The Tomcat servlet container. Servlets (OpenMRS, Jasper) nest inside
+// it; it requires Java on the same machine.
+abstract resource "Tomcat" {
+    inside "Server"
+    input  { java: struct { home: string, version: string } }
+    config { manager_port: tcp_port = 8080 }
+    output {
+        tomcat: struct { host: string, port: tcp_port } = {
+            host: "localhost", port: config.manager_port
+        }
+    }
+    env "Java" { java -> java }
+}
+
+resource "Tomcat 5.5" extends "Tomcat" {}
+resource "Tomcat 6.0.18" extends "Tomcat" {}
+resource "Tomcat 7.0" extends "Tomcat" {}
+
+// A Django-compatible database, abstract over SQLite and MySQL (§6.2:
+// "Database: SQLite or MySQL").
+abstract resource "DjangoDatabase" {
+    inside "Server"
+    output {
+        dj_db: struct { engine: string, host: string, port: tcp_port } = {
+            engine: "unknown", host: "localhost", port: 0
+        }
+    }
+}
+
+resource "SQLite 3.7" extends "DjangoDatabase" {
+    config { db_path: string = "/var/db/sqlite" }
+    output {
+        dj_db: struct { engine: string, host: string, port: tcp_port } = {
+            engine: "sqlite", host: "localhost", port: 0
+        }
+    }
+}
+
+// MySQL serves both stacks: the Java stack maps its mysql output, the
+// Django stack its dj_db output.
+resource "MySQL 5.1" extends "DjangoDatabase" {
+    config {
+        port: tcp_port = 3306
+        admin_user: string = "root"
+        admin_password: secret = secret("engage-default")
+    }
+    output {
+        mysql: struct { host: string, port: tcp_port, user: string, password: secret } = {
+            host: "localhost", port: config.port,
+            user: config.admin_user, password: config.admin_password
+        }
+        dj_db: struct { engine: string, host: string, port: tcp_port } = {
+            engine: "mysql", host: "localhost", port: config.port
+        }
+    }
+}
+
+// PostgreSQL, the paper's §3.4 example of a database alternative
+// ("an environment dependency on … one of R2 (MySQL) or R3 (Postgres)").
+resource "Postgres 9.1" extends "DjangoDatabase" {
+    config { port: tcp_port = 5433 }
+    output {
+        postgres: struct { host: string, port: tcp_port } = {
+            host: "localhost", port: config.port
+        }
+        dj_db: struct { engine: string, host: string, port: tcp_port } = {
+            engine: "postgres", host: "localhost", port: config.port
+        }
+    }
+}
+
+// The MySQL JDBC connector required by JasperReports (§6.1); a passive
+// library resource whose driver reuses the generic download-and-extract
+// code.
+resource "MySQL JDBC Connector 5.1.18" {
+    inside "Server"
+    output { jdbc_jar: string = "/opt/jdbc/mysql-connector.jar" }
+}
+
+// OpenMRS (§2): a servlet inside Tomcat before 6.0.29, Java 5+, MySQL 5+.
+resource "OpenMRS 1.8" {
+    inside "Tomcat [5.5, 6.0.29)"
+    input {
+        java:  struct { home: string, version: string }
+        mysql: struct { host: string, port: tcp_port, user: string, password: secret }
+    }
+    config { db_name: string = "openmrs" }
+    output {
+        jdbc_url: string = concat("jdbc:mysql://", input.mysql.host, ":", input.mysql.port, "/", config.db_name)
+    }
+    env  "Java" { java -> java }
+    peer "MySQL 5.1" { mysql -> mysql }
+}
+
+// JasperReports Server (§6.1): a servlet inside Tomcat, requiring Java,
+// the JDBC connector on the same machine, and a MySQL database.
+resource "JasperReports 4.5" {
+    inside "Tomcat [5.5, 7.0]"
+    input {
+        java:  struct { home: string, version: string }
+        jdbc:  string
+        mysql: struct { host: string, port: tcp_port, user: string, password: secret }
+    }
+    config { repository_db: string = "jasperserver" }
+    output {
+        repo_url: string = concat("jdbc:mysql://", input.mysql.host, ":", input.mysql.port, "/", config.repository_db)
+    }
+    env  "Java" { java -> java }
+    env  "MySQL JDBC Connector 5.1.18" { jdbc_jar -> jdbc }
+    peer "MySQL 5.1" { mysql -> mysql }
+}
+`
+
+// pythonRDL defines the Django platform stack (§6.2): Python, Django,
+// the WSGI server choice (Gunicorn or Apache), optional components
+// (RabbitMQ/Celery, Redis, Memcached), South, and Monit.
+const pythonRDL = `
+resource "Python 2.7" {
+    inside "Server"
+    output {
+        python: struct { home: string, version: string } = {
+            home: "/usr/bin/python", version: "2.7"
+        }
+    }
+}
+
+// The Python package installer; everything from PyPI flows through it.
+resource "pip 1.0" {
+    inside "Server"
+    input { python: struct { home: string, version: string } }
+    output { pip: struct { bin: string } = { bin: "/usr/bin/pip" } }
+    env "Python 2.7" { python -> python }
+}
+
+// Isolated Python environments for application servers.
+resource "Virtualenv 1.7" {
+    inside "Server"
+    input {
+        python: struct { home: string, version: string }
+        pip:    struct { bin: string }
+    }
+    output { venv: struct { root: string } = { root: "/srv/venv" } }
+    env "Python 2.7" { python -> python }
+    env "pip 1.0" { pip -> pip }
+}
+
+resource "Django 1.3" {
+    inside "Server"
+    input {
+        python: struct { home: string, version: string }
+        pip:    struct { bin: string }
+    }
+    output { django: struct { admin: string } = { admin: "/usr/bin/django-admin" } }
+    env "Python 2.7" { python -> python }
+    env "pip 1.0" { pip -> pip }
+}
+
+// A WSGI application server, abstract over Gunicorn and Apache
+// (§6.2: "Web server: Gunicorn or Apache HTTP server").
+abstract resource "WSGIServer" {
+    inside "Server"
+    input  {
+        python: struct { home: string, version: string }
+        venv:   struct { root: string }
+    }
+    config { http_port: tcp_port = 8000 }
+    output {
+        wsgi: struct { host: string, port: tcp_port } = {
+            host: "localhost", port: config.http_port
+        }
+    }
+    env "Python 2.7" { python -> python }
+    env "Virtualenv 1.7" { venv -> venv }
+}
+
+resource "Gunicorn 0.13" extends "WSGIServer" {}
+
+resource "Apache 2.2" extends "WSGIServer" {
+    config { http_port: tcp_port = 80 }
+    output { mod_wsgi: string = "/etc/apache2/mods/wsgi.so" }
+}
+
+resource "Redis 2.4" {
+    inside "Server"
+    config { port: tcp_port = 6379 }
+    output {
+        redis: struct { host: string, port: tcp_port } = {
+            host: "localhost", port: config.port
+        }
+    }
+}
+
+resource "RabbitMQ 2.7" {
+    inside "Server"
+    config { port: tcp_port = 5672 }
+    output {
+        amqp: struct { url: string } = {
+            url: concat("amqp://guest@localhost:", config.port, "//")
+        }
+    }
+}
+
+resource "Celery 2.4" {
+    inside "Server"
+    input {
+        python: struct { home: string, version: string }
+        amqp:   struct { url: string }
+    }
+    config { concurrency: int = 2 }
+    output { celery: struct { broker: string } = { broker: input.amqp.url } }
+    env  "Python 2.7" { python -> python }
+    peer "RabbitMQ 2.7" { amqp -> amqp }
+}
+
+// Memcached declares its driver declaratively — the state machine lives
+// in the resource definition (exactly Fig. 3's shape), and the named
+// actions are the library's generic implementations.
+resource "Memcached 1.4" {
+    inside "Server"
+    config { port: tcp_port = 11211 }
+    output {
+        memcached: struct { host: string, port: tcp_port } = {
+            host: "localhost", port: config.port
+        }
+    }
+    driver {
+        states { uninstalled, inactive, active }
+        install:   uninstalled -> inactive                   exec "pkg_install"
+        start:     inactive -> active   when up(active)      exec "spawn_daemon"
+        stop:      active -> inactive   when down(inactive)  exec "kill_daemon"
+        restart:   active -> active                          exec "spawn_daemon"
+        uninstall: inactive -> uninstalled                   exec "pkg_remove"
+    }
+}
+
+// South, the Django schema-migration framework used by the upgrade case
+// study (§6.2).
+resource "South 0.7" {
+    inside "Server"
+    input { python: struct { home: string, version: string } }
+    output { south: struct { version: string } = { version: "0.7" } }
+    env "Python 2.7" { python -> python }
+}
+
+// Monit, the process monitor the runtime's plugin installs per host.
+resource "Monit 5.3" {
+    inside "Server"
+    config { poll_interval: int = 30 }
+    output { monit: struct { config_dir: string } = { config_dir: "/etc/monit" } }
+}
+`
+
+// Sources returns the RDL sources of the library, keyed by file name.
+func Sources() map[string]string {
+	return map[string]string{
+		"base.rdl":   baseRDL,
+		"java.rdl":   javaRDL,
+		"python.rdl": pythonRDL,
+	}
+}

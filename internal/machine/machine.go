@@ -1,0 +1,419 @@
+// Package machine implements the simulated machine substrate on which
+// Engage deploys. The paper deploys to real servers (local, Rackspace,
+// AWS); this package provides deterministic virtual machines with a
+// filesystem, a process table, a TCP port table, and environment
+// variables, all sharing a simulated clock — so resource drivers perform
+// the same sequence of observable effects (install files, spawn daemons,
+// claim ports) and hit the same failure modes (port collisions, missing
+// files, dead processes) as on real hardware, reproducibly and fast.
+package machine
+
+import (
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Clock is a simulated clock shared by a World. All durations in the
+// substrate advance this clock rather than sleeping.
+type Clock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewClock returns a clock at a fixed epoch.
+func NewClock() *Clock {
+	return &Clock{now: time.Date(2012, 6, 11, 0, 0, 0, 0, time.UTC)} // PLDI'12 day one
+}
+
+// Now returns the current simulated time.
+func (c *Clock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward.
+func (c *Clock) Advance(d time.Duration) {
+	if d < 0 {
+		panic("machine: clock cannot go backwards")
+	}
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// Since reports the simulated time elapsed since t.
+func (c *Clock) Since(t time.Time) time.Duration { return c.Now().Sub(t) }
+
+// TimeSink receives simulated durations. The deployment engine charges
+// action durations to per-instance sinks so parallel deployment can be
+// modeled as critical-path time; outside a deployment, the world clock
+// itself is the sink.
+type TimeSink interface {
+	Charge(d time.Duration)
+}
+
+// Charge implements TimeSink by advancing the clock.
+func (c *Clock) Charge(d time.Duration) { c.Advance(d) }
+
+// World is a collection of machines sharing a clock and a network.
+type World struct {
+	Clock *Clock
+
+	mu       sync.Mutex
+	machines map[string]*Machine
+	nextIP   int
+}
+
+// NewWorld returns an empty world.
+func NewWorld() *World {
+	return &World{Clock: NewClock(), machines: make(map[string]*Machine), nextIP: 10}
+}
+
+// AddMachine creates a machine with the given name and OS and registers
+// it on the network with a fresh IP; the hostname defaults to the name.
+func (w *World) AddMachine(name, os string) (*Machine, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, dup := w.machines[name]; dup {
+		return nil, fmt.Errorf("machine: duplicate machine %q", name)
+	}
+	m := &Machine{
+		Name:     name,
+		OS:       os,
+		Arch:     "x86_64",
+		Hostname: name,
+		IP:       fmt.Sprintf("10.0.0.%d", w.nextIP),
+		world:    w,
+		fs:       make(map[string]*File),
+		procs:    make(map[int]*Process),
+		ports:    make(map[int]int),
+		env:      map[string]string{"PATH": "/usr/bin:/bin", "HOME": "/root"},
+		nextPID:  100,
+	}
+	w.nextIP++
+	w.machines[name] = m
+	return m, nil
+}
+
+// Machine returns the machine with the given name.
+func (w *World) Machine(name string) (*Machine, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	m, ok := w.machines[name]
+	return m, ok
+}
+
+// Machines lists machine names in sorted order.
+func (w *World) Machines() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]string, 0, len(w.machines))
+	for n := range w.machines {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Remove deletes a machine from the world.
+func (w *World) Remove(name string) {
+	w.mu.Lock()
+	delete(w.machines, name)
+	w.mu.Unlock()
+}
+
+// Connect simulates a TCP connection to hostname:port; it reports
+// whether some process on the target machine is listening.
+func (w *World) Connect(hostname string, port int) bool {
+	w.mu.Lock()
+	var target *Machine
+	for _, m := range w.machines {
+		if m.Hostname == hostname || m.IP == hostname || (hostname == "localhost" && len(w.machines) == 1) {
+			target = m
+			break
+		}
+	}
+	w.mu.Unlock()
+	if target == nil {
+		return false
+	}
+	return target.Listening(port)
+}
+
+// File is a file on a simulated machine.
+type File struct {
+	Content string
+	Mode    uint32
+	ModTime time.Time
+}
+
+// Process is a running (or exited) process.
+type Process struct {
+	PID     int
+	Name    string
+	Command string
+	Started time.Time
+	Ports   []int
+	// MemMB is the process's simulated resident memory; drivers set it
+	// so monitoring can report per-service resource usage.
+	MemMB   int
+	running bool
+}
+
+// Machine is a simulated machine.
+type Machine struct {
+	Name     string
+	OS       string // e.g. "macosx-10.6", "ubuntu-12.04"
+	Arch     string
+	Hostname string
+	IP       string
+
+	world   *World
+	mu      sync.Mutex
+	fs      map[string]*File
+	procs   map[int]*Process
+	ports   map[int]int // port → pid
+	env     map[string]string
+	nextPID int
+}
+
+// Clock returns the world clock this machine observes.
+func (m *Machine) Clock() *Clock { return m.world.Clock }
+
+// World returns the machine's world.
+func (m *Machine) World() *World { return m.world }
+
+// --- Filesystem ---
+
+// WriteFile creates or replaces a file.
+func (m *Machine) WriteFile(p, content string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.fs[cleanPath(p)] = &File{Content: content, Mode: 0o644, ModTime: m.world.Clock.Now()}
+}
+
+// ReadFile returns a file's content.
+func (m *Machine) ReadFile(p string) (string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.fs[cleanPath(p)]
+	if !ok {
+		return "", fmt.Errorf("machine %s: no such file %q", m.Name, p)
+	}
+	return f.Content, nil
+}
+
+// Exists reports whether a file exists.
+func (m *Machine) Exists(p string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.fs[cleanPath(p)]
+	return ok
+}
+
+// RemoveFile deletes a file (no error if absent).
+func (m *Machine) RemoveFile(p string) {
+	m.mu.Lock()
+	delete(m.fs, cleanPath(p))
+	m.mu.Unlock()
+}
+
+// RemoveTree deletes every file under a directory prefix and returns the
+// number removed.
+func (m *Machine) RemoveTree(dir string) int {
+	prefix := strings.TrimSuffix(cleanPath(dir), "/") + "/"
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for p := range m.fs {
+		if strings.HasPrefix(p, prefix) || p == strings.TrimSuffix(prefix, "/") {
+			delete(m.fs, p)
+			n++
+		}
+	}
+	return n
+}
+
+// List returns the paths under a directory prefix, sorted.
+func (m *Machine) List(dir string) []string {
+	prefix := strings.TrimSuffix(cleanPath(dir), "/") + "/"
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []string
+	for p := range m.fs {
+		if strings.HasPrefix(p, prefix) {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot returns a deep copy of the filesystem; Restore reinstates it.
+// The upgrade framework uses these for backup/rollback.
+func (m *Machine) Snapshot() map[string]File {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]File, len(m.fs))
+	for p, f := range m.fs {
+		out[p] = *f
+	}
+	return out
+}
+
+// Restore replaces the filesystem with a snapshot.
+func (m *Machine) Restore(snap map[string]File) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.fs = make(map[string]*File, len(snap))
+	for p, f := range snap {
+		cp := f
+		m.fs[p] = &cp
+	}
+}
+
+// --- Environment ---
+
+// Setenv sets an environment variable.
+func (m *Machine) Setenv(k, v string) {
+	m.mu.Lock()
+	m.env[k] = v
+	m.mu.Unlock()
+}
+
+// Getenv reads an environment variable.
+func (m *Machine) Getenv(k string) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.env[k]
+}
+
+// --- Processes and ports ---
+
+// StartProcess spawns a named daemon claiming the given TCP ports. It
+// fails if any port is already claimed (the paper's "required TCP/IP
+// ports are available" environment check exercises this).
+func (m *Machine) StartProcess(name, command string, ports ...int) (*Process, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, p := range ports {
+		if pid, busy := m.ports[p]; busy {
+			return nil, fmt.Errorf("machine %s: port %d already in use by pid %d (%s)",
+				m.Name, p, pid, m.procs[pid].Name)
+		}
+	}
+	proc := &Process{
+		PID:     m.nextPID,
+		Name:    name,
+		Command: command,
+		Started: m.world.Clock.Now(),
+		Ports:   ports,
+		running: true,
+	}
+	m.nextPID++
+	m.procs[proc.PID] = proc
+	for _, p := range ports {
+		m.ports[p] = proc.PID
+	}
+	return proc, nil
+}
+
+// StopProcess terminates a process and releases its ports.
+func (m *Machine) StopProcess(pid int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	proc, ok := m.procs[pid]
+	if !ok || !proc.running {
+		return fmt.Errorf("machine %s: no running process %d", m.Name, pid)
+	}
+	proc.running = false
+	for _, p := range proc.Ports {
+		delete(m.ports, p)
+	}
+	return nil
+}
+
+// KillProcess is StopProcess for failure injection: the process dies but
+// is not deregistered, so monitors can observe the corpse.
+func (m *Machine) KillProcess(pid int) error { return m.StopProcess(pid) }
+
+// SetUsage records a running process's simulated memory footprint.
+func (m *Machine) SetUsage(pid, memMB int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.procs[pid]
+	if !ok || !p.running {
+		return fmt.Errorf("machine %s: no running process %d", m.Name, pid)
+	}
+	p.MemMB = memMB
+	return nil
+}
+
+// TotalMemMB sums the memory of all running processes.
+func (m *Machine) TotalMemMB() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	total := 0
+	for _, p := range m.procs {
+		if p.running {
+			total += p.MemMB
+		}
+	}
+	return total
+}
+
+// FindProcess returns the newest running process with the given name.
+func (m *Machine) FindProcess(name string) (*Process, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var best *Process
+	for _, p := range m.procs {
+		if p.Name == name && p.running && (best == nil || p.PID > best.PID) {
+			best = p
+		}
+	}
+	return best, best != nil
+}
+
+// Running reports whether the process with the given PID is running.
+func (m *Machine) Running(pid int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.procs[pid]
+	return ok && p.running
+}
+
+// Processes returns the running processes sorted by PID.
+func (m *Machine) Processes() []*Process {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []*Process
+	for _, p := range m.procs {
+		if p.running {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PID < out[j].PID })
+	return out
+}
+
+// Listening reports whether some process has claimed the port.
+func (m *Machine) Listening(port int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.ports[port]
+	return ok
+}
+
+// PortFree reports whether a port is unclaimed.
+func (m *Machine) PortFree(port int) bool { return !m.Listening(port) }
+
+func cleanPath(p string) string {
+	cp := path.Clean("/" + strings.TrimPrefix(p, "/"))
+	return cp
+}

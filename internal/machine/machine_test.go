@@ -1,0 +1,275 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func world(t *testing.T) (*World, *Machine) {
+	t.Helper()
+	w := NewWorld()
+	m, err := w.AddMachine("server", "macosx-10.6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, m
+}
+
+func TestClock(t *testing.T) {
+	c := NewClock()
+	t0 := c.Now()
+	c.Advance(5 * time.Minute)
+	if got := c.Since(t0); got != 5*time.Minute {
+		t.Errorf("Since = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative advance should panic")
+		}
+	}()
+	c.Advance(-time.Second)
+}
+
+func TestAddMachine(t *testing.T) {
+	w, m := world(t)
+	if m.OS != "macosx-10.6" || m.Hostname != "server" || m.IP == "" {
+		t.Errorf("machine fields: %+v", m)
+	}
+	if _, err := w.AddMachine("server", "ubuntu"); err == nil {
+		t.Error("duplicate machine should fail")
+	}
+	m2, err := w.AddMachine("other", "ubuntu-12.04")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.IP == m.IP {
+		t.Error("machines must get distinct IPs")
+	}
+	names := w.Machines()
+	if len(names) != 2 || names[0] != "other" || names[1] != "server" {
+		t.Errorf("Machines() = %v", names)
+	}
+	w.Remove("other")
+	if _, ok := w.Machine("other"); ok {
+		t.Error("removed machine still present")
+	}
+}
+
+func TestFilesystem(t *testing.T) {
+	_, m := world(t)
+	m.WriteFile("/etc/app.conf", "port=8080")
+	if !m.Exists("/etc/app.conf") {
+		t.Error("file should exist")
+	}
+	content, err := m.ReadFile("etc/app.conf") // path normalization
+	if err != nil || content != "port=8080" {
+		t.Errorf("ReadFile = %q, %v", content, err)
+	}
+	if _, err := m.ReadFile("/missing"); err == nil {
+		t.Error("missing file should error")
+	}
+	m.WriteFile("/opt/app/a.txt", "a")
+	m.WriteFile("/opt/app/sub/b.txt", "b")
+	files := m.List("/opt/app")
+	if len(files) != 2 {
+		t.Errorf("List = %v", files)
+	}
+	if n := m.RemoveTree("/opt/app"); n != 2 {
+		t.Errorf("RemoveTree removed %d", n)
+	}
+	if m.Exists("/opt/app/a.txt") {
+		t.Error("tree removal incomplete")
+	}
+	m.RemoveFile("/etc/app.conf")
+	if m.Exists("/etc/app.conf") {
+		t.Error("RemoveFile failed")
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	_, m := world(t)
+	m.WriteFile("/data/db", "v1")
+	snap := m.Snapshot()
+	m.WriteFile("/data/db", "v2")
+	m.WriteFile("/data/extra", "x")
+	m.Restore(snap)
+	content, err := m.ReadFile("/data/db")
+	if err != nil || content != "v1" {
+		t.Errorf("restore failed: %q %v", content, err)
+	}
+	if m.Exists("/data/extra") {
+		t.Error("restore should drop files created after snapshot")
+	}
+	// Snapshot isolation: mutating after snapshot must not affect it.
+	snap2 := m.Snapshot()
+	m.WriteFile("/data/db", "v3")
+	if snap2["/data/db"].Content != "v1" {
+		t.Error("snapshot must be a deep copy")
+	}
+}
+
+func TestProcessesAndPorts(t *testing.T) {
+	_, m := world(t)
+	p1, err := m.StartProcess("mysqld", "/usr/sbin/mysqld", 3306)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Running(p1.PID) || !m.Listening(3306) {
+		t.Error("process should be running and listening")
+	}
+	if _, err := m.StartProcess("other", "x", 3306); err == nil {
+		t.Error("port collision should fail")
+	}
+	if got, ok := m.FindProcess("mysqld"); !ok || got.PID != p1.PID {
+		t.Error("FindProcess failed")
+	}
+	if err := m.StopProcess(p1.PID); err != nil {
+		t.Fatal(err)
+	}
+	if m.Running(p1.PID) || m.Listening(3306) {
+		t.Error("stop should release port")
+	}
+	if err := m.StopProcess(p1.PID); err == nil {
+		t.Error("double stop should error")
+	}
+	if _, ok := m.FindProcess("mysqld"); ok {
+		t.Error("dead process should not be found")
+	}
+	// Port now free again.
+	if _, err := m.StartProcess("mysqld2", "x", 3306); err != nil {
+		t.Errorf("port should be reusable: %v", err)
+	}
+	if len(m.Processes()) != 1 {
+		t.Errorf("Processes() = %v", m.Processes())
+	}
+}
+
+func TestFindProcessNewest(t *testing.T) {
+	_, m := world(t)
+	if _, err := m.StartProcess("worker", "w"); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := m.StartProcess("worker", "w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := m.FindProcess("worker")
+	if !ok || got.PID != p2.PID {
+		t.Errorf("FindProcess should return newest: got %v", got)
+	}
+}
+
+func TestConnect(t *testing.T) {
+	w, m := world(t)
+	if w.Connect("server", 8080) {
+		t.Error("nothing listening yet")
+	}
+	if _, err := m.StartProcess("tomcat", "catalina", 8080); err != nil {
+		t.Fatal(err)
+	}
+	if !w.Connect("server", 8080) {
+		t.Error("should connect by hostname")
+	}
+	if !w.Connect(m.IP, 8080) {
+		t.Error("should connect by IP")
+	}
+	if !w.Connect("localhost", 8080) {
+		t.Error("localhost resolves when world has one machine")
+	}
+	if w.Connect("ghost", 8080) {
+		t.Error("unknown host should fail")
+	}
+	w2 := NewWorld()
+	if _, err := w2.AddMachine("a", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w2.AddMachine("b", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if w2.Connect("localhost", 1) {
+		t.Error("localhost ambiguous with two machines")
+	}
+}
+
+func TestEnv(t *testing.T) {
+	_, m := world(t)
+	if m.Getenv("PATH") == "" {
+		t.Error("default PATH missing")
+	}
+	m.Setenv("JAVA_HOME", "/usr/java")
+	if m.Getenv("JAVA_HOME") != "/usr/java" {
+		t.Error("Setenv/Getenv failed")
+	}
+}
+
+func TestKillProcessForMonitoring(t *testing.T) {
+	_, m := world(t)
+	p, err := m.StartProcess("celery", "celery worker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.KillProcess(p.PID); err != nil {
+		t.Fatal(err)
+	}
+	if m.Running(p.PID) {
+		t.Error("killed process should not run")
+	}
+}
+
+// Property: WriteFile/ReadFile round-trips arbitrary contents at
+// arbitrary cleaned paths.
+func TestFileRoundTripProperty(t *testing.T) {
+	_, m := world(t)
+	f := func(name, content string) bool {
+		if name == "" {
+			name = "f"
+		}
+		p := "/prop/" + name
+		m.WriteFile(p, content)
+		got, err := m.ReadFile(p)
+		return err == nil && got == content
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: starting then stopping N processes leaves all ports free.
+func TestPortConservation(t *testing.T) {
+	f := func(portsRaw []uint16) bool {
+		w := NewWorld()
+		m, _ := w.AddMachine("m", "os")
+		seen := map[int]bool{}
+		var pids []int
+		for i, pr := range portsRaw {
+			port := int(pr)%1000 + 1024
+			if seen[port] {
+				continue
+			}
+			seen[port] = true
+			p, err := m.StartProcess("p", "cmd", port)
+			if err != nil {
+				return false
+			}
+			pids = append(pids, p.PID)
+			if i > 8 {
+				break
+			}
+		}
+		for _, pid := range pids {
+			if err := m.StopProcess(pid); err != nil {
+				return false
+			}
+		}
+		for port := range seen {
+			if m.Listening(port) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,160 @@
+// Package migrate implements a South-style database schema migration
+// framework over the simulated machine substrate. The paper's upgrade
+// case study (§6.2) uses South to upgrade the FA application across a
+// database schema change while preserving content; this package provides
+// the equivalent: schema-versioned databases stored on a machine's
+// filesystem, forward migrations applied in a chain, and content
+// preservation verified by tests.
+package migrate
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"engage/internal/machine"
+)
+
+// Database is a simulated database rooted at a filesystem path on a
+// machine. Tables are flat files of rows; the schema version is a
+// counter file. Because the files live on the machine, the upgrade
+// framework's snapshot/restore covers database state for free.
+type Database struct {
+	Machine *machine.Machine
+	Root    string
+}
+
+// Open returns a handle to the database rooted at root (it need not
+// exist yet; call Init).
+func Open(m *machine.Machine, root string) *Database {
+	return &Database{Machine: m, Root: strings.TrimSuffix(root, "/")}
+}
+
+// Init creates the database at schema version v; it fails if the
+// database already exists.
+func (db *Database) Init(v int) error {
+	if db.Exists() {
+		return fmt.Errorf("migrate: database at %s already exists", db.Root)
+	}
+	db.Machine.WriteFile(db.versionPath(), strconv.Itoa(v))
+	return nil
+}
+
+// Exists reports whether the database has been initialized.
+func (db *Database) Exists() bool { return db.Machine.Exists(db.versionPath()) }
+
+// Drop deletes the database.
+func (db *Database) Drop() { db.Machine.RemoveTree(db.Root) }
+
+// SchemaVersion returns the current schema version.
+func (db *Database) SchemaVersion() (int, error) {
+	s, err := db.Machine.ReadFile(db.versionPath())
+	if err != nil {
+		return 0, fmt.Errorf("migrate: database at %s not initialized", db.Root)
+	}
+	v, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil {
+		return 0, fmt.Errorf("migrate: corrupt schema version %q", s)
+	}
+	return v, nil
+}
+
+func (db *Database) setVersion(v int) {
+	db.Machine.WriteFile(db.versionPath(), strconv.Itoa(v))
+}
+
+func (db *Database) versionPath() string { return db.Root + "/schema_version" }
+
+func (db *Database) tablePath(table string) string { return db.Root + "/tables/" + table }
+
+// Insert appends a row to a table.
+func (db *Database) Insert(table, row string) {
+	rows := db.Rows(table)
+	rows = append(rows, row)
+	db.Machine.WriteFile(db.tablePath(table), strings.Join(rows, "\n"))
+}
+
+// Rows returns a table's rows (empty for a missing table).
+func (db *Database) Rows(table string) []string {
+	content, err := db.Machine.ReadFile(db.tablePath(table))
+	if err != nil || content == "" {
+		return nil
+	}
+	return strings.Split(content, "\n")
+}
+
+// WriteTable replaces a table's contents.
+func (db *Database) WriteTable(table string, rows []string) {
+	if len(rows) == 0 {
+		db.Machine.RemoveFile(db.tablePath(table))
+		return
+	}
+	db.Machine.WriteFile(db.tablePath(table), strings.Join(rows, "\n"))
+}
+
+// Tables lists table names, sorted.
+func (db *Database) Tables() []string {
+	prefix := db.Root + "/tables/"
+	var out []string
+	for _, p := range db.Machine.List(prefix) {
+		out = append(out, strings.TrimPrefix(p, prefix))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Migration transforms a database from schema From to schema To.
+type Migration struct {
+	From, To int
+	Name     string
+	Apply    func(db *Database) error
+}
+
+// History is an ordered set of migrations forming a chain.
+type History struct {
+	migrations map[int]Migration // keyed by From
+}
+
+// NewHistory builds a history; duplicate From versions are an error.
+func NewHistory(ms ...Migration) (*History, error) {
+	h := &History{migrations: make(map[int]Migration, len(ms))}
+	for _, m := range ms {
+		if m.To != m.From+1 {
+			return nil, fmt.Errorf("migrate: migration %q must step one version (%d→%d)", m.Name, m.From, m.To)
+		}
+		if _, dup := h.migrations[m.From]; dup {
+			return nil, fmt.Errorf("migrate: duplicate migration from version %d", m.From)
+		}
+		h.migrations[m.From] = m
+	}
+	return h, nil
+}
+
+// MigrateTo applies migrations in order until the database reaches the
+// target schema version. Migrating backwards is an error (South-style
+// forward-only chains here; the upgrade framework handles rollback by
+// snapshot restore instead). Each applied migration's name is returned.
+func (h *History) MigrateTo(db *Database, target int) ([]string, error) {
+	cur, err := db.SchemaVersion()
+	if err != nil {
+		return nil, err
+	}
+	if target < cur {
+		return nil, fmt.Errorf("migrate: cannot migrate backwards from %d to %d (restore a backup instead)", cur, target)
+	}
+	var applied []string
+	for cur < target {
+		m, ok := h.migrations[cur]
+		if !ok {
+			return applied, fmt.Errorf("migrate: no migration from version %d", cur)
+		}
+		if err := m.Apply(db); err != nil {
+			return applied, fmt.Errorf("migrate: migration %q (%d→%d): %w", m.Name, m.From, m.To, err)
+		}
+		db.setVersion(m.To)
+		cur = m.To
+		applied = append(applied, m.Name)
+	}
+	return applied, nil
+}

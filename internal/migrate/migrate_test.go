@@ -1,0 +1,209 @@
+package migrate
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"engage/internal/machine"
+)
+
+func db(t *testing.T) *Database {
+	t.Helper()
+	w := machine.NewWorld()
+	m, err := w.AddMachine("dbhost", "ubuntu-12.04")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Open(m, "/var/db/fa")
+}
+
+func TestInitAndVersion(t *testing.T) {
+	d := db(t)
+	if d.Exists() {
+		t.Fatal("fresh db should not exist")
+	}
+	if _, err := d.SchemaVersion(); err == nil {
+		t.Error("version of uninitialized db should error")
+	}
+	if err := d.Init(1); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Exists() {
+		t.Error("db should exist after Init")
+	}
+	if err := d.Init(1); err == nil {
+		t.Error("double init should fail")
+	}
+	v, err := d.SchemaVersion()
+	if err != nil || v != 1 {
+		t.Errorf("SchemaVersion = %d, %v", v, err)
+	}
+}
+
+func TestRowsAndTables(t *testing.T) {
+	d := db(t)
+	if err := d.Init(1); err != nil {
+		t.Fatal(err)
+	}
+	d.Insert("applications", "alice|faculty")
+	d.Insert("applications", "bob|postdoc")
+	d.Insert("users", "admin")
+	rows := d.Rows("applications")
+	if len(rows) != 2 || rows[0] != "alice|faculty" {
+		t.Errorf("Rows = %v", rows)
+	}
+	if got := d.Rows("missing"); got != nil {
+		t.Errorf("missing table rows = %v", got)
+	}
+	tables := d.Tables()
+	if len(tables) != 2 || tables[0] != "applications" || tables[1] != "users" {
+		t.Errorf("Tables = %v", tables)
+	}
+	d.WriteTable("users", nil)
+	if len(d.Tables()) != 1 {
+		t.Error("empty WriteTable should drop the table")
+	}
+}
+
+func TestDrop(t *testing.T) {
+	d := db(t)
+	if err := d.Init(1); err != nil {
+		t.Fatal(err)
+	}
+	d.Insert("t", "row")
+	d.Drop()
+	if d.Exists() {
+		t.Error("dropped db should not exist")
+	}
+}
+
+// faHistory models the FA application's schema evolution: v1 has
+// applications as "name|kind"; v2 adds a status column; v3 splits a
+// reviewers table out of applications.
+func faHistory(t *testing.T) *History {
+	t.Helper()
+	h, err := NewHistory(
+		Migration{From: 1, To: 2, Name: "add_status", Apply: func(db *Database) error {
+			rows := db.Rows("applications")
+			for i, r := range rows {
+				rows[i] = r + "|pending"
+			}
+			db.WriteTable("applications", rows)
+			return nil
+		}},
+		Migration{From: 2, To: 3, Name: "split_reviewers", Apply: func(db *Database) error {
+			var reviewers []string
+			for _, r := range db.Rows("applications") {
+				name := strings.SplitN(r, "|", 2)[0]
+				reviewers = append(reviewers, name+"|unassigned")
+			}
+			db.WriteTable("reviewers", reviewers)
+			return nil
+		}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestMigrationChainPreservesContent(t *testing.T) {
+	d := db(t)
+	if err := d.Init(1); err != nil {
+		t.Fatal(err)
+	}
+	d.Insert("applications", "alice|faculty")
+	d.Insert("applications", "bob|postdoc")
+
+	applied, err := faHistory(t).MigrateTo(d, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(applied) != 2 || applied[0] != "add_status" || applied[1] != "split_reviewers" {
+		t.Errorf("applied = %v", applied)
+	}
+	v, _ := d.SchemaVersion()
+	if v != 3 {
+		t.Errorf("version = %d", v)
+	}
+	rows := d.Rows("applications")
+	if len(rows) != 2 || rows[0] != "alice|faculty|pending" {
+		t.Errorf("content not preserved/transformed: %v", rows)
+	}
+	if got := d.Rows("reviewers"); len(got) != 2 || got[1] != "bob|unassigned" {
+		t.Errorf("reviewers = %v", got)
+	}
+}
+
+func TestMigrateToSameVersionNoop(t *testing.T) {
+	d := db(t)
+	if err := d.Init(2); err != nil {
+		t.Fatal(err)
+	}
+	applied, err := faHistory(t).MigrateTo(d, 2)
+	if err != nil || len(applied) != 0 {
+		t.Errorf("same-version migrate: %v, %v", applied, err)
+	}
+}
+
+func TestMigrateBackwardsRejected(t *testing.T) {
+	d := db(t)
+	if err := d.Init(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := faHistory(t).MigrateTo(d, 1); err == nil {
+		t.Error("backwards migration must be rejected")
+	}
+}
+
+func TestMigrateMissingStep(t *testing.T) {
+	d := db(t)
+	if err := d.Init(1); err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHistory(Migration{From: 2, To: 3, Name: "later", Apply: func(*Database) error { return nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.MigrateTo(d, 3); err == nil {
+		t.Error("gap in chain should error")
+	}
+}
+
+func TestMigrationFailureStopsChain(t *testing.T) {
+	d := db(t)
+	if err := d.Init(1); err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHistory(
+		Migration{From: 1, To: 2, Name: "ok", Apply: func(*Database) error { return nil }},
+		Migration{From: 2, To: 3, Name: "boom", Apply: func(*Database) error { return fmt.Errorf("constraint violation") }},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied, err := h.MigrateTo(d, 3)
+	if err == nil || !strings.Contains(err.Error(), "constraint violation") {
+		t.Errorf("failure should surface: %v", err)
+	}
+	if len(applied) != 1 || applied[0] != "ok" {
+		t.Errorf("applied = %v", applied)
+	}
+	v, _ := d.SchemaVersion()
+	if v != 2 {
+		t.Errorf("version should stop at 2, got %d", v)
+	}
+}
+
+func TestNewHistoryValidation(t *testing.T) {
+	if _, err := NewHistory(Migration{From: 1, To: 3, Name: "skip"}); err == nil {
+		t.Error("multi-step migration should be rejected")
+	}
+	if _, err := NewHistory(
+		Migration{From: 1, To: 2, Name: "a"},
+		Migration{From: 1, To: 2, Name: "b"},
+	); err == nil {
+		t.Error("duplicate From should be rejected")
+	}
+}

@@ -1,0 +1,204 @@
+// Package monitor implements Engage's monitoring integration (§5.2,
+// "Installation, Monitoring, and Shutdown"): a monit-style process
+// watcher. The runtime registers each service process with the monitor;
+// Check sweeps the watched processes, and when a service's process has
+// died while its driver believes it active, the monitor restarts it via
+// the driver's restart action — the paper's "if the process associated
+// with a service fails, it will be automatically restarted by monit
+// using a set of runtime services provided by Engage".
+package monitor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"engage/internal/deploy"
+	"engage/internal/driver"
+	"engage/internal/machine"
+)
+
+// Monitor watches the service processes of one deployment.
+type Monitor struct {
+	dep     *deploy.Deployment
+	watched map[string]string // instance ID → scratch PID name
+}
+
+// New returns a monitor over a deployment.
+func New(dep *deploy.Deployment) *Monitor {
+	return &Monitor{dep: dep, watched: make(map[string]string)}
+}
+
+// Watch registers an instance whose driver records its daemon PID in
+// scratch under pidName (conventionally "daemon").
+func (m *Monitor) Watch(instanceID, pidName string) error {
+	if _, ok := m.dep.Driver(instanceID); !ok {
+		return fmt.Errorf("monitor: unknown instance %q", instanceID)
+	}
+	m.watched[instanceID] = pidName
+	return nil
+}
+
+// AutoRegister watches every instance whose driver has recorded a
+// "daemon" PID; called after deployment, it mirrors the paper's plugin
+// that adds monitoring for each installed service automatically.
+func (m *Monitor) AutoRegister() int {
+	n := 0
+	for _, inst := range m.dep.Instances() {
+		drv, ok := m.dep.Driver(inst.ID)
+		if !ok {
+			continue
+		}
+		if _, ok := drv.Ctx.PID("daemon"); ok {
+			m.watched[inst.ID] = "daemon"
+			n++
+		}
+	}
+	return n
+}
+
+// Watched lists watched instance IDs, sorted.
+func (m *Monitor) Watched() []string {
+	out := make([]string, 0, len(m.watched))
+	for id := range m.watched {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Event records one monitoring observation.
+type Event struct {
+	Instance  string
+	PID       int
+	Dead      bool
+	Restarted bool
+	Err       error
+}
+
+// Check sweeps the watched services once: every watched instance whose
+// driver is active but whose process is gone is restarted through its
+// driver. It returns an event per dead process found.
+func (m *Monitor) Check() []Event {
+	var events []Event
+	ids := m.Watched()
+	for _, id := range ids {
+		pidName := m.watched[id]
+		drv, ok := m.dep.Driver(id)
+		if !ok {
+			continue
+		}
+		pid, ok := drv.Ctx.PID(pidName)
+		if !ok {
+			continue
+		}
+		if drv.Ctx.Machine.Running(pid) {
+			continue
+		}
+		ev := Event{Instance: id, PID: pid, Dead: true}
+		if drv.State() == driver.Active {
+			if err := drv.Fire("restart", m.dep); err != nil {
+				ev.Err = err
+			} else {
+				ev.Restarted = true
+			}
+		}
+		events = append(events, ev)
+	}
+	return events
+}
+
+// ServiceStatus is the user-visible status of one watched service (the
+// paper: "users can view the status and resource usage of each
+// installed service").
+type ServiceStatus struct {
+	Instance string
+	PID      int
+	Running  bool
+	Uptime   time.Duration
+	MemMB    int
+	State    driver.State
+}
+
+// Status reports every watched service's status, sorted by instance.
+func (m *Monitor) Status() []ServiceStatus {
+	var out []ServiceStatus
+	for _, id := range m.Watched() {
+		drv, ok := m.dep.Driver(id)
+		if !ok {
+			continue
+		}
+		st := ServiceStatus{Instance: id, State: drv.State()}
+		if pid, ok := drv.Ctx.PID(m.watched[id]); ok {
+			st.PID = pid
+			st.Running = drv.Ctx.Machine.Running(pid)
+			if proc, found := findProc(drv, pid); found && st.Running {
+				st.Uptime = drv.Ctx.Machine.Clock().Since(proc.Started)
+				st.MemMB = proc.MemMB
+			}
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+func findProc(drv *driver.Driver, pid int) (*machine.Process, bool) {
+	for _, p := range drv.Ctx.Machine.Processes() {
+		if p.PID == pid {
+			return p, true
+		}
+	}
+	return nil, false
+}
+
+// Plugin adapts the monitor to the deployment engine's plugin framework
+// (§5.2): after a deployment completes, every daemon-backed service is
+// auto-registered and the monit configuration written to each host;
+// after shutdown the registrations are dropped.
+type Plugin struct {
+	// Monitor is populated by AfterDeploy; callers keep the plugin and
+	// read the monitor from it.
+	Monitor *Monitor
+}
+
+// Name implements deploy.Plugin.
+func (*Plugin) Name() string { return "monit" }
+
+// AfterDeploy implements deploy.Plugin.
+func (p *Plugin) AfterDeploy(d *deploy.Deployment) error {
+	p.Monitor = New(d)
+	p.Monitor.AutoRegister()
+	p.Monitor.WriteConfig()
+	return nil
+}
+
+// AfterShutdown implements deploy.Plugin.
+func (p *Plugin) AfterShutdown(*deploy.Deployment) error {
+	p.Monitor = nil
+	return nil
+}
+
+var _ deploy.Plugin = (*Plugin)(nil)
+
+// WriteConfig writes a monit-style configuration file to each machine
+// hosting watched services, mirroring the paper's generated monit
+// configuration registered with the daemon.
+func (m *Monitor) WriteConfig() {
+	perMachine := make(map[string][]string)
+	for _, id := range m.Watched() {
+		drv, ok := m.dep.Driver(id)
+		if !ok {
+			continue
+		}
+		name := drv.Ctx.Machine.Name
+		perMachine[name] = append(perMachine[name], fmt.Sprintf("check process %s", id))
+	}
+	for _, id := range m.Watched() {
+		drv, _ := m.dep.Driver(id)
+		name := drv.Ctx.Machine.Name
+		lines := perMachine[name]
+		sort.Strings(lines)
+		drv.Ctx.Machine.WriteFile("/etc/monit/monitrc", strings.Join(lines, "\n")+"\n")
+	}
+}

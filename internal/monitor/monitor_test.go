@@ -1,0 +1,237 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"engage/internal/deploy"
+	"engage/internal/driver"
+	"engage/internal/machine"
+	"engage/internal/rdl"
+	"engage/internal/resource"
+	"engage/internal/spec"
+)
+
+const monRDL = `
+abstract resource "Server" {}
+resource "Mac 10.6" extends "Server" {}
+resource "Webapp 1.0" {
+    inside "Server"
+    config { port: tcp_port = 9000 }
+}
+`
+
+func setup(t *testing.T) (*deploy.Deployment, *machine.Machine) {
+	t.Helper()
+	reg, err := rdl.ParseAndResolve(map[string]string{"mon.rdl": monRDL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := &spec.Full{Instances: []*spec.Instance{
+		{ID: "m", Key: resource.MakeKey("Mac", "10.6"), Machine: "m"},
+		{ID: "web", Key: resource.MakeKey("Webapp", "1.0"), Machine: "m", Inside: "m",
+			Config: map[string]resource.Value{"port": resource.PortV(9000)},
+			Deps:   []spec.DepLink{{Class: resource.DepInside, Target: "m"}}},
+	}}
+
+	dr := deploy.NewDriverRegistry()
+	spawn := func(c *driver.Context) error {
+		port := c.Instance.Config["port"].Int
+		p, err := c.Machine.StartProcess("webapp", "webapp -p", port)
+		if err != nil {
+			return err
+		}
+		c.PutPID("daemon", p.PID)
+		c.Charge(5 * time.Second)
+		return nil
+	}
+	dr.RegisterName("Webapp", func(ctx *driver.Context) *driver.StateMachine {
+		return driver.ServiceMachine(
+			nil,   // install
+			spawn, // start
+			func(c *driver.Context) error { // stop
+				pid, _ := c.PID("daemon")
+				return c.Machine.StopProcess(pid)
+			},
+			spawn, // restart respawns
+			nil,
+		)
+	})
+
+	w := machine.NewWorld()
+	d, err := deploy.New(full, deploy.Options{
+		Registry: reg, Drivers: dr, World: w, ProvisionMissing: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Deploy(); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := w.Machine("m")
+	return d, m
+}
+
+func TestAutoRegisterAndStatus(t *testing.T) {
+	d, m := setup(t)
+	mon := New(d)
+	if n := mon.AutoRegister(); n != 1 {
+		t.Fatalf("AutoRegister = %d, want 1", n)
+	}
+	if got := mon.Watched(); len(got) != 1 || got[0] != "web" {
+		t.Fatalf("Watched = %v", got)
+	}
+	m.Clock().Advance(2 * time.Minute)
+	sts := mon.Status()
+	if len(sts) != 1 {
+		t.Fatalf("Status = %v", sts)
+	}
+	st := sts[0]
+	if !st.Running || st.State != driver.Active || st.Uptime < 2*time.Minute {
+		t.Errorf("status = %+v", st)
+	}
+}
+
+func TestCheckRestartsDeadProcess(t *testing.T) {
+	d, m := setup(t)
+	mon := New(d)
+	mon.AutoRegister()
+
+	// Healthy sweep: no events.
+	if evs := mon.Check(); len(evs) != 0 {
+		t.Fatalf("healthy check should be quiet: %v", evs)
+	}
+
+	// Failure injection: kill the daemon.
+	drv, _ := d.Driver("web")
+	pid, _ := drv.Ctx.PID("daemon")
+	if err := m.KillProcess(pid); err != nil {
+		t.Fatal(err)
+	}
+	if m.Listening(9000) {
+		t.Fatal("port should be free after kill")
+	}
+
+	evs := mon.Check()
+	if len(evs) != 1 {
+		t.Fatalf("expected one event, got %v", evs)
+	}
+	if !evs[0].Dead || !evs[0].Restarted || evs[0].Err != nil {
+		t.Errorf("event = %+v", evs[0])
+	}
+	// The service is back with a new PID on its port.
+	if !m.Listening(9000) {
+		t.Error("restart should re-listen")
+	}
+	newPID, _ := drv.Ctx.PID("daemon")
+	if newPID == pid {
+		t.Error("restart should record a fresh PID")
+	}
+	// Next sweep is quiet again.
+	if evs := mon.Check(); len(evs) != 0 {
+		t.Errorf("post-restart check should be quiet: %v", evs)
+	}
+}
+
+func TestCheckSkipsInactiveServices(t *testing.T) {
+	d, m := setup(t)
+	mon := New(d)
+	mon.AutoRegister()
+	if err := d.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	// Process stopped by shutdown; driver is inactive — no restart.
+	evs := mon.Check()
+	for _, e := range evs {
+		if e.Restarted {
+			t.Errorf("inactive service must not be restarted: %+v", e)
+		}
+	}
+	if m.Listening(9000) {
+		t.Error("service should remain down")
+	}
+}
+
+func TestWatchUnknownInstance(t *testing.T) {
+	d, _ := setup(t)
+	mon := New(d)
+	if err := mon.Watch("ghost", "daemon"); err == nil {
+		t.Error("unknown instance should error")
+	}
+	if err := mon.Watch("web", "daemon"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteConfig(t *testing.T) {
+	d, m := setup(t)
+	mon := New(d)
+	mon.AutoRegister()
+	mon.WriteConfig()
+	content, err := m.ReadFile("/etc/monit/monitrc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(content, "check process web") {
+		t.Errorf("monitrc = %q", content)
+	}
+}
+
+func TestPluginFramework(t *testing.T) {
+	// Wire the monit plugin into the deployment engine: registration
+	// and config generation happen automatically at deploy time.
+	reg, err := rdl.ParseAndResolve(map[string]string{"mon.rdl": monRDL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := &spec.Full{Instances: []*spec.Instance{
+		{ID: "m", Key: resource.MakeKey("Mac", "10.6"), Machine: "m"},
+		{ID: "web", Key: resource.MakeKey("Webapp", "1.0"), Machine: "m", Inside: "m",
+			Config: map[string]resource.Value{"port": resource.PortV(9100)},
+			Deps:   []spec.DepLink{{Class: resource.DepInside, Target: "m"}}},
+	}}
+	dr := deploy.NewDriverRegistry()
+	dr.RegisterName("Webapp", func(ctx *driver.Context) *driver.StateMachine {
+		spawn := func(c *driver.Context) error {
+			p, err := c.Machine.StartProcess("webapp", "webapp", c.Instance.Config["port"].Int)
+			if err != nil {
+				return err
+			}
+			c.PutPID("daemon", p.PID)
+			return nil
+		}
+		return driver.ServiceMachine(nil, spawn, func(c *driver.Context) error {
+			pid, _ := c.PID("daemon")
+			return c.Machine.StopProcess(pid)
+		}, spawn, nil)
+	})
+	plugin := &Plugin{}
+	w := machine.NewWorld()
+	d, err := deploy.New(full, deploy.Options{
+		Registry: reg, Drivers: dr, World: w,
+		ProvisionMissing: true, Plugins: []deploy.Plugin{plugin},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Deploy(); err != nil {
+		t.Fatal(err)
+	}
+	if plugin.Monitor == nil {
+		t.Fatal("plugin should have built a monitor")
+	}
+	if got := plugin.Monitor.Watched(); len(got) != 1 || got[0] != "web" {
+		t.Errorf("Watched = %v", got)
+	}
+	m, _ := w.Machine("m")
+	if content, err := m.ReadFile("/etc/monit/monitrc"); err != nil || !strings.Contains(content, "web") {
+		t.Errorf("monitrc = %q, %v", content, err)
+	}
+	if err := d.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if plugin.Monitor != nil {
+		t.Error("plugin should drop the monitor after shutdown")
+	}
+}

@@ -1,0 +1,196 @@
+package paas
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"engage/internal/library"
+	"engage/internal/packager"
+	"engage/internal/resource"
+)
+
+// Handler exposes the platform over HTTP:
+//
+//	GET    /healthz                    liveness
+//	GET    /apps                       list hosted applications
+//	POST   /apps?os=…&web=…&db=…&…     deploy an uploaded archive
+//	GET    /apps/{name}                application record
+//	GET    /apps/{name}/status         per-instance driver states
+//	POST   /apps/{name}/upgrade        upgrade to an uploaded archive
+//	DELETE /apps/{name}                remove the application
+//
+// Upload bodies are packager.Archive JSON (what `Archive.Bytes`
+// emits). Configuration query parameters: os, web, db select resource
+// keys; celery, redis, memcached, monit are booleans ("1"/"true").
+func (p *Platform) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("/apps", p.handleApps)
+	mux.HandleFunc("/apps/", p.handleApp)
+	return mux
+}
+
+type appSummary struct {
+	Name    string `json:"name"`
+	Version string `json:"version"`
+	URL     string `json:"url,omitempty"`
+	Node    string `json:"node"`
+	Config  string `json:"config"`
+}
+
+func (p *Platform) handleApps(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		var out []appSummary
+		for _, name := range p.Apps() {
+			rec, _ := p.App(name)
+			out = append(out, summarize(name, rec))
+		}
+		writeJSON(w, http.StatusOK, out)
+	case http.MethodPost:
+		arch, ok := readArchive(w, r)
+		if !ok {
+			return
+		}
+		cfg, err := configFromQuery(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		rec, err := p.DeployApp(arch, cfg)
+		if err != nil {
+			writeError(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, summarize(arch.Manifest.Name, rec))
+	default:
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+	}
+}
+
+func (p *Platform) handleApp(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/apps/")
+	parts := strings.SplitN(rest, "/", 2)
+	name := parts[0]
+	action := ""
+	if len(parts) == 2 {
+		action = parts[1]
+	}
+	if name == "" {
+		writeError(w, http.StatusNotFound, fmt.Errorf("missing application name"))
+		return
+	}
+
+	switch {
+	case r.Method == http.MethodGet && action == "":
+		rec, ok := p.App(name)
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no application %q", name))
+			return
+		}
+		writeJSON(w, http.StatusOK, summarize(name, rec))
+	case r.Method == http.MethodGet && action == "status":
+		st, err := p.Status(name)
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	case r.Method == http.MethodPost && action == "upgrade":
+		arch, ok := readArchive(w, r)
+		if !ok {
+			return
+		}
+		res, err := p.Upgrade(name, arch)
+		if err != nil {
+			writeError(w, http.StatusConflict, err)
+			return
+		}
+		payload := map[string]any{
+			"rolled_back": res.RolledBack,
+			"added":       res.Diff.Added,
+			"removed":     res.Diff.Removed,
+			"changed":     res.Diff.Changed,
+		}
+		if res.Cause != nil {
+			payload["cause"] = res.Cause.Error()
+		}
+		writeJSON(w, http.StatusOK, payload)
+	case r.Method == http.MethodDelete && action == "":
+		if err := p.Remove(name); err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"removed": name})
+	default:
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("unsupported %s %s", r.Method, r.URL.Path))
+	}
+}
+
+func summarize(name string, rec *AppRecord) appSummary {
+	return appSummary{
+		Name:    name,
+		Version: rec.Archive.Manifest.Version,
+		URL:     rec.URL,
+		Node:    rec.NodeName,
+		Config:  rec.Config.String(),
+	}
+}
+
+func readArchive(w http.ResponseWriter, r *http.Request) (packager.Archive, bool) {
+	var raw json.RawMessage
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<20))
+	if err := dec.Decode(&raw); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad archive payload: %v", err))
+		return packager.Archive{}, false
+	}
+	arch, err := packager.ReadArchive(raw)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return packager.Archive{}, false
+	}
+	return arch, true
+}
+
+// configFromQuery builds a DeployConfig from query parameters with the
+// platform's defaults (Ubuntu 12.04 / Gunicorn / MySQL).
+func configFromQuery(r *http.Request) (library.DeployConfig, error) {
+	q := r.URL.Query()
+	cfg := library.DeployConfig{
+		OS:        resource.MakeKey("Ubuntu", "12.04"),
+		WebServer: resource.MakeKey("Gunicorn", "0.13"),
+		Database:  resource.MakeKey("MySQL", "5.1"),
+	}
+	if v := q.Get("os"); v != "" {
+		cfg.OS = resource.ParseKey(v)
+	}
+	if v := q.Get("web"); v != "" {
+		cfg.WebServer = resource.ParseKey(v)
+	}
+	if v := q.Get("db"); v != "" {
+		cfg.Database = resource.ParseKey(v)
+	}
+	boolParam := func(name string) bool {
+		v := q.Get(name)
+		return v == "1" || v == "true"
+	}
+	cfg.Celery = boolParam("celery")
+	cfg.Redis = boolParam("redis")
+	cfg.Memcached = boolParam("memcached")
+	cfg.Monit = boolParam("monit")
+	return cfg, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,263 @@
+// Package paas implements the platform-as-a-service front end the paper
+// describes Engage powering ("the core technology behind a commercial
+// platform-as-a-service company … available through a web service"):
+// developers package their Django application locally, upload the
+// archive, pick a deployment configuration, and the platform provisions
+// a node, runs the configuration engine, deploys, and manages the app —
+// including monitored status and incremental upgrades.
+package paas
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"engage/internal/cloud"
+	"engage/internal/config"
+	"engage/internal/deploy"
+	"engage/internal/library"
+	"engage/internal/machine"
+	"engage/internal/packager"
+	"engage/internal/pkgmgr"
+	"engage/internal/resource"
+	"engage/internal/spec"
+	"engage/internal/upgrade"
+)
+
+// Platform hosts packaged Django applications on a simulated cloud.
+type Platform struct {
+	mu       sync.Mutex
+	registry *resource.Registry
+	drivers  *deploy.DriverRegistry
+	world    *machine.World
+	index    *pkgmgr.Index
+	cache    *pkgmgr.Cache
+	provider *cloud.Provider
+	apps     map[string]*AppRecord
+}
+
+// AppRecord is the platform's state for one hosted application.
+type AppRecord struct {
+	Archive    packager.Archive
+	Config     library.DeployConfig
+	Spec       *spec.Full
+	Deployment *deploy.Deployment
+	NodeName   string
+	URL        string
+}
+
+// NewPlatform builds a platform over the bundled library and a fresh
+// simulated Rackspace cloud.
+func NewPlatform() (*Platform, error) {
+	reg, err := library.Registry()
+	if err != nil {
+		return nil, err
+	}
+	world := machine.NewWorld()
+	return &Platform{
+		registry: reg,
+		drivers:  library.Drivers(),
+		world:    world,
+		index:    library.PackageIndex(),
+		cache:    pkgmgr.NewCache(),
+		provider: cloud.NewRackspaceSim(world),
+		apps:     make(map[string]*AppRecord),
+	}, nil
+}
+
+// World exposes the platform's simulated world (tests and tooling).
+func (p *Platform) World() *machine.World { return p.world }
+
+func (p *Platform) options() deploy.Options {
+	return deploy.Options{
+		Registry: p.registry, Drivers: p.drivers, World: p.world,
+		Index: p.index, Cache: p.cache,
+		ProvisionMissing: true, OSOf: library.OSOf,
+	}
+}
+
+// prefixPartial rewrites a partial specification's instance IDs with an
+// application prefix so several hosted apps coexist in one world.
+func prefixPartial(p *spec.Partial, prefix string) *spec.Partial {
+	out := &spec.Partial{}
+	for _, inst := range p.Instances {
+		clone := &spec.PartialInstance{
+			ID:     prefix + inst.ID,
+			Key:    inst.Key,
+			Config: inst.Config,
+		}
+		if inst.Inside != "" {
+			clone.Inside = prefix + inst.Inside
+		}
+		out.Instances = append(out.Instances, clone)
+	}
+	return out
+}
+
+// DeployApp hosts an application: register its generated resource type,
+// provision a node, configure, and deploy. The app name must be unique
+// on the platform.
+func (p *Platform) DeployApp(arch packager.Archive, cfg library.DeployConfig) (*AppRecord, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	name := arch.Manifest.Name
+	if name == "" {
+		return nil, fmt.Errorf("paas: archive has no application name")
+	}
+	if _, exists := p.apps[name]; exists {
+		return nil, fmt.Errorf("paas: application %q already deployed (use Upgrade)", name)
+	}
+	if err := p.registerArchive(arch); err != nil {
+		return nil, err
+	}
+
+	prefix := name + "-"
+	partial := prefixPartial(cfg.Partial(arch.Manifest), prefix)
+
+	// Provision the app's node from the cloud and merge host details.
+	nodeName := prefix + "server"
+	if _, ok := p.world.Machine(nodeName); !ok {
+		if _, err := p.provider.Provision(nodeName, library.OSName(cfg.OS)); err != nil {
+			return nil, fmt.Errorf("paas: %w", err)
+		}
+	}
+	if srv, ok := partial.Find(nodeName); ok {
+		m, _ := p.world.Machine(nodeName)
+		srv.Set("hostname", resource.Str(m.Hostname))
+		srv.Set("ip", resource.Str(m.IP))
+	}
+
+	full, err := config.New(p.registry).Configure(partial)
+	if err != nil {
+		return nil, fmt.Errorf("paas: configuring %q: %w", name, err)
+	}
+	dep, err := deploy.New(full, p.options())
+	if err != nil {
+		return nil, fmt.Errorf("paas: %w", err)
+	}
+	if err := dep.Deploy(); err != nil {
+		return nil, fmt.Errorf("paas: deploying %q: %w", name, err)
+	}
+
+	rec := &AppRecord{
+		Archive: arch, Config: cfg, Spec: full, Deployment: dep, NodeName: nodeName,
+	}
+	if appInst, ok := full.Find(prefix + "app"); ok {
+		if url, ok := appInst.Output["url"]; ok {
+			rec.URL = url.AsString()
+		}
+	}
+	p.apps[name] = rec
+	return rec, nil
+}
+
+// registerArchive adds the app's generated type/driver, tolerating
+// re-registration of the identical key (upgrades bring new versions).
+func (p *Platform) registerArchive(arch packager.Archive) error {
+	key := library.AppKey(arch.Manifest)
+	if _, exists := p.registry.Lookup(key); exists {
+		// Type already known (e.g. same version re-upload): refresh the
+		// driver so new archive contents deploy.
+		p.drivers.RegisterKey(key, library.AppDriver(arch))
+		return nil
+	}
+	return library.RegisterApp(p.registry, p.drivers, arch)
+}
+
+// App returns a hosted application's record.
+func (p *Platform) App(name string) (*AppRecord, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rec, ok := p.apps[name]
+	return rec, ok
+}
+
+// Apps lists hosted application names, sorted.
+func (p *Platform) Apps() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.apps))
+	for n := range p.apps {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Status reports per-instance driver states for a hosted app.
+func (p *Platform) Status(name string) (map[string]string, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rec, ok := p.apps[name]
+	if !ok {
+		return nil, fmt.Errorf("paas: no application %q", name)
+	}
+	out := make(map[string]string)
+	for id, st := range rec.Deployment.Status() {
+		out[strings.TrimPrefix(id, name+"-")] = string(st)
+	}
+	return out, nil
+}
+
+// Upgrade moves a hosted application to a new archive using the
+// incremental strategy; on failure the previous version keeps running
+// (rollback) and the error is reported.
+func (p *Platform) Upgrade(name string, arch packager.Archive) (*upgrade.Result, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rec, ok := p.apps[name]
+	if !ok {
+		return nil, fmt.Errorf("paas: no application %q", name)
+	}
+	if arch.Manifest.Name != name {
+		return nil, fmt.Errorf("paas: archive is for %q, not %q", arch.Manifest.Name, name)
+	}
+	if err := p.registerArchive(arch); err != nil {
+		return nil, err
+	}
+
+	prefix := name + "-"
+	partial := prefixPartial(rec.Config.Partial(arch.Manifest), prefix)
+	if srv, ok := partial.Find(prefix + "server"); ok {
+		m, _ := p.world.Machine(rec.NodeName)
+		srv.Set("hostname", resource.Str(m.Hostname))
+		srv.Set("ip", resource.Str(m.IP))
+	}
+	newFull, err := config.New(p.registry).Configure(partial)
+	if err != nil {
+		return nil, fmt.Errorf("paas: configuring upgrade of %q: %w", name, err)
+	}
+
+	u := &upgrade.Upgrader{Options: p.options()}
+	newDep, res, err := u.UpgradeIncremental(rec.Deployment, rec.Spec, newFull)
+	if err != nil {
+		return res, fmt.Errorf("paas: upgrading %q: %w", name, err)
+	}
+	if !res.RolledBack {
+		rec.Archive = arch
+		rec.Spec = newFull
+	}
+	rec.Deployment = newDep
+	return res, nil
+}
+
+// Remove shuts an application down, uninstalls it, and terminates its
+// node.
+func (p *Platform) Remove(name string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rec, ok := p.apps[name]
+	if !ok {
+		return fmt.Errorf("paas: no application %q", name)
+	}
+	if err := rec.Deployment.Uninstall(); err != nil {
+		return fmt.Errorf("paas: removing %q: %w", name, err)
+	}
+	if err := p.provider.Terminate(rec.NodeName); err != nil {
+		return fmt.Errorf("paas: terminating node for %q: %w", name, err)
+	}
+	delete(p.apps, name)
+	return nil
+}

@@ -1,0 +1,354 @@
+package paas
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"engage/internal/library"
+	"engage/internal/packager"
+	"engage/internal/resource"
+)
+
+func mustArchive(t *testing.T, name, version string) packager.Archive {
+	t.Helper()
+	app := packager.App{
+		Name:    name,
+		Version: version,
+		Files: map[string]string{
+			"manage.py": "#!/usr/bin/env python",
+			"settings.py": `
+DATABASES = {"default": {"ENGINE": "django.db.backends.mysql", "NAME": "` + name + `"}}
+INSTALLED_APPS = ["django.contrib.auth", "` + name + `"]
+`,
+		},
+	}
+	arch, err := packager.Package(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return arch
+}
+
+func defaultConfig() library.DeployConfig {
+	return library.DeployConfig{
+		OS:        resource.MakeKey("Ubuntu", "12.04"),
+		WebServer: resource.MakeKey("Gunicorn", "0.13"),
+		Database:  resource.MakeKey("MySQL", "5.1"),
+	}
+}
+
+func TestPlatformDeployApp(t *testing.T) {
+	p, err := NewPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := p.DeployApp(mustArchive(t, "guestbook", "1.0"), defaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.URL == "" || !strings.Contains(rec.URL, "guestbook") {
+		t.Errorf("url = %q", rec.URL)
+	}
+	if !rec.Deployment.Deployed() {
+		t.Error("app should be deployed")
+	}
+	// The node was provisioned on the simulated cloud.
+	m, ok := p.World().Machine("guestbook-server")
+	if !ok {
+		t.Fatal("node missing")
+	}
+	if !m.Listening(8000) || !m.Listening(3306) {
+		t.Error("gunicorn and mysql should be listening")
+	}
+	// Status by logical (unprefixed) instance name.
+	st, err := p.Status("guestbook")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st["app"] != "active" || st["webserver"] != "active" {
+		t.Errorf("status = %v", st)
+	}
+}
+
+func TestPlatformTwoAppsCoexist(t *testing.T) {
+	p, err := NewPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.DeployApp(mustArchive(t, "alpha", "1.0"), defaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.DeployApp(mustArchive(t, "beta", "1.0"), defaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	apps := p.Apps()
+	if len(apps) != 2 || apps[0] != "alpha" || apps[1] != "beta" {
+		t.Errorf("Apps = %v", apps)
+	}
+	// Each app has its own node; no port collisions.
+	for _, name := range apps {
+		m, ok := p.World().Machine(name + "-server")
+		if !ok || !m.Listening(8000) {
+			t.Errorf("%s node unhealthy", name)
+		}
+	}
+}
+
+func TestPlatformDuplicateRejected(t *testing.T) {
+	p, err := NewPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.DeployApp(mustArchive(t, "dup", "1.0"), defaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.DeployApp(mustArchive(t, "dup", "1.0"), defaultConfig()); err == nil {
+		t.Error("duplicate deploy should fail")
+	}
+}
+
+func TestPlatformUpgradeAndRemove(t *testing.T) {
+	p, err := NewPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.DeployApp(mustArchive(t, "shop", "1.0"), defaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Upgrade("shop", mustArchive(t, "shop", "2.0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RolledBack {
+		t.Fatalf("unexpected rollback: %v", res.Cause)
+	}
+	rec, _ := p.App("shop")
+	if rec.Archive.Manifest.Version != "2.0" {
+		t.Errorf("version after upgrade = %s", rec.Archive.Manifest.Version)
+	}
+	if _, err := p.Upgrade("ghost", mustArchive(t, "ghost", "1.0")); err == nil {
+		t.Error("upgrading unknown app should fail")
+	}
+	if _, err := p.Upgrade("shop", mustArchive(t, "other", "1.0")); err == nil {
+		t.Error("mismatched archive name should fail")
+	}
+
+	if err := p.Remove("shop"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.World().Machine("shop-server"); ok {
+		t.Error("node should be terminated")
+	}
+	if err := p.Remove("shop"); err == nil {
+		t.Error("double remove should fail")
+	}
+}
+
+// --- HTTP API ---
+
+func postArchive(t *testing.T, srv *httptest.Server, path string, arch packager.Archive) *http.Response {
+	t.Helper()
+	body, err := arch.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestHTTPLifecycle(t *testing.T) {
+	p, err := NewPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+
+	// Health.
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", resp.Status, err)
+	}
+	resp.Body.Close()
+
+	// Deploy via POST /apps with config query params.
+	resp = postArchive(t, srv, "/apps?db="+url.QueryEscape("SQLite 3.7")+"&monit=1",
+		mustArchive(t, "blog", "1.0"))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create status = %v", resp.Status)
+	}
+	var created appSummary
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if created.Name != "blog" || !strings.Contains(created.Config, "sqlite") || !strings.Contains(created.Config, "monit") {
+		t.Errorf("created = %+v", created)
+	}
+
+	// List.
+	resp, err = http.Get(srv.URL + "/apps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []appSummary
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list) != 1 || list[0].Name != "blog" {
+		t.Errorf("list = %+v", list)
+	}
+
+	// Record and status.
+	resp, err = http.Get(srv.URL + "/apps/blog")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("get app: %v %v", resp.Status, err)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(srv.URL + "/apps/blog/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st["app"] != "active" || st["monit"] != "active" {
+		t.Errorf("status = %v", st)
+	}
+
+	// Upgrade.
+	resp = postArchive(t, srv, "/apps/blog/upgrade", mustArchive(t, "blog", "1.1"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("upgrade status = %v", resp.Status)
+	}
+	var up map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&up); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if up["rolled_back"] != false {
+		t.Errorf("upgrade = %v", up)
+	}
+
+	// Delete.
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/apps/blog", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: %v %v", resp.Status, err)
+	}
+	resp.Body.Close()
+
+	resp, _ = http.Get(srv.URL + "/apps/blog")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("after delete: %v", resp.Status)
+	}
+	resp.Body.Close()
+}
+
+func TestHTTPErrors(t *testing.T) {
+	p, err := NewPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+
+	// Bad archive payload.
+	resp, err := http.Post(srv.URL+"/apps", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad payload: %v", resp.Status)
+	}
+	resp.Body.Close()
+
+	// Archive without a name.
+	resp, err = http.Post(srv.URL+"/apps", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("nameless archive: %v", resp.Status)
+	}
+	resp.Body.Close()
+
+	// Unknown app status.
+	resp, _ = http.Get(srv.URL + "/apps/ghost/status")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("ghost status: %v", resp.Status)
+	}
+	resp.Body.Close()
+
+	// Method not allowed.
+	req, _ := http.NewRequest(http.MethodPut, srv.URL+"/apps", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("PUT /apps: %v", resp.Status)
+	}
+	resp.Body.Close()
+}
+
+// TestPlatformHostsAllTableOneApps is the commercial-scale scenario:
+// every Table 1 application hosted simultaneously, each on its own
+// cloud node, with monitoring intact.
+func TestPlatformHostsAllTableOneApps(t *testing.T) {
+	p, err := NewPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	apps := library.TableOneApps()
+	for _, a := range apps {
+		arch, err := packager.Package(a)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		cfg := defaultConfig()
+		if arch.Manifest.DatabaseEngine == "sqlite" {
+			cfg.Database = resource.MakeKey("SQLite", "3.7")
+		}
+		cfg.Celery = arch.Manifest.UsesCelery
+		cfg.Redis = arch.Manifest.UsesRedis
+		cfg.Memcached = arch.Manifest.UsesMemcached
+		cfg.Monit = true
+		if _, err := p.DeployApp(arch, cfg); err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+	}
+	if got := len(p.Apps()); got != len(apps) {
+		t.Fatalf("hosted %d apps, want %d", got, len(apps))
+	}
+	for _, a := range apps {
+		st, err := p.Status(a.Name)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		for inst, state := range st {
+			if state != "active" {
+				t.Errorf("%s/%s state = %s", a.Name, inst, state)
+			}
+		}
+		m, ok := p.World().Machine(a.Name + "-server")
+		if !ok || !m.Listening(8000) {
+			t.Errorf("%s node unhealthy", a.Name)
+		}
+	}
+	// Eight nodes provisioned, one per app.
+	if got := len(p.World().Machines()); got != len(apps) {
+		t.Errorf("machines = %d, want %d", got, len(apps))
+	}
+}

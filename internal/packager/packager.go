@@ -1,0 +1,180 @@
+// Package packager implements Engage's Django application packager
+// (§6.2 of the paper): it validates a Django application, extracts the
+// metadata Engage needs (package dependencies, database engine, optional
+// components, migrations, cron jobs), and packages the application into
+// an archive with a pre-defined layout that the Django driver deploys.
+// The goal, per the paper, is that "Django developers deploy their
+// existing applications … with little changes and no need to understand
+// the internals of Engage".
+package packager
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// App is a Django application source tree: file paths to contents.
+type App struct {
+	Name    string
+	Version string
+	Files   map[string]string
+}
+
+// Manifest is the deployment-relevant metadata extracted from an app.
+type Manifest struct {
+	Name    string `json:"name"`
+	Version string `json:"version"`
+	// PythonPackages are the PyPI requirements ("name" or
+	// "name==version" lines from requirements.txt).
+	PythonPackages []string `json:"python_packages,omitempty"`
+	// DatabaseEngine is "mysql", "sqlite", or "" (no preference).
+	DatabaseEngine string `json:"database_engine,omitempty"`
+	UsesCelery     bool   `json:"uses_celery,omitempty"`
+	UsesRedis      bool   `json:"uses_redis,omitempty"`
+	UsesMemcached  bool   `json:"uses_memcached,omitempty"`
+	// HasMigrations reports a South migration chain in the app.
+	HasMigrations bool `json:"has_migrations,omitempty"`
+	// CronJobs are crontab entries the app registers.
+	CronJobs []string `json:"cron_jobs,omitempty"`
+}
+
+// Validate checks the application layout: manage.py and settings.py
+// must exist and settings.py must parse.
+func Validate(app App) error {
+	if app.Name == "" {
+		return fmt.Errorf("packager: application has no name")
+	}
+	if _, ok := app.Files["manage.py"]; !ok {
+		return fmt.Errorf("packager: %s: missing manage.py", app.Name)
+	}
+	src, ok := app.Files["settings.py"]
+	if !ok {
+		return fmt.Errorf("packager: %s: missing settings.py", app.Name)
+	}
+	if _, err := ParseSettings(src); err != nil {
+		return fmt.Errorf("packager: %s: %v", app.Name, err)
+	}
+	return nil
+}
+
+// Extract derives the manifest from a validated application.
+func Extract(app App) (Manifest, error) {
+	if err := Validate(app); err != nil {
+		return Manifest{}, err
+	}
+	man := Manifest{Name: app.Name, Version: app.Version}
+	if man.Version == "" {
+		man.Version = "1.0"
+	}
+
+	settings, err := ParseSettings(app.Files["settings.py"])
+	if err != nil {
+		return Manifest{}, err
+	}
+
+	// requirements.txt → PyPI packages.
+	if reqs, ok := app.Files["requirements.txt"]; ok {
+		for _, line := range strings.Split(reqs, "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			man.PythonPackages = append(man.PythonPackages, line)
+		}
+	}
+
+	// Database engine from DATABASES.default.ENGINE.
+	if engine, ok := settings.Lookup("DATABASES", "default", "ENGINE"); ok && engine.Kind == PyStr {
+		switch {
+		case strings.HasSuffix(engine.Str, "mysql"):
+			man.DatabaseEngine = "mysql"
+		case strings.HasSuffix(engine.Str, "sqlite3"):
+			man.DatabaseEngine = "sqlite"
+		}
+	}
+
+	apps := settings.GetStrings("INSTALLED_APPS")
+	hasApp := func(name string) bool {
+		for _, a := range apps {
+			if a == name || strings.HasSuffix(a, "."+name) {
+				return true
+			}
+		}
+		return false
+	}
+	hasReq := func(name string) bool {
+		for _, r := range man.PythonPackages {
+			pkg := strings.SplitN(r, "==", 2)[0]
+			if strings.EqualFold(pkg, name) {
+				return true
+			}
+		}
+		return false
+	}
+
+	man.UsesCelery = hasApp("djcelery") || hasReq("celery") || settings.GetString("BROKER_URL") != ""
+	man.UsesRedis = hasReq("redis") || settings.GetString("REDIS_HOST") != ""
+	if backend, ok := settings.Lookup("CACHES", "default", "BACKEND"); ok && backend.Kind == PyStr {
+		man.UsesMemcached = strings.Contains(backend.Str, "memcached")
+	}
+	man.HasMigrations = hasApp("south") || hasReq("south")
+	if !man.HasMigrations {
+		for path := range app.Files {
+			if strings.Contains(path, "migrations/") {
+				man.HasMigrations = true
+				break
+			}
+		}
+	}
+	man.CronJobs = settings.GetStrings("CRON_JOBS")
+	return man, nil
+}
+
+// Archive is a packaged application: the manifest plus the application
+// files under a pre-defined layout.
+type Archive struct {
+	Manifest Manifest          `json:"manifest"`
+	Files    map[string]string `json:"files"`
+}
+
+// Package validates, extracts, and packages an application.
+func Package(app App) (Archive, error) {
+	man, err := Extract(app)
+	if err != nil {
+		return Archive{}, err
+	}
+	files := make(map[string]string, len(app.Files))
+	for p, c := range app.Files {
+		files["app/"+p] = c
+	}
+	return Archive{Manifest: man, Files: files}, nil
+}
+
+// Bytes serializes the archive deterministically.
+func (a Archive) Bytes() ([]byte, error) {
+	return json.MarshalIndent(a, "", "  ")
+}
+
+// ReadArchive deserializes an archive.
+func ReadArchive(data []byte) (Archive, error) {
+	var a Archive
+	if err := json.Unmarshal(data, &a); err != nil {
+		return Archive{}, fmt.Errorf("packager: corrupt archive: %v", err)
+	}
+	if a.Manifest.Name == "" {
+		return Archive{}, fmt.Errorf("packager: archive has no application name")
+	}
+	return a, nil
+}
+
+// FileList returns archive paths, sorted; for tests and tooling.
+func (a Archive) FileList() []string {
+	out := make([]string, 0, len(a.Files))
+	for p := range a.Files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

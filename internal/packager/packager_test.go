@@ -1,0 +1,280 @@
+package packager
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const blogSettings = `
+# Django settings for the blog project.
+import os  # skipped by the parser
+
+DEBUG = True
+TEMPLATE_DEBUG = DEBUG  # unsupported expr on rhs: line skipped? no — name head matches
+SITE_ID = 1
+SECRET_KEY = 'abc\'123'
+
+DATABASES = {
+    'default': {
+        'ENGINE': 'django.db.backends.mysql',
+        'NAME': 'blog',
+        'USER': 'bloguser',
+        'PORT': 3306,
+    }
+}
+
+INSTALLED_APPS = (
+    'django.contrib.admin',
+    'south',
+    'blog',
+)
+
+CACHES = {
+    'default': {
+        'BACKEND': 'django.core.cache.backends.memcached.MemcachedCache',
+    }
+}
+
+BROKER_URL = "amqp://guest@localhost//"
+CRON_JOBS = ["0 3 * * * cleanup", "*/5 * * * * poll"]
+USE_TZ = False
+EMPTY = None
+`
+
+func TestParseSettingsBasics(t *testing.T) {
+	s, err := ParseSettings(blogSettings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s.Get("DEBUG"); !ok || v.Kind != PyBool || !v.Bool {
+		t.Errorf("DEBUG = %+v", v)
+	}
+	if v, ok := s.Get("SITE_ID"); !ok || v.Int != 1 {
+		t.Errorf("SITE_ID = %+v", v)
+	}
+	if got := s.GetString("SECRET_KEY"); got != "abc'123" {
+		t.Errorf("SECRET_KEY = %q", got)
+	}
+	if v, ok := s.Get("USE_TZ"); !ok || v.Bool {
+		t.Errorf("USE_TZ = %+v", v)
+	}
+	if v, ok := s.Get("EMPTY"); !ok || v.Kind != PyNone {
+		t.Errorf("EMPTY = %+v", v)
+	}
+	apps := s.GetStrings("INSTALLED_APPS")
+	if len(apps) != 3 || apps[1] != "south" {
+		t.Errorf("INSTALLED_APPS = %v", apps)
+	}
+	engine, ok := s.Lookup("DATABASES", "default", "ENGINE")
+	if !ok || engine.Str != "django.db.backends.mysql" {
+		t.Errorf("ENGINE = %+v", engine)
+	}
+	port, ok := s.Lookup("DATABASES", "default", "PORT")
+	if !ok || port.Int != 3306 {
+		t.Errorf("PORT = %+v", port)
+	}
+	if got := s.GetString("BROKER_URL"); !strings.HasPrefix(got, "amqp://") {
+		t.Errorf("BROKER_URL = %q", got)
+	}
+}
+
+func TestParseSettingsSkipsNonAssignments(t *testing.T) {
+	src := `
+import os
+from django.conf import settings
+if DEBUG:
+    X = 1
+NAME = "ok"
+func_call(arg)
+ALSO = 2
+`
+	s, err := ParseSettings(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.GetString("NAME") != "ok" {
+		t.Error("NAME lost")
+	}
+	if v, ok := s.Get("ALSO"); !ok || v.Int != 2 {
+		t.Errorf("ALSO = %+v", v)
+	}
+}
+
+func TestParseSettingsErrors(t *testing.T) {
+	for _, src := range []string{
+		`X = [1, 2`,
+		`X = {"a": }`,
+		`X = {"a" 1}`,
+		`X = {1: "a"}`,
+		`X = "unterminated`,
+		`X = `,
+	} {
+		if _, err := ParseSettings(src); err == nil {
+			t.Errorf("ParseSettings(%q): expected error", src)
+		}
+	}
+}
+
+func TestLookupMisses(t *testing.T) {
+	s, err := ParseSettings(`X = {"a": 1}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Lookup(); ok {
+		t.Error("empty path should miss")
+	}
+	if _, ok := s.Lookup("Y"); ok {
+		t.Error("unknown var should miss")
+	}
+	if _, ok := s.Lookup("X", "b"); ok {
+		t.Error("unknown key should miss")
+	}
+	if _, ok := s.Lookup("X", "a", "deeper"); ok {
+		t.Error("descending into scalar should miss")
+	}
+	if s.GetString("X") != "" {
+		t.Error("GetString on dict should be empty")
+	}
+	if s.GetStrings("X") != nil {
+		t.Error("GetStrings on dict should be nil")
+	}
+}
+
+func blogApp() App {
+	return App{
+		Name:    "django-blog",
+		Version: "2.1",
+		Files: map[string]string{
+			"manage.py":                       "#!/usr/bin/env python",
+			"settings.py":                     blogSettings,
+			"requirements.txt":                "Django==1.3\nsouth\nredis==2.4.9\ncelery==2.4.6\nMarkdown\n# comment\n",
+			"blog/models.py":                  "class Post: pass",
+			"blog/migrations/0001_initial.py": "...",
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Validate(blogApp()); err != nil {
+		t.Fatal(err)
+	}
+	app := blogApp()
+	delete(app.Files, "manage.py")
+	if err := Validate(app); err == nil || !strings.Contains(err.Error(), "manage.py") {
+		t.Errorf("missing manage.py: %v", err)
+	}
+	app2 := blogApp()
+	delete(app2.Files, "settings.py")
+	if err := Validate(app2); err == nil || !strings.Contains(err.Error(), "settings.py") {
+		t.Errorf("missing settings.py: %v", err)
+	}
+	app3 := blogApp()
+	app3.Files["settings.py"] = `X = [`
+	if err := Validate(app3); err == nil {
+		t.Error("unparseable settings should fail validation")
+	}
+	app4 := blogApp()
+	app4.Name = ""
+	if err := Validate(app4); err == nil {
+		t.Error("empty name should fail")
+	}
+}
+
+func TestExtract(t *testing.T) {
+	man, err := Extract(blogApp())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Name != "django-blog" || man.Version != "2.1" {
+		t.Errorf("identity = %s %s", man.Name, man.Version)
+	}
+	if len(man.PythonPackages) != 5 {
+		t.Errorf("PythonPackages = %v", man.PythonPackages)
+	}
+	if man.DatabaseEngine != "mysql" {
+		t.Errorf("DatabaseEngine = %q", man.DatabaseEngine)
+	}
+	if !man.UsesCelery || !man.UsesRedis || !man.UsesMemcached {
+		t.Errorf("optional components: celery=%v redis=%v memcached=%v",
+			man.UsesCelery, man.UsesRedis, man.UsesMemcached)
+	}
+	if !man.HasMigrations {
+		t.Error("south in requirements should imply migrations")
+	}
+	if len(man.CronJobs) != 2 {
+		t.Errorf("CronJobs = %v", man.CronJobs)
+	}
+}
+
+func TestExtractMinimalApp(t *testing.T) {
+	app := App{
+		Name: "areneae",
+		Files: map[string]string{
+			"manage.py":   "#!/usr/bin/env python",
+			"settings.py": `DATABASES = {"default": {"ENGINE": "django.db.backends.sqlite3", "NAME": "db.sqlite"}}`,
+		},
+	}
+	man, err := Extract(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Version != "1.0" {
+		t.Errorf("default version = %q", man.Version)
+	}
+	if man.DatabaseEngine != "sqlite" {
+		t.Errorf("DatabaseEngine = %q", man.DatabaseEngine)
+	}
+	if man.UsesCelery || man.UsesRedis || man.UsesMemcached || man.HasMigrations {
+		t.Errorf("minimal app should use nothing optional: %+v", man)
+	}
+}
+
+func TestPackageAndArchiveRoundTrip(t *testing.T) {
+	arch, err := Package(blogApp())
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := arch.FileList()
+	if len(files) != 5 {
+		t.Fatalf("FileList = %v", files)
+	}
+	for _, f := range files {
+		if !strings.HasPrefix(f, "app/") {
+			t.Errorf("archive layout should prefix app/: %q", f)
+		}
+	}
+	data, err := arch.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadArchive(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Manifest.Name != "django-blog" || len(back.Files) != 5 {
+		t.Errorf("round trip lost data: %+v", back.Manifest)
+	}
+	if _, err := ReadArchive([]byte("{")); err == nil {
+		t.Error("corrupt archive should fail")
+	}
+	if _, err := ReadArchive([]byte("{}")); err == nil {
+		t.Error("archive without name should fail")
+	}
+}
+
+// Property: the settings parser never panics on arbitrary input.
+func TestParseSettingsNeverPanics(t *testing.T) {
+	f := func(src string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = ParseSettings(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

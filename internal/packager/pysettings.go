@@ -1,0 +1,393 @@
+package packager
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// This file implements a parser for the restricted subset of Python that
+// Django settings files use in practice: top-level `NAME = value`
+// assignments where value is a string, number, boolean, None, list,
+// tuple, or dict of such values. Engage's application packager reads
+// settings.py through this parser to extract deployment-relevant
+// metadata (databases, caches, installed apps, broker URLs) without
+// executing Python.
+
+// PyValue is a parsed Python literal.
+type PyValue struct {
+	Kind PyKind
+	Str  string
+	Int  int
+	Bool bool
+	List []PyValue
+	Dict map[string]PyValue
+}
+
+// PyKind enumerates the literal kinds the subset supports.
+type PyKind int
+
+// Literal kinds.
+const (
+	PyNone PyKind = iota
+	PyStr
+	PyInt
+	PyBool
+	PyList
+	PyDict
+)
+
+// Settings is the result of parsing a settings file: top-level
+// assignments in order of appearance (later assignments win).
+type Settings struct {
+	vars map[string]PyValue
+}
+
+// Get returns a top-level variable.
+func (s *Settings) Get(name string) (PyValue, bool) {
+	v, ok := s.vars[name]
+	return v, ok
+}
+
+// GetString returns a string variable ("" when missing or non-string).
+func (s *Settings) GetString(name string) string {
+	if v, ok := s.vars[name]; ok && v.Kind == PyStr {
+		return v.Str
+	}
+	return ""
+}
+
+// GetStrings returns the string elements of a list/tuple variable.
+func (s *Settings) GetStrings(name string) []string {
+	v, ok := s.vars[name]
+	if !ok || v.Kind != PyList {
+		return nil
+	}
+	var out []string
+	for _, e := range v.List {
+		if e.Kind == PyStr {
+			out = append(out, e.Str)
+		}
+	}
+	return out
+}
+
+// Lookup descends into nested dicts: Lookup("DATABASES", "default",
+// "ENGINE") returns the engine string.
+func (s *Settings) Lookup(path ...string) (PyValue, bool) {
+	if len(path) == 0 {
+		return PyValue{}, false
+	}
+	v, ok := s.vars[path[0]]
+	if !ok {
+		return PyValue{}, false
+	}
+	for _, key := range path[1:] {
+		if v.Kind != PyDict {
+			return PyValue{}, false
+		}
+		v, ok = v.Dict[key]
+		if !ok {
+			return PyValue{}, false
+		}
+	}
+	return v, true
+}
+
+// ParseSettings parses a settings.py-style source. Lines that are not
+// recognizable top-level assignments (imports, comments, function calls,
+// conditionals) are skipped — Django settings commonly mix those in, and
+// the packager only needs the declarative assignments.
+func ParseSettings(src string) (*Settings, error) {
+	p := &pyParser{src: src}
+	s := &Settings{vars: make(map[string]PyValue)}
+	for !p.eof() {
+		p.skipSpaceAndComments()
+		if p.eof() {
+			break
+		}
+		name, ok := p.tryAssignmentHead()
+		if !ok {
+			p.skipLine()
+			continue
+		}
+		v, err := p.parseValue()
+		if err != nil {
+			var unsup *unsupportedExprError
+			if errors.As(err, &unsup) {
+				// Expressions outside the literal subset (references to
+				// other settings, function calls, string formatting) are
+				// common in real settings files; skip the assignment.
+				p.skipLine()
+				continue
+			}
+			return nil, fmt.Errorf("settings.py line %d: %v", p.line(), err)
+		}
+		s.vars[name] = v
+	}
+	return s, nil
+}
+
+type pyParser struct {
+	src   string
+	off   int
+	depth int // bracket nesting depth
+}
+
+func (p *pyParser) eof() bool { return p.off >= len(p.src) }
+
+func (p *pyParser) peek() byte {
+	if p.eof() {
+		return 0
+	}
+	return p.src[p.off]
+}
+
+func (p *pyParser) line() int {
+	return strings.Count(p.src[:p.off], "\n") + 1
+}
+
+func (p *pyParser) skipLine() {
+	for !p.eof() && p.src[p.off] != '\n' {
+		p.off++
+	}
+	if !p.eof() {
+		p.off++
+	}
+}
+
+// skipSpaceAndComments skips whitespace (including newlines) and `#`
+// comments.
+func (p *pyParser) skipSpaceAndComments() {
+	for !p.eof() {
+		c := p.src[p.off]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			p.off++
+		case c == '#':
+			p.skipLine()
+		default:
+			return
+		}
+	}
+}
+
+// skipInlineSpace skips spaces, comments, and newlines inside brackets.
+func (p *pyParser) skipInlineSpace() { p.skipSpaceAndComments() }
+
+// tryAssignmentHead matches `IDENT =` (not `==`) at the current
+// position; on success it consumes through the '=' and returns the name.
+func (p *pyParser) tryAssignmentHead() (string, bool) {
+	start := p.off
+	if p.eof() {
+		return "", false
+	}
+	c := p.src[p.off]
+	if c != '_' && !unicode.IsLetter(rune(c)) {
+		return "", false
+	}
+	i := p.off
+	for i < len(p.src) {
+		c := p.src[i]
+		if c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c)) {
+			i++
+		} else {
+			break
+		}
+	}
+	name := p.src[p.off:i]
+	j := i
+	for j < len(p.src) && (p.src[j] == ' ' || p.src[j] == '\t') {
+		j++
+	}
+	if j >= len(p.src) || p.src[j] != '=' || (j+1 < len(p.src) && p.src[j+1] == '=') {
+		p.off = start
+		return "", false
+	}
+	p.off = j + 1
+	return name, true
+}
+
+func (p *pyParser) parseValue() (PyValue, error) {
+	p.skipInlineSpace()
+	if p.eof() {
+		return PyValue{}, fmt.Errorf("unexpected end of file")
+	}
+	switch c := p.peek(); {
+	case c == '\'' || c == '"':
+		s, err := p.parseString()
+		if err != nil {
+			return PyValue{}, err
+		}
+		return PyValue{Kind: PyStr, Str: s}, nil
+	case c == '[' || c == '(':
+		return p.parseList(c)
+	case c == '{':
+		return p.parseDict()
+	case c == '-' || unicode.IsDigit(rune(c)):
+		return p.parseNumber()
+	default:
+		word := p.parseWord()
+		switch word {
+		case "True":
+			return PyValue{Kind: PyBool, Bool: true}, nil
+		case "False":
+			return PyValue{Kind: PyBool, Bool: false}, nil
+		case "None":
+			return PyValue{Kind: PyNone}, nil
+		default:
+			if p.depth > 0 {
+				// Inside a list or dict the subset is strict: a
+				// non-literal is a malformed settings file, not a
+				// skippable top-level assignment.
+				return PyValue{}, fmt.Errorf("unsupported expression starting with %q", word)
+			}
+			return PyValue{}, &unsupportedExprError{word: word}
+		}
+	}
+}
+
+// unsupportedExprError marks an expression outside the literal subset.
+type unsupportedExprError struct{ word string }
+
+func (e *unsupportedExprError) Error() string {
+	return fmt.Sprintf("unsupported expression starting with %q", e.word)
+}
+
+func (p *pyParser) parseWord() string {
+	i := p.off
+	for i < len(p.src) {
+		c := p.src[i]
+		if c == '_' || c == '.' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c)) {
+			i++
+		} else {
+			break
+		}
+	}
+	w := p.src[p.off:i]
+	p.off = i
+	return w
+}
+
+func (p *pyParser) parseString() (string, error) {
+	quote := p.src[p.off]
+	p.off++
+	var b strings.Builder
+	for !p.eof() {
+		c := p.src[p.off]
+		switch c {
+		case quote:
+			p.off++
+			return b.String(), nil
+		case '\\':
+			p.off++
+			if p.eof() {
+				return "", fmt.Errorf("unterminated escape")
+			}
+			esc := p.src[p.off]
+			p.off++
+			switch esc {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '\'', '"', '\\':
+				b.WriteByte(esc)
+			default:
+				b.WriteByte(esc)
+			}
+		case '\n':
+			return "", fmt.Errorf("unterminated string")
+		default:
+			b.WriteByte(c)
+			p.off++
+		}
+	}
+	return "", fmt.Errorf("unterminated string")
+}
+
+func (p *pyParser) parseNumber() (PyValue, error) {
+	i := p.off
+	if p.src[i] == '-' {
+		i++
+	}
+	for i < len(p.src) && unicode.IsDigit(rune(p.src[i])) {
+		i++
+	}
+	n, err := strconv.Atoi(p.src[p.off:i])
+	if err != nil {
+		return PyValue{}, fmt.Errorf("bad number %q", p.src[p.off:i])
+	}
+	p.off = i
+	return PyValue{Kind: PyInt, Int: n}, nil
+}
+
+func (p *pyParser) parseList(open byte) (PyValue, error) {
+	closer := byte(']')
+	if open == '(' {
+		closer = ')'
+	}
+	p.off++ // consume opener
+	p.depth++
+	defer func() { p.depth-- }()
+	out := PyValue{Kind: PyList}
+	for {
+		p.skipInlineSpace()
+		if p.eof() {
+			return PyValue{}, fmt.Errorf("unterminated list")
+		}
+		if p.peek() == closer {
+			p.off++
+			return out, nil
+		}
+		v, err := p.parseValue()
+		if err != nil {
+			return PyValue{}, err
+		}
+		out.List = append(out.List, v)
+		p.skipInlineSpace()
+		if p.peek() == ',' {
+			p.off++
+		}
+	}
+}
+
+func (p *pyParser) parseDict() (PyValue, error) {
+	p.off++ // consume '{'
+	p.depth++
+	defer func() { p.depth-- }()
+	out := PyValue{Kind: PyDict, Dict: make(map[string]PyValue)}
+	for {
+		p.skipInlineSpace()
+		if p.eof() {
+			return PyValue{}, fmt.Errorf("unterminated dict")
+		}
+		if p.peek() == '}' {
+			p.off++
+			return out, nil
+		}
+		if c := p.peek(); c != '\'' && c != '"' {
+			return PyValue{}, fmt.Errorf("dict keys must be strings")
+		}
+		key, err := p.parseString()
+		if err != nil {
+			return PyValue{}, err
+		}
+		p.skipInlineSpace()
+		if p.peek() != ':' {
+			return PyValue{}, fmt.Errorf("expected ':' after dict key %q", key)
+		}
+		p.off++
+		v, err := p.parseValue()
+		if err != nil {
+			return PyValue{}, err
+		}
+		out.Dict[key] = v
+		p.skipInlineSpace()
+		if p.peek() == ',' {
+			p.off++
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package pkgmgr
+
+import (
+	"testing"
+	"time"
+
+	"engage/internal/machine"
+)
+
+func setup(t *testing.T) (*machine.World, *machine.Machine, *Index) {
+	t.Helper()
+	w := machine.NewWorld()
+	m, err := w.AddMachine("server", "ubuntu-12.04")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := NewIndex()
+	idx.Publish(&Package{
+		Name: "tomcat", Version: "6.0.18",
+		Files:        map[string]string{"/opt/tomcat/bin/catalina.sh": "#!/bin/sh", "/opt/tomcat/conf/server.xml": "<Server/>"},
+		DownloadTime: 3 * time.Minute,
+		InstallTime:  1 * time.Minute,
+	})
+	idx.Publish(&Package{
+		Name: "mysql", Version: "5.1",
+		Files:        map[string]string{"/usr/sbin/mysqld": "bin"},
+		DownloadTime: 2 * time.Minute,
+		InstallTime:  30 * time.Second,
+	})
+	return w, m, idx
+}
+
+func TestInstallWritesFilesAndAdvancesClock(t *testing.T) {
+	w, m, idx := setup(t)
+	mgr := NewManager(idx, nil, m)
+	t0 := w.Clock.Now()
+	if err := mgr.Install("tomcat", "6.0.18"); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Exists("/opt/tomcat/bin/catalina.sh") {
+		t.Error("package files not written")
+	}
+	if got := w.Clock.Since(t0); got != 4*time.Minute {
+		t.Errorf("install should take download+install = 4m, took %v", got)
+	}
+	v, ok := mgr.Installed("tomcat")
+	if !ok || v != "6.0.18" {
+		t.Errorf("Installed = %q, %v", v, ok)
+	}
+	if list := mgr.List(); len(list) != 1 || list[0] != "tomcat 6.0.18" {
+		t.Errorf("List = %v", list)
+	}
+}
+
+func TestInstallIdempotentSameVersion(t *testing.T) {
+	w, m, idx := setup(t)
+	mgr := NewManager(idx, nil, m)
+	if err := mgr.Install("mysql", "5.1"); err != nil {
+		t.Fatal(err)
+	}
+	t0 := w.Clock.Now()
+	if err := mgr.Install("mysql", "5.1"); err != nil {
+		t.Fatal(err)
+	}
+	if w.Clock.Since(t0) != 0 {
+		t.Error("reinstall of same version should be free")
+	}
+}
+
+func TestInstallVersionConflict(t *testing.T) {
+	_, m, idx := setup(t)
+	idx.Publish(&Package{Name: "mysql", Version: "5.5"})
+	mgr := NewManager(idx, nil, m)
+	if err := mgr.Install("mysql", "5.1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Install("mysql", "5.5"); err == nil {
+		t.Error("version conflict should error")
+	}
+}
+
+func TestInstallUnknownPackage(t *testing.T) {
+	_, m, idx := setup(t)
+	mgr := NewManager(idx, nil, m)
+	if err := mgr.Install("ghost", "1.0"); err == nil {
+		t.Error("unknown package should error")
+	}
+}
+
+func TestCacheCutsDownloadTime(t *testing.T) {
+	// The Jasper experiment shape: internet install vs cached install.
+	w, m, idx := setup(t)
+	cache := NewCache()
+	mgr := NewManager(idx, cache, m)
+	t0 := w.Clock.Now()
+	if err := mgr.Install("tomcat", "6.0.18"); err != nil {
+		t.Fatal(err)
+	}
+	cold := w.Clock.Since(t0)
+
+	// Second machine, same cache.
+	m2, err := w.AddMachine("server2", "ubuntu-12.04")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr2 := NewManager(idx, cache, m2)
+	t1 := w.Clock.Now()
+	if err := mgr2.Install("tomcat", "6.0.18"); err != nil {
+		t.Fatal(err)
+	}
+	warm := w.Clock.Since(t1)
+
+	if cold != 4*time.Minute || warm != 1*time.Minute {
+		t.Errorf("cold=%v warm=%v; want 4m/1m", cold, warm)
+	}
+	if cache.Len() != 1 {
+		t.Errorf("cache entries = %d", cache.Len())
+	}
+}
+
+func TestNilCacheAlwaysDownloads(t *testing.T) {
+	w, m, idx := setup(t)
+	mgr := NewManager(idx, nil, m)
+	if err := mgr.Install("mysql", "5.1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Remove("mysql"); err != nil {
+		t.Fatal(err)
+	}
+	t0 := w.Clock.Now()
+	if err := mgr.Install("mysql", "5.1"); err != nil {
+		t.Fatal(err)
+	}
+	if w.Clock.Since(t0) != 150*time.Second {
+		t.Errorf("nil cache must re-download: %v", w.Clock.Since(t0))
+	}
+}
+
+func TestRemove(t *testing.T) {
+	_, m, idx := setup(t)
+	mgr := NewManager(idx, nil, m)
+	if err := mgr.Install("tomcat", "6.0.18"); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Remove("tomcat"); err != nil {
+		t.Fatal(err)
+	}
+	if m.Exists("/opt/tomcat/conf/server.xml") {
+		t.Error("remove should delete package files")
+	}
+	if _, ok := mgr.Installed("tomcat"); ok {
+		t.Error("package still recorded after remove")
+	}
+	if err := mgr.Remove("tomcat"); err == nil {
+		t.Error("double remove should error")
+	}
+}
+
+func TestIndexPackages(t *testing.T) {
+	_, _, idx := setup(t)
+	pkgs := idx.Packages()
+	if len(pkgs) != 2 {
+		t.Fatalf("Packages = %d", len(pkgs))
+	}
+	if pkgs[0].Name != "mysql" || pkgs[1].Name != "tomcat" {
+		t.Errorf("Packages order wrong: %v, %v", pkgs[0].Name, pkgs[1].Name)
+	}
+	if _, ok := idx.Lookup("tomcat", "6.0.18"); !ok {
+		t.Error("Lookup failed")
+	}
+	if _, ok := idx.Lookup("tomcat", "9.9"); ok {
+		t.Error("wrong version should not resolve")
+	}
+}
+
+func TestCacheNilSafe(t *testing.T) {
+	var c *Cache
+	if c.Has("x", "1") {
+		t.Error("nil cache has nothing")
+	}
+	c.Put("x", "1") // must not panic
+	if c.Len() != 0 {
+		t.Error("nil cache len")
+	}
+}

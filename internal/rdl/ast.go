@@ -1,0 +1,182 @@
+package rdl
+
+// File is a parsed RDL source file.
+type File struct {
+	Name  string
+	Decls []*ResourceDecl
+}
+
+// ResourceDecl is a parsed `resource` declaration.
+type ResourceDecl struct {
+	Pos      Pos
+	Doc      string
+	Abstract bool
+	Key      string // raw key string, e.g. "Tomcat 6.0.18"
+	Extends  string // raw parent key, or ""
+
+	Inside  *DepDecl
+	Inputs  []*PortDecl
+	Configs []*PortDecl
+	Outputs []*PortDecl
+	Envs    []*DepDecl
+	Peers   []*DepDecl
+	Driver  *DriverDecl
+}
+
+// DriverDecl is a parsed `driver { … }` clause: the declarative
+// lifecycle state machine of §5.1, e.g.
+//
+//	driver {
+//	    states { uninstalled, inactive, active }
+//	    install:   uninstalled -> inactive                 exec "pkg_install"
+//	    start:     inactive -> active   when up(active)    exec "spawn_daemon"
+//	    stop:      active -> inactive   when down(inactive) exec "kill_daemon"
+//	    uninstall: inactive -> uninstalled                 exec "pkg_remove"
+//	}
+type DriverDecl struct {
+	Pos         Pos
+	States      []string
+	Transitions []TransitionDecl
+}
+
+// TransitionDecl is one guarded transition of a driver clause.
+type TransitionDecl struct {
+	Pos    Pos
+	Name   string
+	From   string
+	To     string
+	Guards []GuardDecl
+	Action string
+}
+
+// GuardDecl is `up(state)` or `down(state)`.
+type GuardDecl struct {
+	Up    bool
+	State string
+}
+
+// PortDecl is a parsed port declaration: `name: type [= expr]` with an
+// optional `static` modifier.
+type PortDecl struct {
+	Pos    Pos
+	Name   string
+	Static bool
+	Type   TypeExpr
+	Def    ExprNode // nil when no default
+}
+
+// DepDecl is a parsed dependency clause: one or more raw target strings
+// (a single key, the one_of disjunction, or a key with an embedded
+// version range) plus port-map entries.
+type DepDecl struct {
+	Pos     Pos
+	Targets []string
+	Maps    []PortMapEntry
+}
+
+// PortMapEntry is `from -> to`, optionally `reverse from -> to`.
+type PortMapEntry struct {
+	Pos     Pos
+	From    string
+	To      string
+	Reverse bool
+}
+
+// TypeExpr is a parsed port type expression.
+type TypeExpr interface{ isTypeExpr() }
+
+// NamedType is a base type name: string, int, bool, tcp_port, secret, any.
+type NamedType struct {
+	Pos  Pos
+	Name string
+}
+
+// StructTypeExpr is `struct { field: type, … }`.
+type StructTypeExpr struct {
+	Pos    Pos
+	Fields []StructTypeField
+}
+
+// StructTypeField is one field of a struct type.
+type StructTypeField struct {
+	Name string
+	Type TypeExpr
+}
+
+// ListTypeExpr is `list[type]`.
+type ListTypeExpr struct {
+	Pos  Pos
+	Elem TypeExpr
+}
+
+func (NamedType) isTypeExpr()      {}
+func (StructTypeExpr) isTypeExpr() {}
+func (ListTypeExpr) isTypeExpr()   {}
+
+// ExprNode is a parsed port-value expression.
+type ExprNode interface{ isExpr() }
+
+// StrLit is a string literal.
+type StrLit struct {
+	Pos Pos
+	Val string
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Pos Pos
+	Val int
+}
+
+// BoolLit is true or false.
+type BoolLit struct {
+	Pos Pos
+	Val bool
+}
+
+// SecretLit is `secret("…")`.
+type SecretLit struct {
+	Pos Pos
+	Val string
+}
+
+// RefExpr is `input.name.field…` or `config.name.field…`.
+type RefExpr struct {
+	Pos     Pos
+	Section string // "input" or "config"
+	Name    string
+	Path    []string
+}
+
+// ConcatExpr is `concat(e1, e2, …)`.
+type ConcatExpr struct {
+	Pos  Pos
+	Args []ExprNode
+}
+
+// ListLit is `[ expr, … ]`.
+type ListLit struct {
+	Pos   Pos
+	Elems []ExprNode
+}
+
+// StructLit is `{ field: expr, … }`.
+type StructLit struct {
+	Pos    Pos
+	Fields []StructLitField
+}
+
+// StructLitField is one field of a struct literal.
+type StructLitField struct {
+	Name string
+	Expr ExprNode
+}
+
+func (StrLit) isExpr()     {}
+func (IntLit) isExpr()     {}
+func (BoolLit) isExpr()    {}
+func (SecretLit) isExpr()  {}
+func (RefExpr) isExpr()    {}
+func (ConcatExpr) isExpr() {}
+func (ListLit) isExpr()    {}
+func (StructLit) isExpr()  {}

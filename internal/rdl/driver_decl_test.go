@@ -1,0 +1,115 @@
+package rdl
+
+import (
+	"strings"
+	"testing"
+
+	"engage/internal/resource"
+)
+
+const driverRDL = `
+abstract resource "Server" {}
+resource "Cache 1.4" {
+    inside "Server"
+    config { port: tcp_port = 11211 }
+    driver {
+        states { uninstalled, inactive, active, degraded }
+        install:   uninstalled -> inactive                  exec "pkg_install"
+        start:     inactive -> active   when up(active)     exec "spawn_daemon"
+        stop:      active -> inactive   when down(inactive) exec "kill_daemon"
+        degrade:   active -> degraded
+        recover:   degraded -> active   when up(active), down(inactive) exec "spawn_daemon"
+        uninstall: inactive -> uninstalled                  exec "pkg_remove"
+    }
+}`
+
+func TestParseDriverClause(t *testing.T) {
+	reg, err := ParseAndResolve(map[string]string{"d.rdl": driverRDL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := reg.MustLookup(resource.MakeKey("Cache", "1.4"))
+	if c.Driver == nil {
+		t.Fatal("driver spec missing")
+	}
+	if len(c.Driver.States) != 4 {
+		t.Errorf("states = %v", c.Driver.States)
+	}
+	if len(c.Driver.Transitions) != 6 {
+		t.Fatalf("transitions = %d", len(c.Driver.Transitions))
+	}
+	start := c.Driver.Transitions[1]
+	if start.Name != "start" || start.From != "inactive" || start.To != "active" ||
+		start.Action != "spawn_daemon" {
+		t.Errorf("start transition = %+v", start)
+	}
+	if len(start.Guards) != 1 || !start.Guards[0].Up || start.Guards[0].State != "active" {
+		t.Errorf("start guard = %+v", start.Guards)
+	}
+	recover := c.Driver.Transitions[4]
+	if len(recover.Guards) != 2 || recover.Guards[0].Up == recover.Guards[1].Up {
+		t.Errorf("recover guards = %+v", recover.Guards)
+	}
+	degrade := c.Driver.Transitions[3]
+	if degrade.Action != "" {
+		t.Errorf("bookkeeping transition should have no action: %+v", degrade)
+	}
+}
+
+func TestDriverClauseInherited(t *testing.T) {
+	src := driverRDL + `
+resource "Cache-Pro 2.0" extends "Cache 1.4" {}`
+	reg, err := ParseAndResolve(map[string]string{"d.rdl": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pro := reg.MustLookup(resource.MakeKey("Cache-Pro", "2.0"))
+	if pro.Driver == nil || len(pro.Driver.Transitions) != 6 {
+		t.Error("driver spec should be inherited")
+	}
+}
+
+func TestDriverClauseFormatRoundTrip(t *testing.T) {
+	reg, err := ParseAndResolve(map[string]string{"d.rdl": driverRDL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(reg.MustLookup(resource.MakeKey("Cache", "1.4")))
+	for _, want := range []string{
+		"driver {",
+		"states { uninstalled, inactive, active, degraded }",
+		`exec "spawn_daemon"`,
+		"when up(active), down(inactive)",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("formatted driver missing %q:\n%s", want, text)
+		}
+	}
+	full := `abstract resource "Server" {}` + "\n" + text
+	reg2, err := ParseAndResolve(map[string]string{"again.rdl": full})
+	if err != nil {
+		t.Fatalf("formatted driver does not re-parse: %v\n%s", err, text)
+	}
+	c2 := reg2.MustLookup(resource.MakeKey("Cache", "1.4"))
+	if c2.Driver == nil || len(c2.Driver.Transitions) != 6 {
+		t.Error("driver lost in round trip")
+	}
+}
+
+func TestDriverClauseErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{`resource "A 1" { driver {} driver {} }`, "duplicate driver"},
+		{`resource "A 1" { driver { x } }`, "expected ':'"},
+		{`resource "A 1" { driver { x: a b } }`, "expected '->'"},
+		{`resource "A 1" { driver { x: a -> b when sideways(c) } }`, "expected up"},
+		{`resource "A 1" { driver { x: a -> b exec 42 } }`, "expected string"},
+	}
+	for _, c := range cases {
+		_, err := Parse("t", c.src)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) error = %v, want %q", c.src, err, c.want)
+		}
+	}
+}

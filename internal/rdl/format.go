@@ -1,0 +1,249 @@
+package rdl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"engage/internal/resource"
+)
+
+// Format renders a resource type back to canonical RDL surface syntax.
+// Formatting then re-resolving yields an equivalent type (round-trip
+// property, tested), which makes the formatter usable for normalizing
+// hand-written libraries and for exporting programmatically built types
+// (e.g., generated Django application types).
+//
+// Inherited ports and dependencies are flattened by the registry at Add
+// time, so Format emits the flattened form and omits the extends clause.
+func Format(t *resource.Type) string {
+	var b strings.Builder
+	if t.Doc != "" {
+		for _, line := range strings.Split(t.Doc, "\n") {
+			fmt.Fprintf(&b, "// %s\n", line)
+		}
+	}
+	if t.Abstract {
+		b.WriteString("abstract ")
+	}
+	fmt.Fprintf(&b, "resource %q {\n", t.Key.String())
+
+	if t.Inside != nil {
+		b.WriteString("    inside ")
+		writeDepTarget(&b, *t.Inside)
+		writeDepMaps(&b, *t.Inside, "    ")
+		b.WriteByte('\n')
+	}
+	writePortSection(&b, "input", t.Input)
+	writePortSection(&b, "config", t.Config)
+	writePortSection(&b, "output", t.Output)
+	for _, d := range t.Env {
+		b.WriteString("    env ")
+		writeDepTarget(&b, d)
+		writeDepMaps(&b, d, "    ")
+		b.WriteByte('\n')
+	}
+	for _, d := range t.Peer {
+		b.WriteString("    peer ")
+		writeDepTarget(&b, d)
+		writeDepMaps(&b, d, "    ")
+		b.WriteByte('\n')
+	}
+	if t.Driver != nil {
+		writeDriver(&b, t.Driver)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func writeDriver(b *strings.Builder, d *resource.DriverSpec) {
+	b.WriteString("    driver {\n")
+	if len(d.States) > 0 {
+		fmt.Fprintf(b, "        states { %s }\n", strings.Join(d.States, ", "))
+	}
+	for _, tr := range d.Transitions {
+		fmt.Fprintf(b, "        %s: %s -> %s", tr.Name, tr.From, tr.To)
+		if len(tr.Guards) > 0 {
+			parts := make([]string, len(tr.Guards))
+			for i, g := range tr.Guards {
+				dir := "down"
+				if g.Up {
+					dir = "up"
+				}
+				parts[i] = fmt.Sprintf("%s(%s)", dir, g.State)
+			}
+			fmt.Fprintf(b, " when %s", strings.Join(parts, ", "))
+		}
+		if tr.Action != "" {
+			fmt.Fprintf(b, " exec %q", tr.Action)
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("    }\n")
+}
+
+// FormatRegistry renders every type of a registry, sorted by key.
+func FormatRegistry(reg *resource.Registry) string {
+	var b strings.Builder
+	for i, k := range reg.Keys() {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(Format(reg.MustLookup(k)))
+	}
+	return b.String()
+}
+
+func writeDepTarget(b *strings.Builder, d resource.Dependency) {
+	if len(d.Alternatives) == 1 {
+		fmt.Fprintf(b, "%q", d.Alternatives[0].String())
+		return
+	}
+	b.WriteString("one_of(")
+	for i, alt := range d.Alternatives {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(b, "%q", alt.String())
+	}
+	b.WriteString(")")
+}
+
+func writeDepMaps(b *strings.Builder, d resource.Dependency, indent string) {
+	if len(d.PortMap) == 0 && len(d.ReversePortMap) == 0 {
+		return
+	}
+	b.WriteString(" {\n")
+	for _, from := range sortedKeys(d.PortMap) {
+		fmt.Fprintf(b, "%s    %s -> %s\n", indent, from, d.PortMap[from])
+	}
+	for _, from := range sortedKeys(d.ReversePortMap) {
+		fmt.Fprintf(b, "%s    reverse %s -> %s\n", indent, from, d.ReversePortMap[from])
+	}
+	fmt.Fprintf(b, "%s}", indent)
+}
+
+func writePortSection(b *strings.Builder, name string, ports []resource.Port) {
+	if len(ports) == 0 {
+		return
+	}
+	fmt.Fprintf(b, "    %s {\n", name)
+	for _, p := range ports {
+		b.WriteString("        ")
+		if p.Static {
+			b.WriteString("static ")
+		}
+		fmt.Fprintf(b, "%s: %s", p.Name, formatType(p.Type))
+		if p.Def != nil {
+			fmt.Fprintf(b, " = %s", formatExpr(p.Def))
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("    }\n")
+}
+
+func formatType(t resource.PortType) string {
+	switch t.Kind {
+	case resource.KindStruct:
+		names := make([]string, 0, len(t.Fields))
+		for n := range t.Fields {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		parts := make([]string, len(names))
+		for i, n := range names {
+			parts[i] = n + ": " + formatType(t.Fields[n])
+		}
+		return "struct { " + strings.Join(parts, ", ") + " }"
+	case resource.KindList:
+		elem := "any"
+		if t.Elem != nil {
+			elem = formatType(*t.Elem)
+		}
+		return "list[" + elem + "]"
+	default:
+		return t.Kind.String()
+	}
+}
+
+func formatExpr(e resource.Expr) string {
+	switch x := e.(type) {
+	case resource.Lit:
+		return formatValue(x.V)
+	case resource.Ref:
+		s := x.Sec.String() + "." + x.Name
+		if len(x.Path) > 0 {
+			s += "." + strings.Join(x.Path, ".")
+		}
+		return s
+	case resource.Concat:
+		parts := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			parts[i] = formatExpr(a)
+		}
+		return "concat(" + strings.Join(parts, ", ") + ")"
+	case resource.MakeList:
+		parts := make([]string, len(x.Elems))
+		for i, el := range x.Elems {
+			parts[i] = formatExpr(el)
+		}
+		return "[" + strings.Join(parts, ", ") + "]"
+	case resource.MakeStruct:
+		names := make([]string, 0, len(x.Fields))
+		for n := range x.Fields {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		parts := make([]string, len(names))
+		for i, n := range names {
+			parts[i] = n + ": " + formatExpr(x.Fields[n])
+		}
+		return "{ " + strings.Join(parts, ", ") + " }"
+	default:
+		return fmt.Sprintf("/* %T */", e)
+	}
+}
+
+func formatValue(v resource.Value) string {
+	switch v.Kind {
+	case resource.KindString:
+		return fmt.Sprintf("%q", v.Str)
+	case resource.KindSecret:
+		return fmt.Sprintf("secret(%q)", v.Str)
+	case resource.KindInt, resource.KindPort:
+		return fmt.Sprintf("%d", v.Int)
+	case resource.KindBool:
+		if v.Bool {
+			return "true"
+		}
+		return "false"
+	case resource.KindList:
+		parts := make([]string, len(v.List))
+		for i, e := range v.List {
+			parts[i] = formatValue(e)
+		}
+		return "[" + strings.Join(parts, ", ") + "]"
+	case resource.KindStruct:
+		names := make([]string, 0, len(v.Fields))
+		for n := range v.Fields {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		parts := make([]string, len(names))
+		for i, n := range names {
+			parts[i] = n + ": " + formatValue(v.Fields[n])
+		}
+		return "{ " + strings.Join(parts, ", ") + " }"
+	default:
+		return fmt.Sprintf("/* %v */", v.Kind)
+	}
+}
+
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,168 @@
+package rdl
+
+import (
+	"strings"
+	"testing"
+
+	"engage/internal/resource"
+	"engage/internal/typecheck"
+)
+
+// TestFormatRoundTrip: formatting the resolved OpenMRS registry and
+// re-resolving the output yields an equivalent registry (same keys,
+// ports, dependencies), and the result still passes the checker.
+func TestFormatRoundTrip(t *testing.T) {
+	reg, err := ParseAndResolve(map[string]string{"openmrs.rdl": openmrsRDL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := FormatRegistry(reg)
+	reg2, err := ParseAndResolve(map[string]string{"formatted.rdl": text})
+	if err != nil {
+		t.Fatalf("formatted output does not re-parse: %v\n%s", err, text)
+	}
+	if err := typecheck.CheckTypes(reg2); err != nil {
+		t.Fatalf("formatted registry fails checking: %v", err)
+	}
+	if reg2.Len() != reg.Len() {
+		t.Fatalf("type count changed: %d vs %d", reg2.Len(), reg.Len())
+	}
+	for _, k := range reg.Keys() {
+		t1 := reg.MustLookup(k)
+		t2, ok := reg2.Lookup(k)
+		if !ok {
+			t.Fatalf("type %q lost in round trip", k)
+		}
+		if t1.Abstract != t2.Abstract {
+			t.Errorf("%q: abstractness changed", k)
+		}
+		if len(t1.Input) != len(t2.Input) || len(t1.Config) != len(t2.Config) || len(t1.Output) != len(t2.Output) {
+			t.Errorf("%q: port counts changed", k)
+		}
+		if (t1.Inside == nil) != (t2.Inside == nil) {
+			t.Errorf("%q: inside dependency changed", k)
+		}
+		if len(t1.Env) != len(t2.Env) || len(t1.Peer) != len(t2.Peer) {
+			t.Errorf("%q: dependency counts changed", k)
+		}
+	}
+
+	// Port values survive: evaluate an expression from the re-parsed
+	// registry.
+	tomcat := reg2.MustLookup(resource.MakeKey("Tomcat", "6.0.18"))
+	out, ok := tomcat.FindPort(resource.SecOutput, "tomcat")
+	if !ok {
+		t.Fatal("tomcat output lost")
+	}
+	v, err := out.Def.Eval(resource.MapScope{Configs: map[string]resource.Value{
+		"manager_port": resource.PortV(8080),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if port, _ := v.Field("port"); port.Int != 8080 {
+		t.Errorf("expression semantics changed: %v", v)
+	}
+}
+
+func TestFormatContainsSugar(t *testing.T) {
+	src := `
+abstract resource "Server" {}
+resource "A 1" { inside "Server" output { o: string = "x" } }
+resource "B 1" { inside "Server" output { o: string = "y" } }
+resource "App 1" {
+    inside "Server"
+    input { o: string }
+    env one_of("A 1", "B 1") { o -> o }
+    output { static cfg: string = "conf" }
+}`
+	reg, err := ParseAndResolve(map[string]string{"t.rdl": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(reg.MustLookup(resource.MakeKey("App", "1")))
+	for _, want := range []string{`one_of("A 1", "B 1")`, "o -> o", "static cfg"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("formatted output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestFormatReverseMap(t *testing.T) {
+	src := `
+abstract resource "Server" {}
+resource "Container 1" { inside "Server" input { c: string } }
+resource "App 1" {
+    inside "Container 1" { reverse cfg -> c }
+    output { static cfg: string = "x" }
+}`
+	reg, err := ParseAndResolve(map[string]string{"t.rdl": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(reg.MustLookup(resource.MakeKey("App", "1")))
+	if !strings.Contains(text, "reverse cfg -> c") {
+		t.Errorf("reverse map missing:\n%s", text)
+	}
+	// And it re-parses.
+	if _, err := Parse("f", text); err != nil {
+		t.Errorf("formatted reverse map does not re-parse: %v\n%s", err, text)
+	}
+}
+
+func TestListLiteralParseEvalFormat(t *testing.T) {
+	src := `
+resource "A 1" {
+    config { pkgs: list[string] = ["django", "south"] }
+}`
+	reg, err := ParseAndResolve(map[string]string{"t.rdl": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := reg.MustLookup(resource.MakeKey("A", "1"))
+	p, _ := a.FindPort(resource.SecConfig, "pkgs")
+	v, err := p.Def.Eval(resource.MapScope{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.List) != 2 || v.List[0].Str != "django" {
+		t.Errorf("list literal eval = %v", v)
+	}
+	text := Format(a)
+	if !strings.Contains(text, `["django", "south"]`) {
+		t.Errorf("list literal formatting:\n%s", text)
+	}
+	if _, err := ParseAndResolve(map[string]string{"again.rdl": text}); err != nil {
+		t.Errorf("list round trip: %v", err)
+	}
+}
+
+func TestFormatGeneratedAppType(t *testing.T) {
+	// Format must handle programmatically built types (MakeList,
+	// struct literals, list-typed config ports) — re-parse to verify.
+	listTy := resource.ListType(resource.T(resource.KindString))
+	ty := &resource.Type{
+		Key: resource.MakeKey("Gen", "1"),
+		Config: []resource.Port{
+			{Name: "packages", Type: listTy,
+				Def: resource.Lit{V: resource.ListV(resource.Str("a"), resource.Str("b"))}},
+			{Name: "count", Type: resource.T(resource.KindInt),
+				Def: resource.Lit{V: resource.IntV(3)}},
+		},
+		Output: []resource.Port{
+			{Name: "combined", Type: listTy,
+				Def: resource.MakeList{Elems: []resource.Expr{
+					resource.Lit{V: resource.Str("x")},
+					resource.Ref{Sec: resource.SecConfig, Name: "count"},
+				}}},
+		},
+	}
+	text := Format(ty)
+	reg, err := ParseAndResolve(map[string]string{"gen.rdl": text})
+	if err != nil {
+		t.Fatalf("generated type does not round-trip: %v\n%s", err, text)
+	}
+	if _, ok := reg.Lookup(resource.MakeKey("Gen", "1")); !ok {
+		t.Error("generated type lost")
+	}
+}

@@ -1,0 +1,236 @@
+package rdl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Lexer turns RDL source into tokens. Line comments (`// …`) preceding a
+// declaration are collected as doc comments and attached to the next
+// token; block comments (`/* … */`) are skipped.
+type Lexer struct {
+	file string
+	src  string
+	off  int
+	line int
+	col  int
+
+	pendingDoc []string
+}
+
+// NewLexer returns a lexer over src; file is used in positions.
+func NewLexer(file, src string) *Lexer {
+	return &Lexer{file: file, src: src, line: 1, col: 1}
+}
+
+// Error is a lexical or syntactic error with position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func (l *Lexer) pos() Pos { return Pos{File: l.file, Line: l.line, Col: l.col} }
+
+func (l *Lexer) errorf(format string, args ...any) error {
+	return &Error{Pos: l.pos(), Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *Lexer) peek() rune {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.off:])
+	return r
+}
+
+func (l *Lexer) advance() rune {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	r, w := utf8.DecodeRuneInString(l.src[l.off:])
+	l.off += w
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpace(); err != nil {
+		return Token{}, err
+	}
+	start := l.pos()
+	doc := strings.Join(l.pendingDoc, "\n")
+	l.pendingDoc = nil
+
+	r := l.peek()
+	switch {
+	case r == 0:
+		return Token{Kind: TokEOF, Pos: start, Doc: doc}, nil
+	case r == '"':
+		s, err := l.lexString()
+		if err != nil {
+			return Token{}, err
+		}
+		return Token{Kind: TokString, Pos: start, Text: s, Doc: doc}, nil
+	case unicode.IsDigit(r):
+		n := 0
+		for unicode.IsDigit(l.peek()) {
+			n = n*10 + int(l.advance()-'0')
+		}
+		return Token{Kind: TokInt, Pos: start, Int: n, Doc: doc}, nil
+	case r == '_' || unicode.IsLetter(r):
+		var b strings.Builder
+		for {
+			r := l.peek()
+			if r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r) {
+				b.WriteRune(l.advance())
+			} else {
+				break
+			}
+		}
+		word := b.String()
+		if k, ok := keywords[word]; ok {
+			return Token{Kind: k, Pos: start, Text: word, Doc: doc}, nil
+		}
+		return Token{Kind: TokIdent, Pos: start, Text: word, Doc: doc}, nil
+	}
+
+	l.advance()
+	switch r {
+	case '{':
+		return Token{Kind: TokLBrace, Pos: start, Doc: doc}, nil
+	case '}':
+		return Token{Kind: TokRBrace, Pos: start, Doc: doc}, nil
+	case '(':
+		return Token{Kind: TokLParen, Pos: start, Doc: doc}, nil
+	case ')':
+		return Token{Kind: TokRParen, Pos: start, Doc: doc}, nil
+	case '[':
+		return Token{Kind: TokLBrack, Pos: start, Doc: doc}, nil
+	case ']':
+		return Token{Kind: TokRBrack, Pos: start, Doc: doc}, nil
+	case ':':
+		return Token{Kind: TokColon, Pos: start, Doc: doc}, nil
+	case ',':
+		return Token{Kind: TokComma, Pos: start, Doc: doc}, nil
+	case '=':
+		return Token{Kind: TokEquals, Pos: start, Doc: doc}, nil
+	case '.':
+		return Token{Kind: TokDot, Pos: start, Doc: doc}, nil
+	case '-':
+		if l.peek() == '>' {
+			l.advance()
+			return Token{Kind: TokArrow, Pos: start, Doc: doc}, nil
+		}
+		return Token{}, &Error{Pos: start, Msg: "unexpected '-' (did you mean '->'?)"}
+	default:
+		return Token{}, &Error{Pos: start, Msg: fmt.Sprintf("unexpected character %q", r)}
+	}
+}
+
+// skipSpace consumes whitespace and comments, collecting doc comments.
+func (l *Lexer) skipSpace() error {
+	for {
+		r := l.peek()
+		switch {
+		case r == ' ' || r == '\t' || r == '\r':
+			l.advance()
+		case r == '\n':
+			// A blank line detaches pending doc comments.
+			l.advance()
+			if l.peek() == '\n' {
+				l.pendingDoc = nil
+			}
+		case r == '/':
+			if l.off+1 < len(l.src) && l.src[l.off+1] == '/' {
+				l.advance()
+				l.advance()
+				var b strings.Builder
+				for l.peek() != '\n' && l.peek() != 0 {
+					b.WriteRune(l.advance())
+				}
+				l.pendingDoc = append(l.pendingDoc, strings.TrimSpace(b.String()))
+			} else if l.off+1 < len(l.src) && l.src[l.off+1] == '*' {
+				l.advance()
+				l.advance()
+				closed := false
+				for l.peek() != 0 {
+					if l.peek() == '*' {
+						l.advance()
+						if l.peek() == '/' {
+							l.advance()
+							closed = true
+							break
+						}
+					} else {
+						l.advance()
+					}
+				}
+				if !closed {
+					return l.errorf("unterminated block comment")
+				}
+			} else {
+				return l.errorf("unexpected '/'")
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+func (l *Lexer) lexString() (string, error) {
+	l.advance() // opening quote
+	var b strings.Builder
+	for {
+		r := l.peek()
+		switch r {
+		case 0, '\n':
+			return "", l.errorf("unterminated string literal")
+		case '"':
+			l.advance()
+			return b.String(), nil
+		case '\\':
+			l.advance()
+			esc := l.advance()
+			switch esc {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '"':
+				b.WriteByte('"')
+			case '\\':
+				b.WriteByte('\\')
+			default:
+				return "", l.errorf("unknown escape \\%c", esc)
+			}
+		default:
+			b.WriteRune(l.advance())
+		}
+	}
+}
+
+// LexAll tokenizes the entire input; used by tests.
+func LexAll(file, src string) ([]Token, error) {
+	l := NewLexer(file, src)
+	var out []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}

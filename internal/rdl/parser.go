@@ -1,0 +1,548 @@
+package rdl
+
+import "fmt"
+
+// Parser is a recursive-descent parser for RDL with one token of
+// lookahead.
+type Parser struct {
+	lex *Lexer
+	tok Token
+	err error
+}
+
+// Parse parses an RDL source file.
+func Parse(file, src string) (*File, error) {
+	p := &Parser{lex: NewLexer(file, src)}
+	p.next()
+	if p.err != nil {
+		return nil, p.err
+	}
+	f := &File{Name: file}
+	for p.tok.Kind != TokEOF {
+		d, err := p.parseResource()
+		if err != nil {
+			return nil, err
+		}
+		f.Decls = append(f.Decls, d)
+	}
+	return f, nil
+}
+
+func (p *Parser) next() {
+	if p.err != nil {
+		return
+	}
+	t, err := p.lex.Next()
+	if err != nil {
+		p.err = err
+		p.tok = Token{Kind: TokEOF}
+		return
+	}
+	p.tok = t
+}
+
+func (p *Parser) errorf(format string, args ...any) error {
+	if p.err != nil {
+		return p.err
+	}
+	return &Error{Pos: p.tok.Pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *Parser) expect(k TokKind) (Token, error) {
+	if p.err != nil {
+		return Token{}, p.err
+	}
+	if p.tok.Kind != k {
+		return Token{}, p.errorf("expected %s, found %s", k, p.tok)
+	}
+	t := p.tok
+	p.next()
+	return t, p.err
+}
+
+func (p *Parser) accept(k TokKind) bool {
+	if p.err == nil && p.tok.Kind == k {
+		p.next()
+		return true
+	}
+	return false
+}
+
+// parseResource parses `[abstract] resource "Key" [extends "Key"] { … }`.
+func (p *Parser) parseResource() (*ResourceDecl, error) {
+	d := &ResourceDecl{Pos: p.tok.Pos, Doc: p.tok.Doc}
+	if p.accept(TokAbstract) {
+		d.Abstract = true
+	}
+	if _, err := p.expect(TokResource); err != nil {
+		return nil, err
+	}
+	key, err := p.expect(TokString)
+	if err != nil {
+		return nil, err
+	}
+	d.Key = key.Text
+	if d.Doc == "" {
+		d.Doc = key.Doc
+	}
+	if p.accept(TokExtends) {
+		parent, err := p.expect(TokString)
+		if err != nil {
+			return nil, err
+		}
+		d.Extends = parent.Text
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	for p.err == nil && p.tok.Kind != TokRBrace {
+		switch p.tok.Kind {
+		case TokInside:
+			if d.Inside != nil {
+				return nil, p.errorf("duplicate inside clause")
+			}
+			p.next()
+			dep, err := p.parseDep()
+			if err != nil {
+				return nil, err
+			}
+			d.Inside = dep
+		case TokEnv:
+			p.next()
+			dep, err := p.parseDep()
+			if err != nil {
+				return nil, err
+			}
+			d.Envs = append(d.Envs, dep)
+		case TokPeer:
+			p.next()
+			dep, err := p.parseDep()
+			if err != nil {
+				return nil, err
+			}
+			d.Peers = append(d.Peers, dep)
+		case TokInput:
+			p.next()
+			ports, err := p.parsePortSection()
+			if err != nil {
+				return nil, err
+			}
+			d.Inputs = append(d.Inputs, ports...)
+		case TokConfig:
+			p.next()
+			ports, err := p.parsePortSection()
+			if err != nil {
+				return nil, err
+			}
+			d.Configs = append(d.Configs, ports...)
+		case TokOutput:
+			p.next()
+			ports, err := p.parsePortSection()
+			if err != nil {
+				return nil, err
+			}
+			d.Outputs = append(d.Outputs, ports...)
+		case TokIdent:
+			if p.tok.Text == "driver" {
+				if d.Driver != nil {
+					return nil, p.errorf("duplicate driver clause")
+				}
+				p.next()
+				drv, err := p.parseDriver()
+				if err != nil {
+					return nil, err
+				}
+				d.Driver = drv
+				continue
+			}
+			return nil, p.errorf("expected clause (inside/env/peer/input/config/output/driver), found %s", p.tok)
+		default:
+			return nil, p.errorf("expected clause (inside/env/peer/input/config/output/driver), found %s", p.tok)
+		}
+	}
+	if _, err := p.expect(TokRBrace); err != nil {
+		return nil, err
+	}
+	return d, p.err
+}
+
+// parseDep parses a dependency target and optional port-map block:
+// `"Key"` or `one_of("K1", "K2")`, then `{ a -> b  reverse c -> d }`.
+func (p *Parser) parseDep() (*DepDecl, error) {
+	dep := &DepDecl{Pos: p.tok.Pos}
+	switch p.tok.Kind {
+	case TokString:
+		dep.Targets = []string{p.tok.Text}
+		p.next()
+	case TokOneOf:
+		p.next()
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		for {
+			t, err := p.expect(TokString)
+			if err != nil {
+				return nil, err
+			}
+			dep.Targets = append(dep.Targets, t.Text)
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, p.errorf("expected dependency target, found %s", p.tok)
+	}
+
+	if p.accept(TokLBrace) {
+		for p.err == nil && p.tok.Kind != TokRBrace {
+			entry := PortMapEntry{Pos: p.tok.Pos}
+			if p.accept(TokReverse) {
+				entry.Reverse = true
+			}
+			from, err := p.portName()
+			if err != nil {
+				return nil, err
+			}
+			entry.From = from
+			if _, err := p.expect(TokArrow); err != nil {
+				return nil, err
+			}
+			to, err := p.portName()
+			if err != nil {
+				return nil, err
+			}
+			entry.To = to
+			dep.Maps = append(dep.Maps, entry)
+			p.accept(TokComma)
+		}
+		if _, err := p.expect(TokRBrace); err != nil {
+			return nil, err
+		}
+	}
+	return dep, p.err
+}
+
+// portName accepts an identifier, tolerating the section keywords so
+// ports may be named e.g. "config".
+func (p *Parser) portName() (string, error) {
+	switch p.tok.Kind {
+	case TokIdent, TokInput, TokConfig, TokOutput, TokEnv, TokPeer, TokInside:
+		name := p.tok.Text
+		p.next()
+		return name, p.err
+	default:
+		return "", p.errorf("expected port name, found %s", p.tok)
+	}
+}
+
+// parsePortSection parses `{ portDecl* }`.
+func (p *Parser) parsePortSection() ([]*PortDecl, error) {
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	var out []*PortDecl
+	for p.err == nil && p.tok.Kind != TokRBrace {
+		pd := &PortDecl{Pos: p.tok.Pos}
+		if p.accept(TokStatic) {
+			pd.Static = true
+		}
+		name, err := p.portName()
+		if err != nil {
+			return nil, err
+		}
+		pd.Name = name
+		if _, err := p.expect(TokColon); err != nil {
+			return nil, err
+		}
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		pd.Type = ty
+		if p.accept(TokEquals) {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			pd.Def = e
+		}
+		p.accept(TokComma)
+		out = append(out, pd)
+	}
+	if _, err := p.expect(TokRBrace); err != nil {
+		return nil, err
+	}
+	return out, p.err
+}
+
+// parseDriver parses the body of a `driver { … }` clause.
+func (p *Parser) parseDriver() (*DriverDecl, error) {
+	d := &DriverDecl{Pos: p.tok.Pos}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	for p.err == nil && p.tok.Kind != TokRBrace {
+		if p.tok.Kind == TokIdent && p.tok.Text == "states" {
+			p.next()
+			if _, err := p.expect(TokLBrace); err != nil {
+				return nil, err
+			}
+			for p.err == nil && p.tok.Kind != TokRBrace {
+				name, err := p.portName()
+				if err != nil {
+					return nil, err
+				}
+				d.States = append(d.States, name)
+				p.accept(TokComma)
+			}
+			if _, err := p.expect(TokRBrace); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		tr := TransitionDecl{Pos: p.tok.Pos}
+		name, err := p.portName()
+		if err != nil {
+			return nil, err
+		}
+		tr.Name = name
+		if _, err := p.expect(TokColon); err != nil {
+			return nil, err
+		}
+		if tr.From, err = p.portName(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokArrow); err != nil {
+			return nil, err
+		}
+		if tr.To, err = p.portName(); err != nil {
+			return nil, err
+		}
+		if p.tok.Kind == TokIdent && p.tok.Text == "when" {
+			p.next()
+			for {
+				g, err := p.parseGuardPred()
+				if err != nil {
+					return nil, err
+				}
+				tr.Guards = append(tr.Guards, g)
+				if !p.accept(TokComma) {
+					break
+				}
+			}
+		}
+		if p.tok.Kind == TokIdent && p.tok.Text == "exec" {
+			p.next()
+			s, err := p.expect(TokString)
+			if err != nil {
+				return nil, err
+			}
+			tr.Action = s.Text
+		}
+		d.Transitions = append(d.Transitions, tr)
+	}
+	if _, err := p.expect(TokRBrace); err != nil {
+		return nil, err
+	}
+	return d, p.err
+}
+
+// parseGuardPred parses `up(state)` or `down(state)`.
+func (p *Parser) parseGuardPred() (GuardDecl, error) {
+	if p.tok.Kind != TokIdent || (p.tok.Text != "up" && p.tok.Text != "down") {
+		return GuardDecl{}, p.errorf("expected up(...) or down(...), found %s", p.tok)
+	}
+	g := GuardDecl{Up: p.tok.Text == "up"}
+	p.next()
+	if _, err := p.expect(TokLParen); err != nil {
+		return GuardDecl{}, err
+	}
+	state, err := p.portName()
+	if err != nil {
+		return GuardDecl{}, err
+	}
+	g.State = state
+	if _, err := p.expect(TokRParen); err != nil {
+		return GuardDecl{}, err
+	}
+	return g, nil
+}
+
+// parseType parses a type expression.
+func (p *Parser) parseType() (TypeExpr, error) {
+	switch p.tok.Kind {
+	case TokIdent:
+		t := NamedType{Pos: p.tok.Pos, Name: p.tok.Text}
+		p.next()
+		return t, p.err
+	case TokSecretLit: // `secret` doubles as a type name
+		t := NamedType{Pos: p.tok.Pos, Name: "secret"}
+		p.next()
+		return t, p.err
+	case TokStruct:
+		pos := p.tok.Pos
+		p.next()
+		if _, err := p.expect(TokLBrace); err != nil {
+			return nil, err
+		}
+		st := StructTypeExpr{Pos: pos}
+		for p.err == nil && p.tok.Kind != TokRBrace {
+			name, err := p.portName()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokColon); err != nil {
+				return nil, err
+			}
+			ft, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			st.Fields = append(st.Fields, StructTypeField{Name: name, Type: ft})
+			p.accept(TokComma)
+		}
+		if _, err := p.expect(TokRBrace); err != nil {
+			return nil, err
+		}
+		return st, p.err
+	case TokList:
+		pos := p.tok.Pos
+		p.next()
+		if _, err := p.expect(TokLBrack); err != nil {
+			return nil, err
+		}
+		elem, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRBrack); err != nil {
+			return nil, err
+		}
+		return ListTypeExpr{Pos: pos, Elem: elem}, p.err
+	default:
+		return nil, p.errorf("expected type, found %s", p.tok)
+	}
+}
+
+// parseExpr parses a port-value expression.
+func (p *Parser) parseExpr() (ExprNode, error) {
+	switch p.tok.Kind {
+	case TokString:
+		e := StrLit{Pos: p.tok.Pos, Val: p.tok.Text}
+		p.next()
+		return e, p.err
+	case TokInt:
+		e := IntLit{Pos: p.tok.Pos, Val: p.tok.Int}
+		p.next()
+		return e, p.err
+	case TokTrue:
+		e := BoolLit{Pos: p.tok.Pos, Val: true}
+		p.next()
+		return e, p.err
+	case TokFalse:
+		e := BoolLit{Pos: p.tok.Pos, Val: false}
+		p.next()
+		return e, p.err
+	case TokSecretLit:
+		pos := p.tok.Pos
+		p.next()
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		s, err := p.expect(TokString)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return SecretLit{Pos: pos, Val: s.Text}, p.err
+	case TokInput, TokConfig:
+		pos := p.tok.Pos
+		section := p.tok.Text
+		p.next()
+		if _, err := p.expect(TokDot); err != nil {
+			return nil, err
+		}
+		name, err := p.portName()
+		if err != nil {
+			return nil, err
+		}
+		ref := RefExpr{Pos: pos, Section: section, Name: name}
+		for p.accept(TokDot) {
+			f, err := p.portName()
+			if err != nil {
+				return nil, err
+			}
+			ref.Path = append(ref.Path, f)
+		}
+		return ref, p.err
+	case TokConcat:
+		pos := p.tok.Pos
+		p.next()
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		c := ConcatExpr{Pos: pos}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			c.Args = append(c.Args, e)
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return c, p.err
+	case TokLBrack:
+		pos := p.tok.Pos
+		p.next()
+		ll := ListLit{Pos: pos}
+		for p.err == nil && p.tok.Kind != TokRBrack {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			ll.Elems = append(ll.Elems, e)
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+		if _, err := p.expect(TokRBrack); err != nil {
+			return nil, err
+		}
+		return ll, p.err
+	case TokLBrace:
+		pos := p.tok.Pos
+		p.next()
+		sl := StructLit{Pos: pos}
+		for p.err == nil && p.tok.Kind != TokRBrace {
+			name, err := p.portName()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokColon); err != nil {
+				return nil, err
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sl.Fields = append(sl.Fields, StructLitField{Name: name, Expr: e})
+			p.accept(TokComma)
+		}
+		if _, err := p.expect(TokRBrace); err != nil {
+			return nil, err
+		}
+		return sl, p.err
+	default:
+		return nil, p.errorf("expected expression, found %s", p.tok)
+	}
+}

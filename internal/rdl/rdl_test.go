@@ -1,0 +1,408 @@
+package rdl
+
+import (
+	"strings"
+	"testing"
+
+	"engage/internal/resource"
+	"engage/internal/typecheck"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := LexAll("t", `resource "Tomcat 6.0.18" { config { p: tcp_port = 8080 } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []TokKind{TokResource, TokString, TokLBrace, TokConfig, TokLBrace,
+		TokIdent, TokColon, TokIdent, TokEquals, TokInt, TokRBrace, TokRBrace, TokEOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("token count = %d, want %d: %v", len(toks), len(kinds), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+	if toks[1].Text != "Tomcat 6.0.18" {
+		t.Errorf("string payload = %q", toks[1].Text)
+	}
+	if toks[9].Int != 8080 {
+		t.Errorf("int payload = %d", toks[9].Int)
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	src := `
+// The Tomcat servlet container.
+// Runs inside a server.
+resource "Tomcat 6.0.18" {}
+/* block
+   comment */ resource "X 1" {}`
+	toks, err := LexAll("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(toks[0].Doc, "Tomcat servlet container") {
+		t.Errorf("doc comment not attached: %q", toks[0].Doc)
+	}
+}
+
+func TestLexArrowAndEscapes(t *testing.T) {
+	toks, err := LexAll("t", `a -> "x\n\"y\"" `)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[1].Kind != TokArrow {
+		t.Errorf("expected arrow, got %v", toks[1])
+	}
+	if toks[2].Text != "x\n\"y\"" {
+		t.Errorf("escapes wrong: %q", toks[2].Text)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{`"unterminated`, `@`, `a - b`, `"bad \q escape"`, `/* unterminated`, `/ x`} {
+		if _, err := LexAll("t", src); err == nil {
+			t.Errorf("LexAll(%q): expected error", src)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := LexAll("f.rdl", "resource\n  \"X 1\"")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("first token pos = %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("second token pos = %v", toks[1].Pos)
+	}
+	if !strings.HasPrefix(toks[1].Pos.String(), "f.rdl:2:3") {
+		t.Errorf("pos string = %q", toks[1].Pos.String())
+	}
+}
+
+// openmrsRDL is the complete §2 resource library in RDL surface syntax.
+const openmrsRDL = `
+// A physical or virtual machine.
+abstract resource "Server" {
+    config {
+        hostname: string = "localhost"
+        os_user_name: string = "root"
+    }
+    output {
+        host: struct { hostname: string } = { hostname: config.hostname }
+    }
+}
+
+resource "Mac-OSX 10.6" extends "Server" {}
+resource "Windows-XP" extends "Server" {}
+
+// The Java runtime, abstract over JDK and JRE.
+abstract resource "Java" {
+    inside "Server"
+    output {
+        java: struct { home: string } = { home: "/usr/java" }
+    }
+}
+
+resource "JDK 1.6" extends "Java" {}
+resource "JRE 1.6" extends "Java" {}
+
+resource "Tomcat 6.0.18" {
+    inside "Server"
+    input  { java: struct { home: string } }
+    config { manager_port: tcp_port = 8080 }
+    output {
+        tomcat: struct { port: tcp_port } = { port: config.manager_port }
+    }
+    env "Java" { java -> java }
+}
+
+resource "MySQL 5.1" {
+    inside "Server"
+    config {
+        port: tcp_port = 3306
+        admin_password: secret = secret("changeme")
+    }
+    output {
+        mysql: struct { host: string, port: tcp_port } = {
+            host: "localhost", port: config.port
+        }
+    }
+}
+
+resource "OpenMRS 1.8" {
+    inside "Tomcat [5.5, 6.0.29)"
+    input {
+        java: struct { home: string }
+        mysql: struct { host: string, port: tcp_port }
+    }
+    output {
+        url: string = concat("http://localhost/openmrs")
+    }
+    env "Java" { java -> java }
+    peer "MySQL 5.1" { mysql -> mysql }
+}
+`
+
+func TestParseAndResolveOpenMRS(t *testing.T) {
+	reg, err := ParseAndResolve(map[string]string{"openmrs.rdl": openmrsRDL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.Len() != 9 {
+		t.Errorf("registry has %d types, want 9", reg.Len())
+	}
+	if err := typecheck.CheckTypes(reg); err != nil {
+		t.Errorf("RDL-built registry should be well-formed: %v", err)
+	}
+
+	// Doc comments flow through.
+	server := reg.MustLookup(resource.Key{Name: "Server"})
+	if !strings.Contains(server.Doc, "physical or virtual machine") {
+		t.Errorf("Server doc = %q", server.Doc)
+	}
+	if !server.Abstract {
+		t.Error("Server should be abstract")
+	}
+
+	// Version-range sugar: OpenMRS's inside dependency expands to the
+	// declared Tomcat versions in [5.5, 6.0.29): just 6.0.18 here.
+	openmrs := reg.MustLookup(resource.MakeKey("OpenMRS", "1.8"))
+	if len(openmrs.Inside.Alternatives) != 1 ||
+		openmrs.Inside.Alternatives[0] != resource.MakeKey("Tomcat", "6.0.18") {
+		t.Errorf("range expansion wrong: %v", openmrs.Inside.Alternatives)
+	}
+
+	// Inheritance: JDK inherits Java's output and inside dependency.
+	jdk := reg.MustLookup(resource.MakeKey("JDK", "1.6"))
+	if _, ok := jdk.FindPort(resource.SecOutput, "java"); !ok {
+		t.Error("JDK should inherit java output port")
+	}
+	if jdk.IsMachine() {
+		t.Error("JDK should not be a machine")
+	}
+
+	// Secret literal.
+	mysql := reg.MustLookup(resource.MakeKey("MySQL", "5.1"))
+	pw, ok := mysql.FindPort(resource.SecConfig, "admin_password")
+	if !ok {
+		t.Fatal("admin_password missing")
+	}
+	v, err := pw.Def.Eval(resource.MapScope{})
+	if err != nil || v.Kind != resource.KindSecret || v.Str != "changeme" {
+		t.Errorf("secret literal = %v, %v", v, err)
+	}
+
+	// Struct output with config ref evaluates.
+	tomcat := reg.MustLookup(resource.MakeKey("Tomcat", "6.0.18"))
+	out, _ := tomcat.FindPort(resource.SecOutput, "tomcat")
+	tv, err := out.Def.Eval(resource.MapScope{Configs: map[string]resource.Value{
+		"manager_port": resource.PortV(8080),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if port, _ := tv.Field("port"); port.Int != 8080 {
+		t.Errorf("tomcat output port = %v", tv)
+	}
+}
+
+func TestParseOneOf(t *testing.T) {
+	src := `
+abstract resource "Server" {}
+resource "A 1" { inside "Server" output { o: string = "a" } }
+resource "B 1" { inside "Server" output { o: string = "b" } }
+resource "App 1" {
+    inside "Server"
+    input { o: string }
+    env one_of("A 1", "B 1") { o -> o }
+}`
+	reg, err := ParseAndResolve(map[string]string{"t.rdl": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := reg.MustLookup(resource.MakeKey("App", "1"))
+	if len(app.Env) != 1 || len(app.Env[0].Alternatives) != 2 {
+		t.Fatalf("one_of lowering wrong: %+v", app.Env)
+	}
+	if err := typecheck.CheckTypes(reg); err != nil {
+		t.Errorf("one_of registry should check: %v", err)
+	}
+}
+
+func TestParseReverseMap(t *testing.T) {
+	src := `
+abstract resource "Server" {}
+resource "Container 1" {
+    inside "Server"
+    input { app_config: string }
+}
+resource "App 1" {
+    inside "Container 1" { reverse cfg -> app_config }
+    output { static cfg: string = "server.xml" }
+}`
+	reg, err := ParseAndResolve(map[string]string{"t.rdl": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := reg.MustLookup(resource.MakeKey("App", "1"))
+	if app.Inside.ReversePortMap["cfg"] != "app_config" {
+		t.Errorf("reverse map wrong: %+v", app.Inside.ReversePortMap)
+	}
+	cfg, _ := app.FindPort(resource.SecOutput, "cfg")
+	if !cfg.Static {
+		t.Error("cfg should be static")
+	}
+}
+
+func TestParseListType(t *testing.T) {
+	src := `
+abstract resource "Server" {}
+resource "Django App 1.0" {
+    inside "Server"
+    config { packages: list[string] }
+}`
+	reg, err := ParseAndResolve(map[string]string{"t.rdl": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := reg.MustLookup(resource.MakeKey("Django App", "1.0"))
+	p, ok := app.FindPort(resource.SecConfig, "packages")
+	if !ok || p.Type.Kind != resource.KindList || p.Type.Elem.Kind != resource.KindString {
+		t.Errorf("list type lowering wrong: %+v", p)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{`resource X {}`, "expected string"},
+		{`resource "A" extends {}`, "expected string"},
+		{`resource "A" { inside }`, "dependency target"},
+		{`resource "A" { bogus }`, "expected clause"},
+		{`resource "A" { config { x } }`, "expected ':'"},
+		{`resource "A" { config { x: string = } }`, "expected expression"},
+		{`resource "A" { inside "B" inside "C" }`, "duplicate inside"},
+		{`resource "A" { env "B" { x y } }`, "expected '->'"},
+		{`resource "A" { config { x: struct } }`, "expected '{'"},
+		{`resource "A" { config { x: list } }`, "expected '['"},
+		{`resource "A" { output { o: string = output.x } }`, "expected expression"},
+		{`resource "A" {`, "expected"},
+	}
+	for _, c := range cases {
+		_, err := Parse("t", c.src)
+		if err == nil {
+			t.Errorf("Parse(%q): expected error containing %q", c.src, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) error = %q, want substring %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{`resource "A 1" {} resource "A 1" {}`, "duplicate resource"},
+		{`resource "A 1" extends "Ghost" {}`, "unknown resource"},
+		{`resource "A 1" extends "B 1" {} resource "B 1" extends "A 1" {}`, "inheritance cycle"},
+		{`resource "A 1" { config { x: string, x: int } }`, "duplicate port"},
+		{`resource "A 1" { config { x: floop } }`, "unknown type"},
+		{`resource "A 1" { inside "B [1.0, 2.0)" }`, "no declared version"},
+		{`resource "A 1" { config { s: struct { f: string, f: int } } }`, "duplicate struct field"},
+		{`resource "A 1" { output { o: string = { f: "a", f: "b" } } }`, "duplicate struct field"},
+		{`resource "A 1" { env "B" { x -> a, x -> b } }`, "duplicate mapping"},
+	}
+	for _, c := range cases {
+		_, err := ParseAndResolve(map[string]string{"t.rdl": c.src})
+		if err == nil {
+			t.Errorf("Resolve(%q): expected error containing %q", c.src, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Resolve(%q) error = %q, want substring %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestSelfInheritanceCycle(t *testing.T) {
+	_, err := ParseAndResolve(map[string]string{"t.rdl": `resource "A 1" extends "A 1" {}`})
+	if err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("self-extends should be a cycle: %v", err)
+	}
+}
+
+func TestVersionRangeMultipleMatches(t *testing.T) {
+	src := `
+abstract resource "Server" {}
+resource "Tomcat 5.5" { inside "Server" }
+resource "Tomcat 6.0.18" { inside "Server" }
+resource "Tomcat 6.0.29" { inside "Server" }
+resource "Tomcat 7.0" { inside "Server" }
+resource "App 1" { inside "Tomcat [5.5, 6.0.29)" }`
+	reg, err := ParseAndResolve(map[string]string{"t.rdl": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := reg.MustLookup(resource.MakeKey("App", "1"))
+	if len(app.Inside.Alternatives) != 2 {
+		t.Fatalf("range should match 2 versions: %v", app.Inside.Alternatives)
+	}
+	if app.Inside.Alternatives[0].Version != "5.5" || app.Inside.Alternatives[1].Version != "6.0.18" {
+		t.Errorf("range alternatives wrong: %v", app.Inside.Alternatives)
+	}
+}
+
+func TestParseTargetPlain(t *testing.T) {
+	name, _, hasRange, err := parseTarget("MySQL 5.1")
+	if err != nil || hasRange || name != "MySQL 5.1" {
+		t.Errorf("plain target: %q %v %v", name, hasRange, err)
+	}
+	name, rng, hasRange, err := parseTarget("Java [5,)")
+	if err != nil || !hasRange || name != "Java" {
+		t.Errorf("ranged target: %q %v %v", name, hasRange, err)
+	}
+	if rng.Min == nil || rng.Min.String() != "5" {
+		t.Errorf("range bounds wrong: %v", rng)
+	}
+	if _, _, _, err := parseTarget("[5,)"); err == nil {
+		t.Error("missing name should error")
+	}
+	if _, _, _, err := parseTarget("X [bad,)"); err == nil {
+		t.Error("bad range should error")
+	}
+}
+
+func TestMultipleFilesDeterministic(t *testing.T) {
+	a := `abstract resource "Server" {}`
+	b := `resource "Mac 10.6" extends "Server" {}`
+	reg, err := ParseAndResolve(map[string]string{"b.rdl": b, "a.rdl": a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.Len() != 2 {
+		t.Errorf("expected 2 types, got %d", reg.Len())
+	}
+}
+
+func TestPortNamedLikeKeyword(t *testing.T) {
+	// Ports may be named "config" etc.
+	src := `resource "A 1" { output { config: string = "c" } }`
+	reg, err := ParseAndResolve(map[string]string{"t.rdl": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := reg.MustLookup(resource.MakeKey("A", "1"))
+	if _, ok := a.FindPort(resource.SecOutput, "config"); !ok {
+		t.Error("port named 'config' should parse")
+	}
+}

@@ -1,0 +1,399 @@
+package rdl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"engage/internal/resource"
+	"engage/internal/version"
+)
+
+// Resolve lowers parsed RDL files into a resource.Registry:
+//
+//  1. declarations are ordered so parents precede children (extends is
+//     a DAG; cycles are reported);
+//  2. port types and value expressions are lowered to the resource
+//     package's representations;
+//  3. version-range dependency targets ("Tomcat [5.5, 6.0.29)") are
+//     expanded into disjunctions of the declared concrete versions in
+//     the range (§3.4 sugar).
+//
+// Resolve does not run the well-formedness checker; callers compose with
+// typecheck.CheckTypes.
+func Resolve(files ...*File) (*resource.Registry, error) {
+	var decls []*ResourceDecl
+	for _, f := range files {
+		decls = append(decls, f.Decls...)
+	}
+
+	ordered, err := orderByExtends(decls)
+	if err != nil {
+		return nil, err
+	}
+
+	versions := collectVersions(decls)
+	reg := resource.NewRegistry()
+	for _, d := range ordered {
+		t, err := lowerResource(d, versions)
+		if err != nil {
+			return nil, err
+		}
+		if err := reg.Add(t); err != nil {
+			return nil, &Error{Pos: d.Pos, Msg: err.Error()}
+		}
+	}
+	return reg, nil
+}
+
+// versionIndex maps a package name to its declared concrete versioned
+// keys, sorted by version; used for version-range expansion.
+type versionIndex map[string][]resource.Key
+
+func collectVersions(decls []*ResourceDecl) versionIndex {
+	idx := make(versionIndex)
+	for _, d := range decls {
+		if d.Abstract {
+			continue
+		}
+		k := resource.ParseKey(d.Key)
+		if _, ok := k.Ver(); !ok {
+			continue
+		}
+		idx[k.Name] = append(idx[k.Name], k)
+	}
+	for name, keys := range idx {
+		sort.Slice(keys, func(i, j int) bool {
+			vi, _ := keys[i].Ver()
+			vj, _ := keys[j].Ver()
+			return vi.Less(vj)
+		})
+		idx[name] = keys
+	}
+	return idx
+}
+
+func (idx versionIndex) inRange(name string, rng version.Range) []resource.Key {
+	var out []resource.Key
+	for _, k := range idx[name] {
+		v, _ := k.Ver()
+		if rng.Contains(v) {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func lowerResource(d *ResourceDecl, versions versionIndex) (*resource.Type, error) {
+	t := &resource.Type{
+		Key:      resource.ParseKey(d.Key),
+		Abstract: d.Abstract,
+		Doc:      d.Doc,
+	}
+	if d.Extends != "" {
+		k := resource.ParseKey(d.Extends)
+		t.Extends = &k
+	}
+	var err error
+	if t.Input, err = lowerPorts(d.Inputs); err != nil {
+		return nil, err
+	}
+	if t.Config, err = lowerPorts(d.Configs); err != nil {
+		return nil, err
+	}
+	if t.Output, err = lowerPorts(d.Outputs); err != nil {
+		return nil, err
+	}
+	if d.Inside != nil {
+		dep, err := lowerDep(d.Inside, versions)
+		if err != nil {
+			return nil, err
+		}
+		t.Inside = &dep
+	}
+	for _, dd := range d.Envs {
+		dep, err := lowerDep(dd, versions)
+		if err != nil {
+			return nil, err
+		}
+		t.Env = append(t.Env, dep)
+	}
+	for _, dd := range d.Peers {
+		dep, err := lowerDep(dd, versions)
+		if err != nil {
+			return nil, err
+		}
+		t.Peer = append(t.Peer, dep)
+	}
+	if d.Driver != nil {
+		t.Driver = lowerDriver(d.Driver)
+	}
+	return t, nil
+}
+
+func lowerDriver(d *DriverDecl) *resource.DriverSpec {
+	spec := &resource.DriverSpec{States: append([]string(nil), d.States...)}
+	for _, tr := range d.Transitions {
+		lt := resource.DriverTransition{
+			Name:   tr.Name,
+			From:   tr.From,
+			To:     tr.To,
+			Action: tr.Action,
+		}
+		for _, g := range tr.Guards {
+			lt.Guards = append(lt.Guards, resource.DriverGuard{Up: g.Up, State: g.State})
+		}
+		spec.Transitions = append(spec.Transitions, lt)
+	}
+	return spec
+}
+
+func orderByExtends(decls []*ResourceDecl) ([]*ResourceDecl, error) {
+	byKey := make(map[string]*ResourceDecl, len(decls))
+	for _, d := range decls {
+		k := resource.ParseKey(d.Key).String()
+		if byKey[k] != nil {
+			return nil, &Error{Pos: d.Pos, Msg: fmt.Sprintf("duplicate resource %q", d.Key)}
+		}
+		byKey[k] = d
+	}
+	const (
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int, len(decls))
+	out := make([]*ResourceDecl, 0, len(decls))
+	var visit func(d *ResourceDecl) error
+	visit = func(d *ResourceDecl) error {
+		k := resource.ParseKey(d.Key).String()
+		switch color[k] {
+		case gray:
+			return &Error{Pos: d.Pos, Msg: fmt.Sprintf("inheritance cycle at %q", d.Key)}
+		case black:
+			return nil
+		}
+		color[k] = gray
+		if d.Extends != "" {
+			pk := resource.ParseKey(d.Extends).String()
+			parent, ok := byKey[pk]
+			if !ok {
+				return &Error{Pos: d.Pos, Msg: fmt.Sprintf("%q extends unknown resource %q", d.Key, d.Extends)}
+			}
+			if err := visit(parent); err != nil {
+				return err
+			}
+		}
+		color[k] = black
+		out = append(out, d)
+		return nil
+	}
+	for _, d := range decls {
+		if err := visit(d); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func lowerPorts(decls []*PortDecl) ([]resource.Port, error) {
+	var out []resource.Port
+	seen := make(map[string]bool, len(decls))
+	for _, pd := range decls {
+		if seen[pd.Name] {
+			return nil, &Error{Pos: pd.Pos, Msg: fmt.Sprintf("duplicate port %q", pd.Name)}
+		}
+		seen[pd.Name] = true
+		ty, err := lowerType(pd.Type)
+		if err != nil {
+			return nil, err
+		}
+		p := resource.Port{Name: pd.Name, Type: ty, Static: pd.Static}
+		if pd.Def != nil {
+			e, err := lowerExpr(pd.Def)
+			if err != nil {
+				return nil, err
+			}
+			p.Def = e
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func lowerType(te TypeExpr) (resource.PortType, error) {
+	switch t := te.(type) {
+	case NamedType:
+		k, ok := resource.KindFromName(t.Name)
+		if !ok {
+			return resource.PortType{}, &Error{Pos: t.Pos, Msg: fmt.Sprintf("unknown type %q", t.Name)}
+		}
+		if k == resource.KindStruct || k == resource.KindList {
+			return resource.PortType{}, &Error{Pos: t.Pos, Msg: fmt.Sprintf("%q requires field/element syntax", t.Name)}
+		}
+		return resource.T(k), nil
+	case StructTypeExpr:
+		fields := make(map[string]resource.PortType, len(t.Fields))
+		for _, f := range t.Fields {
+			if _, dup := fields[f.Name]; dup {
+				return resource.PortType{}, &Error{Pos: t.Pos, Msg: fmt.Sprintf("duplicate struct field %q", f.Name)}
+			}
+			ft, err := lowerType(f.Type)
+			if err != nil {
+				return resource.PortType{}, err
+			}
+			fields[f.Name] = ft
+		}
+		return resource.StructType(fields), nil
+	case ListTypeExpr:
+		elem, err := lowerType(t.Elem)
+		if err != nil {
+			return resource.PortType{}, err
+		}
+		return resource.ListType(elem), nil
+	default:
+		return resource.PortType{}, fmt.Errorf("rdl: unknown type expression %T", te)
+	}
+}
+
+func lowerExpr(en ExprNode) (resource.Expr, error) {
+	switch e := en.(type) {
+	case StrLit:
+		return resource.Lit{V: resource.Str(e.Val)}, nil
+	case IntLit:
+		return resource.Lit{V: resource.IntV(e.Val)}, nil
+	case BoolLit:
+		return resource.Lit{V: resource.BoolV(e.Val)}, nil
+	case SecretLit:
+		return resource.Lit{V: resource.SecretV(e.Val)}, nil
+	case RefExpr:
+		var sec resource.Section
+		switch e.Section {
+		case "input":
+			sec = resource.SecInput
+		case "config":
+			sec = resource.SecConfig
+		default:
+			return nil, &Error{Pos: e.Pos, Msg: fmt.Sprintf("references must start with input or config, got %q", e.Section)}
+		}
+		return resource.Ref{Sec: sec, Name: e.Name, Path: e.Path}, nil
+	case ConcatExpr:
+		args := make([]resource.Expr, len(e.Args))
+		for i, a := range e.Args {
+			la, err := lowerExpr(a)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = la
+		}
+		return resource.Concat{Args: args}, nil
+	case ListLit:
+		elems := make([]resource.Expr, len(e.Elems))
+		for i, el := range e.Elems {
+			le, err := lowerExpr(el)
+			if err != nil {
+				return nil, err
+			}
+			elems[i] = le
+		}
+		return resource.MakeList{Elems: elems}, nil
+	case StructLit:
+		fields := make(map[string]resource.Expr, len(e.Fields))
+		for _, f := range e.Fields {
+			if _, dup := fields[f.Name]; dup {
+				return nil, &Error{Pos: e.Pos, Msg: fmt.Sprintf("duplicate struct field %q", f.Name)}
+			}
+			le, err := lowerExpr(f.Expr)
+			if err != nil {
+				return nil, err
+			}
+			fields[f.Name] = le
+		}
+		return resource.MakeStruct{Fields: fields}, nil
+	default:
+		return nil, fmt.Errorf("rdl: unknown expression %T", en)
+	}
+}
+
+// lowerDep lowers a dependency declaration, expanding version-range
+// targets against the declared version index.
+func lowerDep(dd *DepDecl, versions versionIndex) (resource.Dependency, error) {
+	dep := resource.Dependency{}
+	for _, raw := range dd.Targets {
+		name, rng, hasRange, err := parseTarget(raw)
+		if err != nil {
+			return dep, &Error{Pos: dd.Pos, Msg: err.Error()}
+		}
+		if !hasRange {
+			dep.Alternatives = append(dep.Alternatives, resource.ParseKey(raw))
+			continue
+		}
+		keys := versions.inRange(name, rng)
+		if len(keys) == 0 {
+			return dep, &Error{Pos: dd.Pos, Msg: fmt.Sprintf(
+				"no declared version of %q in range %s", name, rng)}
+		}
+		dep.Alternatives = append(dep.Alternatives, keys...)
+	}
+	for _, m := range dd.Maps {
+		if m.Reverse {
+			if dep.ReversePortMap == nil {
+				dep.ReversePortMap = make(map[string]string)
+			}
+			if _, dup := dep.ReversePortMap[m.From]; dup {
+				return dep, &Error{Pos: m.Pos, Msg: fmt.Sprintf("duplicate reverse mapping of %q", m.From)}
+			}
+			dep.ReversePortMap[m.From] = m.To
+		} else {
+			if dep.PortMap == nil {
+				dep.PortMap = make(map[string]string)
+			}
+			if _, dup := dep.PortMap[m.From]; dup {
+				return dep, &Error{Pos: m.Pos, Msg: fmt.Sprintf("duplicate mapping of %q", m.From)}
+			}
+			dep.PortMap[m.From] = m.To
+		}
+	}
+	return dep, nil
+}
+
+// parseTarget splits a dependency target that may embed a version range:
+// "Tomcat [5.5, 6.0.29)" → ("Tomcat", range). Plain keys return
+// hasRange=false.
+func parseTarget(s string) (name string, rng version.Range, hasRange bool, err error) {
+	i := strings.IndexAny(s, "[(")
+	if i < 0 {
+		return s, version.Range{}, false, nil
+	}
+	last := s[len(s)-1]
+	if last != ')' && last != ']' {
+		return s, version.Range{}, false, nil
+	}
+	name = strings.TrimSpace(s[:i])
+	if name == "" {
+		return "", version.Range{}, false, fmt.Errorf("version-range target %q has no package name", s)
+	}
+	r, err := version.ParseRange(s[i:])
+	if err != nil {
+		return "", version.Range{}, false, fmt.Errorf("target %q: %v", s, err)
+	}
+	return name, r, true, nil
+}
+
+// ParseAndResolve parses one or more named sources and resolves them
+// into a registry; the common entry point for library and CLI use.
+func ParseAndResolve(sources map[string]string) (*resource.Registry, error) {
+	names := make([]string, 0, len(sources))
+	for n := range sources {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	files := make([]*File, 0, len(sources))
+	for _, n := range names {
+		f, err := Parse(n, sources[n])
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return Resolve(files...)
+}

@@ -1,0 +1,64 @@
+package rdl
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: the parser never panics on arbitrary input — it returns a
+// File or an error.
+func TestParseNeverPanics(t *testing.T) {
+	f := func(src string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = Parse("fuzz", src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: mutating valid source by truncation never panics and either
+// parses or errors cleanly.
+func TestParseTruncationsOfValidSource(t *testing.T) {
+	src := openmrsRDL
+	for i := 0; i < len(src); i += 7 {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic at truncation %d: %v", i, r)
+				}
+			}()
+			_, _ = Parse("trunc", src[:i])
+		}()
+	}
+}
+
+// Property: the resolver never panics on parseable files.
+func TestResolveNeverPanics(t *testing.T) {
+	srcs := []string{
+		`resource "A 1" {}`,
+		`resource "A 1" extends "A 1" {}`,
+		`abstract resource "B" {} resource "A 1" extends "B" { env "B" }`,
+		`resource "A 1" { inside "X [1,2)" }`,
+		`resource "A 1" { config { p: list[list[string]] = [[]] } }`,
+	}
+	for _, src := range srcs {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", src, r)
+				}
+			}()
+			f, err := Parse("x", src)
+			if err != nil {
+				return
+			}
+			_, _ = Resolve(f)
+		}()
+	}
+}

@@ -1,0 +1,182 @@
+// Package rdl implements the Engage resource definition language: the
+// concrete syntax for resource types that the paper deliberately leaves
+// unspecified ("We omit describing a concrete syntax for resources").
+//
+// The language is declarative. A registry of resource types is written
+// as a sequence of resource declarations:
+//
+//	// A machine type.
+//	abstract resource "Server" {
+//	    config {
+//	        hostname: string = "localhost"
+//	        os_user_name: string = "root"
+//	    }
+//	    output {
+//	        host: struct { hostname: string } = { hostname: config.hostname }
+//	    }
+//	}
+//
+//	resource "Mac-OSX 10.6" extends "Server" {}
+//
+//	resource "Tomcat 6.0.18" {
+//	    inside "Server"
+//	    input  { java: struct { home: string } }
+//	    config { manager_port: tcp_port = 8080 }
+//	    output {
+//	        tomcat: struct { port: tcp_port } = { port: config.manager_port }
+//	    }
+//	    env "Java" { java -> java }
+//	}
+//
+// Dependencies admit the §3.4 sugar: disjunction
+// (`env one_of("JDK 1.6", "JRE 1.6") { java -> java }`), version ranges
+// embedded in the target key (`inside "Tomcat [5.5, 6.0.29)"`), static
+// port bindings (`static config { … }` entries via the `static`
+// modifier), and reverse port maps (`reverse app_config -> server_config`
+// inside a dependency block).
+package rdl
+
+import "fmt"
+
+// TokKind enumerates lexical token kinds.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokString // "quoted"
+	TokInt
+	TokLBrace // {
+	TokRBrace // }
+	TokLParen // (
+	TokRParen // )
+	TokLBrack // [
+	TokRBrack // ]
+	TokColon  // :
+	TokComma  // ,
+	TokEquals // =
+	TokArrow  // ->
+	TokDot    // .
+
+	// Keywords.
+	TokResource
+	TokAbstract
+	TokExtends
+	TokInside
+	TokEnv
+	TokPeer
+	TokInput
+	TokConfig
+	TokOutput
+	TokStatic
+	TokOneOf
+	TokConcat
+	TokStruct
+	TokList
+	TokReverse
+	TokTrue
+	TokFalse
+	TokSecretLit // secret("...")
+)
+
+var keywords = map[string]TokKind{
+	"resource": TokResource,
+	"abstract": TokAbstract,
+	"extends":  TokExtends,
+	"inside":   TokInside,
+	"env":      TokEnv,
+	"peer":     TokPeer,
+	"input":    TokInput,
+	"config":   TokConfig,
+	"output":   TokOutput,
+	"static":   TokStatic,
+	"one_of":   TokOneOf,
+	"concat":   TokConcat,
+	"struct":   TokStruct,
+	"list":     TokList,
+	"reverse":  TokReverse,
+	"true":     TokTrue,
+	"false":    TokFalse,
+	"secret":   TokSecretLit,
+}
+
+var kindNames = map[TokKind]string{
+	TokEOF:       "end of file",
+	TokIdent:     "identifier",
+	TokString:    "string literal",
+	TokInt:       "integer literal",
+	TokLBrace:    "'{'",
+	TokRBrace:    "'}'",
+	TokLParen:    "'('",
+	TokRParen:    "')'",
+	TokLBrack:    "'['",
+	TokRBrack:    "']'",
+	TokColon:     "':'",
+	TokComma:     "','",
+	TokEquals:    "'='",
+	TokArrow:     "'->'",
+	TokDot:       "'.'",
+	TokResource:  "'resource'",
+	TokAbstract:  "'abstract'",
+	TokExtends:   "'extends'",
+	TokInside:    "'inside'",
+	TokEnv:       "'env'",
+	TokPeer:      "'peer'",
+	TokInput:     "'input'",
+	TokConfig:    "'config'",
+	TokOutput:    "'output'",
+	TokStatic:    "'static'",
+	TokOneOf:     "'one_of'",
+	TokConcat:    "'concat'",
+	TokStruct:    "'struct'",
+	TokList:      "'list'",
+	TokReverse:   "'reverse'",
+	TokTrue:      "'true'",
+	TokFalse:     "'false'",
+	TokSecretLit: "'secret'",
+}
+
+func (k TokKind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+// Pos is a source position.
+type Pos struct {
+	File string
+	Line int
+	Col  int
+}
+
+// String renders "file:line:col".
+func (p Pos) String() string {
+	if p.File == "" {
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
+// Token is a lexical token with position and payload.
+type Token struct {
+	Kind TokKind
+	Pos  Pos
+	Text string // identifier name or string payload
+	Int  int    // integer payload
+	Doc  string // doc comment attached to the token, if any
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokIdent:
+		return fmt.Sprintf("identifier %q", t.Text)
+	case TokString:
+		return fmt.Sprintf("string %q", t.Text)
+	case TokInt:
+		return fmt.Sprintf("integer %d", t.Int)
+	default:
+		return t.Kind.String()
+	}
+}

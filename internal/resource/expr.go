@@ -1,0 +1,225 @@
+package resource
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Section identifies the port section an expression reference reads
+// from. Per §3.1, a configuration port may read from input ports of the
+// same resource, and an output port may read from input or config ports.
+type Section int
+
+// Port sections.
+const (
+	SecInput Section = iota
+	SecConfig
+	SecOutput
+)
+
+func (s Section) String() string {
+	switch s {
+	case SecInput:
+		return "input"
+	case SecConfig:
+		return "config"
+	case SecOutput:
+		return "output"
+	default:
+		return "section?"
+	}
+}
+
+// Scope supplies port values during expression evaluation. Input lookups
+// resolve against already-propagated input ports; config lookups against
+// already-evaluated config ports.
+type Scope interface {
+	Lookup(sec Section, name string) (Value, bool)
+}
+
+// MapScope is a Scope backed by two maps.
+type MapScope struct {
+	Inputs  map[string]Value
+	Configs map[string]Value
+}
+
+// Lookup implements Scope.
+func (m MapScope) Lookup(sec Section, name string) (Value, bool) {
+	switch sec {
+	case SecInput:
+		v, ok := m.Inputs[name]
+		return v, ok
+	case SecConfig:
+		v, ok := m.Configs[name]
+		return v, ok
+	default:
+		return Value{}, false
+	}
+}
+
+// Expr is a port value definition: a default constant or a function of
+// upstream ports (§3.1). Expressions are pure and total over a scope
+// that defines every referenced port.
+type Expr interface {
+	// Eval computes the expression's value in the given scope.
+	Eval(s Scope) (Value, error)
+	// String renders RDL-like surface syntax.
+	String() string
+	// refs appends the port references the expression reads.
+	refs(dst []Ref) []Ref
+}
+
+// Lit is a literal constant expression.
+type Lit struct{ V Value }
+
+// Eval implements Expr.
+func (l Lit) Eval(Scope) (Value, error) { return l.V, nil }
+
+func (l Lit) String() string       { return l.V.Reveal() }
+func (l Lit) refs(dst []Ref) []Ref { return dst }
+
+// Ref reads a port, optionally descending into struct fields via Path.
+type Ref struct {
+	Sec  Section
+	Name string
+	Path []string
+}
+
+// Eval implements Expr.
+func (r Ref) Eval(s Scope) (Value, error) {
+	v, ok := s.Lookup(r.Sec, r.Name)
+	if !ok {
+		return Value{}, fmt.Errorf("undefined port %s.%s", r.Sec, r.Name)
+	}
+	for _, f := range r.Path {
+		fv, ok := v.Field(f)
+		if !ok {
+			return Value{}, fmt.Errorf("port %s.%s: no field %q in %s", r.Sec, r.Name, f, v)
+		}
+		v = fv
+	}
+	return v, nil
+}
+
+func (r Ref) String() string {
+	s := r.Sec.String() + "." + r.Name
+	if len(r.Path) > 0 {
+		s += "." + strings.Join(r.Path, ".")
+	}
+	return s
+}
+
+func (r Ref) refs(dst []Ref) []Ref { return append(dst, r) }
+
+// Concat concatenates the AsString forms of its arguments into a string
+// value; this is the workhorse for deriving connection URLs and paths.
+type Concat struct{ Args []Expr }
+
+// Eval implements Expr.
+func (c Concat) Eval(s Scope) (Value, error) {
+	var b strings.Builder
+	for _, a := range c.Args {
+		v, err := a.Eval(s)
+		if err != nil {
+			return Value{}, err
+		}
+		b.WriteString(v.AsString())
+	}
+	return Str(b.String()), nil
+}
+
+func (c Concat) String() string {
+	parts := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		parts[i] = a.String()
+	}
+	return "concat(" + strings.Join(parts, ", ") + ")"
+}
+
+func (c Concat) refs(dst []Ref) []Ref {
+	for _, a := range c.Args {
+		dst = a.refs(dst)
+	}
+	return dst
+}
+
+// MakeStruct builds a struct value from named sub-expressions.
+type MakeStruct struct{ Fields map[string]Expr }
+
+// Eval implements Expr.
+func (m MakeStruct) Eval(s Scope) (Value, error) {
+	out := make(map[string]Value, len(m.Fields))
+	for n, e := range m.Fields {
+		v, err := e.Eval(s)
+		if err != nil {
+			return Value{}, err
+		}
+		out[n] = v
+	}
+	return StructV(out), nil
+}
+
+func (m MakeStruct) String() string {
+	names := make([]string, 0, len(m.Fields))
+	for n := range m.Fields {
+		names = append(names, n)
+	}
+	// Stable order for rendering.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = n + ": " + m.Fields[n].String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+func (m MakeStruct) refs(dst []Ref) []Ref {
+	for _, e := range m.Fields {
+		dst = e.refs(dst)
+	}
+	return dst
+}
+
+// MakeList builds a list value from element expressions.
+type MakeList struct{ Elems []Expr }
+
+// Eval implements Expr.
+func (m MakeList) Eval(s Scope) (Value, error) {
+	out := make([]Value, len(m.Elems))
+	for i, e := range m.Elems {
+		v, err := e.Eval(s)
+		if err != nil {
+			return Value{}, err
+		}
+		out[i] = v
+	}
+	return ListV(out...), nil
+}
+
+func (m MakeList) String() string {
+	parts := make([]string, len(m.Elems))
+	for i, e := range m.Elems {
+		parts[i] = e.String()
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+func (m MakeList) refs(dst []Ref) []Ref {
+	for _, e := range m.Elems {
+		dst = e.refs(dst)
+	}
+	return dst
+}
+
+// Refs returns every port reference an expression reads, for static
+// checking (e.g., a config port must only read input ports).
+func Refs(e Expr) []Ref {
+	if e == nil {
+		return nil
+	}
+	return e.refs(nil)
+}

@@ -1,0 +1,146 @@
+package resource
+
+import (
+	"strings"
+	"testing"
+)
+
+func testScope() MapScope {
+	return MapScope{
+		Inputs: map[string]Value{
+			"db": StructV(map[string]Value{
+				"host": Str("dbhost"),
+				"port": PortV(3306),
+			}),
+		},
+		Configs: map[string]Value{
+			"name": Str("openmrs"),
+		},
+	}
+}
+
+func TestLitEval(t *testing.T) {
+	v, err := Lit{V: IntV(7)}.Eval(testScope())
+	if err != nil || v.Int != 7 {
+		t.Fatalf("Lit eval: %v %v", v, err)
+	}
+}
+
+func TestRefEval(t *testing.T) {
+	v, err := Ref{Sec: SecConfig, Name: "name"}.Eval(testScope())
+	if err != nil || v.Str != "openmrs" {
+		t.Fatalf("Ref config eval: %v %v", v, err)
+	}
+	v, err = Ref{Sec: SecInput, Name: "db", Path: []string{"port"}}.Eval(testScope())
+	if err != nil || v.Int != 3306 {
+		t.Fatalf("Ref path eval: %v %v", v, err)
+	}
+}
+
+func TestRefEvalErrors(t *testing.T) {
+	if _, err := (Ref{Sec: SecInput, Name: "missing"}).Eval(testScope()); err == nil {
+		t.Error("missing port should error")
+	}
+	if _, err := (Ref{Sec: SecInput, Name: "db", Path: []string{"nope"}}).Eval(testScope()); err == nil {
+		t.Error("missing field should error")
+	}
+	if _, err := (Ref{Sec: SecConfig, Name: "name", Path: []string{"x"}}).Eval(testScope()); err == nil {
+		t.Error("field access on scalar should error")
+	}
+}
+
+func TestConcatEval(t *testing.T) {
+	e := Concat{Args: []Expr{
+		Lit{V: Str("jdbc:mysql://")},
+		Ref{Sec: SecInput, Name: "db", Path: []string{"host"}},
+		Lit{V: Str(":")},
+		Ref{Sec: SecInput, Name: "db", Path: []string{"port"}},
+		Lit{V: Str("/")},
+		Ref{Sec: SecConfig, Name: "name"},
+	}}
+	v, err := e.Eval(testScope())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "jdbc:mysql://dbhost:3306/openmrs"
+	if v.Str != want {
+		t.Errorf("Concat = %q, want %q", v.Str, want)
+	}
+}
+
+func TestConcatPropagatesError(t *testing.T) {
+	e := Concat{Args: []Expr{Ref{Sec: SecInput, Name: "missing"}}}
+	if _, err := e.Eval(testScope()); err == nil {
+		t.Error("Concat should propagate reference errors")
+	}
+}
+
+func TestMakeStructEval(t *testing.T) {
+	e := MakeStruct{Fields: map[string]Expr{
+		"host": Ref{Sec: SecInput, Name: "db", Path: []string{"host"}},
+		"name": Ref{Sec: SecConfig, Name: "name"},
+	}}
+	v, err := e.Eval(testScope())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, _ := v.Field("host"); h.Str != "dbhost" {
+		t.Errorf("host = %v", h)
+	}
+	if n, _ := v.Field("name"); n.Str != "openmrs" {
+		t.Errorf("name = %v", n)
+	}
+}
+
+func TestMakeStructError(t *testing.T) {
+	e := MakeStruct{Fields: map[string]Expr{"x": Ref{Sec: SecInput, Name: "missing"}}}
+	if _, err := e.Eval(testScope()); err == nil {
+		t.Error("MakeStruct should propagate errors")
+	}
+}
+
+func TestRefs(t *testing.T) {
+	e := Concat{Args: []Expr{
+		Lit{V: Str("x")},
+		Ref{Sec: SecInput, Name: "a"},
+		MakeStruct{Fields: map[string]Expr{"f": Ref{Sec: SecConfig, Name: "b"}}},
+	}}
+	rs := Refs(e)
+	if len(rs) != 2 {
+		t.Fatalf("Refs = %v, want 2 refs", rs)
+	}
+	names := map[string]bool{}
+	for _, r := range rs {
+		names[r.Name] = true
+	}
+	if !names["a"] || !names["b"] {
+		t.Errorf("Refs missing expected names: %v", rs)
+	}
+	if Refs(nil) != nil {
+		t.Error("Refs(nil) should be nil")
+	}
+}
+
+func TestExprString(t *testing.T) {
+	r := Ref{Sec: SecInput, Name: "db", Path: []string{"host"}}
+	if r.String() != "input.db.host" {
+		t.Errorf("Ref.String() = %q", r.String())
+	}
+	c := Concat{Args: []Expr{Lit{V: Str("a")}, r}}
+	if !strings.Contains(c.String(), "input.db.host") {
+		t.Errorf("Concat.String() = %q", c.String())
+	}
+	m := MakeStruct{Fields: map[string]Expr{"b": Lit{V: IntV(1)}, "a": Lit{V: IntV(2)}}}
+	if m.String() != "{a: 2, b: 1}" {
+		t.Errorf("MakeStruct.String() = %q", m.String())
+	}
+}
+
+func TestSectionString(t *testing.T) {
+	if SecInput.String() != "input" || SecConfig.String() != "config" || SecOutput.String() != "output" {
+		t.Error("section names wrong")
+	}
+	if Section(42).String() != "section?" {
+		t.Error("unknown section should render placeholder")
+	}
+}

@@ -1,0 +1,585 @@
+package sat
+
+import "sort"
+
+// CDCL is a conflict-driven clause-learning solver in the MiniSat
+// lineage: two-literal watching, VSIDS variable activity with phase
+// saving, first-UIP conflict analysis, Luby-sequence restarts, and
+// activity-based learned-clause deletion.
+type CDCL struct{}
+
+// NewCDCL returns a CDCL solver.
+func NewCDCL() *CDCL { return &CDCL{} }
+
+// Name implements Solver.
+func (*CDCL) Name() string { return "cdcl" }
+
+// Internal literal encoding: lit = 2*v for +v, 2*v+1 for ¬v, with v in
+// [0, nVars).
+type ilit int32
+
+func toInternal(l Lit) ilit {
+	v := ilit(l.Var() - 1)
+	if l < 0 {
+		return 2*v + 1
+	}
+	return 2 * v
+}
+
+func (l ilit) ivar() int32 { return int32(l) >> 1 }
+func (l ilit) neg() ilit   { return l ^ 1 }
+func (l ilit) sign() bool  { return l&1 == 1 } // true for negated
+
+type clause struct {
+	lits     []ilit
+	learned  bool
+	activity float64
+}
+
+const (
+	valUnassigned int8 = 0
+	valTrue       int8 = 1
+	valFalse      int8 = -1
+)
+
+type cdclState struct {
+	nVars   int
+	clauses []*clause // problem clauses
+	learnts []*clause
+	watches [][]*clause // per internal literal
+
+	assign   []int8 // per var
+	level    []int32
+	reason   []*clause
+	trail    []ilit
+	trailLim []int
+	qhead    int
+
+	activity []float64
+	varInc   float64
+	order    varHeap
+	polarity []bool // saved phase: true means last assigned false
+	seen     []bool
+
+	claInc float64
+	stats  Stats
+	ok     bool
+}
+
+// Solve implements Solver.
+func (*CDCL) Solve(f *Formula) Result {
+	s := newState(f.NumVars)
+	for _, c := range f.Clauses {
+		if !s.addClause(c) {
+			return Result{Status: Unsat, Stats: s.stats}
+		}
+	}
+	return s.search()
+}
+
+func newState(nVars int) *cdclState {
+	s := &cdclState{
+		nVars:    nVars,
+		watches:  make([][]*clause, 2*nVars),
+		assign:   make([]int8, nVars),
+		level:    make([]int32, nVars),
+		reason:   make([]*clause, nVars),
+		activity: make([]float64, nVars),
+		polarity: make([]bool, nVars),
+		seen:     make([]bool, nVars),
+		varInc:   1,
+		claInc:   1,
+		ok:       true,
+	}
+	// Default branching polarity is false (MiniSat's default): in
+	// Engage's configuration problems this yields minimal models —
+	// resources not forced by a constraint stay undeployed.
+	for i := range s.polarity {
+		s.polarity[i] = true
+	}
+	s.order.init(s, nVars)
+	return s
+}
+
+func (s *cdclState) value(l ilit) int8 {
+	v := s.assign[l.ivar()]
+	if v == valUnassigned {
+		return valUnassigned
+	}
+	if l.sign() {
+		return -v
+	}
+	return v
+}
+
+// addClause installs a problem clause, handling duplicates, tautologies,
+// and already-satisfied/falsified literals at level 0.
+func (s *cdclState) addClause(c Clause) bool {
+	if !s.ok {
+		return false
+	}
+	lits := make([]ilit, 0, len(c))
+	for _, l := range c {
+		lits = append(lits, toInternal(l))
+	}
+	sort.Slice(lits, func(i, j int) bool { return lits[i] < lits[j] })
+	out := lits[:0]
+	var prev ilit = -1
+	for _, l := range lits {
+		if l == prev {
+			continue // duplicate literal
+		}
+		if prev >= 0 && l == prev.neg() {
+			return true // tautology
+		}
+		switch s.value(l) {
+		case valTrue:
+			return true // satisfied at level 0
+		case valFalse:
+			continue // drop falsified literal
+		}
+		out = append(out, l)
+		prev = l
+	}
+	switch len(out) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		s.uncheckedEnqueue(out[0], nil)
+		s.ok = s.propagate() == nil
+		return s.ok
+	}
+	cl := &clause{lits: append([]ilit(nil), out...)}
+	s.clauses = append(s.clauses, cl)
+	s.attach(cl)
+	return true
+}
+
+func (s *cdclState) attach(c *clause) {
+	s.watches[c.lits[0].neg()] = append(s.watches[c.lits[0].neg()], c)
+	s.watches[c.lits[1].neg()] = append(s.watches[c.lits[1].neg()], c)
+}
+
+func (s *cdclState) decisionLevel() int { return len(s.trailLim) }
+
+func (s *cdclState) uncheckedEnqueue(l ilit, from *clause) {
+	v := l.ivar()
+	if l.sign() {
+		s.assign[v] = valFalse
+	} else {
+		s.assign[v] = valTrue
+	}
+	s.level[v] = int32(s.decisionLevel())
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+}
+
+// propagate performs unit propagation; it returns a conflicting clause
+// or nil.
+func (s *cdclState) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead] // p is true
+		s.qhead++
+		ws := s.watches[p]
+		s.watches[p] = ws[:0]
+		kept := s.watches[p]
+		for i := 0; i < len(ws); i++ {
+			s.stats.Propagations++
+			c := ws[i]
+			// Ensure the falsified literal is lits[1].
+			if c.lits[0] == p.neg() {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			// If lits[0] is true the clause is satisfied.
+			if s.value(c.lits[0]) == valTrue {
+				kept = append(kept, c)
+				continue
+			}
+			// Look for a new literal to watch.
+			found := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.value(c.lits[k]) != valFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].neg()] = append(s.watches[c.lits[1].neg()], c)
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			// Clause is unit or conflicting.
+			kept = append(kept, c)
+			if s.value(c.lits[0]) == valFalse {
+				// Conflict: restore remaining watches and bail.
+				kept = append(kept, ws[i+1:]...)
+				s.watches[p] = kept
+				s.qhead = len(s.trail)
+				return c
+			}
+			s.uncheckedEnqueue(c.lits[0], c)
+		}
+		s.watches[p] = kept
+	}
+	return nil
+}
+
+// analyze performs first-UIP conflict analysis, returning the learned
+// clause (asserting literal first) and the backjump level.
+func (s *cdclState) analyze(confl *clause) ([]ilit, int) {
+	learnt := []ilit{0} // slot for the asserting literal
+	counter := 0
+	var p ilit = -1
+	idx := len(s.trail) - 1
+	cleanup := make([]int32, 0, 16)
+
+	for {
+		s.bumpClause(confl)
+		start := 0
+		if p >= 0 {
+			start = 1
+		}
+		for _, q := range confl.lits[start:] {
+			v := q.ivar()
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = true
+			cleanup = append(cleanup, v)
+			s.bumpVar(v)
+			if int(s.level[v]) == s.decisionLevel() {
+				counter++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		// Select next literal from the trail.
+		for !s.seen[s.trail[idx].ivar()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		v := p.ivar()
+		s.seen[v] = false
+		counter--
+		if counter == 0 {
+			learnt[0] = p.neg()
+			break
+		}
+		confl = s.reason[v]
+	}
+
+	// Conflict-clause minimization: drop literals implied by the rest.
+	minimized := learnt[:1]
+	for _, l := range learnt[1:] {
+		if !s.redundant(l) {
+			minimized = append(minimized, l)
+		}
+	}
+	learnt = minimized
+
+	// Find backjump level: max level among learnt[1:].
+	back := 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].ivar()] > s.level[learnt[maxI].ivar()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		back = int(s.level[learnt[1].ivar()])
+	}
+	for _, v := range cleanup {
+		s.seen[v] = false
+	}
+	return learnt, back
+}
+
+// redundant reports whether literal l in a learned clause is implied by
+// the other marked literals (simple local minimization: l's reason
+// exists and all its literals are marked or at level 0).
+func (s *cdclState) redundant(l ilit) bool {
+	r := s.reason[l.ivar()]
+	if r == nil {
+		return false
+	}
+	for _, q := range r.lits {
+		if q.ivar() == l.ivar() {
+			continue
+		}
+		if s.level[q.ivar()] != 0 && !s.seen[q.ivar()] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *cdclState) backtrackTo(lvl int) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	bound := s.trailLim[lvl]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		l := s.trail[i]
+		v := l.ivar()
+		s.polarity[v] = l.sign()
+		s.assign[v] = valUnassigned
+		s.reason[v] = nil
+		s.order.push(v)
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:lvl]
+	s.qhead = len(s.trail)
+}
+
+func (s *cdclState) bumpVar(v int32) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.order.update(v)
+}
+
+func (s *cdclState) bumpClause(c *clause) {
+	if !c.learned {
+		return
+	}
+	c.activity += s.claInc
+	if c.activity > 1e20 {
+		for _, lc := range s.learnts {
+			lc.activity *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+const (
+	varDecay = 1.0 / 0.95
+	claDecay = 1.0 / 0.999
+)
+
+// luby computes element x (0-based) of the Luby restart sequence
+// 1,1,2,1,1,2,4,1,1,2,1,1,2,4,8,… (MiniSat's formulation).
+func luby(x int64) int64 {
+	size, seq := int64(1), 0
+	for size < x+1 {
+		seq++
+		size = 2*size + 1
+	}
+	for size-1 != x {
+		size = (size - 1) >> 1
+		seq--
+		x %= size
+	}
+	return int64(1) << uint(seq)
+}
+
+func (s *cdclState) search() Result {
+	if !s.ok {
+		return Result{Status: Unsat, Stats: s.stats}
+	}
+	maxLearnts := len(s.clauses)/3 + 100
+	for {
+		limit := 100 * luby(s.stats.Restarts)
+		status, model := s.searchOnce(limit, &maxLearnts)
+		if status != Unknown {
+			return Result{Status: status, Model: model, Stats: s.stats}
+		}
+		s.stats.Restarts++
+		s.backtrackTo(0)
+	}
+}
+
+// searchOnce runs the CDCL loop until a result, or until conflictLimit
+// conflicts have occurred (signalling a restart with Unknown).
+func (s *cdclState) searchOnce(conflictLimit int64, maxLearnts *int) (Status, []bool) {
+	var conflicts int64
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.stats.Conflicts++
+			conflicts++
+			if s.decisionLevel() == 0 {
+				return Unsat, nil
+			}
+			learnt, back := s.analyze(confl)
+			s.backtrackTo(back)
+			if len(learnt) == 1 {
+				s.uncheckedEnqueue(learnt[0], nil)
+			} else {
+				cl := &clause{lits: learnt, learned: true, activity: s.claInc}
+				s.learnts = append(s.learnts, cl)
+				s.stats.Learned++
+				s.attach(cl)
+				s.uncheckedEnqueue(learnt[0], cl)
+			}
+			s.varInc *= varDecay
+			s.claInc *= claDecay
+			continue
+		}
+		if conflicts >= conflictLimit {
+			return Unknown, nil
+		}
+		if len(s.learnts) > *maxLearnts+len(s.trail) {
+			s.reduceDB()
+			*maxLearnts += *maxLearnts / 10
+		}
+		// Decide.
+		v := s.pickBranchVar()
+		if v < 0 {
+			// All variables assigned: SAT.
+			model := make([]bool, s.nVars+1)
+			for i := 0; i < s.nVars; i++ {
+				model[i+1] = s.assign[i] == valTrue
+			}
+			return Sat, model
+		}
+		s.stats.Decisions++
+		s.trailLim = append(s.trailLim, len(s.trail))
+		l := ilit(2 * v)
+		if s.polarity[v] {
+			l = l.neg()
+		}
+		s.uncheckedEnqueue(l, nil)
+	}
+}
+
+func (s *cdclState) pickBranchVar() int32 {
+	for !s.order.empty() {
+		v := s.order.pop()
+		if s.assign[v] == valUnassigned {
+			return v
+		}
+	}
+	return -1
+}
+
+// reduceDB removes the lower-activity half of the learned clauses,
+// keeping binary clauses and clauses that are the reason for a current
+// assignment.
+func (s *cdclState) reduceDB() {
+	sort.Slice(s.learnts, func(i, j int) bool {
+		return s.learnts[i].activity > s.learnts[j].activity
+	})
+	locked := make(map[*clause]bool)
+	for _, r := range s.reason {
+		if r != nil {
+			locked[r] = true
+		}
+	}
+	keep := s.learnts[:0]
+	limit := len(s.learnts) / 2
+	for i, c := range s.learnts {
+		if i < limit || len(c.lits) == 2 || locked[c] {
+			keep = append(keep, c)
+		} else {
+			s.detach(c)
+		}
+	}
+	s.learnts = keep
+}
+
+func (s *cdclState) detach(c *clause) {
+	for _, w := range []ilit{c.lits[0].neg(), c.lits[1].neg()} {
+		ws := s.watches[w]
+		for i, wc := range ws {
+			if wc == c {
+				ws[i] = ws[len(ws)-1]
+				s.watches[w] = ws[:len(ws)-1]
+				break
+			}
+		}
+	}
+}
+
+// varHeap is a max-heap of variables ordered by VSIDS activity, with an
+// index array for decrease/increase-key.
+type varHeap struct {
+	s     *cdclState
+	heap  []int32
+	index []int32 // position in heap, -1 if absent
+}
+
+func (h *varHeap) init(s *cdclState, n int) {
+	h.s = s
+	h.heap = make([]int32, n)
+	h.index = make([]int32, n)
+	for i := int32(0); i < int32(n); i++ {
+		h.heap[i] = i
+		h.index[i] = i
+	}
+}
+
+func (h *varHeap) less(i, j int) bool {
+	return h.s.activity[h.heap[i]] > h.s.activity[h.heap[j]]
+}
+
+func (h *varHeap) swap(i, j int) {
+	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
+	h.index[h.heap[i]] = int32(i)
+	h.index[h.heap[j]] = int32(j)
+}
+
+func (h *varHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *varHeap) down(i int) {
+	n := len(h.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && h.less(l, best) {
+			best = l
+		}
+		if r < n && h.less(r, best) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h.swap(i, best)
+		i = best
+	}
+}
+
+func (h *varHeap) empty() bool { return len(h.heap) == 0 }
+
+func (h *varHeap) pop() int32 {
+	v := h.heap[0]
+	last := len(h.heap) - 1
+	h.swap(0, last)
+	h.heap = h.heap[:last]
+	h.index[v] = -1
+	if last > 0 {
+		h.down(0)
+	}
+	return v
+}
+
+func (h *varHeap) push(v int32) {
+	if h.index[v] >= 0 {
+		return
+	}
+	h.heap = append(h.heap, v)
+	h.index[v] = int32(len(h.heap) - 1)
+	h.up(len(h.heap) - 1)
+}
+
+func (h *varHeap) update(v int32) {
+	if i := h.index[v]; i >= 0 {
+		h.up(int(i))
+	}
+}

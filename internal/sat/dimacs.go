@@ -1,0 +1,73 @@
+package sat
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseDimacs reads a formula in DIMACS CNF format: an optional
+// `p cnf <vars> <clauses>` header, `c` comment lines, and clauses as
+// whitespace-separated literals terminated by 0 (clauses may span
+// lines). The header's counts are validated when present; without a
+// header, NumVars is the largest variable mentioned.
+func ParseDimacs(src string) (*Formula, error) {
+	f := &Formula{}
+	declaredVars, declaredClauses := -1, -1
+	var current Clause
+	maxVar := 0
+
+	sc := bufio.NewScanner(strings.NewReader(src))
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "c") {
+			continue
+		}
+		if strings.HasPrefix(text, "p") {
+			fields := strings.Fields(text)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("dimacs line %d: malformed problem line %q", line, text)
+			}
+			v, err1 := strconv.Atoi(fields[2])
+			c, err2 := strconv.Atoi(fields[3])
+			if err1 != nil || err2 != nil || v < 0 || c < 0 {
+				return nil, fmt.Errorf("dimacs line %d: bad counts in %q", line, text)
+			}
+			declaredVars, declaredClauses = v, c
+			continue
+		}
+		for _, tok := range strings.Fields(text) {
+			n, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("dimacs line %d: bad literal %q", line, tok)
+			}
+			if n == 0 {
+				f.Clauses = append(f.Clauses, current)
+				current = nil
+				continue
+			}
+			l := Lit(n)
+			if l.Var() > maxVar {
+				maxVar = l.Var()
+			}
+			current = append(current, l)
+		}
+	}
+	if len(current) > 0 {
+		return nil, fmt.Errorf("dimacs: final clause not terminated by 0")
+	}
+	f.NumVars = maxVar
+	if declaredVars >= 0 {
+		if maxVar > declaredVars {
+			return nil, fmt.Errorf("dimacs: variable %d exceeds declared count %d", maxVar, declaredVars)
+		}
+		f.NumVars = declaredVars
+	}
+	if declaredClauses >= 0 && len(f.Clauses) != declaredClauses {
+		return nil, fmt.Errorf("dimacs: %d clauses found, header declares %d", len(f.Clauses), declaredClauses)
+	}
+	return f, nil
+}

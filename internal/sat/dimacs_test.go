@@ -1,0 +1,74 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestParseDimacsBasic(t *testing.T) {
+	src := `c example
+p cnf 3 2
+1 -2 0
+3 0
+`
+	f, err := ParseDimacs(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumVars != 3 || len(f.Clauses) != 2 {
+		t.Fatalf("parsed %d vars %d clauses", f.NumVars, len(f.Clauses))
+	}
+	if f.Clauses[0][1] != Lit(-2) {
+		t.Errorf("clause payload wrong: %v", f.Clauses[0])
+	}
+}
+
+func TestParseDimacsMultilineClause(t *testing.T) {
+	f, err := ParseDimacs("1 2\n-3 0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Clauses) != 1 || len(f.Clauses[0]) != 3 {
+		t.Errorf("multiline clause wrong: %v", f.Clauses)
+	}
+	if f.NumVars != 3 {
+		t.Errorf("headerless NumVars = %d", f.NumVars)
+	}
+}
+
+func TestParseDimacsErrors(t *testing.T) {
+	for _, src := range []string{
+		"p cnf x 2\n1 0\n",
+		"p dnf 1 1\n1 0\n",
+		"p cnf 1\n",
+		"1 2\n", // unterminated
+		"1 a 0\n",
+		"p cnf 1 1\n2 0\n", // var exceeds header
+		"p cnf 3 2\n1 0\n", // clause count mismatch
+	} {
+		if _, err := ParseDimacs(src); err == nil {
+			t.Errorf("ParseDimacs(%q): expected error", src)
+		}
+	}
+}
+
+// Property: Dimacs → ParseDimacs round-trips random formulas and the
+// solver agrees on satisfiability.
+func TestDimacsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 40; trial++ {
+		f := randomFormula(rng, 8+rng.Intn(10), 20+rng.Intn(30))
+		g, err := ParseDimacs(Dimacs(f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.NumVars != f.NumVars || len(g.Clauses) != len(f.Clauses) {
+			t.Fatalf("round trip shape changed")
+		}
+		r1 := NewCDCL().Solve(f)
+		r2 := NewCDCL().Solve(g)
+		if r1.Status != r2.Status {
+			t.Fatalf("status changed through round trip: %v vs %v", r1.Status, r2.Status)
+		}
+	}
+}

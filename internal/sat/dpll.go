@@ -1,0 +1,219 @@
+package sat
+
+// DPLL is a plain Davis–Putnam–Logemann–Loveland solver: recursive
+// backtracking with unit propagation and pure-literal elimination, no
+// learning, no watched literals. It exists as the ablation baseline
+// (bench A1) contrasting with the CDCL engine the configuration engine
+// uses, mirroring the paper's choice of a modern SAT solver (MiniSat).
+type DPLL struct {
+	// MaxDecisions bounds the search (0 = unbounded); if exceeded the
+	// result status is Unknown. Benchmarks use this to keep pathological
+	// cases bounded.
+	MaxDecisions int64
+}
+
+// NewDPLL returns a DPLL solver.
+func NewDPLL() *DPLL { return &DPLL{} }
+
+// Name implements Solver.
+func (*DPLL) Name() string { return "dpll" }
+
+type dpllState struct {
+	nVars   int
+	clauses []Clause
+	assign  []int8 // by var, 1-based
+	trail   []int
+	stats   Stats
+	maxDec  int64
+	aborted bool
+}
+
+// Solve implements Solver.
+func (d *DPLL) Solve(f *Formula) Result {
+	s := &dpllState{
+		nVars:   f.NumVars,
+		clauses: f.Clauses,
+		assign:  make([]int8, f.NumVars+1),
+		maxDec:  d.MaxDecisions,
+	}
+	sat := s.solve()
+	if s.aborted {
+		return Result{Status: Unknown, Stats: s.stats}
+	}
+	if !sat {
+		return Result{Status: Unsat, Stats: s.stats}
+	}
+	model := make([]bool, f.NumVars+1)
+	for v := 1; v <= f.NumVars; v++ {
+		model[v] = s.assign[v] == valTrue
+	}
+	return Result{Status: Sat, Model: model, Stats: s.stats}
+}
+
+func (s *dpllState) litVal(l Lit) int8 {
+	a := s.assign[l.Var()]
+	if a == valUnassigned {
+		return valUnassigned
+	}
+	if l < 0 {
+		return -a
+	}
+	return a
+}
+
+func (s *dpllState) set(l Lit) {
+	if l < 0 {
+		s.assign[l.Var()] = valFalse
+	} else {
+		s.assign[l.Var()] = valTrue
+	}
+	s.trail = append(s.trail, l.Var())
+}
+
+func (s *dpllState) undoTo(mark int) {
+	for len(s.trail) > mark {
+		v := s.trail[len(s.trail)-1]
+		s.trail = s.trail[:len(s.trail)-1]
+		s.assign[v] = valUnassigned
+	}
+}
+
+// propagate applies unit propagation and pure-literal elimination to a
+// fixpoint. It returns false on conflict.
+func (s *dpllState) propagate() bool {
+	for {
+		changed := false
+		// Unit propagation.
+		for _, c := range s.clauses {
+			var unit Lit
+			unsat := true
+			nUnassigned := 0
+			for _, l := range c {
+				switch s.litVal(l) {
+				case valTrue:
+					unsat = false
+					nUnassigned = -1
+				case valUnassigned:
+					nUnassigned++
+					unit = l
+				}
+				if nUnassigned < 0 {
+					break
+				}
+			}
+			if nUnassigned < 0 {
+				continue // satisfied
+			}
+			if nUnassigned == 0 && unsat {
+				return false // falsified clause
+			}
+			if nUnassigned == 1 {
+				s.stats.Propagations++
+				s.set(unit)
+				changed = true
+			}
+		}
+		if changed {
+			continue
+		}
+		// Pure-literal elimination.
+		polarity := make(map[int]int8, s.nVars)
+		for _, c := range s.clauses {
+			satisfied := false
+			for _, l := range c {
+				if s.litVal(l) == valTrue {
+					satisfied = true
+					break
+				}
+			}
+			if satisfied {
+				continue
+			}
+			for _, l := range c {
+				if s.litVal(l) != valUnassigned {
+					continue
+				}
+				v := l.Var()
+				var pol int8 = 1
+				if l < 0 {
+					pol = -1
+				}
+				if prev, ok := polarity[v]; !ok {
+					polarity[v] = pol
+				} else if prev != pol {
+					polarity[v] = 0
+				}
+			}
+		}
+		for v, pol := range polarity {
+			switch pol {
+			case 1:
+				s.set(Lit(v))
+				changed = true
+			case -1:
+				s.set(Lit(-v))
+				changed = true
+			}
+		}
+		if !changed {
+			return true
+		}
+	}
+}
+
+func (s *dpllState) solve() bool {
+	mark := len(s.trail)
+	if !s.propagate() {
+		s.undoTo(mark)
+		return false
+	}
+	// Pick the first unassigned variable appearing in an unsatisfied
+	// clause.
+	branch := 0
+	for _, c := range s.clauses {
+		satisfied := false
+		candidate := 0
+		for _, l := range c {
+			switch s.litVal(l) {
+			case valTrue:
+				satisfied = true
+			case valUnassigned:
+				if candidate == 0 {
+					candidate = l.Var()
+				}
+			}
+			if satisfied {
+				break
+			}
+		}
+		if !satisfied && candidate != 0 {
+			branch = candidate
+			break
+		}
+	}
+	if branch == 0 {
+		return true // every clause satisfied
+	}
+	if s.maxDec > 0 && s.stats.Decisions >= s.maxDec {
+		s.aborted = true
+		s.undoTo(mark)
+		return false
+	}
+	s.stats.Decisions++
+	inner := len(s.trail)
+	s.set(Lit(branch))
+	if s.solve() {
+		return true
+	}
+	if s.aborted {
+		s.undoTo(mark)
+		return false
+	}
+	s.undoTo(inner)
+	s.set(Lit(-branch))
+	if s.solve() {
+		return true
+	}
+	s.undoTo(mark)
+	return false
+}

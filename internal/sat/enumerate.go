@@ -1,0 +1,56 @@
+package sat
+
+// EnumerateModels returns up to limit satisfying assignments of f,
+// distinct on the projection variables (nil projects onto all
+// variables). After each model a blocking clause over the projection is
+// added, so the enumeration never repeats a projected assignment.
+// Auxiliary variables (e.g., from the ladder encoding) are typically
+// excluded via the projection.
+//
+// limit ≤ 0 means "no limit"; enumeration is then bounded only by the
+// projected model count, which can be exponential — callers should
+// project and bound accordingly.
+func EnumerateModels(s Solver, f *Formula, project []int, limit int) [][]bool {
+	if project == nil {
+		project = make([]int, f.NumVars)
+		for v := 1; v <= f.NumVars; v++ {
+			project[v-1] = v
+		}
+	}
+	// Work on a private copy so the caller's formula is untouched.
+	work := &Formula{NumVars: f.NumVars, Clauses: append([]Clause(nil), f.Clauses...)}
+
+	var models [][]bool
+	for limit <= 0 || len(models) < limit {
+		res := s.Solve(work)
+		if res.Status != Sat {
+			break
+		}
+		model := make([]bool, len(res.Model))
+		copy(model, res.Model)
+		models = append(models, model)
+
+		block := make(Clause, 0, len(project))
+		for _, v := range project {
+			if v < 1 || v >= len(model) {
+				continue
+			}
+			if model[v] {
+				block = append(block, Lit(-v))
+			} else {
+				block = append(block, Lit(v))
+			}
+		}
+		if len(block) == 0 {
+			break // empty projection: one model class only
+		}
+		work.Clauses = append(work.Clauses, block)
+	}
+	return models
+}
+
+// CountModels counts satisfying assignments distinct on the projection,
+// up to max (0 = unbounded).
+func CountModels(s Solver, f *Formula, project []int, max int) int {
+	return len(EnumerateModels(s, f, project, max))
+}

@@ -1,0 +1,82 @@
+package sat
+
+import "testing"
+
+func TestEnumerateModelsExactlyOne(t *testing.T) {
+	f := NewFormula(3)
+	f.AddExactlyOne(1, 2, 3)
+	models := EnumerateModels(NewCDCL(), f, nil, 0)
+	if len(models) != 3 {
+		t.Fatalf("⊕{1,2,3} has 3 models, got %d", len(models))
+	}
+	seen := map[int]bool{}
+	for _, m := range models {
+		trues := TrueVars(m)
+		if len(trues) != 1 {
+			t.Fatalf("model %v should have exactly one true var", m)
+		}
+		if seen[trues[0]] {
+			t.Fatalf("duplicate model for var %d", trues[0])
+		}
+		seen[trues[0]] = true
+	}
+}
+
+func TestEnumerateModelsLimit(t *testing.T) {
+	f := NewFormula(4) // free variables: 16 models
+	models := EnumerateModels(NewCDCL(), f, nil, 5)
+	if len(models) != 5 {
+		t.Errorf("limit 5, got %d", len(models))
+	}
+	all := EnumerateModels(NewCDCL(), f, nil, 0)
+	if len(all) != 16 {
+		t.Errorf("4 free vars should give 16 models, got %d", len(all))
+	}
+}
+
+func TestEnumerateModelsProjection(t *testing.T) {
+	// Var 2 is free, but projecting onto var 1 only yields 2 classes.
+	f := NewFormula(2)
+	models := EnumerateModels(NewCDCL(), f, []int{1}, 0)
+	if len(models) != 2 {
+		t.Errorf("projection onto one var should give 2 models, got %d", len(models))
+	}
+}
+
+func TestEnumerateModelsUnsat(t *testing.T) {
+	f := NewFormula(1)
+	f.AddUnit(1)
+	f.AddUnit(-1)
+	if models := EnumerateModels(NewCDCL(), f, nil, 0); len(models) != 0 {
+		t.Errorf("UNSAT formula has no models, got %d", len(models))
+	}
+}
+
+func TestEnumerateDoesNotMutateInput(t *testing.T) {
+	f := NewFormula(2)
+	f.AddExactlyOne(1, 2)
+	before := len(f.Clauses)
+	EnumerateModels(NewCDCL(), f, nil, 0)
+	if len(f.Clauses) != before {
+		t.Error("EnumerateModels must not mutate the input formula")
+	}
+}
+
+func TestCountModels(t *testing.T) {
+	f := NewFormula(3)
+	f.AddExactlyOne(1, 2, 3)
+	if n := CountModels(NewCDCL(), f, nil, 0); n != 3 {
+		t.Errorf("CountModels = %d", n)
+	}
+	if n := CountModels(NewCDCL(), f, nil, 2); n != 2 {
+		t.Errorf("bounded CountModels = %d", n)
+	}
+}
+
+func TestEnumerateWithDPLL(t *testing.T) {
+	f := NewFormula(2)
+	f.AddExactlyOne(1, 2)
+	if n := CountModels(NewDPLL(), f, nil, 0); n != 2 {
+		t.Errorf("DPLL enumeration = %d", n)
+	}
+}

@@ -1,0 +1,134 @@
+package spec
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+
+	"engage/internal/resource"
+)
+
+// JSON encoding of resource.Value: scalars map to native JSON types;
+// structs to objects; lists to arrays. Secrets are wrapped in a
+// {"__secret__": "…"} object so they survive a round trip; TCP ports are
+// plain numbers (indistinguishable from ints by design — the port kind
+// is re-established by the resource type when values are checked).
+
+// valueToJSON converts a resource.Value to a json.Marshal-able tree.
+func valueToJSON(v resource.Value) any {
+	switch v.Kind {
+	case resource.KindString:
+		return v.Str
+	case resource.KindSecret:
+		return map[string]any{"__secret__": v.Str}
+	case resource.KindInt, resource.KindPort:
+		return v.Int
+	case resource.KindBool:
+		return v.Bool
+	case resource.KindStruct:
+		m := make(map[string]any, len(v.Fields))
+		for n, f := range v.Fields {
+			m[n] = valueToJSON(f)
+		}
+		return m
+	case resource.KindList:
+		l := make([]any, len(v.List))
+		for i, e := range v.List {
+			l[i] = valueToJSON(e)
+		}
+		return l
+	default:
+		return nil
+	}
+}
+
+// valueFromJSON converts a decoded JSON tree back to a resource.Value.
+func valueFromJSON(x any) (resource.Value, error) {
+	switch t := x.(type) {
+	case string:
+		return resource.Str(t), nil
+	case bool:
+		return resource.BoolV(t), nil
+	case float64:
+		if t != math.Trunc(t) {
+			return resource.Value{}, fmt.Errorf("non-integer number %v not supported", t)
+		}
+		return resource.IntV(int(t)), nil
+	case map[string]any:
+		if s, ok := t["__secret__"]; ok && len(t) == 1 {
+			str, ok := s.(string)
+			if !ok {
+				return resource.Value{}, fmt.Errorf("__secret__ payload must be a string")
+			}
+			return resource.SecretV(str), nil
+		}
+		fields := make(map[string]resource.Value, len(t))
+		for n, f := range t {
+			v, err := valueFromJSON(f)
+			if err != nil {
+				return resource.Value{}, fmt.Errorf("field %q: %v", n, err)
+			}
+			fields[n] = v
+		}
+		return resource.StructV(fields), nil
+	case []any:
+		elems := make([]resource.Value, len(t))
+		for i, e := range t {
+			v, err := valueFromJSON(e)
+			if err != nil {
+				return resource.Value{}, fmt.Errorf("element %d: %v", i, err)
+			}
+			elems[i] = v
+		}
+		return resource.ListV(elems...), nil
+	case nil:
+		return resource.Value{}, fmt.Errorf("null values not supported")
+	default:
+		return resource.Value{}, fmt.Errorf("unsupported JSON value %T", x)
+	}
+}
+
+func valuesToJSON(m map[string]resource.Value) map[string]any {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[string]any, len(m))
+	for n, v := range m {
+		out[n] = valueToJSON(v)
+	}
+	return out
+}
+
+func valuesFromJSON(m map[string]any) (map[string]resource.Value, error) {
+	if len(m) == 0 {
+		return nil, nil
+	}
+	out := make(map[string]resource.Value, len(m))
+	for n, x := range m {
+		v, err := valueFromJSON(x)
+		if err != nil {
+			return nil, fmt.Errorf("port %q: %v", n, err)
+		}
+		out[n] = v
+	}
+	return out, nil
+}
+
+// marshalIndentCanonical marshals with sorted keys (encoding/json sorts
+// map keys already) and two-space indentation; the canonical form backs
+// the line-count metrics reported by the paper (partial vs full spec
+// sizes).
+func marshalIndentCanonical(v any) ([]byte, error) {
+	return json.MarshalIndent(v, "", "  ")
+}
+
+// sortedNames returns map keys in sorted order.
+func sortedNames[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

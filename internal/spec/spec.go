@@ -1,0 +1,357 @@
+// Package spec implements Engage's installation specifications (§3.3,
+// §4 of the paper): partial installation specifications written by
+// users (Fig. 2) and full installation specifications produced by the
+// configuration engine.
+//
+// A resource instance instantiates a resource type: it has a globally
+// unique identifier, concrete values for all ports, and concrete links
+// to other instances in place of the type's dependency constraints.
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"engage/internal/resource"
+)
+
+// PartialInstance is one entry in a partial installation specification:
+// a resource instance for which only a subset of dependencies (typically
+// just the inside dependency) and a subset of config ports are given.
+type PartialInstance struct {
+	ID     string
+	Key    resource.Key
+	Inside string // instance ID of the container; "" for machines
+	Config map[string]resource.Value
+}
+
+// Partial is a partial installation specification (§4): the main
+// application components and the machines they should be installed on.
+type Partial struct {
+	Instances []*PartialInstance
+}
+
+// Find returns the partial instance with the given ID.
+func (p *Partial) Find(id string) (*PartialInstance, bool) {
+	for _, inst := range p.Instances {
+		if inst.ID == id {
+			return inst, true
+		}
+	}
+	return nil, false
+}
+
+// Add appends an instance and returns it, for fluent construction.
+func (p *Partial) Add(id string, key resource.Key) *PartialInstance {
+	inst := &PartialInstance{ID: id, Key: key}
+	p.Instances = append(p.Instances, inst)
+	return inst
+}
+
+// In sets the instance's container.
+func (pi *PartialInstance) In(containerID string) *PartialInstance {
+	pi.Inside = containerID
+	return pi
+}
+
+// Set assigns a config port value.
+func (pi *PartialInstance) Set(port string, v resource.Value) *PartialInstance {
+	if pi.Config == nil {
+		pi.Config = make(map[string]resource.Value)
+	}
+	pi.Config[port] = v
+	return pi
+}
+
+// DepLink is a resolved dependency of a full instance: the class, the
+// chosen target instance, and the port mapping carried over from the
+// resource type dependency that induced it.
+type DepLink struct {
+	Class          resource.DependencyClass
+	Target         string // instance ID
+	PortMap        map[string]string
+	ReversePortMap map[string]string
+}
+
+// Instance is a complete resource instance in a full installation
+// specification: all ports valued, all dependencies linked.
+type Instance struct {
+	ID      string
+	Key     resource.Key
+	Machine string // ID of the machine reached by following inside links
+
+	Config map[string]resource.Value
+	Input  map[string]resource.Value
+	Output map[string]resource.Value
+
+	Inside string // container instance ID; "" for machines
+	Deps   []DepLink
+}
+
+// DependencyIDs returns the IDs of all instances this instance depends
+// on (inside + environment + peer), deduplicated, in first-seen order.
+func (in *Instance) DependencyIDs() []string {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(id string) {
+		if id != "" && !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	add(in.Inside)
+	for _, d := range in.Deps {
+		add(d.Target)
+	}
+	return out
+}
+
+// Full is a full installation specification: a list of complete
+// resource instances forming a DAG under the dependency relation.
+type Full struct {
+	Instances []*Instance
+}
+
+// Find returns the instance with the given ID.
+func (f *Full) Find(id string) (*Instance, bool) {
+	for _, inst := range f.Instances {
+		if inst.ID == id {
+			return inst, true
+		}
+	}
+	return nil, false
+}
+
+// MustFind returns the instance with the given ID or panics.
+func (f *Full) MustFind(id string) *Instance {
+	inst, ok := f.Find(id)
+	if !ok {
+		panic(fmt.Sprintf("spec: no instance %q", id))
+	}
+	return inst
+}
+
+// Machines returns the IDs of all machine instances (no container).
+func (f *Full) Machines() []string {
+	var out []string
+	for _, inst := range f.Instances {
+		if inst.Inside == "" {
+			out = append(out, inst.ID)
+		}
+	}
+	return out
+}
+
+// OnMachine returns the instances whose resolved machine is the given
+// machine ID, including the machine itself.
+func (f *Full) OnMachine(machineID string) []*Instance {
+	var out []*Instance
+	for _, inst := range f.Instances {
+		if inst.Machine == machineID {
+			out = append(out, inst)
+		}
+	}
+	return out
+}
+
+// Downstream returns, for every instance ID, the IDs of instances that
+// directly depend on it (the reverse dependency relation); used by the
+// runtime to evaluate ↓s guards and to shut down in reverse order.
+func (f *Full) Downstream() map[string][]string {
+	out := make(map[string][]string, len(f.Instances))
+	for _, inst := range f.Instances {
+		for _, dep := range inst.DependencyIDs() {
+			out[dep] = append(out[dep], inst.ID)
+		}
+	}
+	return out
+}
+
+// --- JSON encoding (Fig. 2 style) ---
+
+type partialInstanceJSON struct {
+	ID     string         `json:"id"`
+	Key    string         `json:"key"`
+	Inside *linkJSON      `json:"inside,omitempty"`
+	Config map[string]any `json:"config_port,omitempty"`
+}
+
+type linkJSON struct {
+	ID string `json:"id"`
+}
+
+type depLinkJSON struct {
+	Class          string            `json:"class"`
+	Target         string            `json:"id"`
+	PortMap        map[string]string `json:"port_map,omitempty"`
+	ReversePortMap map[string]string `json:"reverse_port_map,omitempty"`
+}
+
+type instanceJSON struct {
+	ID      string         `json:"id"`
+	Key     string         `json:"key"`
+	Machine string         `json:"machine,omitempty"`
+	Inside  *linkJSON      `json:"inside,omitempty"`
+	Config  map[string]any `json:"config_port,omitempty"`
+	Input   map[string]any `json:"input_ports,omitempty"`
+	Output  map[string]any `json:"output_ports,omitempty"`
+	Deps    []depLinkJSON  `json:"dependencies,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler for Partial.
+func (p *Partial) MarshalJSON() ([]byte, error) {
+	out := make([]partialInstanceJSON, len(p.Instances))
+	for i, inst := range p.Instances {
+		out[i] = partialInstanceJSON{
+			ID:     inst.ID,
+			Key:    inst.Key.String(),
+			Config: valuesToJSON(inst.Config),
+		}
+		if inst.Inside != "" {
+			out[i].Inside = &linkJSON{ID: inst.Inside}
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler for Partial.
+func (p *Partial) UnmarshalJSON(data []byte) error {
+	var raw []partialInstanceJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	p.Instances = nil
+	for _, r := range raw {
+		if r.ID == "" {
+			return fmt.Errorf("spec: instance with empty id")
+		}
+		cfg, err := valuesFromJSON(r.Config)
+		if err != nil {
+			return fmt.Errorf("spec: instance %q: %v", r.ID, err)
+		}
+		inst := &PartialInstance{
+			ID:     r.ID,
+			Key:    resource.ParseKey(r.Key),
+			Config: cfg,
+		}
+		if r.Inside != nil {
+			inst.Inside = r.Inside.ID
+		}
+		p.Instances = append(p.Instances, inst)
+	}
+	return nil
+}
+
+// MarshalJSON implements json.Marshaler for Full.
+func (f *Full) MarshalJSON() ([]byte, error) {
+	out := make([]instanceJSON, len(f.Instances))
+	for i, inst := range f.Instances {
+		ij := instanceJSON{
+			ID:      inst.ID,
+			Key:     inst.Key.String(),
+			Machine: inst.Machine,
+			Config:  valuesToJSON(inst.Config),
+			Input:   valuesToJSON(inst.Input),
+			Output:  valuesToJSON(inst.Output),
+		}
+		if inst.Inside != "" {
+			ij.Inside = &linkJSON{ID: inst.Inside}
+		}
+		for _, d := range inst.Deps {
+			ij.Deps = append(ij.Deps, depLinkJSON{
+				Class:          d.Class.String(),
+				Target:         d.Target,
+				PortMap:        d.PortMap,
+				ReversePortMap: d.ReversePortMap,
+			})
+		}
+		out[i] = ij
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler for Full.
+func (f *Full) UnmarshalJSON(data []byte) error {
+	var raw []instanceJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	f.Instances = nil
+	for _, r := range raw {
+		cfg, err := valuesFromJSON(r.Config)
+		if err != nil {
+			return fmt.Errorf("spec: instance %q config: %v", r.ID, err)
+		}
+		in, err := valuesFromJSON(r.Input)
+		if err != nil {
+			return fmt.Errorf("spec: instance %q input: %v", r.ID, err)
+		}
+		out, err := valuesFromJSON(r.Output)
+		if err != nil {
+			return fmt.Errorf("spec: instance %q output: %v", r.ID, err)
+		}
+		inst := &Instance{
+			ID:      r.ID,
+			Key:     resource.ParseKey(r.Key),
+			Machine: r.Machine,
+			Config:  cfg,
+			Input:   in,
+			Output:  out,
+		}
+		if r.Inside != nil {
+			inst.Inside = r.Inside.ID
+		}
+		for _, d := range r.Deps {
+			var class resource.DependencyClass
+			switch d.Class {
+			case "inside":
+				class = resource.DepInside
+			case "environment":
+				class = resource.DepEnv
+			case "peer":
+				class = resource.DepPeer
+			default:
+				return fmt.Errorf("spec: instance %q: unknown dependency class %q", r.ID, d.Class)
+			}
+			inst.Deps = append(inst.Deps, DepLink{
+				Class:          class,
+				Target:         d.Target,
+				PortMap:        d.PortMap,
+				ReversePortMap: d.ReversePortMap,
+			})
+		}
+		f.Instances = append(f.Instances, inst)
+	}
+	return nil
+}
+
+// LineCount renders the specification in canonical indented JSON and
+// counts its lines. The paper reports specification sizes in lines
+// (e.g., OpenMRS: partial 22 lines, full 204 lines); this is the metric
+// behind experiments E1, E6, E8, and E10.
+func LineCount(v json.Marshaler) int {
+	raw, err := v.MarshalJSON()
+	if err != nil {
+		return 0
+	}
+	var buf bytes.Buffer
+	if err := json.Indent(&buf, raw, "", "  "); err != nil {
+		return 0
+	}
+	return strings.Count(buf.String(), "\n") + 1
+}
+
+// Render returns the canonical indented JSON form of a specification.
+func Render(v json.Marshaler) (string, error) {
+	raw, err := v.MarshalJSON()
+	if err != nil {
+		return "", err
+	}
+	var buf bytes.Buffer
+	if err := json.Indent(&buf, raw, "", "  "); err != nil {
+		return "", err
+	}
+	return buf.String(), nil
+}

@@ -1,0 +1,358 @@
+package spec
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"engage/internal/resource"
+)
+
+// fig2JSON is the partial installation specification of Fig. 2 of the
+// paper, in our concrete JSON syntax.
+const fig2JSON = `[
+  { "id": "server", "key": "Mac-OSX 10.6",
+    "config_port": { "hostname": "localhost", "os_user_name": "root" } },
+  { "id": "tomcat", "key": "Tomcat 6.0.18", "inside": { "id": "server" } },
+  { "id": "openmrs", "key": "OpenMRS 1.8", "inside": { "id": "tomcat" } }
+]`
+
+func TestPartialUnmarshalFig2(t *testing.T) {
+	var p Partial
+	if err := json.Unmarshal([]byte(fig2JSON), &p); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Instances) != 3 {
+		t.Fatalf("want 3 instances, got %d", len(p.Instances))
+	}
+	server, ok := p.Find("server")
+	if !ok {
+		t.Fatal("server missing")
+	}
+	if server.Key.Name != "Mac-OSX" || server.Key.Version != "10.6" {
+		t.Errorf("server key = %v", server.Key)
+	}
+	if server.Config["hostname"].Str != "localhost" {
+		t.Errorf("hostname = %v", server.Config["hostname"])
+	}
+	tomcat, _ := p.Find("tomcat")
+	if tomcat.Inside != "server" {
+		t.Errorf("tomcat.Inside = %q", tomcat.Inside)
+	}
+	openmrs, _ := p.Find("openmrs")
+	if openmrs.Inside != "tomcat" {
+		t.Errorf("openmrs.Inside = %q", openmrs.Inside)
+	}
+}
+
+func TestPartialRoundTrip(t *testing.T) {
+	var p Partial
+	p.Add("server", resource.MakeKey("Mac-OSX", "10.6")).
+		Set("hostname", resource.Str("localhost"))
+	p.Add("db", resource.MakeKey("MySQL", "5.1")).In("server").
+		Set("port", resource.IntV(3306)).
+		Set("admin_password", resource.SecretV("s3cret"))
+
+	data, err := json.Marshal(&p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), `"s3cret"`) && !strings.Contains(string(data), "__secret__") {
+		t.Error("secrets must be tagged in JSON")
+	}
+	var q Partial
+	if err := json.Unmarshal(data, &q); err != nil {
+		t.Fatal(err)
+	}
+	db, ok := q.Find("db")
+	if !ok {
+		t.Fatal("db missing after round trip")
+	}
+	if db.Config["admin_password"].Kind != resource.KindSecret {
+		t.Error("secret kind lost in round trip")
+	}
+	if db.Config["admin_password"].Str != "s3cret" {
+		t.Error("secret payload lost in round trip")
+	}
+	if db.Config["port"].Int != 3306 {
+		t.Error("int port lost in round trip")
+	}
+}
+
+func TestPartialUnmarshalErrors(t *testing.T) {
+	cases := []string{
+		`[{"key": "X 1"}]`, // missing id
+		`[{"id": "a", "key": "X", "config_port": {"v": 1.5}}]`,  // non-integer
+		`[{"id": "a", "key": "X", "config_port": {"v": null}}]`, // null
+		`{`, // malformed
+	}
+	for _, c := range cases {
+		var p Partial
+		if err := json.Unmarshal([]byte(c), &p); err == nil {
+			t.Errorf("Unmarshal(%q) should fail", c)
+		}
+	}
+}
+
+func buildFullSpec() *Full {
+	f := &Full{}
+	f.Instances = []*Instance{
+		{
+			ID: "openmrs", Key: resource.MakeKey("OpenMRS", "1.8"),
+			Machine: "server", Inside: "tomcat",
+			Deps: []DepLink{
+				{Class: resource.DepInside, Target: "tomcat"},
+				{Class: resource.DepEnv, Target: "jdk", PortMap: map[string]string{"java": "java"}},
+				{Class: resource.DepPeer, Target: "mysql", PortMap: map[string]string{"mysql": "mysql"}},
+			},
+			Input: map[string]resource.Value{
+				"mysql": resource.StructV(map[string]resource.Value{"port": resource.PortV(3306)}),
+			},
+		},
+		{
+			ID: "tomcat", Key: resource.MakeKey("Tomcat", "6.0.18"),
+			Machine: "server", Inside: "server",
+			Deps: []DepLink{
+				{Class: resource.DepInside, Target: "server"},
+				{Class: resource.DepEnv, Target: "jdk"},
+			},
+		},
+		{
+			ID: "jdk", Key: resource.MakeKey("JDK", "1.6"),
+			Machine: "server", Inside: "server",
+			Deps: []DepLink{{Class: resource.DepInside, Target: "server"}},
+		},
+		{
+			ID: "mysql", Key: resource.MakeKey("MySQL", "5.1"),
+			Machine: "server", Inside: "server",
+			Deps: []DepLink{{Class: resource.DepInside, Target: "server"}},
+		},
+		{
+			ID: "server", Key: resource.MakeKey("Mac-OSX", "10.6"),
+			Machine: "server",
+			Config:  map[string]resource.Value{"hostname": resource.Str("localhost")},
+		},
+	}
+	return f
+}
+
+func TestFullRoundTrip(t *testing.T) {
+	f := buildFullSpec()
+	data, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g Full
+	if err := json.Unmarshal(data, &g); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Instances) != len(f.Instances) {
+		t.Fatalf("instance count mismatch: %d vs %d", len(g.Instances), len(f.Instances))
+	}
+	om := g.MustFind("openmrs")
+	if om.Inside != "tomcat" || om.Machine != "server" {
+		t.Errorf("openmrs links wrong: %+v", om)
+	}
+	if len(om.Deps) != 3 {
+		t.Fatalf("openmrs deps lost: %v", om.Deps)
+	}
+	if om.Deps[1].Class != resource.DepEnv || om.Deps[1].PortMap["java"] != "java" {
+		t.Errorf("env dep wrong: %+v", om.Deps[1])
+	}
+	mysqlIn, ok := om.Input["mysql"]
+	if !ok {
+		t.Fatal("input port lost")
+	}
+	if port, _ := mysqlIn.Field("port"); port.Int != 3306 {
+		t.Error("struct input port payload lost")
+	}
+}
+
+func TestFullUnmarshalBadClass(t *testing.T) {
+	var g Full
+	bad := `[{"id": "a", "key": "X 1", "dependencies": [{"class": "sideways", "id": "b"}]}]`
+	if err := json.Unmarshal([]byte(bad), &g); err == nil {
+		t.Error("unknown dependency class should fail")
+	}
+}
+
+func TestDependencyIDs(t *testing.T) {
+	f := buildFullSpec()
+	om := f.MustFind("openmrs")
+	ids := om.DependencyIDs()
+	want := []string{"tomcat", "jdk", "mysql"}
+	if len(ids) != len(want) {
+		t.Fatalf("DependencyIDs = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Errorf("DependencyIDs[%d] = %q, want %q", i, ids[i], want[i])
+		}
+	}
+	// Machine instance has no dependencies.
+	if ids := f.MustFind("server").DependencyIDs(); len(ids) != 0 {
+		t.Errorf("server deps = %v", ids)
+	}
+}
+
+func TestTopoOrder(t *testing.T) {
+	f := buildFullSpec()
+	order, err := f.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[string]int)
+	for i, inst := range order {
+		pos[inst.ID] = i
+	}
+	mustBefore := [][2]string{
+		{"server", "tomcat"}, {"server", "jdk"}, {"server", "mysql"},
+		{"tomcat", "openmrs"}, {"jdk", "openmrs"}, {"mysql", "openmrs"},
+		{"jdk", "tomcat"},
+	}
+	for _, mb := range mustBefore {
+		if pos[mb[0]] >= pos[mb[1]] {
+			t.Errorf("%s must precede %s: %v", mb[0], mb[1], order)
+		}
+	}
+}
+
+func TestTopoOrderDeterministic(t *testing.T) {
+	f := buildFullSpec()
+	o1, err := f.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, _ := f.TopoOrder()
+	for i := range o1 {
+		if o1[i].ID != o2[i].ID {
+			t.Fatal("TopoOrder should be deterministic")
+		}
+	}
+}
+
+func TestTopoOrderCycle(t *testing.T) {
+	f := &Full{Instances: []*Instance{
+		{ID: "a", Deps: []DepLink{{Class: resource.DepPeer, Target: "b"}}},
+		{ID: "b", Deps: []DepLink{{Class: resource.DepPeer, Target: "a"}}},
+	}}
+	if _, err := f.TopoOrder(); err == nil {
+		t.Error("cycle should be detected")
+	}
+}
+
+func TestTopoOrderUnknownDep(t *testing.T) {
+	f := &Full{Instances: []*Instance{
+		{ID: "a", Deps: []DepLink{{Class: resource.DepPeer, Target: "ghost"}}},
+	}}
+	if _, err := f.TopoOrder(); err == nil {
+		t.Error("unknown dependency should be detected")
+	}
+}
+
+func TestTopoOrderDuplicateID(t *testing.T) {
+	f := &Full{Instances: []*Instance{{ID: "a"}, {ID: "a"}}}
+	if _, err := f.TopoOrder(); err == nil {
+		t.Error("duplicate id should be detected")
+	}
+}
+
+func TestMachinesAndOnMachine(t *testing.T) {
+	f := buildFullSpec()
+	ms := f.Machines()
+	if len(ms) != 1 || ms[0] != "server" {
+		t.Errorf("Machines = %v", ms)
+	}
+	on := f.OnMachine("server")
+	if len(on) != 5 {
+		t.Errorf("OnMachine(server) = %d instances, want 5", len(on))
+	}
+}
+
+func TestDownstream(t *testing.T) {
+	f := buildFullSpec()
+	down := f.Downstream()
+	// jdk's downstream: tomcat and openmrs.
+	got := down["jdk"]
+	if len(got) != 2 {
+		t.Fatalf("Downstream(jdk) = %v", got)
+	}
+	// openmrs has no dependents.
+	if len(down["openmrs"]) != 0 {
+		t.Errorf("Downstream(openmrs) = %v", down["openmrs"])
+	}
+}
+
+func TestMachineOrderTwoHosts(t *testing.T) {
+	// Production topology: database host must precede application host.
+	f := &Full{Instances: []*Instance{
+		{ID: "dbhost", Machine: "dbhost"},
+		{ID: "apphost", Machine: "apphost"},
+		{ID: "mysql", Machine: "dbhost", Inside: "dbhost",
+			Deps: []DepLink{{Class: resource.DepInside, Target: "dbhost"}}},
+		{ID: "app", Machine: "apphost", Inside: "apphost",
+			Deps: []DepLink{
+				{Class: resource.DepInside, Target: "apphost"},
+				{Class: resource.DepPeer, Target: "mysql"},
+			}},
+	}}
+	order, err := f.MachineOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "dbhost" || order[1] != "apphost" {
+		t.Errorf("MachineOrder = %v", order)
+	}
+}
+
+func TestMachineOrderCycle(t *testing.T) {
+	f := &Full{Instances: []*Instance{
+		{ID: "m1", Machine: "m1"},
+		{ID: "m2", Machine: "m2"},
+		{ID: "a", Machine: "m1", Inside: "m1", Deps: []DepLink{
+			{Class: resource.DepInside, Target: "m1"},
+			{Class: resource.DepPeer, Target: "b"},
+		}},
+		{ID: "b", Machine: "m2", Inside: "m2", Deps: []DepLink{
+			{Class: resource.DepInside, Target: "m2"},
+			{Class: resource.DepPeer, Target: "a"},
+		}},
+	}}
+	if _, err := f.MachineOrder(); err == nil {
+		t.Error("cross-machine cycle should be rejected (paper's assumption)")
+	}
+}
+
+func TestLineCountAndRender(t *testing.T) {
+	var p Partial
+	if err := json.Unmarshal([]byte(fig2JSON), &p); err != nil {
+		t.Fatal(err)
+	}
+	n := LineCount(&p)
+	if n < 10 {
+		t.Errorf("Fig. 2 spec should be >10 rendered lines, got %d", n)
+	}
+	s, err := Render(&p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(s, "\n")+1 != n {
+		t.Error("Render and LineCount disagree")
+	}
+	if !strings.Contains(s, `"Mac-OSX 10.6"`) {
+		t.Error("render should contain the key")
+	}
+}
+
+func TestFindMissing(t *testing.T) {
+	f := &Full{}
+	if _, ok := f.Find("nope"); ok {
+		t.Error("Find on empty spec")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustFind should panic")
+		}
+	}()
+	f.MustFind("nope")
+}

@@ -1,0 +1,178 @@
+package spec
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"engage/internal/resource"
+)
+
+// randomDAGSpec builds a random full specification whose dependency
+// graph is a DAG by construction: instance i may only depend on
+// instances with smaller indices. Machines are a random subset of the
+// roots.
+func randomDAGSpec(rng *rand.Rand, n int) *Full {
+	if n < 1 {
+		n = 1
+	}
+	f := &Full{}
+	for i := 0; i < n; i++ {
+		inst := &Instance{
+			ID:  fmt.Sprintf("i%02d", i),
+			Key: resource.MakeKey("T", "1"),
+		}
+		if i > 0 {
+			// Container: a random earlier machine-rooted instance.
+			c := rng.Intn(i)
+			inst.Inside = fmt.Sprintf("i%02d", c)
+			inst.Deps = append(inst.Deps, DepLink{Class: resource.DepInside, Target: inst.Inside})
+			// A few extra peer/env edges to earlier instances.
+			extra := rng.Intn(3)
+			for e := 0; e < extra; e++ {
+				target := fmt.Sprintf("i%02d", rng.Intn(i))
+				if target == inst.Inside {
+					continue
+				}
+				inst.Deps = append(inst.Deps, DepLink{Class: resource.DepPeer, Target: target})
+			}
+		}
+		f.Instances = append(f.Instances, inst)
+	}
+	// Resolve machines by walking inside chains.
+	byID := make(map[string]*Instance)
+	for _, inst := range f.Instances {
+		byID[inst.ID] = inst
+	}
+	for _, inst := range f.Instances {
+		cur := inst
+		for cur.Inside != "" {
+			cur = byID[cur.Inside]
+		}
+		inst.Machine = cur.ID
+	}
+	return f
+}
+
+// Property: TopoOrder of a random DAG places every instance after all
+// of its dependencies, includes every instance exactly once, and is
+// deterministic.
+func TestTopoOrderRandomDAGs(t *testing.T) {
+	check := func(seed int64, sizeRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(sizeRaw%40) + 1
+		f := randomDAGSpec(rng, n)
+
+		order, err := f.TopoOrder()
+		if err != nil {
+			return false
+		}
+		if len(order) != n {
+			return false
+		}
+		pos := make(map[string]int, n)
+		for i, inst := range order {
+			if _, dup := pos[inst.ID]; dup {
+				return false
+			}
+			pos[inst.ID] = i
+		}
+		for _, inst := range f.Instances {
+			for _, dep := range inst.DependencyIDs() {
+				if pos[dep] >= pos[inst.ID] {
+					return false
+				}
+			}
+		}
+		order2, err := f.TopoOrder()
+		if err != nil {
+			return false
+		}
+		for i := range order {
+			if order[i].ID != order2[i].ID {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MachineOrder on random DAG specs linearizes all machines and
+// respects cross-machine dependencies.
+func TestMachineOrderRandomDAGs(t *testing.T) {
+	check := func(seed int64, sizeRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(sizeRaw%30) + 2
+		f := randomDAGSpec(rng, n)
+
+		order, err := f.MachineOrder()
+		if err != nil {
+			// Random DAGs never create cross-machine cycles because
+			// dependencies always point to smaller indices whose
+			// machines are also smaller-rooted — an error is a bug.
+			return false
+		}
+		pos := make(map[string]int, len(order))
+		for i, m := range order {
+			pos[m] = i
+		}
+		if len(order) != len(f.Machines()) {
+			return false
+		}
+		byID := make(map[string]*Instance)
+		for _, inst := range f.Instances {
+			byID[inst.ID] = inst
+		}
+		for _, inst := range f.Instances {
+			for _, dep := range inst.DependencyIDs() {
+				m1, m2 := byID[dep].Machine, inst.Machine
+				if m1 != m2 && pos[m1] >= pos[m2] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Downstream is the exact inverse of DependencyIDs.
+func TestDownstreamInverseProperty(t *testing.T) {
+	check := func(seed int64, sizeRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f := randomDAGSpec(rng, int(sizeRaw%30)+1)
+		down := f.Downstream()
+		// Forward check: every dependency edge appears in downstream.
+		count := 0
+		for _, inst := range f.Instances {
+			for _, dep := range inst.DependencyIDs() {
+				found := false
+				for _, d := range down[dep] {
+					if d == inst.ID {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+				count++
+			}
+		}
+		// Reverse check: total edge counts match.
+		total := 0
+		for _, ds := range down {
+			total += len(ds)
+		}
+		return total == count
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

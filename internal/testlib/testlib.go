@@ -1,0 +1,114 @@
+// Package testlib provides shared test fixtures: the §2 OpenMRS resource
+// lattice in RDL form and its Fig. 2 partial installation specification.
+// It is imported only by tests.
+package testlib
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"engage/internal/rdl"
+	"engage/internal/resource"
+	"engage/internal/spec"
+)
+
+// OpenMRSRDL is the §2 resource library: Server (abstract; Mac OSX and
+// Windows concrete), Java (abstract; JDK/JRE concrete), Tomcat, MySQL,
+// OpenMRS, with the paper's dependency structure.
+const OpenMRSRDL = `
+// A physical or virtual machine.
+abstract resource "Server" {
+    config {
+        hostname: string = "localhost"
+        os_user_name: string = "root"
+    }
+    output {
+        host: struct { hostname: string } = { hostname: config.hostname }
+    }
+}
+
+resource "Mac-OSX 10.6" extends "Server" {}
+resource "Windows-XP" extends "Server" {}
+
+// The Java runtime, abstract over JDK and JRE.
+abstract resource "Java" {
+    inside "Server"
+    output {
+        java: struct { home: string } = { home: "/usr/java" }
+    }
+}
+
+resource "JDK 1.6" extends "Java" {
+    output { jdk_tools: string = "/usr/java/bin" }
+}
+resource "JRE 1.6" extends "Java" {
+    output { jre_lib: string = "/usr/java/lib" }
+}
+
+resource "Tomcat 6.0.18" {
+    inside "Server"
+    input  { java: struct { home: string } }
+    config { manager_port: tcp_port = 8080 }
+    output {
+        tomcat: struct { port: tcp_port } = { port: config.manager_port }
+    }
+    env "Java" { java -> java }
+}
+
+resource "MySQL 5.1" {
+    inside "Server"
+    config {
+        port: tcp_port = 3306
+        admin_password: secret = secret("changeme")
+    }
+    output {
+        mysql: struct { host: string, port: tcp_port } = {
+            host: "localhost", port: config.port
+        }
+    }
+}
+
+resource "OpenMRS 1.8" {
+    inside "Tomcat [5.5, 6.0.29)"
+    input {
+        java: struct { home: string }
+        mysql: struct { host: string, port: tcp_port }
+    }
+    config { db_name: string = "openmrs" }
+    output {
+        url: string = concat("jdbc:mysql://", input.mysql.host, ":", input.mysql.port, "/", config.db_name)
+    }
+    env "Java" { java -> java }
+    peer "MySQL 5.1" { mysql -> mysql }
+}
+`
+
+// OpenMRSRegistry parses and resolves OpenMRSRDL.
+func OpenMRSRegistry() (*resource.Registry, error) {
+	return rdl.ParseAndResolve(map[string]string{"openmrs.rdl": OpenMRSRDL})
+}
+
+// Fig2JSON is the Fig. 2 partial installation specification.
+const Fig2JSON = `[
+  { "id": "server", "key": "Mac-OSX 10.6",
+    "config_port": { "hostname": "localhost", "os_user_name": "root" } },
+  { "id": "tomcat", "key": "Tomcat 6.0.18", "inside": { "id": "server" } },
+  { "id": "openmrs", "key": "OpenMRS 1.8", "inside": { "id": "tomcat" } }
+]`
+
+// Fig2Partial parses Fig2JSON.
+func Fig2Partial() (*spec.Partial, error) {
+	var p spec.Partial
+	if err := json.Unmarshal([]byte(Fig2JSON), &p); err != nil {
+		return nil, fmt.Errorf("testlib: %v", err)
+	}
+	return &p, nil
+}
+
+// MustBadPartial returns a partial spec referencing an unknown resource
+// type, for error-path tests.
+func MustBadPartial() *spec.Partial {
+	p := &spec.Partial{}
+	p.Add("x", resource.MakeKey("Mystery", "1"))
+	return p
+}

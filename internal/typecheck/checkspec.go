@@ -1,0 +1,280 @@
+package typecheck
+
+import (
+	"errors"
+	"fmt"
+
+	"engage/internal/resource"
+	"engage/internal/spec"
+)
+
+// CheckSpec validates a full installation specification against a
+// well-formed registry (§3.3): every instance's type is known and
+// concrete; every dependency of the type is instantiated with a link to
+// an instance whose type is a subtype of (one of) the dependency's
+// target(s); environment dependencies land on the same machine; each
+// input port receives a value from exactly one link; port values
+// type-check; and the instance graph is acyclic (checked via TopoOrder).
+func CheckSpec(reg *resource.Registry, f *spec.Full) error {
+	var errs []error
+	report := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+
+	byID := make(map[string]*spec.Instance, len(f.Instances))
+	for _, inst := range f.Instances {
+		if byID[inst.ID] != nil {
+			report("spec: duplicate instance id %q", inst.ID)
+			continue
+		}
+		byID[inst.ID] = inst
+	}
+
+	sub := resource.NewSubtyper(reg)
+
+	// Reverse-fed inputs: instance → input port → feed count (§3.4).
+	reverseFeed := make(map[string]map[string]int)
+	for _, inst := range f.Instances {
+		for _, l := range inst.Deps {
+			for _, in := range l.ReversePortMap {
+				if reverseFeed[l.Target] == nil {
+					reverseFeed[l.Target] = make(map[string]int)
+				}
+				reverseFeed[l.Target][in]++
+			}
+		}
+	}
+
+	for _, inst := range f.Instances {
+		t, ok := reg.Lookup(inst.Key)
+		if !ok {
+			report("instance %q: unknown resource type %q", inst.ID, inst.Key)
+			continue
+		}
+		if t.Abstract {
+			report("instance %q: abstract resource type %q cannot be instantiated", inst.ID, inst.Key)
+			continue
+		}
+		checkInstance(reg, sub, byID, inst, t, reverseFeed[inst.ID], report)
+	}
+
+	checkPortConflicts(reg, f, report)
+
+	if _, err := f.TopoOrder(); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
+}
+
+// checkPortConflicts statically detects two instances on the same
+// machine whose tcp_port-typed config ports resolve to the same value —
+// the class of failure the paper's drivers discover only at install time
+// ("environment checks (e.g., required TCP/IP ports are available)").
+// Port 0 means "no port claimed" and is ignored.
+func checkPortConflicts(reg *resource.Registry, f *spec.Full, report func(string, ...any)) {
+	type claim struct {
+		instance string
+		port     string
+	}
+	perMachine := make(map[string]map[int]claim)
+	for _, inst := range f.Instances {
+		t, ok := reg.Lookup(inst.Key)
+		if !ok {
+			continue
+		}
+		for _, p := range t.Config {
+			if p.Type.Kind != resource.KindPort {
+				continue
+			}
+			v, ok := inst.Config[p.Name]
+			if !ok || v.Int == 0 {
+				continue
+			}
+			m := inst.Machine
+			if perMachine[m] == nil {
+				perMachine[m] = make(map[int]claim)
+			}
+			if prev, taken := perMachine[m][v.Int]; taken {
+				report("instance %q: config port %q claims TCP port %d on machine %q, already claimed by %q.%s",
+					inst.ID, p.Name, v.Int, m, prev.instance, prev.port)
+				continue
+			}
+			perMachine[m][v.Int] = claim{instance: inst.ID, port: p.Name}
+		}
+	}
+}
+
+func checkInstance(reg *resource.Registry, sub *resource.Subtyper,
+	byID map[string]*spec.Instance, inst *spec.Instance, t *resource.Type,
+	reverseFeed map[string]int, report func(string, ...any)) {
+
+	// Inside link must exist iff the type has an inside dependency.
+	switch {
+	case t.Inside == nil && inst.Inside != "":
+		report("instance %q: machine type %q must not have a container", inst.ID, inst.Key)
+	case t.Inside != nil && inst.Inside == "":
+		report("instance %q: type %q requires a container (inside dependency)", inst.ID, inst.Key)
+	case t.Inside != nil:
+		container, ok := byID[inst.Inside]
+		if !ok {
+			report("instance %q: container %q not in specification", inst.ID, inst.Inside)
+		} else if !matchesAny(sub, container.Key, t.Inside.Alternatives) {
+			report("instance %q: container %q has type %q, not a subtype of %s",
+				inst.ID, inst.Inside, container.Key, t.Inside)
+		}
+	}
+
+	// Machine resolution: follow inside links.
+	if m := resolveMachine(byID, inst); m == "" {
+		report("instance %q: cannot resolve machine via inside chain", inst.ID)
+	} else if inst.Machine != "" && inst.Machine != m {
+		report("instance %q: recorded machine %q disagrees with inside chain (%q)", inst.ID, inst.Machine, m)
+	}
+
+	// Every env and peer dependency of the type must have a matching link.
+	inputSource := make(map[string]int, len(t.Input))
+	links := append([]spec.DepLink(nil), inst.Deps...)
+	for _, cd := range t.Deps() {
+		if cd.Class == resource.DepInside {
+			// Inside handled above; count its port map toward inputs.
+			countPortMap(cd.Dep.PortMap, inputSource)
+			continue
+		}
+		idx := findLink(links, cd, sub, byID)
+		if idx < 0 {
+			report("instance %q: no link satisfying %s dependency %s", inst.ID, cd.Class, cd.Dep)
+			continue
+		}
+		link := links[idx]
+		links = append(links[:idx], links[idx+1:]...)
+		countPortMap(link.PortMap, inputSource)
+
+		target := byID[link.Target]
+		if target == nil {
+			report("instance %q: %s link to unknown instance %q", inst.ID, cd.Class, link.Target)
+			continue
+		}
+		if cd.Class == resource.DepEnv {
+			tm := resolveMachine(byID, target)
+			im := resolveMachine(byID, inst)
+			if tm != "" && im != "" && tm != im {
+				report("instance %q: environment dependency %q must be on the same machine (%q vs %q)",
+					inst.ID, link.Target, im, tm)
+			}
+		}
+
+		// Port-value consistency: each mapped input equals the source
+		// instance's output (when both sides are present).
+		for outPort, inPort := range link.PortMap {
+			ov, okOut := target.Output[outPort]
+			iv, okIn := inst.Input[inPort]
+			if okOut && okIn && !ov.Equal(iv) {
+				report("instance %q: input %q (%s) differs from %q output %q (%s)",
+					inst.ID, inPort, iv, link.Target, outPort, ov)
+			}
+		}
+	}
+
+	// Leftover links that correspond to no type dependency. Inside links
+	// are excluded: they are represented both as inst.Inside and as a
+	// DepLink, and their port map was already counted from the type's
+	// inside dependency above.
+	for _, l := range links {
+		if l.Class == resource.DepInside && l.Target == inst.Inside {
+			continue
+		}
+		report("instance %q: link %v matches no dependency of type %q", inst.ID, l.Target, inst.Key)
+	}
+
+	// Each input port of the type must be fed exactly once, counting
+	// reverse feeds from dependent instances.
+	for _, p := range t.Input {
+		switch n := inputSource[p.Name] + reverseFeed[p.Name]; {
+		case n == 0:
+			report("instance %q: input port %q receives no value", inst.ID, p.Name)
+		case n > 1:
+			report("instance %q: input port %q receives %d values", inst.ID, p.Name, n)
+		}
+	}
+
+	// Config values type-check against declared ports.
+	for name, v := range inst.Config {
+		p, ok := t.FindPort(resource.SecConfig, name)
+		if !ok {
+			report("instance %q: unknown config port %q", inst.ID, name)
+			continue
+		}
+		if !v.Type().AssignableTo(p.Type) {
+			report("instance %q: config port %q: %s not assignable to %s", inst.ID, name, v.Type(), p.Type)
+		}
+	}
+	for name, v := range inst.Input {
+		p, ok := t.FindPort(resource.SecInput, name)
+		if !ok {
+			report("instance %q: unknown input port %q", inst.ID, name)
+			continue
+		}
+		if !v.Type().AssignableTo(p.Type) {
+			report("instance %q: input port %q: %s not assignable to %s", inst.ID, name, v.Type(), p.Type)
+		}
+	}
+	for name := range inst.Output {
+		if _, ok := t.FindPort(resource.SecOutput, name); !ok {
+			report("instance %q: unknown output port %q", inst.ID, name)
+		}
+	}
+}
+
+func countPortMap(pm map[string]string, into map[string]int) {
+	for _, inPort := range pm {
+		into[inPort]++
+	}
+}
+
+func matchesAny(sub *resource.Subtyper, k resource.Key, alts []resource.Key) bool {
+	for _, a := range alts {
+		if sub.IsSubtype(k, a) {
+			return true
+		}
+	}
+	return false
+}
+
+// findLink locates a dependency link of the right class whose target's
+// type is a subtype of one of the dependency's alternatives.
+func findLink(links []spec.DepLink, cd resource.ClassedDep,
+	sub *resource.Subtyper, byID map[string]*spec.Instance) int {
+	for i, l := range links {
+		if l.Class != cd.Class {
+			continue
+		}
+		target := byID[l.Target]
+		if target == nil {
+			continue
+		}
+		if matchesAny(sub, target.Key, cd.Dep.Alternatives) {
+			return i
+		}
+	}
+	return -1
+}
+
+// resolveMachine follows inside links from an instance to its machine.
+func resolveMachine(byID map[string]*spec.Instance, inst *spec.Instance) string {
+	seen := make(map[string]bool)
+	cur := inst
+	for {
+		if cur.Inside == "" {
+			return cur.ID
+		}
+		if seen[cur.ID] {
+			return "" // inside cycle
+		}
+		seen[cur.ID] = true
+		next, ok := byID[cur.Inside]
+		if !ok {
+			return ""
+		}
+		cur = next
+	}
+}

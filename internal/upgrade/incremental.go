@@ -1,0 +1,218 @@
+package upgrade
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"engage/internal/deploy"
+	"engage/internal/driver"
+	"engage/internal/spec"
+)
+
+// This file implements the incremental upgrade strategy the paper leaves
+// as future work ("all upgrades using this approach experience the worst
+// case upgrade time, even if there are only minor differences between
+// the old and new configurations. We leave optimizations of the upgrade
+// framework as future work"). Instead of stopping and redeploying the
+// whole stack, only the affected subgraph — changed/removed/added
+// instances plus their transitive dependents — is touched; everything
+// else keeps running and is adopted by the new deployment. Ablation
+// bench A5 quantifies the win.
+
+// instancePortsEqual compares the deployment-relevant payload of two
+// instances with the same ID: key, container, config, inputs, and
+// dependency links. Instances that differ here must be reinstalled even
+// though their key is unchanged (e.g., a changed database password).
+func instancePortsEqual(a, b *spec.Instance) bool {
+	if a.Key != b.Key || a.Inside != b.Inside || a.Machine != b.Machine {
+		return false
+	}
+	if len(a.Config) != len(b.Config) || len(a.Input) != len(b.Input) {
+		return false
+	}
+	for k, v := range a.Config {
+		w, ok := b.Config[k]
+		if !ok || !v.Equal(w) {
+			return false
+		}
+	}
+	for k, v := range a.Input {
+		w, ok := b.Input[k]
+		if !ok || !v.Equal(w) {
+			return false
+		}
+	}
+	if len(a.Deps) != len(b.Deps) {
+		return false
+	}
+	for i := range a.Deps {
+		if a.Deps[i].Class != b.Deps[i].Class || a.Deps[i].Target != b.Deps[i].Target {
+			return false
+		}
+	}
+	return true
+}
+
+// IncrementalPlan classifies instances for an incremental upgrade.
+type IncrementalPlan struct {
+	Diff Diff
+	// Reconfigured instances keep their key but change ports or links.
+	Reconfigured []string
+	// AffectedOld are old-spec instances that must be stopped (and the
+	// removed/changed ones uninstalled): the changed set plus its
+	// transitive dependents.
+	AffectedOld []string
+	// AffectedNew are new-spec instances that must be (re)deployed.
+	AffectedNew []string
+	// Untouched are instances adopted as-is from the running system.
+	Untouched []string
+}
+
+// PlanIncremental computes the incremental upgrade plan between two
+// specifications.
+func PlanIncremental(oldSpec, newSpec *spec.Full) IncrementalPlan {
+	plan := IncrementalPlan{Diff: Compute(oldSpec, newSpec)}
+
+	oldByID := make(map[string]*spec.Instance, len(oldSpec.Instances))
+	for _, inst := range oldSpec.Instances {
+		oldByID[inst.ID] = inst
+	}
+	for _, inst := range newSpec.Instances {
+		if old, ok := oldByID[inst.ID]; ok && old.Key == inst.Key && !instancePortsEqual(old, inst) {
+			plan.Reconfigured = append(plan.Reconfigured, inst.ID)
+		}
+	}
+	sort.Strings(plan.Reconfigured)
+
+	seedOld := append(append([]string(nil), plan.Diff.Removed...), plan.Diff.Changed...)
+	seedOld = append(seedOld, plan.Reconfigured...)
+	plan.AffectedOld = downstreamClosure(oldSpec, seedOld)
+
+	seedNew := append(append([]string(nil), plan.Diff.Added...), plan.Diff.Changed...)
+	seedNew = append(seedNew, plan.Reconfigured...)
+	plan.AffectedNew = downstreamClosure(newSpec, seedNew)
+
+	affectedNew := make(map[string]bool, len(plan.AffectedNew))
+	for _, id := range plan.AffectedNew {
+		affectedNew[id] = true
+	}
+	for _, inst := range newSpec.Instances {
+		if _, existed := oldByID[inst.ID]; existed && !affectedNew[inst.ID] {
+			plan.Untouched = append(plan.Untouched, inst.ID)
+		}
+	}
+	sort.Strings(plan.Untouched)
+	return plan
+}
+
+// downstreamClosure returns seed plus every transitive dependent of a
+// seed instance, sorted.
+func downstreamClosure(f *spec.Full, seed []string) []string {
+	down := f.Downstream()
+	inSet := make(map[string]bool, len(seed))
+	stack := append([]string(nil), seed...)
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if inSet[id] {
+			continue
+		}
+		inSet[id] = true
+		stack = append(stack, down[id]...)
+	}
+	out := make([]string, 0, len(inSet))
+	for id := range inSet {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// UpgradeIncremental performs an incremental upgrade: only the affected
+// subgraph is stopped, swapped, and restarted; unaffected instances keep
+// running and are adopted by the returned deployment. On failure the
+// whole system is restored from backup and the old specification
+// redeployed in full (the rare path pays the worst case, as in the
+// baseline strategy).
+func (u *Upgrader) UpgradeIncremental(old *deploy.Deployment, oldSpec, newSpec *spec.Full) (*deploy.Deployment, *Result, error) {
+	plan := PlanIncremental(oldSpec, newSpec)
+	res := &Result{Diff: plan.Diff}
+	clock := u.Options.World.Clock
+	t0 := clock.Now()
+
+	b := u.takeBackup(oldSpec.Machines())
+
+	// Stop only the affected subgraph, dependents first. The closure
+	// guarantees no unaffected instance depends on a stopping one, so
+	// the ↓inactive guards stay satisfiable.
+	if err := stopSome(old, oldSpec, plan.AffectedOld); err != nil {
+		return u.rollbackIncremental(old, oldSpec, b, res, err, t0)
+	}
+
+	// Uninstall what is leaving or changing key.
+	toDrop := append(append([]string(nil), plan.Diff.Removed...), plan.Diff.Changed...)
+	if err := uninstallSome(old, oldSpec, toDrop); err != nil {
+		return u.rollbackIncremental(old, oldSpec, b, res, err, t0)
+	}
+
+	// Build the new deployment, adopt the untouched instances, and let
+	// Deploy drive only the affected ones.
+	newDep, err := deploy.New(newSpec, u.Options)
+	if err == nil {
+		err = newDep.Adopt(old, plan.Untouched)
+	}
+	if err == nil {
+		err = newDep.Deploy()
+	}
+	if err != nil {
+		if newDep != nil {
+			stopAllActive(newDep)
+		}
+		stopAllActive(old)
+		return u.rollbackIncremental(old, oldSpec, b, res, err, t0)
+	}
+	res.Elapsed = clock.Now().Sub(t0)
+	return newDep, res, nil
+}
+
+// rollbackIncremental stops whatever of the old system is still running
+// (releasing ports), then restores the backup and redeploys the old
+// specification in full — the rare failure path pays the worst case.
+func (u *Upgrader) rollbackIncremental(old *deploy.Deployment, oldSpec *spec.Full, b backup, res *Result, cause error, t0 time.Time) (*deploy.Deployment, *Result, error) {
+	stopAllActive(old)
+	return u.rollback(old, oldSpec, b, res, cause, t0)
+}
+
+// stopSome drives the named instances (those currently active) to
+// inactive, dependents first.
+func stopSome(d *deploy.Deployment, full *spec.Full, ids []string) error {
+	target := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		target[id] = true
+	}
+	order, err := full.TopoOrder()
+	if err != nil {
+		return err
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		inst := order[i]
+		if !target[inst.ID] {
+			continue
+		}
+		drv, ok := d.Driver(inst.ID)
+		if !ok || drv.State() != driver.Active {
+			continue
+		}
+		path := drv.SM.PathTo(driver.Active, driver.Inactive)
+		if path == nil {
+			return fmt.Errorf("upgrade: instance %q: no path to inactive", inst.ID)
+		}
+		for _, a := range path {
+			if err := drv.Fire(a, d); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

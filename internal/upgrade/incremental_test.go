@@ -1,0 +1,223 @@
+package upgrade
+
+import (
+	"strings"
+	"testing"
+
+	"engage/internal/driver"
+	"engage/internal/migrate"
+	"engage/internal/resource"
+	"engage/internal/spec"
+)
+
+func TestPlanIncrementalAppOnly(t *testing.T) {
+	f := newFixture(t)
+	oldSpec := f.fullSpec(t, "1.0")
+	newSpec := f.fullSpec(t, "2.0")
+	plan := PlanIncremental(oldSpec, newSpec)
+
+	if len(plan.Diff.Changed) != 1 || plan.Diff.Changed[0] != "fa" {
+		t.Errorf("Changed = %v", plan.Diff.Changed)
+	}
+	// fa has no dependents, so the affected sets are just {fa}.
+	if len(plan.AffectedOld) != 1 || plan.AffectedOld[0] != "fa" {
+		t.Errorf("AffectedOld = %v", plan.AffectedOld)
+	}
+	if len(plan.AffectedNew) != 1 || plan.AffectedNew[0] != "fa" {
+		t.Errorf("AffectedNew = %v", plan.AffectedNew)
+	}
+	// server and db keep running.
+	if len(plan.Untouched) != 2 {
+		t.Errorf("Untouched = %v", plan.Untouched)
+	}
+}
+
+func TestPlanIncrementalReconfigured(t *testing.T) {
+	f := newFixture(t)
+	oldSpec := f.fullSpec(t, "1.0")
+	newSpec := f.fullSpec(t, "1.0")
+	// Change the database's port: db is reconfigured; its dependent fa
+	// joins the affected closure.
+	db := newSpec.MustFind("db")
+	db.Config["port"] = resource.PortV(5433)
+	plan := PlanIncremental(oldSpec, newSpec)
+	if len(plan.Reconfigured) != 1 || plan.Reconfigured[0] != "db" {
+		t.Fatalf("Reconfigured = %v", plan.Reconfigured)
+	}
+	wantAffected := map[string]bool{"db": true, "fa": true}
+	if len(plan.AffectedOld) != 2 {
+		t.Fatalf("AffectedOld = %v", plan.AffectedOld)
+	}
+	for _, id := range plan.AffectedOld {
+		if !wantAffected[id] {
+			t.Errorf("unexpected affected %q", id)
+		}
+	}
+	if len(plan.Untouched) != 1 || plan.Untouched[0] != "server" {
+		t.Errorf("Untouched = %v", plan.Untouched)
+	}
+}
+
+func TestIncrementalUpgradeLeavesDatabaseRunning(t *testing.T) {
+	f := newFixture(t)
+	old, oldSpec := f.deployV1(t)
+	newSpec := f.fullSpec(t, "2.0")
+
+	m, _ := f.world.Machine("server")
+	dbProcBefore, ok := m.FindProcess("fadb")
+	if !ok {
+		t.Fatal("database daemon should be running")
+	}
+
+	u := &Upgrader{Options: f.opts()}
+	newDep, res, err := u.UpgradeIncremental(old, oldSpec, newSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RolledBack {
+		t.Fatalf("unexpected rollback: %v", res.Cause)
+	}
+	if !newDep.Deployed() {
+		t.Fatalf("status: %v", newDep.Status())
+	}
+
+	// The database daemon was never restarted: same PID.
+	dbProcAfter, ok := m.FindProcess("fadb")
+	if !ok {
+		t.Fatal("database daemon should still be running")
+	}
+	if dbProcAfter.PID != dbProcBefore.PID {
+		t.Errorf("incremental upgrade must not restart the database: pid %d → %d",
+			dbProcBefore.PID, dbProcAfter.PID)
+	}
+
+	// The app was upgraded and the migration ran.
+	v, err := m.ReadFile("/opt/fa/version")
+	if err != nil || v != "2.0" {
+		t.Errorf("version = %q, %v", v, err)
+	}
+	db := migrate.Open(m, dbRoot)
+	sv, _ := db.SchemaVersion()
+	if sv != 2 {
+		t.Errorf("schema = %d", sv)
+	}
+	rows := db.Rows("applications")
+	if len(rows) != 2 || rows[0] != "alice|faculty|pending" {
+		t.Errorf("content: %v", rows)
+	}
+}
+
+func TestIncrementalCheaperThanFull(t *testing.T) {
+	// Same upgrade, both strategies; incremental must consume strictly
+	// less virtual time (ablation A5's assertion).
+	run := func(incremental bool) (elapsed int64) {
+		f := newFixture(t)
+		old, oldSpec := f.deployV1(t)
+		newSpec := f.fullSpec(t, "2.0")
+		u := &Upgrader{Options: f.opts()}
+		var res *Result
+		var err error
+		if incremental {
+			_, res, err = u.UpgradeIncremental(old, oldSpec, newSpec)
+		} else {
+			_, res, err = u.Upgrade(old, oldSpec, newSpec)
+		}
+		if err != nil || res.RolledBack {
+			t.Fatalf("upgrade failed: %v %v", err, res)
+		}
+		return int64(res.Elapsed)
+	}
+	full := run(false)
+	incr := run(true)
+	if incr >= full {
+		t.Errorf("incremental (%d) should beat full (%d)", incr, full)
+	}
+}
+
+func TestIncrementalRollback(t *testing.T) {
+	f := newFixture(t)
+	old, oldSpec := f.deployV1(t)
+	newSpec := f.fullSpec(t, "2.0")
+	f.failV2 = true
+
+	u := &Upgrader{Options: f.opts()}
+	restored, res, err := u.UpgradeIncremental(old, oldSpec, newSpec)
+	if err != nil {
+		t.Fatalf("rollback failed: %v", err)
+	}
+	if !res.RolledBack {
+		t.Fatal("expected rollback")
+	}
+	if res.Cause == nil || !strings.Contains(res.Cause.Error(), "injected") {
+		t.Errorf("cause = %v", res.Cause)
+	}
+	if !restored.Deployed() {
+		t.Fatalf("restored system down: %v", restored.Status())
+	}
+	m, _ := f.world.Machine("server")
+	v, _ := m.ReadFile("/opt/fa/version")
+	if v != "1.0" {
+		t.Errorf("rolled-back version = %q", v)
+	}
+	db := migrate.Open(m, dbRoot)
+	rows := db.Rows("applications")
+	if len(rows) != 2 || rows[0] != "alice|faculty" {
+		t.Errorf("content after rollback: %v", rows)
+	}
+	if !m.Listening(5432) {
+		t.Error("database should be listening after rollback")
+	}
+}
+
+func TestAdoptedStatesVisible(t *testing.T) {
+	f := newFixture(t)
+	old, oldSpec := f.deployV1(t)
+	newSpec := f.fullSpec(t, "2.0")
+	u := &Upgrader{Options: f.opts()}
+	newDep, _, err := u.UpgradeIncremental(old, oldSpec, newSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, ok := newDep.StateOf("db")
+	if !ok || st != driver.Active {
+		t.Errorf("adopted db state = %v, %v", st, ok)
+	}
+	// Adopted scratch: the db driver in the new deployment can stop the
+	// daemon it never started.
+	if err := newDep.Shutdown(); err != nil {
+		t.Fatalf("shutdown using adopted PIDs: %v", err)
+	}
+	m, _ := f.world.Machine("server")
+	if m.Listening(5432) {
+		t.Error("shutdown should stop the adopted daemon")
+	}
+}
+
+func TestInstancePortsEqual(t *testing.T) {
+	base := func() *spec.Instance {
+		return &spec.Instance{
+			ID: "x", Key: resource.MakeKey("A", "1"), Inside: "m", Machine: "m",
+			Config: map[string]resource.Value{"p": resource.IntV(1)},
+			Input:  map[string]resource.Value{"i": resource.Str("v")},
+			Deps:   []spec.DepLink{{Class: resource.DepInside, Target: "m"}},
+		}
+	}
+	a, b := base(), base()
+	if !instancePortsEqual(a, b) {
+		t.Error("identical instances should be equal")
+	}
+	b.Config["p"] = resource.IntV(2)
+	if instancePortsEqual(a, b) {
+		t.Error("config change should be detected")
+	}
+	c := base()
+	c.Deps[0].Target = "other"
+	if instancePortsEqual(a, c) {
+		t.Error("link change should be detected")
+	}
+	d := base()
+	d.Input["i"] = resource.Str("w")
+	if instancePortsEqual(a, d) {
+		t.Error("input change should be detected")
+	}
+}

@@ -1,0 +1,213 @@
+// Package upgrade implements Engage's upgrade framework (§5.2,
+// "Upgrades"): given a deployed system and a new full installation
+// specification, the current system is backed up, components that will
+// be removed or cannot be upgraded in place are uninstalled, and the new
+// system is deployed. If the upgrade fails, partially installed
+// components are stopped and the old version is restored from backup.
+// As the paper notes, this strategy is simple and safe but every upgrade
+// pays the worst-case time.
+package upgrade
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"engage/internal/deploy"
+	"engage/internal/driver"
+	"engage/internal/machine"
+	"engage/internal/spec"
+)
+
+// Diff classifies instances between two specifications by ID and key.
+type Diff struct {
+	// Added instances exist only in the new specification.
+	Added []string
+	// Removed instances exist only in the old specification.
+	Removed []string
+	// Changed instances keep their ID but change resource key
+	// (a version upgrade); they are uninstalled and reinstalled.
+	Changed []string
+	// Kept instances are identical in ID and key.
+	Kept []string
+}
+
+// Compute builds the diff between two full specifications.
+func Compute(oldSpec, newSpec *spec.Full) Diff {
+	oldByID := make(map[string]*spec.Instance, len(oldSpec.Instances))
+	for _, inst := range oldSpec.Instances {
+		oldByID[inst.ID] = inst
+	}
+	var d Diff
+	seen := make(map[string]bool)
+	for _, inst := range newSpec.Instances {
+		seen[inst.ID] = true
+		old, ok := oldByID[inst.ID]
+		switch {
+		case !ok:
+			d.Added = append(d.Added, inst.ID)
+		case old.Key != inst.Key:
+			d.Changed = append(d.Changed, inst.ID)
+		default:
+			d.Kept = append(d.Kept, inst.ID)
+		}
+	}
+	for _, inst := range oldSpec.Instances {
+		if !seen[inst.ID] {
+			d.Removed = append(d.Removed, inst.ID)
+		}
+	}
+	sort.Strings(d.Added)
+	sort.Strings(d.Removed)
+	sort.Strings(d.Changed)
+	sort.Strings(d.Kept)
+	return d
+}
+
+// Result reports what an upgrade did.
+type Result struct {
+	Diff       Diff
+	RolledBack bool
+	// Cause is the error that triggered rollback (nil on success).
+	Cause   error
+	Elapsed time.Duration
+}
+
+// Upgrader performs backup/deploy/rollback upgrades.
+type Upgrader struct {
+	Options deploy.Options
+}
+
+// backup captures the filesystems of every machine in the deployment.
+type backup struct {
+	snapshots map[string]map[string]machine.File
+}
+
+func (u *Upgrader) takeBackup(machines []string) backup {
+	b := backup{snapshots: make(map[string]map[string]machine.File, len(machines))}
+	for _, name := range machines {
+		if m, ok := u.Options.World.Machine(name); ok {
+			b.snapshots[name] = m.Snapshot()
+		}
+	}
+	return b
+}
+
+func (u *Upgrader) restoreBackup(b backup) {
+	for name, snap := range b.snapshots {
+		if m, ok := u.Options.World.Machine(name); ok {
+			m.Restore(snap)
+		}
+	}
+}
+
+// Upgrade moves a running deployment (old) to the new specification.
+// On success it returns the new running deployment and a result with
+// RolledBack=false. If deploying the new specification fails, the old
+// system is restored from backup and redeployed, and the returned
+// deployment is the restored old system with RolledBack=true; the error
+// that caused the rollback is in Result.Cause (Upgrade itself returns a
+// non-nil error only when rollback also fails).
+func (u *Upgrader) Upgrade(old *deploy.Deployment, oldSpec, newSpec *spec.Full) (*deploy.Deployment, *Result, error) {
+	res := &Result{Diff: Compute(oldSpec, newSpec)}
+	clock := u.Options.World.Clock
+	t0 := clock.Now()
+
+	// 1. Back up the current system.
+	machines := oldSpec.Machines()
+	b := u.takeBackup(machines)
+
+	// 2. Stop the old system (reverse dependency order).
+	if err := old.Shutdown(); err != nil {
+		return old, res, fmt.Errorf("upgrade: shutdown of old system failed: %w", err)
+	}
+
+	// 3. Uninstall components that are removed or changed.
+	toDrop := append(append([]string(nil), res.Diff.Removed...), res.Diff.Changed...)
+	if err := uninstallSome(old, oldSpec, toDrop); err != nil {
+		// Old system is stopped but intact: restore and restart.
+		return u.rollback(old, oldSpec, b, res, err, t0)
+	}
+
+	// 4. Deploy the new system.
+	newDep, err := deploy.New(newSpec, u.Options)
+	if err == nil {
+		err = newDep.Deploy()
+	}
+	if err != nil {
+		if newDep != nil {
+			stopAllActive(newDep)
+		}
+		return u.rollback(old, oldSpec, b, res, err, t0)
+	}
+
+	res.Elapsed = clock.Now().Sub(t0)
+	return newDep, res, nil
+}
+
+// rollback restores the backup and redeploys the old specification.
+func (u *Upgrader) rollback(old *deploy.Deployment, oldSpec *spec.Full, b backup, res *Result, cause error, t0 time.Time) (*deploy.Deployment, *Result, error) {
+	res.RolledBack = true
+	res.Cause = cause
+	u.restoreBackup(b)
+	restored, err := deploy.New(oldSpec, u.Options)
+	if err == nil {
+		err = restored.Deploy()
+	}
+	if err != nil {
+		return old, res, fmt.Errorf("upgrade: rollback failed after %v: %w", cause, err)
+	}
+	res.Elapsed = u.Options.World.Clock.Now().Sub(t0)
+	return restored, res, nil
+}
+
+// uninstallSome drives the named (already stopped) instances to
+// uninstalled, dependents first.
+func uninstallSome(d *deploy.Deployment, full *spec.Full, ids []string) error {
+	drop := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		drop[id] = true
+	}
+	order, err := full.TopoOrder()
+	if err != nil {
+		return err
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		inst := order[i]
+		if !drop[inst.ID] {
+			continue
+		}
+		drv, ok := d.Driver(inst.ID)
+		if !ok {
+			continue
+		}
+		path := drv.SM.PathTo(drv.State(), driver.Uninstalled)
+		if path == nil {
+			return fmt.Errorf("upgrade: instance %q: cannot reach uninstalled from %q", inst.ID, drv.State())
+		}
+		for _, a := range path {
+			if err := drv.Fire(a, d); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// stopAllActive best-effort stops every active instance of a (possibly
+// partially deployed) deployment, dependents first.
+func stopAllActive(d *deploy.Deployment) {
+	insts := d.Instances()
+	for i := len(insts) - 1; i >= 0; i-- {
+		drv, ok := d.Driver(insts[i].ID)
+		if !ok || drv.State() != driver.Active {
+			continue
+		}
+		path := drv.SM.PathTo(driver.Active, driver.Inactive)
+		for _, a := range path {
+			if err := drv.Fire(a, d); err != nil {
+				break // best effort
+			}
+		}
+	}
+}

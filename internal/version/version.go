@@ -1,0 +1,222 @@
+// Package version implements parsing, comparison, and range matching for
+// component versions as used in Engage resource keys.
+//
+// Engage resource keys are typically "Name Version" pairs (e.g.,
+// "Tomcat 6.0.18"). Dependencies may constrain versions with ranges,
+// e.g. "at least 5.5 but before 6.0.29" (the OpenMRS example from the
+// paper). Ranges are expanded by the RDL front end into disjunctions of
+// the concrete versions present in the resource library, so the
+// configuration engine itself only ever sees exact keys.
+package version
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Version is a dotted numeric version with an optional trailing tag
+// (e.g., "10.6", "6.0.18", "1.8", "2.0-beta"). Comparison is numeric on
+// the dotted components; a tagged version sorts before the same untagged
+// version (1.0-beta < 1.0), matching common packaging conventions.
+type Version struct {
+	Parts []int
+	Tag   string
+}
+
+// Parse parses a version string. It accepts one or more dot-separated
+// non-negative integers, optionally followed by "-tag".
+func Parse(s string) (Version, error) {
+	if s == "" {
+		return Version{}, fmt.Errorf("version: empty string")
+	}
+	body := s
+	tag := ""
+	if i := strings.IndexByte(s, '-'); i >= 0 {
+		body, tag = s[:i], s[i+1:]
+		if tag == "" {
+			return Version{}, fmt.Errorf("version %q: empty tag", s)
+		}
+	}
+	fields := strings.Split(body, ".")
+	parts := make([]int, 0, len(fields))
+	for _, f := range fields {
+		if f == "" {
+			return Version{}, fmt.Errorf("version %q: empty component", s)
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 0 {
+			return Version{}, fmt.Errorf("version %q: bad component %q", s, f)
+		}
+		parts = append(parts, n)
+	}
+	return Version{Parts: parts, Tag: tag}, nil
+}
+
+// MustParse is Parse that panics on error; for use with constants.
+func MustParse(s string) Version {
+	v, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// String renders the version in canonical form.
+func (v Version) String() string {
+	var b strings.Builder
+	for i, p := range v.Parts {
+		if i > 0 {
+			b.WriteByte('.')
+		}
+		b.WriteString(strconv.Itoa(p))
+	}
+	if v.Tag != "" {
+		b.WriteByte('-')
+		b.WriteString(v.Tag)
+	}
+	return b.String()
+}
+
+// Compare returns -1, 0, or +1 as v is less than, equal to, or greater
+// than w. Missing components compare as zero (6.0 == 6.0.0). A tagged
+// version is less than the equivalent untagged version; two distinct
+// tags compare lexicographically.
+func (v Version) Compare(w Version) int {
+	n := len(v.Parts)
+	if len(w.Parts) > n {
+		n = len(w.Parts)
+	}
+	for i := 0; i < n; i++ {
+		a, b := 0, 0
+		if i < len(v.Parts) {
+			a = v.Parts[i]
+		}
+		if i < len(w.Parts) {
+			b = w.Parts[i]
+		}
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		}
+	}
+	switch {
+	case v.Tag == w.Tag:
+		return 0
+	case v.Tag == "":
+		return 1
+	case w.Tag == "":
+		return -1
+	case v.Tag < w.Tag:
+		return -1
+	default:
+		return 1
+	}
+}
+
+// Less reports whether v < w.
+func (v Version) Less(w Version) bool { return v.Compare(w) < 0 }
+
+// Range is a half-open or closed version interval. A nil bound is
+// unbounded on that side.
+type Range struct {
+	Min          *Version // nil: unbounded below
+	Max          *Version // nil: unbounded above
+	MinInclusive bool
+	MaxInclusive bool
+}
+
+// Contains reports whether version v lies in the range.
+func (r Range) Contains(v Version) bool {
+	if r.Min != nil {
+		c := v.Compare(*r.Min)
+		if c < 0 || (c == 0 && !r.MinInclusive) {
+			return false
+		}
+	}
+	if r.Max != nil {
+		c := v.Compare(*r.Max)
+		if c > 0 || (c == 0 && !r.MaxInclusive) {
+			return false
+		}
+	}
+	return true
+}
+
+// ParseRange parses interval notation: "[5.5, 6.0.29)", "(1.0, 2.0]",
+// "[5,)" (at least 5), "(,2.0)" (before 2.0). Whitespace around the
+// comma and bounds is ignored.
+func ParseRange(s string) (Range, error) {
+	t := strings.TrimSpace(s)
+	if len(t) < 3 {
+		return Range{}, fmt.Errorf("version range %q: too short", s)
+	}
+	var r Range
+	switch t[0] {
+	case '[':
+		r.MinInclusive = true
+	case '(':
+	default:
+		return Range{}, fmt.Errorf("version range %q: must start with [ or (", s)
+	}
+	switch t[len(t)-1] {
+	case ']':
+		r.MaxInclusive = true
+	case ')':
+	default:
+		return Range{}, fmt.Errorf("version range %q: must end with ] or )", s)
+	}
+	inner := t[1 : len(t)-1]
+	i := strings.IndexByte(inner, ',')
+	if i < 0 {
+		return Range{}, fmt.Errorf("version range %q: missing comma", s)
+	}
+	lo := strings.TrimSpace(inner[:i])
+	hi := strings.TrimSpace(inner[i+1:])
+	if lo != "" {
+		v, err := Parse(lo)
+		if err != nil {
+			return Range{}, fmt.Errorf("version range %q: %v", s, err)
+		}
+		r.Min = &v
+	}
+	if hi != "" {
+		v, err := Parse(hi)
+		if err != nil {
+			return Range{}, fmt.Errorf("version range %q: %v", s, err)
+		}
+		r.Max = &v
+	}
+	if r.Min != nil && r.Max != nil {
+		c := r.Min.Compare(*r.Max)
+		if c > 0 || (c == 0 && !(r.MinInclusive && r.MaxInclusive)) {
+			return Range{}, fmt.Errorf("version range %q: empty interval", s)
+		}
+	}
+	return r, nil
+}
+
+// String renders the range in interval notation.
+func (r Range) String() string {
+	var b strings.Builder
+	if r.MinInclusive {
+		b.WriteByte('[')
+	} else {
+		b.WriteByte('(')
+	}
+	if r.Min != nil {
+		b.WriteString(r.Min.String())
+	}
+	b.WriteString(", ")
+	if r.Max != nil {
+		b.WriteString(r.Max.String())
+	}
+	if r.MaxInclusive {
+		b.WriteByte(']')
+	} else {
+		b.WriteByte(')')
+	}
+	return b.String()
+}

@@ -1,0 +1,208 @@
+package version
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseBasic(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"1", "1"},
+		{"6.0.18", "6.0.18"},
+		{"10.6", "10.6"},
+		{"1.0-beta", "1.0-beta"},
+		{"0.0.1", "0.0.1"},
+	}
+	for _, c := range cases {
+		v, err := Parse(c.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.in, err)
+		}
+		if v.String() != c.want {
+			t.Errorf("Parse(%q).String() = %q, want %q", c.in, v.String(), c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{"", "a.b", "1..2", "-beta", "1.", ".1", "1.0-", "1.-2"} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q): expected error", in)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"1", "2", -1},
+		{"2", "1", 1},
+		{"1.0", "1", 0},
+		{"6.0", "6.0.0", 0},
+		{"6.0.18", "6.0.29", -1},
+		{"5.5", "6.0.29", -1},
+		{"10.6", "10.10", -1},
+		{"1.0-beta", "1.0", -1},
+		{"1.0", "1.0-beta", 1},
+		{"1.0-alpha", "1.0-beta", -1},
+		{"1.0-beta", "1.0-beta", 0},
+	}
+	for _, c := range cases {
+		got := MustParse(c.a).Compare(MustParse(c.b))
+		if got != c.want {
+			t.Errorf("Compare(%s, %s) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLess(t *testing.T) {
+	if !MustParse("5.5").Less(MustParse("6.0.29")) {
+		t.Error("5.5 should be less than 6.0.29")
+	}
+	if MustParse("6.0.29").Less(MustParse("6.0.29")) {
+		t.Error("6.0.29 should not be less than itself")
+	}
+}
+
+func TestRangeContains(t *testing.T) {
+	// The paper's Tomcat constraint: at least 5.5 but before 6.0.29.
+	r, err := ParseRange("[5.5, 6.0.29)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		v    string
+		want bool
+	}{
+		{"5.5", true},
+		{"6.0.18", true},
+		{"6.0.29", false},
+		{"5.4", false},
+		{"6.0.28", true},
+		{"7.0", false},
+	}
+	for _, c := range cases {
+		if got := r.Contains(MustParse(c.v)); got != c.want {
+			t.Errorf("[5.5,6.0.29).Contains(%s) = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestRangeUnbounded(t *testing.T) {
+	// Java version 5 or greater (OpenMRS requirement).
+	r, err := ParseRange("[5,)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Contains(MustParse("5")) || !r.Contains(MustParse("6")) || !r.Contains(MustParse("100.2")) {
+		t.Error("[5,) should contain 5, 6, 100.2")
+	}
+	if r.Contains(MustParse("4.9")) {
+		t.Error("[5,) should not contain 4.9")
+	}
+
+	r2, err := ParseRange("(,2.0)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Contains(MustParse("1.9")) || r2.Contains(MustParse("2.0")) {
+		t.Error("(,2.0) bounds wrong")
+	}
+}
+
+func TestRangeExclusiveMin(t *testing.T) {
+	r, err := ParseRange("(1.0, 2.0]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Contains(MustParse("1.0")) {
+		t.Error("(1.0,2.0] should not contain 1.0")
+	}
+	if !r.Contains(MustParse("2.0")) {
+		t.Error("(1.0,2.0] should contain 2.0")
+	}
+}
+
+func TestRangeErrors(t *testing.T) {
+	for _, in := range []string{"", "[", "[1,2", "1,2)", "[2,1]", "[1.0,1.0)", "(1.0,1.0]", "[a,b]", "[1 2]"} {
+		if _, err := ParseRange(in); err == nil {
+			t.Errorf("ParseRange(%q): expected error", in)
+		}
+	}
+}
+
+func TestRangeString(t *testing.T) {
+	for _, s := range []string{"[5.5, 6.0.29)", "[5, )", "(, 2.0)", "(1.0, 2.0]"} {
+		r, err := ParseRange(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := ParseRange(r.String())
+		if err != nil {
+			t.Fatalf("round-trip of %q -> %q failed: %v", s, r.String(), err)
+		}
+		if r2.String() != r.String() {
+			t.Errorf("round trip mismatch: %q vs %q", r.String(), r2.String())
+		}
+	}
+}
+
+// Property: Compare is antisymmetric and reflexive over generated versions.
+func TestCompareProperties(t *testing.T) {
+	gen := func(parts []uint8) Version {
+		if len(parts) == 0 {
+			parts = []uint8{0}
+		}
+		if len(parts) > 4 {
+			parts = parts[:4]
+		}
+		v := Version{Parts: make([]int, len(parts))}
+		for i, p := range parts {
+			v.Parts[i] = int(p % 50)
+		}
+		return v
+	}
+	antisym := func(a, b []uint8) bool {
+		va, vb := gen(a), gen(b)
+		return va.Compare(vb) == -vb.Compare(va)
+	}
+	if err := quick.Check(antisym, nil); err != nil {
+		t.Error(err)
+	}
+	refl := func(a []uint8) bool {
+		va := gen(a)
+		return va.Compare(va) == 0
+	}
+	if err := quick.Check(refl, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: parsing the String form yields an equal version.
+func TestStringRoundTrip(t *testing.T) {
+	f := func(parts []uint8, tagged bool) bool {
+		if len(parts) == 0 {
+			parts = []uint8{1}
+		}
+		if len(parts) > 4 {
+			parts = parts[:4]
+		}
+		v := Version{Parts: make([]int, len(parts))}
+		for i, p := range parts {
+			v.Parts[i] = int(p)
+		}
+		if tagged {
+			v.Tag = "rc1"
+		}
+		w, err := Parse(v.String())
+		return err == nil && w.Compare(v) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,95 @@
+package engage
+
+import (
+	"fmt"
+
+	"engage/internal/cloud"
+	"engage/internal/library"
+	"engage/internal/resource"
+	"engage/internal/spec"
+)
+
+// This file implements the provisioning workflows of §5.2:
+//
+//   - Discover: "Engage provides a set of runtime tools to determine
+//     properties of servers, such as hostname, IP address, operating
+//     system … These tools automatically create a resource instance for
+//     the server, and in practice, are used to start writing a new
+//     partial installation specification when the servers are known."
+//   - ProvisionPartial: "If a machine resource instance in the partial
+//     installation specification does not include configuration details,
+//     and Engage is being run in a cloud environment, a new virtual
+//     server is provisioned … the additional host configuration details
+//     are added to the installation specification before passing it to
+//     the configuration engine."
+
+// Discover inspects an existing machine of the system's world and
+// appends a fully configured machine instance for it to the partial
+// specification. The resource key is matched against the machine's OS
+// identifier among the registry's concrete Server subtypes.
+func (s *System) Discover(p *Partial, id, machineName string) (*spec.PartialInstance, error) {
+	m, ok := s.World.Machine(machineName)
+	if !ok {
+		return nil, fmt.Errorf("engage: no machine %q in world", machineName)
+	}
+	key, err := s.machineKeyForOS(m.OS)
+	if err != nil {
+		return nil, err
+	}
+	inst := p.Add(id, key).
+		Set("hostname", Str(m.Hostname)).
+		Set("ip", Str(m.IP))
+	return inst, nil
+}
+
+// machineKeyForOS finds the concrete Server subtype whose OS identifier
+// matches.
+func (s *System) machineKeyForOS(os string) (Key, error) {
+	sub := resource.NewSubtyper(s.Registry)
+	server := resource.Key{Name: "Server"}
+	for _, k := range s.Registry.Keys() {
+		t := s.Registry.MustLookup(k)
+		if t.Abstract || !t.IsMachine() {
+			continue
+		}
+		if !sub.IsSubtype(k, server) {
+			continue
+		}
+		if library.OSName(k) == os {
+			return k, nil
+		}
+	}
+	return Key{}, fmt.Errorf("engage: no machine resource type for OS %q", os)
+}
+
+// ProvisionPartial scans a partial specification for machine instances
+// without host configuration details (no hostname), provisions a node
+// for each from the given cloud provider, and merges the provider's
+// host metadata (hostname, IP) into the instance's configuration. It
+// returns the IDs of the instances it provisioned.
+func (s *System) ProvisionPartial(p *Partial, provider *cloud.Provider) ([]string, error) {
+	var provisioned []string
+	for _, inst := range p.Instances {
+		t, ok := s.Registry.Lookup(inst.Key)
+		if !ok {
+			return provisioned, fmt.Errorf("engage: instance %q: unknown resource type %q", inst.ID, inst.Key)
+		}
+		if !t.IsMachine() || inst.Inside != "" {
+			continue
+		}
+		if _, has := inst.Config["hostname"]; has {
+			continue // already configured (given set of servers)
+		}
+		if _, exists := s.World.Machine(inst.ID); exists {
+			continue // already present in the world
+		}
+		m, err := provider.Provision(inst.ID, library.OSName(inst.Key))
+		if err != nil {
+			return provisioned, fmt.Errorf("engage: provisioning %q: %w", inst.ID, err)
+		}
+		inst.Set("hostname", Str(m.Hostname))
+		inst.Set("ip", Str(m.IP))
+		provisioned = append(provisioned, inst.ID)
+	}
+	return provisioned, nil
+}

@@ -1,0 +1,121 @@
+package engage
+
+import (
+	"testing"
+)
+
+func TestProvisionPartialFillsHostDetails(t *testing.T) {
+	sys := newSys(t)
+	provider, err := sys.NewProvider("rackspace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPartial()
+	p.Add("web1", ParseKey("Ubuntu 12.04")) // no config details → provision
+	p.Add("db1", ParseKey("Ubuntu 12.04")).
+		Set("hostname", Str("db.example.com")) // configured → leave alone
+	p.Add("mysql", ParseKey("MySQL 5.1")).In("db1")
+
+	ids, err := sys.ProvisionPartial(p, provider)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != "web1" {
+		t.Fatalf("provisioned = %v", ids)
+	}
+	web1, _ := p.Find("web1")
+	if web1.Config["hostname"].Str != "web1" {
+		t.Errorf("hostname not merged: %v", web1.Config)
+	}
+	if web1.Config["ip"].Str == "" {
+		t.Error("ip not merged")
+	}
+	if _, ok := sys.World.Machine("web1"); !ok {
+		t.Error("node should exist in the world")
+	}
+	// The provisioned spec configures and deploys.
+	full, err := sys.Configure(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := full.MustFind("web1")
+	host, _ := srv.Output["host"].Field("hostname")
+	if host.Str != "web1" {
+		t.Errorf("host output = %v", srv.Output["host"])
+	}
+	if _, err := sys.Deploy(full); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProvisionPartialIdempotent(t *testing.T) {
+	sys := newSys(t)
+	provider, err := sys.NewProvider("aws")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPartial()
+	p.Add("node", ParseKey("Mac-OSX 10.7"))
+	if _, err := sys.ProvisionPartial(p, provider); err != nil {
+		t.Fatal(err)
+	}
+	// Second pass: hostname now set, nothing to do.
+	ids, err := sys.ProvisionPartial(p, provider)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 0 {
+		t.Errorf("second pass should provision nothing: %v", ids)
+	}
+}
+
+func TestProvisionPartialUnknownType(t *testing.T) {
+	sys := newSys(t)
+	provider, _ := sys.NewProvider("aws")
+	p := NewPartial()
+	p.Add("x", ParseKey("Mystery 9"))
+	if _, err := sys.ProvisionPartial(p, provider); err == nil {
+		t.Error("unknown type should error")
+	}
+}
+
+func TestDiscover(t *testing.T) {
+	sys := newSys(t)
+	if _, err := sys.World.AddMachine("lab-3", "ubuntu-10.04"); err != nil {
+		t.Fatal(err)
+	}
+	p := NewPartial()
+	inst, err := sys.Discover(p, "server", "lab-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Key.String() != "Ubuntu 10.04" {
+		t.Errorf("discovered key = %v", inst.Key)
+	}
+	if inst.Config["hostname"].Str != "lab-3" || inst.Config["ip"].Str == "" {
+		t.Errorf("discovered config = %v", inst.Config)
+	}
+	// The discovered instance anchors a deployable spec.
+	p.Add("redis", ParseKey("Redis 2.4")).In("server")
+	full, err := sys.Configure(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Deploy(full); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiscoverErrors(t *testing.T) {
+	sys := newSys(t)
+	p := NewPartial()
+	if _, err := sys.Discover(p, "x", "ghost"); err == nil {
+		t.Error("unknown machine should error")
+	}
+	if _, err := sys.World.AddMachine("weird", "plan9"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Discover(p, "x", "weird"); err == nil {
+		t.Error("unmatchable OS should error")
+	}
+}
