@@ -13,6 +13,11 @@ import (
 // resource-instance variables. For the §2 OpenMRS example this returns
 // exactly two: one deploying the JDK, one the JRE.
 //
+// The enumeration runs on one incremental solver session: each
+// alternative after the first costs a single blocking clause plus a
+// re-solve on warm state (learned clauses, activity, saved phases),
+// not a cold solve of the whole constraint system.
+//
 // A limit ≤ 0 enumerates everything; the solution count is bounded by
 // the product of the disjunction widths, so bound it for large stacks.
 func (e *Engine) Alternatives(partial *spec.Partial, limit int) ([]*spec.Full, error) {

@@ -20,6 +20,10 @@ import (
 
 // Engine is the configuration engine. The zero Solver/Encoding default
 // to the CDCL solver with the paper's pairwise exactly-one encoding.
+// Solvers implementing sat.IncrementalSource (CDCL does) let the
+// enumeration and minimization paths (Alternatives, ConfigureMinimal)
+// reuse warm solver state across re-solves; other solvers work through
+// the cold compatibility adapter.
 type Engine struct {
 	Registry *resource.Registry
 	Solver   sat.Solver

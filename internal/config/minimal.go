@@ -20,8 +20,11 @@ import (
 // Minimization is the standard iterative strengthening: solve once, then
 // for each instance selected but not in the partial specification, try
 // re-solving with that instance forced out; keep it out if still
-// satisfiable. Each step adds a unit clause, so the loop runs at most
-// one solve per graph node.
+// satisfiable. The loop runs on one incremental session: each trial is a
+// SolveAssuming(¬v) on warm solver state (learned clauses, activity, and
+// phases carry over), and the decision is committed as a unit AddClause —
+// no cold restarts, no formula copying, at most one re-solve per graph
+// node.
 func (e *Engine) ConfigureMinimal(partial *spec.Partial) (*spec.Full, error) {
 	g, err := hypergraph.Generate(e.Registry, partial)
 	if err != nil {
@@ -33,11 +36,8 @@ func (e *Engine) ConfigureMinimal(partial *spec.Partial) (*spec.Full, error) {
 		solver = sat.NewCDCL()
 	}
 
-	work := &sat.Formula{
-		NumVars: prob.Formula.NumVars,
-		Clauses: append([]sat.Clause(nil), prob.Formula.Clauses...),
-	}
-	res := solver.Solve(work)
+	inc := sat.StartIncremental(solver, prob.Formula)
+	res := inc.SolveAssuming(nil)
 	switch res.Status {
 	case sat.Sat:
 	case sat.Unsat:
@@ -58,17 +58,14 @@ func (e *Engine) ConfigureMinimal(partial *spec.Partial) (*spec.Full, error) {
 		if fromSpec[id] || !model[v] {
 			continue
 		}
-		trial := &sat.Formula{
-			NumVars: work.NumVars,
-			Clauses: append(append([]sat.Clause(nil), work.Clauses...), sat.Clause{sat.Lit(-v)}),
-		}
-		r := solver.Solve(trial)
-		if r.Status == sat.Sat {
-			work = trial
-			model = r.Model
+		trial := inc.SolveAssuming([]sat.Lit{sat.Lit(-v)})
+		if trial.Status == sat.Sat {
+			// Sheddable: commit the exclusion so later trials build on it.
+			inc.AddClause(sat.Clause{sat.Lit(-v)})
+			model = trial.Model
 		} else {
 			// Pin it in so later trials cannot flip it back.
-			work.Clauses = append(work.Clauses, sat.Clause{sat.Lit(v)})
+			inc.AddClause(sat.Clause{sat.Lit(v)})
 		}
 	}
 

@@ -1,0 +1,75 @@
+package sat
+
+import "math"
+
+// cref addresses a clause inside the arena: the index of its header
+// word in the backing slice. crefUndef marks "no clause" — a decision
+// or unassigned variable in the reason array, or "no conflict" from
+// propagate.
+type cref int32
+
+const crefUndef cref = -1
+
+// clauseArena is a flat backing store for all clauses of one solver
+// state. Replacing per-clause heap objects with integer offsets into a
+// single slice removes pointer-chasing from propagate's inner loop and
+// takes the clause database out of the garbage collector's view
+// entirely (one allocation amortized over all clauses, no per-clause
+// scan work).
+//
+// Clause layout: [header, activity, lit0, …, litN-1].
+//   - header packs the literal count and the learned flag:
+//     size<<hdrSizeShift | learnedBit.
+//   - activity holds float32 bits (meaningful only for learned
+//     clauses; problem clauses carry a zero word so the layout stays
+//     uniform and literal access needs no branch).
+//
+// Freed clauses are not reused in place; free only accounts the waste,
+// and the owning state compacts the arena (garbageCollect) when the
+// wasted fraction grows too large.
+type clauseArena struct {
+	data   []ilit
+	wasted int // words lost to freed clauses, reclaimed by compaction
+}
+
+const (
+	hdrLearnedBit  = 1
+	hdrSizeShift   = 1
+	clauseOverhead = 2 // header + activity words
+)
+
+// alloc appends a clause and returns its reference.
+func (a *clauseArena) alloc(lits []ilit, learned bool) cref {
+	c := cref(len(a.data))
+	hdr := ilit(len(lits)) << hdrSizeShift
+	if learned {
+		hdr |= hdrLearnedBit
+	}
+	a.data = append(a.data, hdr, 0)
+	a.data = append(a.data, lits...)
+	return c
+}
+
+func (a *clauseArena) size(c cref) int     { return int(a.data[c] >> hdrSizeShift) }
+func (a *clauseArena) learned(c cref) bool { return a.data[c]&hdrLearnedBit != 0 }
+
+// lits returns the clause's literals, aliasing the arena — callers may
+// reorder them in place (watch maintenance does).
+func (a *clauseArena) lits(c cref) []ilit {
+	start := int(c) + clauseOverhead
+	return a.data[start : start+a.size(c)]
+}
+
+func (a *clauseArena) activity(c cref) float32 {
+	return math.Float32frombits(uint32(a.data[c+1]))
+}
+
+func (a *clauseArena) setActivity(c cref, v float32) {
+	a.data[c+1] = ilit(math.Float32bits(v))
+}
+
+// free retires a clause. The words stay in place (references may still
+// be in flight during a sweep) until the next compaction.
+func (a *clauseArena) free(c cref) {
+	a.wasted += a.size(c) + clauseOverhead
+}

@@ -3,9 +3,13 @@ package sat
 import "sort"
 
 // CDCL is a conflict-driven clause-learning solver in the MiniSat
-// lineage: two-literal watching, VSIDS variable activity with phase
-// saving, first-UIP conflict analysis, Luby-sequence restarts, and
-// activity-based learned-clause deletion.
+// lineage: two-literal watching with blocker literals and dedicated
+// binary-clause watch lists, a flat clause arena instead of per-clause
+// heap objects, VSIDS variable activity with phase saving, first-UIP
+// conflict analysis, Luby-sequence restarts, and activity-based
+// learned-clause deletion. It also implements IncrementalSource:
+// StartIncremental opens a session whose learned clauses, activity,
+// and saved phases persist across SolveAssuming calls.
 type CDCL struct{}
 
 // NewCDCL returns a CDCL solver.
@@ -26,15 +30,17 @@ func toInternal(l Lit) ilit {
 	return 2 * v
 }
 
+func toExternal(l ilit) Lit {
+	v := Lit(l.ivar() + 1)
+	if l.sign() {
+		return -v
+	}
+	return v
+}
+
 func (l ilit) ivar() int32 { return int32(l) >> 1 }
 func (l ilit) neg() ilit   { return l ^ 1 }
 func (l ilit) sign() bool  { return l&1 == 1 } // true for negated
-
-type clause struct {
-	lits     []ilit
-	learned  bool
-	activity float64
-}
 
 const (
 	valUnassigned int8 = 0
@@ -42,18 +48,43 @@ const (
 	valFalse      int8 = -1
 )
 
+// watcher is one entry of a long-clause (size ≥ 3) watch list. The
+// blocker is some other literal of the clause; if it is already true
+// the clause is satisfied and propagate can skip it without touching
+// the clause's arena words at all — the common case on re-visited
+// clauses.
+type watcher struct {
+	c       cref
+	blocker ilit
+}
+
+// binWatcher is one entry of a binary-clause watch list: when the
+// watched literal is falsified, other is implied directly — no watch
+// migration, no arena access on the hot path.
+type binWatcher struct {
+	other ilit
+	c     cref
+}
+
 type cdclState struct {
-	nVars   int
-	clauses []*clause // problem clauses
-	learnts []*clause
-	watches [][]*clause // per internal literal
+	nVars      int
+	ar         clauseArena
+	clauses    []cref // problem clauses
+	learnts    []cref
+	watches    [][]watcher    // long clauses, per internal literal
+	binWatches [][]binWatcher // binary clauses, per internal literal
 
 	assign   []int8 // per var
 	level    []int32
-	reason   []*clause
+	reason   []cref
 	trail    []ilit
 	trailLim []int
 	qhead    int
+
+	// assumptions are re-posted as the first decisions of every
+	// restart; assumption i occupies decision level i+1.
+	assumptions []ilit
+	core        []Lit // final-conflict core of the last UNSAT answer
 
 	activity []float64
 	varInc   float64
@@ -79,26 +110,42 @@ func (*CDCL) Solve(f *Formula) Result {
 
 func newState(nVars int) *cdclState {
 	s := &cdclState{
-		nVars:    nVars,
-		watches:  make([][]*clause, 2*nVars),
-		assign:   make([]int8, nVars),
-		level:    make([]int32, nVars),
-		reason:   make([]*clause, nVars),
-		activity: make([]float64, nVars),
-		polarity: make([]bool, nVars),
-		seen:     make([]bool, nVars),
-		varInc:   1,
-		claInc:   1,
-		ok:       true,
+		varInc: 1,
+		claInc: 1,
+		ok:     true,
 	}
-	// Default branching polarity is false (MiniSat's default): in
-	// Engage's configuration problems this yields minimal models —
-	// resources not forced by a constraint stay undeployed.
-	for i := range s.polarity {
-		s.polarity[i] = true
-	}
-	s.order.init(s, nVars)
+	s.order.s = s
+	s.ensureVars(nVars)
 	return s
+}
+
+// ensureVars grows every per-variable structure to n variables; the
+// incremental layer uses it when added clauses or assumptions mention
+// fresh variables.
+func (s *cdclState) ensureVars(n int) {
+	if n <= s.nVars {
+		return
+	}
+	for len(s.watches) < 2*n {
+		s.watches = append(s.watches, nil)
+		s.binWatches = append(s.binWatches, nil)
+	}
+	for v := s.nVars; v < n; v++ {
+		s.assign = append(s.assign, valUnassigned)
+		s.level = append(s.level, 0)
+		s.reason = append(s.reason, crefUndef)
+		s.activity = append(s.activity, 0)
+		// Default branching phase: polarity[v] == true means "branch
+		// on ¬v first", so fresh variables are tried false before true
+		// (MiniSat's default). In Engage's configuration problems this
+		// yields small models — resources not forced by a constraint
+		// stay undeployed. Phase saving overwrites the default with
+		// the last assigned value on backtracking.
+		s.polarity = append(s.polarity, true)
+		s.seen = append(s.seen, false)
+	}
+	s.nVars = n
+	s.order.grow(n)
 }
 
 func (s *cdclState) value(l ilit) int8 {
@@ -113,11 +160,20 @@ func (s *cdclState) value(l ilit) int8 {
 }
 
 // addClause installs a problem clause, handling duplicates, tautologies,
-// and already-satisfied/falsified literals at level 0.
+// and already-satisfied/falsified literals at level 0. The caller must
+// be at decision level 0.
 func (s *cdclState) addClause(c Clause) bool {
 	if !s.ok {
 		return false
 	}
+	maxVar := 0
+	for _, l := range c {
+		if l.Var() > maxVar {
+			maxVar = l.Var()
+		}
+	}
+	s.ensureVars(maxVar)
+
 	lits := make([]ilit, 0, len(c))
 	for _, l := range c {
 		lits = append(lits, toInternal(l))
@@ -146,24 +202,30 @@ func (s *cdclState) addClause(c Clause) bool {
 		s.ok = false
 		return false
 	case 1:
-		s.uncheckedEnqueue(out[0], nil)
-		s.ok = s.propagate() == nil
+		s.uncheckedEnqueue(out[0], crefUndef)
+		s.ok = s.propagate() == crefUndef
 		return s.ok
 	}
-	cl := &clause{lits: append([]ilit(nil), out...)}
+	cl := s.ar.alloc(out, false)
 	s.clauses = append(s.clauses, cl)
 	s.attach(cl)
 	return true
 }
 
-func (s *cdclState) attach(c *clause) {
-	s.watches[c.lits[0].neg()] = append(s.watches[c.lits[0].neg()], c)
-	s.watches[c.lits[1].neg()] = append(s.watches[c.lits[1].neg()], c)
+func (s *cdclState) attach(c cref) {
+	lits := s.ar.lits(c)
+	if len(lits) == 2 {
+		s.binWatches[lits[0].neg()] = append(s.binWatches[lits[0].neg()], binWatcher{other: lits[1], c: c})
+		s.binWatches[lits[1].neg()] = append(s.binWatches[lits[1].neg()], binWatcher{other: lits[0], c: c})
+		return
+	}
+	s.watches[lits[0].neg()] = append(s.watches[lits[0].neg()], watcher{c: c, blocker: lits[1]})
+	s.watches[lits[1].neg()] = append(s.watches[lits[1].neg()], watcher{c: c, blocker: lits[0]})
 }
 
 func (s *cdclState) decisionLevel() int { return len(s.trailLim) }
 
-func (s *cdclState) uncheckedEnqueue(l ilit, from *clause) {
+func (s *cdclState) uncheckedEnqueue(l ilit, from cref) {
 	v := l.ivar()
 	if l.sign() {
 		s.assign[v] = valFalse
@@ -176,32 +238,59 @@ func (s *cdclState) uncheckedEnqueue(l ilit, from *clause) {
 }
 
 // propagate performs unit propagation; it returns a conflicting clause
-// or nil.
-func (s *cdclState) propagate() *clause {
+// or crefUndef. Binary clauses are handled through their own watch
+// lists (the implied literal is stored in the watcher, so no arena
+// access is needed); long clauses go through the blocker check before
+// their literals are loaded.
+func (s *cdclState) propagate() cref {
 	for s.qhead < len(s.trail) {
 		p := s.trail[s.qhead] // p is true
 		s.qhead++
-		ws := s.watches[p]
-		s.watches[p] = ws[:0]
-		kept := s.watches[p]
-		for i := 0; i < len(ws); i++ {
+
+		for _, bw := range s.binWatches[p] {
 			s.stats.Propagations++
-			c := ws[i]
-			// Ensure the falsified literal is lits[1].
-			if c.lits[0] == p.neg() {
-				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			switch s.value(bw.other) {
+			case valTrue:
+			case valFalse:
+				s.qhead = len(s.trail)
+				return bw.c
+			default:
+				s.uncheckedEnqueue(bw.other, bw.c)
 			}
+		}
+
+		ws := s.watches[p]
+		j := 0
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			// Blocker hit: clause already satisfied, keep the watch
+			// untouched.
+			if s.value(w.blocker) == valTrue {
+				ws[j] = w
+				j++
+				continue
+			}
+			s.stats.Propagations++
+			lits := s.ar.lits(w.c)
+			// Ensure the falsified literal is lits[1].
+			if lits[0] == p.neg() {
+				lits[0], lits[1] = lits[1], lits[0]
+			}
+			first := lits[0]
+			nw := watcher{c: w.c, blocker: first}
 			// If lits[0] is true the clause is satisfied.
-			if s.value(c.lits[0]) == valTrue {
-				kept = append(kept, c)
+			if first != w.blocker && s.value(first) == valTrue {
+				ws[j] = nw
+				j++
 				continue
 			}
 			// Look for a new literal to watch.
 			found := false
-			for k := 2; k < len(c.lits); k++ {
-				if s.value(c.lits[k]) != valFalse {
-					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
-					s.watches[c.lits[1].neg()] = append(s.watches[c.lits[1].neg()], c)
+			for k := 2; k < len(lits); k++ {
+				if s.value(lits[k]) != valFalse {
+					lits[1], lits[k] = lits[k], lits[1]
+					nl := lits[1].neg()
+					s.watches[nl] = append(s.watches[nl], nw)
 					found = true
 					break
 				}
@@ -210,24 +299,28 @@ func (s *cdclState) propagate() *clause {
 				continue
 			}
 			// Clause is unit or conflicting.
-			kept = append(kept, c)
-			if s.value(c.lits[0]) == valFalse {
+			ws[j] = nw
+			j++
+			if s.value(first) == valFalse {
 				// Conflict: restore remaining watches and bail.
-				kept = append(kept, ws[i+1:]...)
-				s.watches[p] = kept
+				for i++; i < len(ws); i++ {
+					ws[j] = ws[i]
+					j++
+				}
+				s.watches[p] = ws[:j]
 				s.qhead = len(s.trail)
-				return c
+				return w.c
 			}
-			s.uncheckedEnqueue(c.lits[0], c)
+			s.uncheckedEnqueue(first, w.c)
 		}
-		s.watches[p] = kept
+		s.watches[p] = ws[:j]
 	}
-	return nil
+	return crefUndef
 }
 
 // analyze performs first-UIP conflict analysis, returning the learned
 // clause (asserting literal first) and the backjump level.
-func (s *cdclState) analyze(confl *clause) ([]ilit, int) {
+func (s *cdclState) analyze(confl cref) ([]ilit, int) {
 	learnt := []ilit{0} // slot for the asserting literal
 	counter := 0
 	var p ilit = -1
@@ -236,12 +329,17 @@ func (s *cdclState) analyze(confl *clause) ([]ilit, int) {
 
 	for {
 		s.bumpClause(confl)
-		start := 0
+		pv := int32(-1)
 		if p >= 0 {
-			start = 1
+			pv = p.ivar()
 		}
-		for _, q := range confl.lits[start:] {
+		for _, q := range s.ar.lits(confl) {
 			v := q.ivar()
+			// Skip the literal this clause propagated (binary reasons
+			// may carry it at either position).
+			if v == pv {
+				continue
+			}
 			if s.seen[v] || s.level[v] == 0 {
 				continue
 			}
@@ -302,10 +400,10 @@ func (s *cdclState) analyze(confl *clause) ([]ilit, int) {
 // exists and all its literals are marked or at level 0).
 func (s *cdclState) redundant(l ilit) bool {
 	r := s.reason[l.ivar()]
-	if r == nil {
+	if r == crefUndef {
 		return false
 	}
-	for _, q := range r.lits {
+	for _, q := range s.ar.lits(r) {
 		if q.ivar() == l.ivar() {
 			continue
 		}
@@ -314,6 +412,42 @@ func (s *cdclState) redundant(l ilit) bool {
 		}
 	}
 	return true
+}
+
+// buildCore computes the final conflict under assumptions: given a
+// pending assumption p whose value is already false, it walks the
+// implication graph backwards from ¬p and collects the subset of the
+// assumptions that forced it — the MiniSat analyzeFinal procedure. The
+// returned core (external literals, including p itself) is a set of
+// assumptions that is jointly inconsistent with the clause set.
+func (s *cdclState) buildCore(p ilit) []Lit {
+	core := []Lit{toExternal(p)}
+	if s.decisionLevel() == 0 {
+		return core
+	}
+	s.seen[p.ivar()] = true
+	for i := len(s.trail) - 1; i >= s.trailLim[0]; i-- {
+		q := s.trail[i]
+		v := q.ivar()
+		if !s.seen[v] {
+			continue
+		}
+		s.seen[v] = false
+		if r := s.reason[v]; r == crefUndef {
+			// A decision above level 0 is an assumption (assumptions
+			// are the only decisions still on the trail when the
+			// search fails a later assumption).
+			core = append(core, toExternal(q))
+		} else {
+			for _, u := range s.ar.lits(r) {
+				if u.ivar() != v && s.level[u.ivar()] > 0 {
+					s.seen[u.ivar()] = true
+				}
+			}
+		}
+	}
+	s.seen[p.ivar()] = false
+	return core
 }
 
 func (s *cdclState) backtrackTo(lvl int) {
@@ -326,7 +460,7 @@ func (s *cdclState) backtrackTo(lvl int) {
 		v := l.ivar()
 		s.polarity[v] = l.sign()
 		s.assign[v] = valUnassigned
-		s.reason[v] = nil
+		s.reason[v] = crefUndef
 		s.order.push(v)
 	}
 	s.trail = s.trail[:bound]
@@ -345,14 +479,15 @@ func (s *cdclState) bumpVar(v int32) {
 	s.order.update(v)
 }
 
-func (s *cdclState) bumpClause(c *clause) {
-	if !c.learned {
+func (s *cdclState) bumpClause(c cref) {
+	if !s.ar.learned(c) {
 		return
 	}
-	c.activity += s.claInc
-	if c.activity > 1e20 {
+	act := float64(s.ar.activity(c)) + s.claInc
+	s.ar.setActivity(c, float32(act))
+	if act > 1e20 {
 		for _, lc := range s.learnts {
-			lc.activity *= 1e-20
+			s.ar.setActivity(lc, s.ar.activity(lc)*1e-20)
 		}
 		s.claInc *= 1e-20
 	}
@@ -380,39 +515,52 @@ func luby(x int64) int64 {
 }
 
 func (s *cdclState) search() Result {
+	s.core = nil
 	if !s.ok {
 		return Result{Status: Unsat, Stats: s.stats}
 	}
 	maxLearnts := len(s.clauses)/3 + 100
+	var restarts int64 // local so incremental calls restart the schedule
 	for {
-		limit := 100 * luby(s.stats.Restarts)
+		limit := 100 * luby(restarts)
 		status, model := s.searchOnce(limit, &maxLearnts)
 		if status != Unknown {
-			return Result{Status: status, Model: model, Stats: s.stats}
+			return Result{Status: status, Model: model, Core: s.core, Stats: s.stats}
 		}
+		restarts++
 		s.stats.Restarts++
 		s.backtrackTo(0)
 	}
 }
 
 // searchOnce runs the CDCL loop until a result, or until conflictLimit
-// conflicts have occurred (signalling a restart with Unknown).
+// conflicts have occurred (signalling a restart with Unknown). Pending
+// assumptions are re-posted as the first decisions; a falsified
+// assumption terminates the search with Unsat and a final-conflict
+// core in s.core.
 func (s *cdclState) searchOnce(conflictLimit int64, maxLearnts *int) (Status, []bool) {
 	var conflicts int64
 	for {
 		confl := s.propagate()
-		if confl != nil {
+		if confl != crefUndef {
 			s.stats.Conflicts++
 			conflicts++
 			if s.decisionLevel() == 0 {
+				// Root-level conflict: the clause set itself is
+				// unsatisfiable. Latch it — an incremental session must
+				// not resume from this state (the conflicting clause has
+				// already been propagated past, so a later solve would
+				// never rediscover it).
+				s.ok = false
 				return Unsat, nil
 			}
 			learnt, back := s.analyze(confl)
 			s.backtrackTo(back)
 			if len(learnt) == 1 {
-				s.uncheckedEnqueue(learnt[0], nil)
+				s.uncheckedEnqueue(learnt[0], crefUndef)
 			} else {
-				cl := &clause{lits: learnt, learned: true, activity: s.claInc}
+				cl := s.ar.alloc(learnt, true)
+				s.ar.setActivity(cl, float32(s.claInc))
 				s.learnts = append(s.learnts, cl)
 				s.stats.Learned++
 				s.attach(cl)
@@ -429,23 +577,40 @@ func (s *cdclState) searchOnce(conflictLimit int64, maxLearnts *int) (Status, []
 			s.reduceDB()
 			*maxLearnts += *maxLearnts / 10
 		}
-		// Decide.
-		v := s.pickBranchVar()
-		if v < 0 {
-			// All variables assigned: SAT.
-			model := make([]bool, s.nVars+1)
-			for i := 0; i < s.nVars; i++ {
-				model[i+1] = s.assign[i] == valTrue
+		// Decide: pending assumptions first, then VSIDS branching.
+		var next ilit = -1
+		for next < 0 && s.decisionLevel() < len(s.assumptions) {
+			p := s.assumptions[s.decisionLevel()]
+			switch s.value(p) {
+			case valTrue:
+				// Already implied: open an empty level so level
+				// indices stay aligned with assumption indices.
+				s.trailLim = append(s.trailLim, len(s.trail))
+			case valFalse:
+				s.core = s.buildCore(p)
+				return Unsat, nil
+			default:
+				next = p
 			}
-			return Sat, model
 		}
-		s.stats.Decisions++
+		if next < 0 {
+			v := s.pickBranchVar()
+			if v < 0 {
+				// All variables assigned: SAT.
+				model := make([]bool, s.nVars+1)
+				for i := 0; i < s.nVars; i++ {
+					model[i+1] = s.assign[i] == valTrue
+				}
+				return Sat, model
+			}
+			s.stats.Decisions++
+			next = ilit(2 * v)
+			if s.polarity[v] {
+				next = next.neg()
+			}
+		}
 		s.trailLim = append(s.trailLim, len(s.trail))
-		l := ilit(2 * v)
-		if s.polarity[v] {
-			l = l.neg()
-		}
-		s.uncheckedEnqueue(l, nil)
+		s.uncheckedEnqueue(next, crefUndef)
 	}
 }
 
@@ -461,40 +626,104 @@ func (s *cdclState) pickBranchVar() int32 {
 
 // reduceDB removes the lower-activity half of the learned clauses,
 // keeping binary clauses and clauses that are the reason for a current
-// assignment.
+// assignment, then compacts the arena if too much of it is waste.
 func (s *cdclState) reduceDB() {
+	ar := &s.ar
 	sort.Slice(s.learnts, func(i, j int) bool {
-		return s.learnts[i].activity > s.learnts[j].activity
+		return ar.activity(s.learnts[i]) > ar.activity(s.learnts[j])
 	})
-	locked := make(map[*clause]bool)
-	for _, r := range s.reason {
-		if r != nil {
-			locked[r] = true
-		}
-	}
 	keep := s.learnts[:0]
 	limit := len(s.learnts) / 2
 	for i, c := range s.learnts {
-		if i < limit || len(c.lits) == 2 || locked[c] {
+		if i < limit || ar.size(c) == 2 || s.locked(c) {
 			keep = append(keep, c)
 		} else {
 			s.detach(c)
+			ar.free(c)
 		}
 	}
 	s.learnts = keep
+	if ar.wasted*3 > len(ar.data) {
+		s.garbageCollect()
+	}
 }
 
-func (s *cdclState) detach(c *clause) {
-	for _, w := range []ilit{c.lits[0].neg(), c.lits[1].neg()} {
-		ws := s.watches[w]
-		for i, wc := range ws {
-			if wc == c {
-				ws[i] = ws[len(ws)-1]
-				s.watches[w] = ws[:len(ws)-1]
-				break
-			}
+// locked reports whether c is the reason of a current assignment — an
+// O(1) check with no allocation: a long clause can only become a
+// reason through uncheckedEnqueue of its first literal, and propagate
+// never reorders lits[0] while it is true, so c is locked iff it is
+// the recorded reason of the variable its first literal assigns.
+func (s *cdclState) locked(c cref) bool {
+	l := s.ar.lits(c)[0]
+	return s.value(l) == valTrue && s.reason[l.ivar()] == c
+}
+
+func (s *cdclState) detach(c cref) {
+	lits := s.ar.lits(c)
+	if len(lits) == 2 {
+		s.removeBinWatch(lits[0].neg(), c)
+		s.removeBinWatch(lits[1].neg(), c)
+		return
+	}
+	s.removeWatch(lits[0].neg(), c)
+	s.removeWatch(lits[1].neg(), c)
+}
+
+func (s *cdclState) removeWatch(w ilit, c cref) {
+	ws := s.watches[w]
+	for i := range ws {
+		if ws[i].c == c {
+			ws[i] = ws[len(ws)-1]
+			s.watches[w] = ws[:len(ws)-1]
+			return
 		}
 	}
+}
+
+func (s *cdclState) removeBinWatch(w ilit, c cref) {
+	ws := s.binWatches[w]
+	for i := range ws {
+		if ws[i].c == c {
+			ws[i] = ws[len(ws)-1]
+			s.binWatches[w] = ws[:len(ws)-1]
+			return
+		}
+	}
+}
+
+// garbageCollect compacts the arena: live clauses are copied into a
+// fresh backing slice and every reference (clause lists, watch lists,
+// reasons) is remapped. Freed clauses' words are dropped.
+func (s *cdclState) garbageCollect() {
+	old := s.ar
+	to := clauseArena{data: make([]ilit, 0, len(old.data)-old.wasted)}
+	remap := make(map[cref]cref, len(s.clauses)+len(s.learnts))
+	move := func(list []cref) {
+		for i, c := range list {
+			nc := to.alloc(old.lits(c), old.learned(c))
+			to.setActivity(nc, old.activity(c))
+			remap[c] = nc
+			list[i] = nc
+		}
+	}
+	move(s.clauses)
+	move(s.learnts)
+	for i := range s.watches {
+		for j := range s.watches[i] {
+			s.watches[i][j].c = remap[s.watches[i][j].c]
+		}
+	}
+	for i := range s.binWatches {
+		for j := range s.binWatches[i] {
+			s.binWatches[i][j].c = remap[s.binWatches[i][j].c]
+		}
+	}
+	for v := range s.reason {
+		if r := s.reason[v]; r != crefUndef {
+			s.reason[v] = remap[r]
+		}
+	}
+	s.ar = to
 }
 
 // varHeap is a max-heap of variables ordered by VSIDS activity, with an
@@ -505,13 +734,11 @@ type varHeap struct {
 	index []int32 // position in heap, -1 if absent
 }
 
-func (h *varHeap) init(s *cdclState, n int) {
-	h.s = s
-	h.heap = make([]int32, n)
-	h.index = make([]int32, n)
-	for i := int32(0); i < int32(n); i++ {
-		h.heap[i] = i
-		h.index[i] = i
+// grow registers variables [len(index), n) and pushes them.
+func (h *varHeap) grow(n int) {
+	for v := int32(len(h.index)); v < int32(n); v++ {
+		h.index = append(h.index, -1)
+		h.push(v)
 	}
 }
 

@@ -7,22 +7,48 @@ package sat
 // Auxiliary variables (e.g., from the ladder encoding) are typically
 // excluded via the projection.
 //
+// Enumeration runs on an incremental session (StartIncremental): with
+// a warm-capable solver such as CDCL, each blocking clause is a single
+// AddClause and the re-solve keeps all learned clauses, variable
+// activity, and saved phases — the growing formula is never re-solved
+// from a cold start. One-shot solvers (DPLL) fall back to the cold
+// adapter transparently. The input formula is never mutated.
+//
 // limit ≤ 0 means "no limit"; enumeration is then bounded only by the
 // projected model count, which can be exponential — callers should
 // project and bound accordingly.
 func EnumerateModels(s Solver, f *Formula, project []int, limit int) [][]bool {
+	models, _ := EnumerateModelsStats(s, f, project, limit)
+	return models
+}
+
+// EnumerateModelsStats is EnumerateModels plus the total solver effort
+// summed over every solve of the enumeration.
+func EnumerateModelsStats(s Solver, f *Formula, project []int, limit int) ([][]bool, Stats) {
+	return enumerate(StartIncremental(s, f), f, project, limit)
+}
+
+// EnumerateModelsCold enumerates with the cold-start strategy — every
+// model re-solves the grown formula from scratch — regardless of the
+// solver's incremental support. It exists as the measured ablation
+// baseline for the incremental path (BenchmarkIncrementalEnumeration);
+// the model set is identical to EnumerateModels on exhaustive runs.
+func EnumerateModelsCold(s Solver, f *Formula, project []int, limit int) ([][]bool, Stats) {
+	return enumerate(newColdIncremental(s, f), f, project, limit)
+}
+
+func enumerate(inc IncrementalSolver, f *Formula, project []int, limit int) ([][]bool, Stats) {
 	if project == nil {
 		project = make([]int, f.NumVars)
 		for v := 1; v <= f.NumVars; v++ {
 			project[v-1] = v
 		}
 	}
-	// Work on a private copy so the caller's formula is untouched.
-	work := &Formula{NumVars: f.NumVars, Clauses: append([]Clause(nil), f.Clauses...)}
-
 	var models [][]bool
+	var total Stats
 	for limit <= 0 || len(models) < limit {
-		res := s.Solve(work)
+		res := inc.SolveAssuming(nil)
+		total = addStats(total, res.Stats)
 		if res.Status != Sat {
 			break
 		}
@@ -44,9 +70,21 @@ func EnumerateModels(s Solver, f *Formula, project []int, limit int) [][]bool {
 		if len(block) == 0 {
 			break // empty projection: one model class only
 		}
-		work.Clauses = append(work.Clauses, block)
+		if !inc.AddClause(block) {
+			break // blocking clause closed the space at level 0
+		}
 	}
-	return models
+	return models, total
+}
+
+func addStats(a, b Stats) Stats {
+	return Stats{
+		Decisions:    a.Decisions + b.Decisions,
+		Propagations: a.Propagations + b.Propagations,
+		Conflicts:    a.Conflicts + b.Conflicts,
+		Learned:      a.Learned + b.Learned,
+		Restarts:     a.Restarts + b.Restarts,
+	}
 }
 
 // CountModels counts satisfying assignments distinct on the projection,

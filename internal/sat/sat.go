@@ -148,7 +148,13 @@ type Stats struct {
 type Result struct {
 	Status Status
 	Model  []bool
-	Stats  Stats
+	// Core is set only by IncrementalSolver.SolveAssuming when Status
+	// is Unsat and the assumptions caused the conflict: a subset of
+	// the assumptions that is jointly inconsistent with the clause
+	// set. Nil on Unsat means the clause set is unsatisfiable on its
+	// own.
+	Core  []Lit
+	Stats Stats
 }
 
 // Solver solves CNF formulas. Implementations: *CDCL, *DPLL.
