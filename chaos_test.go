@@ -1,0 +1,209 @@
+package engage
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// chaosPartial is the quickstart OpenMRS stack — the §2 running example
+// — used as the chaos-soak workload.
+func chaosPartial() *Partial {
+	p := NewPartial()
+	p.Add("server", ParseKey("Mac-OSX 10.6")).Set("hostname", Str("demo"))
+	p.Add("tomcat", ParseKey("Tomcat 6.0.18")).In("server")
+	p.Add("openmrs", ParseKey("OpenMRS 1.8")).In("tomcat")
+	return p
+}
+
+// checkChaosOutcome asserts the soak invariant: a deployment under
+// chaos either completes with every driver active, or fails rolled
+// back, leaving zero orphan processes and zero claimed ports on every
+// machine.
+func checkChaosOutcome(t *testing.T, sys *System, d *Deployment, err error, seed int64) {
+	t.Helper()
+	if err == nil {
+		if d == nil || !d.Deployed() {
+			t.Errorf("seed %d: deploy returned success but drivers are not all active", seed)
+		}
+		return
+	}
+	var derr *DeployError
+	if !errors.As(err, &derr) {
+		t.Errorf("seed %d: failure should be a structured *DeployError, got %T: %v", seed, err, err)
+		return
+	}
+	if !derr.RolledBack {
+		t.Errorf("seed %d: FailRollback deployment failed without rolling back: %v", seed, err)
+	}
+	if derr.RollbackErr != nil {
+		t.Errorf("seed %d: rollback itself failed: %v", seed, derr.RollbackErr)
+	}
+	for _, name := range sys.World.Machines() {
+		m, ok := sys.World.Machine(name)
+		if !ok {
+			continue
+		}
+		if procs := m.Processes(); len(procs) != 0 {
+			t.Errorf("seed %d: machine %s: %d orphan process(es) after rollback", seed, name, len(procs))
+		}
+		if ports := m.Ports(); len(ports) != 0 {
+			t.Errorf("seed %d: machine %s: orphan port claims %v after rollback", seed, name, ports)
+		}
+	}
+}
+
+// TestChaosSoakDeploy drives the OpenMRS stack through a seeded sweep
+// of randomized fault schedules under the rollback policy. Every seed
+// must satisfy the completes-or-rolls-back invariant; at least one seed
+// in the sweep must exercise each side of it (so the test cannot
+// silently degrade into all-pass or all-fail).
+func TestChaosSoakDeploy(t *testing.T) {
+	succeeded, rolledBack := 0, 0
+	for seed := int64(0); seed < 20; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			sys, err := NewSystem()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sys.OnFailure = FailRollback
+			plan := ChaosPlan(seed, 0.08, 0)
+			sys.InjectFaults(plan)
+
+			full, err := sys.Configure(chaosPartial())
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := sys.Deploy(full)
+			checkChaosOutcome(t, sys, d, err, seed)
+			if err == nil {
+				succeeded++
+			} else {
+				rolledBack++
+			}
+		})
+	}
+	if succeeded == 0 || rolledBack == 0 {
+		t.Errorf("sweep should exercise both outcomes: %d succeeded, %d rolled back", succeeded, rolledBack)
+	}
+}
+
+// TestChaosSoakConcurrent repeats the soak with the concurrent deployer
+// (one goroutine per instance) — under -race this stresses the guard
+// coordination and the deadlock detector against injected failures.
+func TestChaosSoakConcurrent(t *testing.T) {
+	for seed := int64(100); seed < 110; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			sys, err := NewSystem()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sys.OnFailure = FailRollback
+			sys.InjectFaults(ChaosPlan(seed, 0.08, 0))
+
+			full, err := sys.Configure(chaosPartial())
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := sys.DeployConcurrent(full)
+			checkChaosOutcome(t, sys, d, err, seed)
+		})
+	}
+}
+
+// TestChaosReproducible replays one seed twice and demands the exact
+// same injected-fault schedule — the property that makes chaos failures
+// debuggable.
+func TestChaosReproducible(t *testing.T) {
+	run := func() ([]Op, error) {
+		sys, err := NewSystem()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.OnFailure = FailRollback
+		plan := ChaosPlan(5, 0.1, 0)
+		sys.InjectFaults(plan)
+		full, err := sys.Configure(chaosPartial())
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, derr := sys.Deploy(full)
+		var ops []Op
+		for _, ev := range plan.Events() {
+			ops = append(ops, ev.Op)
+		}
+		return ops, derr
+	}
+	opsA, errA := run()
+	opsB, errB := run()
+	if (errA == nil) != (errB == nil) {
+		t.Fatalf("same seed, different outcomes: %v vs %v", errA, errB)
+	}
+	if len(opsA) != len(opsB) {
+		t.Fatalf("same seed, different fault counts: %d vs %d", len(opsA), len(opsB))
+	}
+	for i := range opsA {
+		if opsA[i] != opsB[i] {
+			t.Errorf("fault %d differs: %v vs %v", i, opsA[i], opsB[i])
+		}
+	}
+}
+
+// TestMonitorHealsCrashes closes the loop between fault injection and
+// monitoring: processes crash on a virtual-time schedule, the monitor
+// restarts them with backoff, and a crash-looping service is eventually
+// marked degraded rather than restarted forever.
+func TestMonitorHealsCrashes(t *testing.T) {
+	sys, err := NewSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := sys.Configure(chaosPartial())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := sys.Deploy(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only after a clean deploy, schedule every process started from now
+	// on (i.e., the monitor's restarts) to crash after 30 virtual
+	// seconds, and crash the running tomcat daemon to start the loop.
+	sys.InjectFaults(NewFaultPlan(9).CrashAfter("", "", 30*time.Second))
+
+	mon := sys.Monitor(d)
+	if len(mon.Watched()) == 0 {
+		t.Fatal("expected daemon-backed services to be watched")
+	}
+	drv, ok := d.Driver("tomcat")
+	if !ok {
+		t.Fatal("no tomcat driver")
+	}
+	pid, ok := drv.Ctx.PID("daemon")
+	if !ok {
+		t.Fatal("tomcat driver recorded no daemon PID")
+	}
+	if err := drv.Ctx.Machine.KillProcess(pid); err != nil {
+		t.Fatal(err)
+	}
+	// Each restart is itself scheduled to crash, so the service
+	// crash-loops until the monitor gives up and marks it degraded.
+	degraded := false
+	for sweep := 0; sweep < 2*mon.MaxRestarts+2 && !degraded; sweep++ {
+		for _, ev := range mon.Check() {
+			if ev.Degraded {
+				degraded = true
+			}
+		}
+		sys.World.Clock.Advance(31 * time.Second)
+	}
+	if !degraded {
+		t.Error("crash-looping service should be marked degraded within the restart budget")
+	}
+	if got := mon.Degraded(); len(got) != 1 || got[0] != "tomcat" {
+		t.Errorf("Degraded() should name tomcat, got %v", got)
+	}
+}

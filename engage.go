@@ -29,11 +29,13 @@ package engage
 
 import (
 	"fmt"
+	"time"
 
 	"engage/internal/cloud"
 	"engage/internal/config"
 	"engage/internal/constraint"
 	"engage/internal/deploy"
+	"engage/internal/fault"
 	"engage/internal/library"
 	"engage/internal/machine"
 	"engage/internal/monitor"
@@ -81,6 +83,38 @@ type (
 	DeployConfig = library.DeployConfig
 	// UpgradeResult reports an upgrade's diff, rollback state and cause.
 	UpgradeResult = upgrade.Result
+	// FaultPlan is a seeded, reproducible schedule of injectable
+	// failures (see InjectFaults).
+	FaultPlan = fault.Plan
+	// FaultRule is one failure rule of a FaultPlan.
+	FaultRule = fault.Rule
+	// RetryPolicy bounds per-action retries during deployment.
+	RetryPolicy = deploy.RetryPolicy
+	// FailurePolicy selects abort / retry / rollback on deploy failure.
+	FailurePolicy = deploy.FailurePolicy
+	// DeployError is the structured error of a failed deployment.
+	DeployError = deploy.DeployError
+	// Op identifies one injectable substrate operation.
+	Op = machine.Op
+)
+
+// Failure policies for System.OnFailure, re-exported.
+const (
+	// FailAbort stops at the first error, leaving partial state.
+	FailAbort = deploy.FailAbort
+	// FailRetry retries failed actions with backoff, then aborts.
+	FailRetry = deploy.FailRetry
+	// FailRollback retries, then restores the pre-deploy world.
+	FailRollback = deploy.FailRollback
+)
+
+// Injectable operation kinds, re-exported for fault rules.
+const (
+	OpStartProcess = machine.OpStartProcess
+	OpWriteFile    = machine.OpWriteFile
+	OpConnect      = machine.OpConnect
+	OpPkgInstall   = machine.OpPkgInstall
+	OpProvision    = machine.OpProvision
 )
 
 // Value constructors, re-exported.
@@ -117,6 +151,14 @@ type System struct {
 	Cache    *pkgmgr.Cache
 	// Parallel enables virtual-time parallel deployment.
 	Parallel bool
+	// OnFailure selects what a failing deployment does: abort (default),
+	// retry with backoff, or retry then roll the world back.
+	OnFailure FailurePolicy
+	// Retry bounds per-action retries; zero values take policy defaults.
+	Retry RetryPolicy
+	// ActionTimeout fails any single driver action whose virtual-time
+	// cost exceeds it (0 = no limit).
+	ActionTimeout time.Duration
 }
 
 // NewSystem builds a System over the bundled resource library (the
@@ -199,7 +241,33 @@ func (s *System) options() deploy.Options {
 		Parallel:         s.Parallel,
 		ProvisionMissing: true,
 		OSOf:             library.OSOf,
+		OnFailure:        s.OnFailure,
+		Retry:            s.Retry,
+		ActionTimeout:    s.ActionTimeout,
 	}
+}
+
+// NewFaultPlan returns an empty fault plan seeded for reproducible
+// probabilistic rules; wire it in with InjectFaults.
+func NewFaultPlan(seed int64) *FaultPlan { return fault.NewPlan(seed) }
+
+// ChaosPlan returns a randomized but reproducible fault plan: every
+// process spawn, file write, package install, and connect fails
+// independently with probability prob, and started processes crash
+// after crashAfter of virtual time with the same probability (0
+// disables crashes).
+func ChaosPlan(seed int64, prob float64, crashAfter time.Duration) *FaultPlan {
+	return fault.Chaos(seed, prob, crashAfter)
+}
+
+// InjectFaults attaches a fault plan to the system's world; every
+// subsequent substrate operation consults it. Pass nil to detach.
+func (s *System) InjectFaults(p *FaultPlan) {
+	if p == nil {
+		s.World.SetInjector(nil)
+		return
+	}
+	s.World.SetInjector(p)
 }
 
 // Deploy installs and starts a full specification on the system's world,

@@ -58,6 +58,11 @@ func (p *Provider) Provision(name, os string) (*machine.Machine, error) {
 	p.seq++
 	p.mu.Unlock()
 
+	if inj := p.World.Injector(); inj != nil {
+		if err := inj.Inject(machine.Op{Kind: machine.OpProvision, Machine: name, Name: p.Name}); err != nil {
+			return nil, fmt.Errorf("cloud %s: provision %q: %w", p.Name, name, err)
+		}
+	}
 	p.World.Clock.Advance(p.ProvisionLatency)
 	m, err := p.World.AddMachine(name, os)
 	if err != nil {

@@ -22,15 +22,57 @@ import (
 // demonstrate (and stress-test, under -race) that the guard discipline
 // alone suffices to order a distributed deployment — no global plan is
 // needed.
+//
+// Failures follow the deployment's retry and failure policies. Only the
+// first failure becomes the returned *DeployError; failures from other
+// workers are collected into its Additional list. If every unfinished
+// worker ends up parked on a guard that no remaining progress can
+// satisfy, the deployment reports a deadlock error naming the blocked
+// instances and their unsatisfied guards instead of hanging forever.
 func (d *Deployment) DeployConcurrent() error {
 	var (
-		mu     sync.Mutex
-		cond   = sync.NewCond(&mu)
-		failed error
+		mu   sync.Mutex
+		cond = sync.NewCond(&mu)
+		derr *DeployError // first failure (or deadlock); others go to Additional
+
+		unfinished = len(d.order)
+		waiting    int
+		// gen counts driver state changes; a parked worker records the
+		// generation its guard was last evaluated against, so deadlock
+		// is declared only from current evaluations, never stale ones.
+		gen     int
+		blocked = make(map[string]*blockedWait)
 	)
+	var snap *worldSnapshot
+	if d.opts.OnFailure == FailRollback {
+		snap = d.snapshotWorld()
+	}
 	// concurrentEnv evaluates guards under the shared mutex and wakes
 	// waiters whenever any state changes.
 	env := &concurrentEnv{d: d, mu: &mu}
+	policy := d.opts.Retry.resolve(d.opts.OnFailure)
+
+	// deadlocked reports (under mu) whether every unfinished worker is
+	// parked on a guard evaluated against the current state generation.
+	deadlocked := func() bool {
+		if unfinished == 0 || waiting != unfinished || len(blocked) != waiting {
+			return false
+		}
+		for _, bw := range blocked {
+			if bw.gen != gen {
+				return false
+			}
+		}
+		return true
+	}
+	// recordFailure files err as the first failure or an additional one.
+	recordFailure := func(ferr *DeployError) {
+		if derr == nil {
+			derr = ferr
+		} else {
+			derr.Additional = append(derr.Additional, ferr)
+		}
+	}
 
 	finish := make(map[string]time.Duration, len(d.order))
 	var wg sync.WaitGroup
@@ -42,6 +84,17 @@ func (d *Deployment) DeployConcurrent() error {
 			drv := d.drivers[inst.ID]
 			sink := &atomicSink{}
 
+			// complete retires this worker (success or failure) and runs
+			// the deadlock check: with one fewer unfinished worker, the
+			// parked remainder may now be all there is. Caller holds mu.
+			complete := func() {
+				unfinished--
+				if derr == nil && deadlocked() {
+					derr = deadlockError(blocked)
+				}
+				cond.Broadcast()
+			}
+
 			mu.Lock()
 			ctx := drv.Ctx
 			prevCtxSink, prevMgrSink := ctx.Sink, ctx.PkgMgr.Sink
@@ -50,15 +103,17 @@ func (d *Deployment) DeployConcurrent() error {
 			path := drv.SM.PathTo(drv.State(), driver.Active)
 			if path == nil {
 				mu.Lock()
-				failed = fmt.Errorf("deploy: instance %q: no path to active", inst.ID)
-				cond.Broadcast()
+				recordFailure(&DeployError{Instance: inst.ID, Err: fmt.Errorf("no path to active")})
+				complete()
 				mu.Unlock()
 				return
 			}
 			for _, action := range path {
+				attempts := 0
 				mu.Lock()
 				for {
-					if failed != nil {
+					if derr != nil {
+						complete()
 						mu.Unlock()
 						return
 					}
@@ -66,33 +121,62 @@ func (d *Deployment) DeployConcurrent() error {
 					// simulated machines, and the state update must be
 					// atomic with the guard check.
 					ctx.Sink, ctx.PkgMgr.Sink = sink, sink
+					before := sink.total()
 					err := drv.Fire(action, env)
+					cost := sink.total() - before
 					ctx.Sink, ctx.PkgMgr.Sink = prevCtxSink, prevMgrSink
-					if err == nil {
-						cond.Broadcast()
-						break
-					}
-					if _, blocked := err.(*driver.BlockedError); !blocked {
-						failed = fmt.Errorf("deploy: instance %q: %w", inst.ID, err)
-						cond.Broadcast()
+					if err == nil && d.opts.ActionTimeout > 0 && cost > d.opts.ActionTimeout {
+						err = fmt.Errorf("action %q on %q exceeded timeout %v (cost %v)",
+							action, inst.ID, d.opts.ActionTimeout, cost)
+						attempts++
+						recordFailure(&DeployError{Instance: inst.ID, Action: action, Attempts: attempts, Err: err})
+						complete()
 						mu.Unlock()
 						return
 					}
-					cond.Wait() // guard not yet true; wait for a state change
+					if err == nil {
+						gen++
+						cond.Broadcast()
+						break
+					}
+					if berr, isBlocked := err.(*driver.BlockedError); isBlocked {
+						blocked[inst.ID] = &blockedWait{action: action, guard: berr.Guard, gen: gen}
+						waiting++
+						if derr == nil && deadlocked() {
+							derr = deadlockError(blocked)
+							waiting--
+							delete(blocked, inst.ID)
+							complete()
+							mu.Unlock()
+							return
+						}
+						cond.Wait() // guard not yet true; wait for a state change
+						waiting--
+						delete(blocked, inst.ID)
+						continue
+					}
+					attempts++
+					if attempts < policy.MaxAttempts {
+						sink.Charge(policy.backoff(attempts))
+						continue
+					}
+					recordFailure(&DeployError{Instance: inst.ID, Action: action, Attempts: attempts, Err: err})
+					complete()
+					mu.Unlock()
+					return
 				}
 				mu.Unlock()
 			}
 			mu.Lock()
 			finish[inst.ID] = sink.total()
+			complete()
 			mu.Unlock()
 		}()
 	}
 	wg.Wait()
-	if failed != nil {
-		return failed
-	}
 
-	// Combine per-instance durations into the dependency critical path.
+	// Combine per-instance durations into the dependency critical path
+	// (workers that never finished contribute what they consumed).
 	var maxFinish time.Duration
 	memo := make(map[string]time.Duration, len(d.order))
 	var chain func(id string) time.Duration
@@ -119,6 +203,14 @@ func (d *Deployment) DeployConcurrent() error {
 	}
 	d.elapsed = maxFinish
 	d.advanceClock()
+	if derr != nil {
+		derr.States = d.Status()
+		if snap != nil {
+			derr.RolledBack = true
+			derr.RollbackErr = d.rollbackWorld(snap)
+		}
+		return derr
+	}
 	return nil
 }
 
@@ -156,3 +248,5 @@ func (s *atomicSink) total() time.Duration {
 }
 
 var _ machine.TimeSink = (*atomicSink)(nil)
+var _ accountingSink = (*atomicSink)(nil)
+var _ accountingSink = (*costSink)(nil)

@@ -43,6 +43,16 @@ type Options struct {
 	// OSOf maps a machine instance to an OS identifier; nil uses the
 	// lower-cased resource key.
 	OSOf func(inst *spec.Instance) string
+	// OnFailure selects what a failed deploy leaves behind: abort
+	// as-is (default), retry-then-abort, or retry-then-rollback.
+	OnFailure FailurePolicy
+	// Retry bounds per-action retries; zero values take policy
+	// defaults (see RetryPolicy).
+	Retry RetryPolicy
+	// ActionTimeout fails any single driver action whose virtual-time
+	// cost exceeds it (0 = unlimited). Timeouts are terminal: they are
+	// not retried, since the action may have partially applied.
+	ActionTimeout time.Duration
 }
 
 // Deployment is a managed deployment of one full installation
@@ -224,9 +234,49 @@ type costSink struct{ d time.Duration }
 
 func (s *costSink) Charge(d time.Duration) { s.d += d }
 
+func (s *costSink) total() time.Duration { return s.d }
+
+// accountingSink is a TimeSink whose accumulated total can be read; the
+// retry layer uses it to measure per-action cost for timeouts and to
+// charge backoff.
+type accountingSink interface {
+	machine.TimeSink
+	total() time.Duration
+}
+
+// fireWithRetry fires one action, retrying per the deployment's retry
+// policy with exponential backoff charged to sink as virtual time.
+// Guard blocks are returned immediately (the callers own blocking
+// semantics), and timeouts are terminal. It reports how many attempts
+// were made.
+func (d *Deployment) fireWithRetry(drv *driver.Driver, id, action string, sink accountingSink, env driver.GuardEnv) (int, error) {
+	policy := d.opts.Retry.resolve(d.opts.OnFailure)
+	for attempt := 1; ; attempt++ {
+		before := sink.total()
+		err := drv.Fire(action, env)
+		cost := sink.total() - before
+		if err == nil {
+			if d.opts.ActionTimeout > 0 && cost > d.opts.ActionTimeout {
+				return attempt, fmt.Errorf("action %q on %q exceeded timeout %v (cost %v)",
+					action, id, d.opts.ActionTimeout, cost)
+			}
+			return attempt, nil
+		}
+		if _, blocked := err.(*driver.BlockedError); blocked {
+			return attempt, err
+		}
+		if attempt >= policy.MaxAttempts {
+			return attempt, err
+		}
+		sink.Charge(policy.backoff(attempt))
+	}
+}
+
 // driveTo fires actions along the shortest path from the instance's
-// current state to the target, charging durations to sink. Guards are
-// evaluated against the deployment's live states.
+// current state to the target, charging durations (including retry
+// backoff) to sink. Guards are evaluated against the deployment's live
+// states. Failures come back as *DeployError naming the instance,
+// action, and attempt count.
 func (d *Deployment) driveTo(id string, target driver.State, sink *costSink) error {
 	drv := d.drivers[id]
 	ctx := drv.Ctx
@@ -239,8 +289,9 @@ func (d *Deployment) driveTo(id string, target driver.State, sink *costSink) err
 		return fmt.Errorf("deploy: instance %q: no path from %q to %q", id, drv.State(), target)
 	}
 	for _, action := range path {
-		if err := drv.Fire(action, d); err != nil {
-			return err
+		attempts, err := d.fireWithRetry(drv, id, action, sink, d)
+		if err != nil {
+			return &DeployError{Instance: id, Action: action, Attempts: attempts, Err: err}
 		}
 		d.events = append(d.events, Event{
 			Seq:      len(d.events),
@@ -260,14 +311,19 @@ func (d *Deployment) driveTo(id string, target driver.State, sink *costSink) err
 // whose dependencies are satisfied proceed concurrently in virtual
 // time; the world clock advances by the critical-path duration.
 func (d *Deployment) Deploy() error {
+	var snap *worldSnapshot
+	if d.opts.OnFailure == FailRollback {
+		snap = d.snapshotWorld()
+	}
 	finish := make(map[string]time.Duration, len(d.order))
 	var total, maxFinish time.Duration
+	var derr *DeployError
 
 	for _, inst := range d.order {
 		sink := &costSink{}
-		if err := d.driveTo(inst.ID, driver.Active, sink); err != nil {
-			return err
-		}
+		err := d.driveTo(inst.ID, driver.Active, sink)
+		// Account the instance's cost even when it failed: retries and
+		// backoff consumed real (virtual) time.
 		if d.opts.Parallel {
 			start := time.Duration(0)
 			for _, dep := range inst.DependencyIDs() {
@@ -282,6 +338,10 @@ func (d *Deployment) Deploy() error {
 		} else {
 			total += sink.d
 		}
+		if err != nil {
+			derr = asDeployError(err, inst.ID)
+			break
+		}
 	}
 	if d.opts.Parallel {
 		d.elapsed = maxFinish
@@ -289,6 +349,14 @@ func (d *Deployment) Deploy() error {
 		d.elapsed = total
 	}
 	d.advanceClock()
+	if derr != nil {
+		derr.States = d.Status()
+		if snap != nil {
+			derr.RolledBack = true
+			derr.RollbackErr = d.rollbackWorld(snap)
+		}
+		return derr
+	}
 	return d.runPlugins("after-deploy", func(p Plugin) error { return p.AfterDeploy(d) })
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"engage/internal/driver"
 	"engage/internal/spec"
 )
 
@@ -70,9 +71,16 @@ func NewMultiHost(full *spec.Full, opts Options) (*MultiHost, error) {
 		}
 	}
 
-	// Build slave specs and deployments.
+	// Build slave specs and deployments. Rollback is a whole-site
+	// transaction, so it is coordinated by the master (which snapshots
+	// every machine before any slave runs): slaves are downgraded to
+	// FailRetry so a failing slave keeps its retries but leaves the
+	// cross-machine restore to MultiHost.Deploy.
 	slaveOpts := opts
 	slaveOpts.NoClockAdvance = true
+	if slaveOpts.OnFailure == FailRollback {
+		slaveOpts.OnFailure = FailRetry
+	}
 	for _, m := range order {
 		sub := &spec.Full{}
 		for _, inst := range full.OnMachine(m) {
@@ -110,13 +118,49 @@ func machineOf(inst *spec.Instance) string {
 // Deploy runs every slave in machine order. Total virtual time is the
 // machine-graph critical path when opts.Parallel is set (independent
 // slaves overlap), otherwise the sum of slave times.
+//
+// Under the FailRollback policy the master snapshots every machine
+// before the first slave runs; a slave failure (after the slave's own
+// retries) rolls the whole site back — machines deployed by earlier,
+// successful slaves included — so a multihost deployment is atomic.
 func (mh *MultiHost) Deploy() error {
+	var snap MachineSnapshots
+	var snapStates map[string]map[string]driver.State
+	if mh.opts.OnFailure == FailRollback {
+		snap = SnapshotWorld(mh.opts.World)
+		snapStates = make(map[string]map[string]driver.State, len(mh.Slaves))
+		for m, slave := range mh.Slaves {
+			snapStates[m] = slave.Status()
+		}
+	}
 	finish := make(map[string]time.Duration, len(mh.Order))
 	var total, maxFinish time.Duration
 	for _, m := range mh.Order {
 		slave := mh.Slaves[m]
 		if err := slave.Deploy(); err != nil {
-			return fmt.Errorf("deploy: slave %q: %w", m, err)
+			// Account what the site consumed up to the failure, then
+			// restore if this deployment is transactional.
+			if mh.opts.Parallel {
+				mh.elapsed = maxFinish + slave.Elapsed()
+			} else {
+				mh.elapsed = total + slave.Elapsed()
+			}
+			if !mh.opts.NoClockAdvance {
+				mh.opts.World.Clock.Advance(mh.elapsed)
+			}
+			derr := asDeployError(err, m)
+			if snap != nil {
+				derr.RolledBack = true
+				derr.RollbackErr = snap.Restore(mh.opts.World)
+				for sm, states := range snapStates {
+					for id, st := range states {
+						if drv, ok := mh.Slaves[sm].drivers[id]; ok {
+							drv.SetState(st)
+						}
+					}
+				}
+			}
+			return fmt.Errorf("deploy: slave %q: %w", m, derr)
 		}
 		if mh.opts.Parallel {
 			start := time.Duration(0)

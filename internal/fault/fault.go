@@ -1,0 +1,240 @@
+// Package fault is Engage's deterministic fault-injection substrate: a
+// seeded, reproducible Plan of injectable failures wired into the
+// simulated machine world through the machine.Injector hook. Every
+// failure mode the deployment engine must survive — transient and
+// persistent process-spawn and file-write errors, processes that crash
+// after N virtual seconds, flaky network connects, package-install
+// failures, provisioning failures — is scriptable here, so robustness
+// tests replay the exact same fault schedule on every run (explicit
+// rules) or explore a randomized but repeatable schedule (seeded PRNG).
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"path"
+	"sync"
+	"time"
+
+	"engage/internal/machine"
+)
+
+// Mode selects how a rule fires.
+type Mode int
+
+// Rule firing modes.
+const (
+	// Transient rules fail the first Times matching operations, then
+	// stop firing (the retry policy should absorb them).
+	Transient Mode = iota
+	// Persistent rules fail every matching operation.
+	Persistent
+	// Probabilistic rules fail each matching operation independently
+	// with probability Prob, drawn from the plan's seeded PRNG.
+	Probabilistic
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Transient:
+		return "transient"
+	case Persistent:
+		return "persistent"
+	case Probabilistic:
+		return "probabilistic"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Rule matches a class of substrate operations and decides failures for
+// it. Machine and Name are path.Match globs ("" matches anything); Op
+// "" matches every operation kind. A rule with Crash > 0 does not fail
+// the operation: it schedules the started process to crash after Crash
+// of virtual time (only meaningful for OpStartProcess).
+type Rule struct {
+	Op      machine.OpKind
+	Machine string
+	Name    string
+	Mode    Mode
+	// Times bounds Transient failures.
+	Times int
+	// Prob is the per-operation failure probability for Probabilistic.
+	Prob float64
+	// Crash schedules a process crash after this much virtual time
+	// instead of failing the start.
+	Crash time.Duration
+
+	fired int // failures injected so far
+}
+
+func (r *Rule) matches(op machine.Op) bool {
+	if r.Op != "" && r.Op != op.Kind {
+		return false
+	}
+	return globMatch(r.Machine, op.Machine) && globMatch(r.Name, op.Name)
+}
+
+func globMatch(pat, s string) bool {
+	if pat == "" || pat == "*" {
+		return true
+	}
+	ok, err := path.Match(pat, s)
+	return err == nil && ok
+}
+
+// Event records one injected failure (or scheduled crash), for reports
+// and assertions.
+type Event struct {
+	Op machine.Op
+	// Rule is the index of the rule that fired.
+	Rule int
+	// Crash is non-zero when the event scheduled a delayed crash rather
+	// than failing the operation.
+	Crash time.Duration
+}
+
+// Error is the error returned for injected failures; deployment errors
+// wrap it, so tests can errors.As through retry and rollback layers.
+type Error struct {
+	Op   machine.Op
+	Mode Mode
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("fault: injected %s failure: %s", e.Mode, e.Op)
+}
+
+// Plan is a deterministic schedule of injectable failures implementing
+// machine.Injector. Rules are consulted in order; the first one that
+// fires decides the operation. A Plan is safe for concurrent use.
+type Plan struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	rules  []*Rule
+	events []Event
+}
+
+// NewPlan returns an empty plan whose probabilistic rules draw from a
+// PRNG with the given seed; the same seed and operation sequence yield
+// the same failures.
+func NewPlan(seed int64) *Plan {
+	return &Plan{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Add appends a rule and returns the plan for chaining.
+func (p *Plan) Add(r Rule) *Plan {
+	p.mu.Lock()
+	p.rules = append(p.rules, &r)
+	p.mu.Unlock()
+	return p
+}
+
+// FailTransient fails the first times matching operations, then lets
+// them succeed — a fault a retry policy should absorb.
+func (p *Plan) FailTransient(op machine.OpKind, machinePat, namePat string, times int) *Plan {
+	return p.Add(Rule{Op: op, Machine: machinePat, Name: namePat, Mode: Transient, Times: times})
+}
+
+// FailPersistent fails every matching operation — a fault only rollback
+// can answer.
+func (p *Plan) FailPersistent(op machine.OpKind, machinePat, namePat string) *Plan {
+	return p.Add(Rule{Op: op, Machine: machinePat, Name: namePat, Mode: Persistent})
+}
+
+// FailWithProbability fails each matching operation independently with
+// probability prob, drawn from the plan's seeded PRNG.
+func (p *Plan) FailWithProbability(op machine.OpKind, machinePat, namePat string, prob float64) *Plan {
+	return p.Add(Rule{Op: op, Machine: machinePat, Name: namePat, Mode: Probabilistic, Prob: prob})
+}
+
+// CrashAfter schedules matching processes to crash after d of virtual
+// time once started.
+func (p *Plan) CrashAfter(machinePat, namePat string, d time.Duration) *Plan {
+	return p.Add(Rule{Op: machine.OpStartProcess, Machine: machinePat, Name: namePat, Mode: Persistent, Crash: d})
+}
+
+// Inject implements machine.Injector: the first matching failure rule
+// that fires fails the operation with an *Error.
+func (p *Plan) Inject(op machine.Op) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, r := range p.rules {
+		if r.Crash > 0 || !r.matches(op) {
+			continue
+		}
+		switch r.Mode {
+		case Transient:
+			if r.fired >= r.Times {
+				continue
+			}
+		case Probabilistic:
+			if p.rng.Float64() >= r.Prob {
+				continue
+			}
+		}
+		r.fired++
+		p.events = append(p.events, Event{Op: op, Rule: i})
+		return &Error{Op: op, Mode: r.Mode}
+	}
+	return nil
+}
+
+// CrashDelay implements machine.Injector: the first matching crash rule
+// that fires schedules the new process's death.
+func (p *Plan) CrashDelay(op machine.Op) time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, r := range p.rules {
+		if r.Crash <= 0 || !r.matches(op) {
+			continue
+		}
+		switch r.Mode {
+		case Transient:
+			if r.fired >= r.Times {
+				continue
+			}
+		case Probabilistic:
+			if p.rng.Float64() >= r.Prob {
+				continue
+			}
+		}
+		r.fired++
+		p.events = append(p.events, Event{Op: op, Rule: i, Crash: r.Crash})
+		return r.Crash
+	}
+	return 0
+}
+
+// Injections reports how many faults the plan has injected so far.
+func (p *Plan) Injections() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.events)
+}
+
+// Events returns the injected-fault log in injection order.
+func (p *Plan) Events() []Event {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]Event(nil), p.events...)
+}
+
+// Chaos builds a randomized but reproducible plan for soak tests: every
+// process spawn, file write, package install, and connect fails
+// independently with probability prob, and started processes crash
+// after crashAfter of virtual time with the same probability (pass 0 to
+// disable crashes). Same seed, same world activity, same faults.
+func Chaos(seed int64, prob float64, crashAfter time.Duration) *Plan {
+	p := NewPlan(seed)
+	p.FailWithProbability(machine.OpStartProcess, "", "", prob)
+	p.FailWithProbability(machine.OpWriteFile, "", "", prob)
+	p.FailWithProbability(machine.OpPkgInstall, "", "", prob)
+	p.FailWithProbability(machine.OpConnect, "", "", prob)
+	if crashAfter > 0 {
+		p.Add(Rule{Op: machine.OpStartProcess, Mode: Probabilistic, Prob: prob, Crash: crashAfter})
+	}
+	return p
+}
+
+var _ machine.Injector = (*Plan)(nil)

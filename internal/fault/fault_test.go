@@ -1,0 +1,153 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"engage/internal/machine"
+)
+
+func world(t *testing.T) (*machine.World, *machine.Machine) {
+	t.Helper()
+	w := machine.NewWorld()
+	m, err := w.AddMachine("web-1", "linux")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, m
+}
+
+func TestTransientFailsExactlyNTimes(t *testing.T) {
+	w, m := world(t)
+	plan := NewPlan(1).FailTransient(machine.OpWriteFile, "", "/etc/*", 2)
+	w.SetInjector(plan)
+
+	for i := 0; i < 2; i++ {
+		if err := m.WriteFile("/etc/app.conf", "x"); err == nil {
+			t.Fatalf("write %d should fail", i+1)
+		}
+	}
+	if err := m.WriteFile("/etc/app.conf", "x"); err != nil {
+		t.Fatalf("third write should succeed: %v", err)
+	}
+	if got := plan.Injections(); got != 2 {
+		t.Errorf("Injections() = %d, want 2", got)
+	}
+	// Paths outside the glob are untouched.
+	if err := m.WriteFile("/var/log/app", "y"); err != nil {
+		t.Errorf("non-matching path failed: %v", err)
+	}
+}
+
+func TestPersistentFailsForever(t *testing.T) {
+	w, m := world(t)
+	w.SetInjector(NewPlan(1).FailPersistent(machine.OpStartProcess, "", "mysqld"))
+
+	for i := 0; i < 5; i++ {
+		if _, err := m.StartProcess("mysqld", "mysqld"); err == nil {
+			t.Fatalf("start %d should fail", i+1)
+		}
+	}
+	if _, err := m.StartProcess("tomcat", "catalina"); err != nil {
+		t.Errorf("non-matching process failed: %v", err)
+	}
+}
+
+func TestInjectedErrorIsTyped(t *testing.T) {
+	w, m := world(t)
+	w.SetInjector(NewPlan(1).FailPersistent(machine.OpWriteFile, "", ""))
+	err := m.WriteFile("/x", "y")
+	var fe *Error
+	if !errors.As(err, &fe) {
+		t.Fatalf("error chain should carry *fault.Error, got %v", err)
+	}
+	if fe.Op.Kind != machine.OpWriteFile || fe.Op.Machine != "web-1" {
+		t.Errorf("fault error op = %+v", fe.Op)
+	}
+}
+
+func TestMachineGlobScopesRules(t *testing.T) {
+	w, m1 := world(t)
+	m2, err := w.AddMachine("db-1", "linux")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SetInjector(NewPlan(1).FailPersistent(machine.OpWriteFile, "web-*", ""))
+
+	if err := m1.WriteFile("/a", "x"); err == nil {
+		t.Error("web-1 write should fail")
+	}
+	if err := m2.WriteFile("/a", "x"); err != nil {
+		t.Errorf("db-1 write should pass: %v", err)
+	}
+}
+
+func TestCrashAfterSchedulesDeath(t *testing.T) {
+	w, m := world(t)
+	w.SetInjector(NewPlan(1).CrashAfter("", "daemon", 5*time.Second))
+
+	p, err := m.StartProcess("daemon", "daemond", 9000)
+	if err != nil {
+		t.Fatalf("crash rules must not fail the start: %v", err)
+	}
+	w.Clock.Advance(4 * time.Second)
+	if !m.Running(p.PID) {
+		t.Fatal("process should still run before the crash delay")
+	}
+	w.Clock.Advance(2 * time.Second)
+	if m.Running(p.PID) {
+		t.Fatal("process should be dead after the crash delay")
+	}
+	if m.Listening(9000) {
+		t.Error("crash should release claimed ports")
+	}
+	status, killed, ok := m.ExitInfo(p.PID)
+	if !ok || !killed || status == 0 {
+		t.Errorf("ExitInfo = (%d, %v, %v), want non-zero killed exit", status, killed, ok)
+	}
+}
+
+func TestProbabilisticIsSeedDeterministic(t *testing.T) {
+	run := func(seed int64) []bool {
+		w, m := world(t)
+		w.SetInjector(NewPlan(seed).FailWithProbability(machine.OpWriteFile, "", "", 0.5))
+		var outcomes []bool
+		for i := 0; i < 32; i++ {
+			outcomes = append(outcomes, m.WriteFile("/f", "x") != nil)
+		}
+		return outcomes
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at op %d", i)
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should (overwhelmingly) differ over 32 draws")
+	}
+}
+
+func TestChaosPlanCoversAllOps(t *testing.T) {
+	// With probability 1 every operation kind fails.
+	w, m := world(t)
+	w.SetInjector(Chaos(7, 1.0, 0))
+	if err := m.WriteFile("/f", "x"); err == nil {
+		t.Error("chaos write should fail")
+	}
+	if _, err := m.StartProcess("d", "d"); err == nil {
+		t.Error("chaos start should fail")
+	}
+	if m.Connect("web-1", 80) {
+		t.Error("chaos connect should fail")
+	}
+}

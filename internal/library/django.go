@@ -159,11 +159,15 @@ func AppDriver(arch packager.Archive) deploy.Factory {
 	return func(ctx *driver.Context) *driver.StateMachine {
 		install := func(c *driver.Context) error {
 			for path, content := range arch.Files {
-				c.Machine.WriteFile(root+"/"+path, content)
+				if err := c.Machine.WriteFile(root+"/"+path, content); err != nil {
+					return err
+				}
 			}
 			for _, pkg := range pythonPackages(c) {
 				c.Charge(pypiPackageTime)
-				c.Machine.WriteFile("/usr/lib/python2.7/site-packages/"+pkgBase(pkg)+"/PKG-INFO", pkg)
+				if err := c.Machine.WriteFile("/usr/lib/python2.7/site-packages/"+pkgBase(pkg)+"/PKG-INFO", pkg); err != nil {
+					return err
+				}
 			}
 			db := migrate.Open(c.Machine, "/var/db/"+man.Name)
 			if !db.Exists() {
@@ -181,13 +185,14 @@ func AppDriver(arch packager.Archive) deploy.Factory {
 				for _, j := range jobs.List {
 					lines = append(lines, j.Str)
 				}
-				c.Machine.WriteFile("/etc/cron.d/"+man.Name, strings.Join(lines, "\n"))
+				if err := c.Machine.WriteFile("/etc/cron.d/"+man.Name, strings.Join(lines, "\n")); err != nil {
+					return err
+				}
 			}
 			return nil
 		}
 		start := func(c *driver.Context) error {
-			c.Machine.WriteFile(root+"/SERVING", c.Instance.Output["url"].AsString())
-			return nil
+			return c.Machine.WriteFile(root+"/SERVING", c.Instance.Output["url"].AsString())
 		}
 		stop := func(c *driver.Context) error {
 			c.Machine.RemoveFile(root + "/SERVING")

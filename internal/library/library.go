@@ -264,13 +264,11 @@ func servletDriver(war string) deploy.Factory {
 			if err := installFromIndex(c); err != nil {
 				return err
 			}
-			c.Machine.WriteFile("/opt/tomcat/webapps/"+war+".war", war)
-			return nil
+			return c.Machine.WriteFile("/opt/tomcat/webapps/"+war+".war", war)
 		}
 		start := func(c *driver.Context) error {
 			c.Charge(serviceStart[name])
-			c.Machine.WriteFile("/opt/tomcat/webapps/"+war+"/DEPLOYED", "ok")
-			return nil
+			return c.Machine.WriteFile("/opt/tomcat/webapps/"+war+"/DEPLOYED", "ok")
 		}
 		stop := func(c *driver.Context) error {
 			c.Machine.RemoveFile("/opt/tomcat/webapps/" + war + "/DEPLOYED")

@@ -60,6 +60,56 @@ type TimeSink interface {
 // Charge implements TimeSink by advancing the clock.
 func (c *Clock) Charge(d time.Duration) { c.Advance(d) }
 
+// OpKind names a class of fallible substrate operation that fault
+// injection can intercept.
+type OpKind string
+
+// The injectable operation kinds.
+const (
+	OpStartProcess OpKind = "start-process" // Name = process name, Port = first claimed port
+	OpWriteFile    OpKind = "write-file"    // Name = file path
+	OpConnect      OpKind = "connect"       // Name = target hostname, Port = target port
+	OpPkgInstall   OpKind = "pkg-install"   // Name = package name
+	OpProvision    OpKind = "provision"     // Name = node name (cloud provisioning)
+)
+
+// Op describes one fallible substrate operation presented to an
+// Injector. Machine is the name of the machine performing the operation
+// ("" for world-level operations with no originating machine).
+type Op struct {
+	Kind    OpKind
+	Machine string
+	Name    string
+	Port    int
+}
+
+func (op Op) String() string {
+	s := string(op.Kind)
+	if op.Machine != "" {
+		s += " on " + op.Machine
+	}
+	if op.Name != "" {
+		s += " (" + op.Name + ")"
+	}
+	if op.Port != 0 {
+		s += fmt.Sprintf(" port %d", op.Port)
+	}
+	return s
+}
+
+// Injector decides the fate of substrate operations; the fault package
+// provides a deterministic, seeded implementation. Implementations must
+// not call back into the World or Machine they are attached to (they
+// are consulted under substrate locks).
+type Injector interface {
+	// Inject returns a non-nil error to make the operation fail.
+	Inject(op Op) error
+	// CrashDelay is consulted after a successful OpStartProcess; a
+	// positive duration schedules the new process to crash after that
+	// much virtual time.
+	CrashDelay(op Op) time.Duration
+}
+
 // World is a collection of machines sharing a clock and a network.
 type World struct {
 	Clock *Clock
@@ -67,6 +117,24 @@ type World struct {
 	mu       sync.Mutex
 	machines map[string]*Machine
 	nextIP   int
+
+	injMu    sync.RWMutex
+	injector Injector
+}
+
+// SetInjector attaches a fault injector consulted by machine and world
+// operations; nil detaches it.
+func (w *World) SetInjector(inj Injector) {
+	w.injMu.Lock()
+	w.injector = inj
+	w.injMu.Unlock()
+}
+
+// Injector returns the attached fault injector (nil if none).
+func (w *World) Injector() Injector {
+	w.injMu.RLock()
+	defer w.injMu.RUnlock()
+	return w.injector
 }
 
 // NewWorld returns an empty world.
@@ -127,18 +195,49 @@ func (w *World) Remove(name string) {
 	w.mu.Unlock()
 }
 
-// Connect simulates a TCP connection to hostname:port; it reports
-// whether some process on the target machine is listening.
+// Connect simulates a TCP connection to hostname:port from outside the
+// world (an external observer); it reports whether some process on the
+// target machine is listening. Loopback names ("localhost", "127.0.0.1")
+// do not resolve at world scope — they are caller-relative; use
+// Machine.Connect for connections originating on a machine.
 func (w *World) Connect(hostname string, port int) bool {
-	w.mu.Lock()
-	var target *Machine
-	for _, m := range w.machines {
-		if m.Hostname == hostname || m.IP == hostname || (hostname == "localhost" && len(w.machines) == 1) {
-			target = m
-			break
+	return w.connectFrom(nil, hostname, port)
+}
+
+// Connect simulates a TCP connection from this machine to
+// hostname:port. Loopback names ("localhost", "127.0.0.1") and the
+// machine's own hostname or IP resolve to the machine itself, so
+// connectivity checks in multi-machine worlds are scoped to the caller
+// rather than guessing a target globally.
+func (m *Machine) Connect(hostname string, port int) bool {
+	return m.world.connectFrom(m, hostname, port)
+}
+
+func isLoopback(host string) bool { return host == "localhost" || host == "127.0.0.1" }
+
+func (w *World) connectFrom(from *Machine, hostname string, port int) bool {
+	if inj := w.Injector(); inj != nil {
+		fromName := ""
+		if from != nil {
+			fromName = from.Name
+		}
+		if err := inj.Inject(Op{Kind: OpConnect, Machine: fromName, Name: hostname, Port: port}); err != nil {
+			return false
 		}
 	}
-	w.mu.Unlock()
+	var target *Machine
+	if from != nil && (isLoopback(hostname) || hostname == from.Hostname || hostname == from.IP) {
+		target = from
+	} else if !isLoopback(hostname) {
+		w.mu.Lock()
+		for _, m := range w.machines {
+			if m.Hostname == hostname || m.IP == hostname {
+				target = m
+				break
+			}
+		}
+		w.mu.Unlock()
+	}
 	if target == nil {
 		return false
 	}
@@ -161,9 +260,23 @@ type Process struct {
 	Ports   []int
 	// MemMB is the process's simulated resident memory; drivers set it
 	// so monitoring can report per-service resource usage.
-	MemMB   int
+	MemMB int
+	// ExitStatus is the exit status once the process has died: 0 for a
+	// clean stop, non-zero for a crash (kill or scheduled fault).
+	ExitStatus int
+	// Killed reports that the process died by crash rather than a clean
+	// StopProcess; monitors use it to distinguish the two.
+	Killed  bool
 	running bool
+	// diesAt schedules a fault-injected crash in virtual time (zero =
+	// never); the machine reaps overdue processes lazily on every
+	// process-table observation.
+	diesAt time.Time
 }
+
+// crashExitStatus is the exit status of killed processes (128+SIGKILL,
+// as a POSIX shell would report it).
+const crashExitStatus = 137
 
 // Machine is a simulated machine.
 type Machine struct {
@@ -188,13 +301,33 @@ func (m *Machine) Clock() *Clock { return m.world.Clock }
 // World returns the machine's world.
 func (m *Machine) World() *World { return m.world }
 
+// Inject consults the world's fault injector for an operation performed
+// by this machine (filling in the machine name); nil injector means no
+// failure. Substrate operations call it themselves; it is exported so
+// higher layers (package manager, cloud) can present their own
+// operation kinds through the same hook.
+func (m *Machine) Inject(op Op) error {
+	inj := m.world.Injector()
+	if inj == nil {
+		return nil
+	}
+	op.Machine = m.Name
+	return inj.Inject(op)
+}
+
 // --- Filesystem ---
 
-// WriteFile creates or replaces a file.
-func (m *Machine) WriteFile(p, content string) {
+// WriteFile creates or replaces a file. It is fallible: an attached
+// fault injector can make it fail (disk errors), in which case the
+// filesystem is unchanged.
+func (m *Machine) WriteFile(p, content string) error {
+	if err := m.Inject(Op{Kind: OpWriteFile, Name: p}); err != nil {
+		return fmt.Errorf("machine %s: write %s: %w", m.Name, p, err)
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.fs[cleanPath(p)] = &File{Content: content, Mode: 0o644, ModTime: m.world.Clock.Now()}
+	return nil
 }
 
 // ReadFile returns a file's content.
@@ -295,12 +428,47 @@ func (m *Machine) Getenv(k string) string {
 
 // --- Processes and ports ---
 
+// crashLocked marks a running process crashed: non-zero exit status,
+// killed flag set, ports released. Caller holds m.mu.
+func (m *Machine) crashLocked(proc *Process) {
+	proc.running = false
+	proc.Killed = true
+	proc.ExitStatus = crashExitStatus
+	for _, p := range proc.Ports {
+		if m.ports[p] == proc.PID {
+			delete(m.ports, p)
+		}
+	}
+}
+
+// reapLocked crashes every running process whose scheduled
+// fault-injection death time has passed in virtual time. Caller holds
+// m.mu; every process-table observation calls it first, so crashes
+// become visible exactly when the clock reaches them.
+func (m *Machine) reapLocked() {
+	now := m.world.Clock.Now()
+	for _, p := range m.procs {
+		if p.running && !p.diesAt.IsZero() && !p.diesAt.After(now) {
+			m.crashLocked(p)
+		}
+	}
+}
+
 // StartProcess spawns a named daemon claiming the given TCP ports. It
 // fails if any port is already claimed (the paper's "required TCP/IP
-// ports are available" environment check exercises this).
+// ports are available" environment check exercises this) or if an
+// attached fault injector fails the spawn.
 func (m *Machine) StartProcess(name, command string, ports ...int) (*Process, error) {
+	op := Op{Kind: OpStartProcess, Name: name}
+	if len(ports) > 0 {
+		op.Port = ports[0]
+	}
+	if err := m.Inject(op); err != nil {
+		return nil, fmt.Errorf("machine %s: start %s: %w", m.Name, name, err)
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.reapLocked()
 	for _, p := range ports {
 		if pid, busy := m.ports[p]; busy {
 			return nil, fmt.Errorf("machine %s: port %d already in use by pid %d (%s)",
@@ -315,6 +483,12 @@ func (m *Machine) StartProcess(name, command string, ports ...int) (*Process, er
 		Ports:   ports,
 		running: true,
 	}
+	if inj := m.world.Injector(); inj != nil {
+		op.Machine = m.Name
+		if d := inj.CrashDelay(op); d > 0 {
+			proc.diesAt = proc.Started.Add(d)
+		}
+	}
 	m.nextPID++
 	m.procs[proc.PID] = proc
 	for _, p := range ports {
@@ -323,29 +497,58 @@ func (m *Machine) StartProcess(name, command string, ports ...int) (*Process, er
 	return proc, nil
 }
 
-// StopProcess terminates a process and releases its ports.
+// StopProcess cleanly terminates a process (exit status 0) and releases
+// its ports.
 func (m *Machine) StopProcess(pid int) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.reapLocked()
 	proc, ok := m.procs[pid]
 	if !ok || !proc.running {
 		return fmt.Errorf("machine %s: no running process %d", m.Name, pid)
 	}
 	proc.running = false
+	proc.ExitStatus = 0
 	for _, p := range proc.Ports {
 		delete(m.ports, p)
 	}
 	return nil
 }
 
-// KillProcess is StopProcess for failure injection: the process dies but
-// is not deregistered, so monitors can observe the corpse.
-func (m *Machine) KillProcess(pid int) error { return m.StopProcess(pid) }
+// KillProcess crashes a process for failure injection: it dies with a
+// non-zero exit status and its killed flag set, releasing its ports, and
+// stays in the process table so monitors can observe the corpse and
+// distinguish the crash from a clean stop.
+func (m *Machine) KillProcess(pid int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.reapLocked()
+	proc, ok := m.procs[pid]
+	if !ok || !proc.running {
+		return fmt.Errorf("machine %s: no running process %d", m.Name, pid)
+	}
+	m.crashLocked(proc)
+	return nil
+}
+
+// ExitInfo reports how a dead process exited. ok is false for unknown
+// PIDs and for processes still running.
+func (m *Machine) ExitInfo(pid int) (exitStatus int, killed bool, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.reapLocked()
+	p, found := m.procs[pid]
+	if !found || p.running {
+		return 0, false, false
+	}
+	return p.ExitStatus, p.Killed, true
+}
 
 // SetUsage records a running process's simulated memory footprint.
 func (m *Machine) SetUsage(pid, memMB int) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.reapLocked()
 	p, ok := m.procs[pid]
 	if !ok || !p.running {
 		return fmt.Errorf("machine %s: no running process %d", m.Name, pid)
@@ -358,6 +561,7 @@ func (m *Machine) SetUsage(pid, memMB int) error {
 func (m *Machine) TotalMemMB() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.reapLocked()
 	total := 0
 	for _, p := range m.procs {
 		if p.running {
@@ -371,6 +575,7 @@ func (m *Machine) TotalMemMB() int {
 func (m *Machine) FindProcess(name string) (*Process, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.reapLocked()
 	var best *Process
 	for _, p := range m.procs {
 		if p.Name == name && p.running && (best == nil || p.PID > best.PID) {
@@ -384,6 +589,7 @@ func (m *Machine) FindProcess(name string) (*Process, bool) {
 func (m *Machine) Running(pid int) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.reapLocked()
 	p, ok := m.procs[pid]
 	return ok && p.running
 }
@@ -392,6 +598,7 @@ func (m *Machine) Running(pid int) bool {
 func (m *Machine) Processes() []*Process {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.reapLocked()
 	var out []*Process
 	for _, p := range m.procs {
 		if p.running {
@@ -406,12 +613,27 @@ func (m *Machine) Processes() []*Process {
 func (m *Machine) Listening(port int) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.reapLocked()
 	_, ok := m.ports[port]
 	return ok
 }
 
 // PortFree reports whether a port is unclaimed.
 func (m *Machine) PortFree(port int) bool { return !m.Listening(port) }
+
+// Ports returns the claimed TCP ports, sorted; chaos tests use it to
+// assert that rollback leaves no orphaned claims.
+func (m *Machine) Ports() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.reapLocked()
+	out := make([]int, 0, len(m.ports))
+	for p := range m.ports {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
 
 func cleanPath(p string) string {
 	cp := path.Clean("/" + strings.TrimPrefix(p, "/"))

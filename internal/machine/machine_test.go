@@ -174,21 +174,41 @@ func TestConnect(t *testing.T) {
 	if !w.Connect(m.IP, 8080) {
 		t.Error("should connect by IP")
 	}
-	if !w.Connect("localhost", 8080) {
-		t.Error("localhost resolves when world has one machine")
+	if w.Connect("localhost", 8080) {
+		t.Error("localhost has no meaning at world scope")
+	}
+	if !m.Connect("localhost", 8080) {
+		t.Error("localhost from the machine itself should reach its own port")
+	}
+	if !m.Connect("127.0.0.1", 8080) {
+		t.Error("loopback IP from the machine itself should reach its own port")
+	}
+	if !m.Connect("server", 8080) {
+		t.Error("a machine can connect to itself by hostname")
 	}
 	if w.Connect("ghost", 8080) {
 		t.Error("unknown host should fail")
 	}
 	w2 := NewWorld()
-	if _, err := w2.AddMachine("a", "x"); err != nil {
+	a, err := w2.AddMachine("a", "x")
+	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := w2.AddMachine("b", "x"); err != nil {
+	b, err := w2.AddMachine("b", "x")
+	if err != nil {
 		t.Fatal(err)
 	}
-	if w2.Connect("localhost", 1) {
-		t.Error("localhost ambiguous with two machines")
+	if _, err := a.StartProcess("svc", "svc", 1); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Connect("localhost", 1) {
+		t.Error("localhost from a should reach a's port")
+	}
+	if b.Connect("localhost", 1) {
+		t.Error("localhost from b must not reach a's port")
+	}
+	if !b.Connect("a", 1) {
+		t.Error("b should reach a by hostname")
 	}
 }
 
@@ -205,7 +225,7 @@ func TestEnv(t *testing.T) {
 
 func TestKillProcessForMonitoring(t *testing.T) {
 	_, m := world(t)
-	p, err := m.StartProcess("celery", "celery worker")
+	p, err := m.StartProcess("celery", "celery worker", 5672)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,6 +234,61 @@ func TestKillProcessForMonitoring(t *testing.T) {
 	}
 	if m.Running(p.PID) {
 		t.Error("killed process should not run")
+	}
+	if m.Listening(5672) {
+		t.Error("kill should release ports")
+	}
+	status, killed, ok := m.ExitInfo(p.PID)
+	if !ok || !killed || status == 0 {
+		t.Errorf("ExitInfo after kill = (%d, %v, %v); want non-zero killed exit", status, killed, ok)
+	}
+}
+
+func TestStopProcessExitsCleanly(t *testing.T) {
+	_, m := world(t)
+	p, err := m.StartProcess("svc", "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.StopProcess(p.PID); err != nil {
+		t.Fatal(err)
+	}
+	status, killed, ok := m.ExitInfo(p.PID)
+	if !ok || killed || status != 0 {
+		t.Errorf("ExitInfo after stop = (%d, %v, %v); want clean zero exit", status, killed, ok)
+	}
+	if _, _, ok := m.ExitInfo(999); ok {
+		t.Error("ExitInfo of an unknown pid must not report")
+	}
+}
+
+// crashInjector schedules every started process to die after a fixed
+// virtual-time delay (a test stand-in for the fault package, which the
+// machine package cannot import).
+type crashInjector struct{ delay time.Duration }
+
+func (crashInjector) Inject(Op) error               { return nil }
+func (c crashInjector) CrashDelay(Op) time.Duration { return c.delay }
+
+func TestScheduledCrashBecomesVisibleWithClock(t *testing.T) {
+	w, m := world(t)
+	w.SetInjector(crashInjector{delay: 3 * time.Second})
+	p, err := m.StartProcess("flaky", "flakyd", 7070)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Running(p.PID) || !m.Listening(7070) {
+		t.Fatal("process should run until the clock passes its death time")
+	}
+	w.Clock.Advance(3 * time.Second)
+	if m.Running(p.PID) {
+		t.Error("overdue process should be reaped on observation")
+	}
+	if m.Listening(7070) {
+		t.Error("reaped crash should release ports")
+	}
+	if got := m.Ports(); len(got) != 0 {
+		t.Errorf("Ports() = %v, want none", got)
 	}
 }
 

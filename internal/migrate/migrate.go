@@ -37,8 +37,7 @@ func (db *Database) Init(v int) error {
 	if db.Exists() {
 		return fmt.Errorf("migrate: database at %s already exists", db.Root)
 	}
-	db.Machine.WriteFile(db.versionPath(), strconv.Itoa(v))
-	return nil
+	return db.Machine.WriteFile(db.versionPath(), strconv.Itoa(v))
 }
 
 // Exists reports whether the database has been initialized.
@@ -60,8 +59,8 @@ func (db *Database) SchemaVersion() (int, error) {
 	return v, nil
 }
 
-func (db *Database) setVersion(v int) {
-	db.Machine.WriteFile(db.versionPath(), strconv.Itoa(v))
+func (db *Database) setVersion(v int) error {
+	return db.Machine.WriteFile(db.versionPath(), strconv.Itoa(v))
 }
 
 func (db *Database) versionPath() string { return db.Root + "/schema_version" }
@@ -152,7 +151,9 @@ func (h *History) MigrateTo(db *Database, target int) ([]string, error) {
 		if err := m.Apply(db); err != nil {
 			return applied, fmt.Errorf("migrate: migration %q (%d→%d): %w", m.Name, m.From, m.To, err)
 		}
-		db.setVersion(m.To)
+		if err := db.setVersion(m.To); err != nil {
+			return applied, err
+		}
 		cur = m.To
 		applied = append(applied, m.Name)
 	}

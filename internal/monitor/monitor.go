@@ -19,15 +19,41 @@ import (
 	"engage/internal/machine"
 )
 
-// Monitor watches the service processes of one deployment.
+// Monitor watches the service processes of one deployment. Restarts
+// are rate-limited: each consecutive restart of the same service within
+// Window doubles a virtual-time backoff, and once a service has been
+// restarted MaxRestarts times within Window it is declared crash-looping
+// — the monitor stops restarting it and reports it degraded instead of
+// burning restarts forever (monit's "timeout" clause).
 type Monitor struct {
-	dep     *deploy.Deployment
-	watched map[string]string // instance ID → scratch PID name
+	// MaxRestarts is how many restarts within Window mark a service
+	// degraded (default 3).
+	MaxRestarts int
+	// Window is the virtual-time window over which restarts are counted
+	// (default 10 minutes).
+	Window time.Duration
+	// RestartBackoff is the virtual-time wait before the first restart;
+	// it doubles for each additional restart within the window
+	// (default 2s).
+	RestartBackoff time.Duration
+
+	dep      *deploy.Deployment
+	watched  map[string]string      // instance ID → scratch PID name
+	restarts map[string][]time.Time // instance ID → restart times (virtual)
+	degraded map[string]bool        // instance ID → crash-looping
 }
 
 // New returns a monitor over a deployment.
 func New(dep *deploy.Deployment) *Monitor {
-	return &Monitor{dep: dep, watched: make(map[string]string)}
+	return &Monitor{
+		MaxRestarts:    3,
+		Window:         10 * time.Minute,
+		RestartBackoff: 2 * time.Second,
+		dep:            dep,
+		watched:        make(map[string]string),
+		restarts:       make(map[string][]time.Time),
+		degraded:       make(map[string]bool),
+	}
 }
 
 // Watch registers an instance whose driver records its daemon PID in
@@ -74,12 +100,23 @@ type Event struct {
 	PID       int
 	Dead      bool
 	Restarted bool
-	Err       error
+	// Crashed reports the process died abnormally (killed / non-zero
+	// exit) rather than via a clean stop.
+	Crashed bool
+	// Degraded reports the service is crash-looping: it exhausted
+	// MaxRestarts within Window and was NOT restarted.
+	Degraded bool
+	// Backoff is the virtual time waited before this restart.
+	Backoff time.Duration
+	Err     error
 }
 
 // Check sweeps the watched services once: every watched instance whose
 // driver is active but whose process is gone is restarted through its
-// driver. It returns an event per dead process found.
+// driver, after a doubling virtual-time backoff. A service restarted
+// MaxRestarts times within Window is marked degraded and no longer
+// restarted (see Degraded / ClearDegraded). It returns an event per
+// dead process found.
 func (m *Monitor) Check() []Event {
 	var events []Event
 	ids := m.Watched()
@@ -97,16 +134,71 @@ func (m *Monitor) Check() []Event {
 			continue
 		}
 		ev := Event{Instance: id, PID: pid, Dead: true}
+		if _, killed, ok := drv.Ctx.Machine.ExitInfo(pid); ok {
+			ev.Crashed = killed
+		}
+		if m.degraded[id] {
+			ev.Degraded = true
+			events = append(events, ev)
+			continue
+		}
 		if drv.State() == driver.Active {
+			clock := drv.Ctx.Machine.Clock()
+			recent := m.recentRestarts(id, clock.Now())
+			if len(recent) >= m.MaxRestarts {
+				m.degraded[id] = true
+				ev.Degraded = true
+				events = append(events, ev)
+				continue
+			}
+			// Consecutive restarts back off exponentially so a flapping
+			// service doesn't spin the monitor.
+			ev.Backoff = m.RestartBackoff << uint(len(recent))
+			clock.Advance(ev.Backoff)
 			if err := drv.Fire("restart", m.dep); err != nil {
 				ev.Err = err
 			} else {
 				ev.Restarted = true
+				m.restarts[id] = append(recent, clock.Now())
 			}
 		}
 		events = append(events, ev)
 	}
 	return events
+}
+
+// recentRestarts prunes the restart history of a service to the sliding
+// window ending now and returns what remains.
+func (m *Monitor) recentRestarts(id string, now time.Time) []time.Time {
+	var recent []time.Time
+	for _, t := range m.restarts[id] {
+		if m.Window <= 0 || now.Sub(t) < m.Window {
+			recent = append(recent, t)
+		}
+	}
+	m.restarts[id] = recent
+	return recent
+}
+
+// Degraded lists crash-looping services (restart budget exhausted),
+// sorted.
+func (m *Monitor) Degraded() []string {
+	var out []string
+	for id, d := range m.degraded {
+		if d {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ClearDegraded forgives a degraded service (say, after an operator
+// fixed its configuration): its restart history is dropped and the
+// monitor resumes restarting it.
+func (m *Monitor) ClearDegraded(id string) {
+	delete(m.degraded, id)
+	delete(m.restarts, id)
 }
 
 // ServiceStatus is the user-visible status of one watched service (the
@@ -119,6 +211,9 @@ type ServiceStatus struct {
 	Uptime   time.Duration
 	MemMB    int
 	State    driver.State
+	// Degraded reports the service is crash-looping and no longer being
+	// restarted.
+	Degraded bool
 }
 
 // Status reports every watched service's status, sorted by instance.
@@ -129,7 +224,7 @@ func (m *Monitor) Status() []ServiceStatus {
 		if !ok {
 			continue
 		}
-		st := ServiceStatus{Instance: id, State: drv.State()}
+		st := ServiceStatus{Instance: id, State: drv.State(), Degraded: m.degraded[id]}
 		if pid, ok := drv.Ctx.PID(m.watched[id]); ok {
 			st.PID = pid
 			st.Running = drv.Ctx.Machine.Running(pid)
@@ -169,8 +264,7 @@ func (*Plugin) Name() string { return "monit" }
 func (p *Plugin) AfterDeploy(d *deploy.Deployment) error {
 	p.Monitor = New(d)
 	p.Monitor.AutoRegister()
-	p.Monitor.WriteConfig()
-	return nil
+	return p.Monitor.WriteConfig()
 }
 
 // AfterShutdown implements deploy.Plugin.
@@ -184,7 +278,7 @@ var _ deploy.Plugin = (*Plugin)(nil)
 // WriteConfig writes a monit-style configuration file to each machine
 // hosting watched services, mirroring the paper's generated monit
 // configuration registered with the daemon.
-func (m *Monitor) WriteConfig() {
+func (m *Monitor) WriteConfig() error {
 	perMachine := make(map[string][]string)
 	for _, id := range m.Watched() {
 		drv, ok := m.dep.Driver(id)
@@ -199,6 +293,9 @@ func (m *Monitor) WriteConfig() {
 		name := drv.Ctx.Machine.Name
 		lines := perMachine[name]
 		sort.Strings(lines)
-		drv.Ctx.Machine.WriteFile("/etc/monit/monitrc", strings.Join(lines, "\n")+"\n")
+		if err := drv.Ctx.Machine.WriteFile("/etc/monit/monitrc", strings.Join(lines, "\n")+"\n"); err != nil {
+			return err
+		}
 	}
+	return nil
 }

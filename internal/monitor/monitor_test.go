@@ -134,6 +134,94 @@ func TestCheckRestartsDeadProcess(t *testing.T) {
 	}
 }
 
+func TestCrashLoopMarksDegraded(t *testing.T) {
+	d, m := setup(t)
+	mon := New(d)
+	mon.AutoRegister()
+	drv, _ := d.Driver("web")
+
+	kill := func() {
+		t.Helper()
+		pid, _ := drv.Ctx.PID("daemon")
+		if err := m.KillProcess(pid); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The first MaxRestarts crashes are restarted, with doubling backoff.
+	var backoffs []time.Duration
+	for i := 0; i < mon.MaxRestarts; i++ {
+		kill()
+		evs := mon.Check()
+		if len(evs) != 1 || !evs[0].Restarted || !evs[0].Crashed {
+			t.Fatalf("crash %d: event = %+v", i+1, evs)
+		}
+		backoffs = append(backoffs, evs[0].Backoff)
+	}
+	for i := 1; i < len(backoffs); i++ {
+		if backoffs[i] != 2*backoffs[i-1] {
+			t.Errorf("backoff should double: %v", backoffs)
+		}
+	}
+
+	// The next crash within the window exhausts the budget: degraded,
+	// not restarted.
+	kill()
+	evs := mon.Check()
+	if len(evs) != 1 || evs[0].Restarted || !evs[0].Degraded {
+		t.Fatalf("crash-loop event = %+v", evs)
+	}
+	if m.Listening(9000) {
+		t.Error("degraded service must not be restarted")
+	}
+	if got := mon.Degraded(); len(got) != 1 || got[0] != "web" {
+		t.Errorf("Degraded() = %v", got)
+	}
+	sts := mon.Status()
+	if len(sts) != 1 || !sts[0].Degraded {
+		t.Errorf("status should surface degradation: %+v", sts)
+	}
+	// Degradation is sticky across sweeps...
+	if evs := mon.Check(); len(evs) != 1 || evs[0].Restarted || !evs[0].Degraded {
+		t.Errorf("degraded service must stay down: %+v", evs)
+	}
+	// ...until an operator forgives it.
+	mon.ClearDegraded("web")
+	if evs := mon.Check(); len(evs) != 1 || !evs[0].Restarted {
+		t.Errorf("cleared service should restart again: %+v", evs)
+	}
+	if !m.Listening(9000) {
+		t.Error("service should be back after ClearDegraded")
+	}
+}
+
+func TestRestartBudgetRecoversOutsideWindow(t *testing.T) {
+	d, m := setup(t)
+	mon := New(d)
+	mon.AutoRegister()
+	drv, _ := d.Driver("web")
+
+	kill := func() {
+		t.Helper()
+		pid, _ := drv.Ctx.PID("daemon")
+		if err := m.KillProcess(pid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < mon.MaxRestarts; i++ {
+		kill()
+		if evs := mon.Check(); len(evs) != 1 || !evs[0].Restarted {
+			t.Fatalf("crash %d should restart: %+v", i+1, evs)
+		}
+	}
+	// A crash after the window has passed starts a fresh budget.
+	m.Clock().Advance(mon.Window)
+	kill()
+	if evs := mon.Check(); len(evs) != 1 || !evs[0].Restarted || evs[0].Degraded {
+		t.Errorf("stale restarts must not count against the window: %+v", evs)
+	}
+}
+
 func TestCheckSkipsInactiveServices(t *testing.T) {
 	d, m := setup(t)
 	mon := New(d)

@@ -147,6 +147,9 @@ func (mgr *Manager) Install(name, version string) error {
 	if !ok {
 		return fmt.Errorf("pkgmgr: package %q version %q not in index", name, version)
 	}
+	if err := mgr.Machine.Inject(machine.Op{Kind: machine.OpPkgInstall, Name: name}); err != nil {
+		return fmt.Errorf("pkgmgr: install %s %s on %s: %w", name, version, mgr.Machine.Name, err)
+	}
 
 	if mgr.Cache.Has(name, version) {
 		// Cached: local copy, no download.
@@ -156,10 +159,11 @@ func (mgr *Manager) Install(name, version string) error {
 	}
 	mgr.charge(p.InstallTime)
 	for path, content := range p.Files {
-		mgr.Machine.WriteFile(path, content)
+		if err := mgr.Machine.WriteFile(path, content); err != nil {
+			return err
+		}
 	}
-	mgr.Machine.WriteFile(manifestPath(name), version)
-	return nil
+	return mgr.Machine.WriteFile(manifestPath(name), version)
 }
 
 // Remove uninstalls a package, deleting its files.

@@ -141,7 +141,7 @@ func (u *Upgrader) UpgradeIncremental(old *deploy.Deployment, oldSpec, newSpec *
 	clock := u.Options.World.Clock
 	t0 := clock.Now()
 
-	b := u.takeBackup(oldSpec.Machines())
+	b := deploy.SnapshotWorld(u.Options.World)
 
 	// Stop only the affected subgraph, dependents first. The closure
 	// guarantees no unaffected instance depends on a stopping one, so
@@ -179,7 +179,7 @@ func (u *Upgrader) UpgradeIncremental(old *deploy.Deployment, oldSpec, newSpec *
 // rollbackIncremental stops whatever of the old system is still running
 // (releasing ports), then restores the backup and redeploys the old
 // specification in full — the rare failure path pays the worst case.
-func (u *Upgrader) rollbackIncremental(old *deploy.Deployment, oldSpec *spec.Full, b backup, res *Result, cause error, t0 time.Time) (*deploy.Deployment, *Result, error) {
+func (u *Upgrader) rollbackIncremental(old *deploy.Deployment, oldSpec *spec.Full, b deploy.MachineSnapshots, res *Result, cause error, t0 time.Time) (*deploy.Deployment, *Result, error) {
 	stopAllActive(old)
 	return u.rollback(old, oldSpec, b, res, cause, t0)
 }

@@ -15,7 +15,6 @@ import (
 
 	"engage/internal/deploy"
 	"engage/internal/driver"
-	"engage/internal/machine"
 	"engage/internal/spec"
 )
 
@@ -73,32 +72,12 @@ type Result struct {
 	Elapsed time.Duration
 }
 
-// Upgrader performs backup/deploy/rollback upgrades.
+// Upgrader performs backup/deploy/rollback upgrades. Backups are
+// deploy.MachineSnapshots — the same mechanism the FailRollback policy
+// uses — so restoring a backup also kills any process the failed new
+// deployment spawned (releasing its ports), not just the files.
 type Upgrader struct {
 	Options deploy.Options
-}
-
-// backup captures the filesystems of every machine in the deployment.
-type backup struct {
-	snapshots map[string]map[string]machine.File
-}
-
-func (u *Upgrader) takeBackup(machines []string) backup {
-	b := backup{snapshots: make(map[string]map[string]machine.File, len(machines))}
-	for _, name := range machines {
-		if m, ok := u.Options.World.Machine(name); ok {
-			b.snapshots[name] = m.Snapshot()
-		}
-	}
-	return b
-}
-
-func (u *Upgrader) restoreBackup(b backup) {
-	for name, snap := range b.snapshots {
-		if m, ok := u.Options.World.Machine(name); ok {
-			m.Restore(snap)
-		}
-	}
 }
 
 // Upgrade moves a running deployment (old) to the new specification.
@@ -113,9 +92,8 @@ func (u *Upgrader) Upgrade(old *deploy.Deployment, oldSpec, newSpec *spec.Full) 
 	clock := u.Options.World.Clock
 	t0 := clock.Now()
 
-	// 1. Back up the current system.
-	machines := oldSpec.Machines()
-	b := u.takeBackup(machines)
+	// 1. Back up the current system (filesystems + process tables).
+	b := deploy.SnapshotWorld(u.Options.World)
 
 	// 2. Stop the old system (reverse dependency order).
 	if err := old.Shutdown(); err != nil {
@@ -146,10 +124,12 @@ func (u *Upgrader) Upgrade(old *deploy.Deployment, oldSpec, newSpec *spec.Full) 
 }
 
 // rollback restores the backup and redeploys the old specification.
-func (u *Upgrader) rollback(old *deploy.Deployment, oldSpec *spec.Full, b backup, res *Result, cause error, t0 time.Time) (*deploy.Deployment, *Result, error) {
+func (u *Upgrader) rollback(old *deploy.Deployment, oldSpec *spec.Full, b deploy.MachineSnapshots, res *Result, cause error, t0 time.Time) (*deploy.Deployment, *Result, error) {
 	res.RolledBack = true
 	res.Cause = cause
-	u.restoreBackup(b)
+	if err := b.Restore(u.Options.World); err != nil {
+		return old, res, fmt.Errorf("upgrade: backup restore failed after %v: %w", cause, err)
+	}
 	restored, err := deploy.New(oldSpec, u.Options)
 	if err == nil {
 		err = restored.Deploy()

@@ -5,6 +5,7 @@ import (
 
 	"engage/internal/cloud"
 	"engage/internal/library"
+	"engage/internal/machine"
 	"engage/internal/resource"
 	"engage/internal/spec"
 )
@@ -83,7 +84,7 @@ func (s *System) ProvisionPartial(p *Partial, provider *cloud.Provider) ([]strin
 		if _, exists := s.World.Machine(inst.ID); exists {
 			continue // already present in the world
 		}
-		m, err := provider.Provision(inst.ID, library.OSName(inst.Key))
+		m, err := s.provisionWithRetry(provider, inst.ID, library.OSName(inst.Key))
 		if err != nil {
 			return provisioned, fmt.Errorf("engage: provisioning %q: %w", inst.ID, err)
 		}
@@ -92,4 +93,21 @@ func (s *System) ProvisionPartial(p *Partial, provider *cloud.Provider) ([]strin
 		provisioned = append(provisioned, inst.ID)
 	}
 	return provisioned, nil
+}
+
+// provisionWithRetry retries transient provisioning failures per the
+// system's retry policy, charging each backoff to the world clock (a
+// cloud API hiccup should not abort a whole site bring-up).
+func (s *System) provisionWithRetry(provider *cloud.Provider, name, os string) (*machine.Machine, error) {
+	policy := s.Retry.Resolved(s.OnFailure)
+	for attempt := 1; ; attempt++ {
+		m, err := provider.Provision(name, os)
+		if err == nil {
+			return m, nil
+		}
+		if attempt >= policy.MaxAttempts {
+			return nil, err
+		}
+		s.World.Clock.Advance(policy.Wait(attempt))
+	}
 }
