@@ -9,8 +9,11 @@ package engage
 // Run with: go test -bench=. -benchmem
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
+	"os"
+	"runtime"
 	"testing"
 	"time"
 
@@ -26,6 +29,7 @@ import (
 	"engage/internal/sat"
 	"engage/internal/spec"
 	"engage/internal/upgrade"
+	"engage/internal/workload"
 )
 
 // --- helpers ---
@@ -888,4 +892,137 @@ var _ = packager.Validate
 // rdlResolve parses one RDL source into a registry (bench helper).
 func rdlResolve(src string) (*resource.Registry, error) {
 	return rdl.ParseAndResolve(map[string]string{"bench.rdl": src})
+}
+
+// --- Scale: synthetic fleets through the parallel front half ---
+// Sweeps fleet size × worker count over the front half of the pipeline
+// (hypergraph generation + constraint emission) on seeded synthetic
+// fleets from internal/workload, and writes the measurements to
+// BENCH_scale.json so the perf trajectory has a checked-in baseline.
+// Parallelism 0 is the sequential reference path; ≥1 is the wave
+// engine with the shared resolution caches, whose output the
+// differential suite (internal/workload) proves byte-identical.
+
+func BenchmarkScaleFleet(b *testing.B) {
+	shapes := []struct {
+		name string
+		spec workload.Spec
+	}{
+		{"fleet90", workload.Spec{Seed: 1, Families: 12, Versions: 3, EnvFanout: 2, PeerFanout: 1, Machines: 8, Instances: 4}},
+		{"fleet250", workload.Spec{Seed: 1, Families: 20, Versions: 4, EnvFanout: 3, PeerFanout: 1, Machines: 16, Instances: 5}},
+		{"fleet570", workload.Spec{Seed: 1, Families: 28, Versions: 5, EnvFanout: 3, PeerFanout: 2, Machines: 24, Instances: 6}},
+	}
+	parallelisms := []int{0, 1, 2, 4, 8}
+
+	type row struct {
+		Fleet         string  `json:"fleet"`
+		Shape         string  `json:"shape"`
+		Parallelism   int     `json:"parallelism"`
+		NsPerOp       float64 `json:"ns_per_op"`
+		GraphNodes    int     `json:"graph_nodes"`
+		GraphEdges    int     `json:"graph_edges"`
+		Clauses       int     `json:"clauses"`
+		FullInstances int     `json:"full_instances"`
+		SpeedupVsSeq  float64 `json:"speedup_vs_seq"`
+	}
+	// b.Run invokes each sub-benchmark more than once while
+	// calibrating b.N; key rows by name so the final run wins.
+	rowByName := make(map[string]row)
+	var order []string
+
+	for _, sh := range shapes {
+		sh := sh
+		reg, partial, err := workload.Generate(sh.spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Shape metadata, measured once outside the timed loops.
+		g, err := hypergraph.Generate(reg, partial)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prob := constraint.Encode(g, constraint.Pairwise)
+		full, err := config.New(reg).Configure(partial)
+		if err != nil {
+			b.Fatal(err)
+		}
+
+		for _, par := range parallelisms {
+			par := par
+			name := fmt.Sprintf("%s/p%d", sh.name, par)
+			b.Run(name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					gg, err := hypergraph.GenerateOpts(reg, partial, hypergraph.Options{Parallelism: par})
+					if err != nil {
+						b.Fatal(err)
+					}
+					var pp *constraint.Problem
+					if par > 0 {
+						pp = constraint.EncodeParallel(gg, constraint.Pairwise, par)
+					} else {
+						pp = constraint.Encode(gg, constraint.Pairwise)
+					}
+					if gg.Len() != g.Len() || len(pp.Formula.Clauses) != len(prob.Formula.Clauses) {
+						b.Fatalf("output drifted: %d/%d nodes, %d/%d clauses",
+							gg.Len(), g.Len(), len(pp.Formula.Clauses), len(prob.Formula.Clauses))
+					}
+				}
+				b.ReportMetric(float64(len(full.Instances)), "instances")
+				if _, seen := rowByName[name]; !seen {
+					order = append(order, name)
+				}
+				rowByName[name] = row{
+					Fleet:         sh.name,
+					Shape:         sh.spec.String(),
+					Parallelism:   par,
+					NsPerOp:       float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+					GraphNodes:    g.Len(),
+					GraphEdges:    len(g.Edges),
+					Clauses:       len(prob.Formula.Clauses),
+					FullInstances: len(full.Instances),
+				}
+			})
+		}
+	}
+
+	// Fill speedups against each fleet's sequential row and persist.
+	rows := make([]row, 0, len(order))
+	for _, name := range order {
+		rows = append(rows, rowByName[name])
+	}
+	seqNs := make(map[string]float64)
+	for _, r := range rows {
+		if r.Parallelism == 0 {
+			seqNs[r.Fleet] = r.NsPerOp
+		}
+	}
+	for i := range rows {
+		if base := seqNs[rows[i].Fleet]; base > 0 && rows[i].NsPerOp > 0 {
+			rows[i].SpeedupVsSeq = base / rows[i].NsPerOp
+		}
+	}
+	if len(rows) == 0 {
+		return
+	}
+	out := struct {
+		Benchmark  string `json:"benchmark"`
+		Stage      string `json:"stage"`
+		GoMaxProcs int    `json:"gomaxprocs"`
+		NumCPU     int    `json:"num_cpu"`
+		Rows       []row  `json:"rows"`
+	}{
+		Benchmark:  "BenchmarkScaleFleet",
+		Stage:      "hypergraph generation + constraint emission",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Rows:       rows,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_scale.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
 }

@@ -21,6 +21,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"engage/internal/config"
 	"engage/internal/constraint"
@@ -166,6 +167,7 @@ func cmdSolve(args []string, out *os.File) error {
 	solverName := fs.String("solver", "cdcl", "SAT solver: cdcl or dpll")
 	encName := fs.String("encoding", "pairwise", "exactly-one encoding: pairwise or ladder")
 	minimal := fs.Bool("minimal", false, "compute a subset-minimal installation (OPIUM-style)")
+	parallel := fs.Int("parallel", 0, "worker pool size for hypergraph generation and constraint emission (0 = sequential)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -178,6 +180,7 @@ func cmdSolve(args []string, out *os.File) error {
 		return err
 	}
 	eng := config.New(reg)
+	eng.Parallelism = *parallel
 	switch *solverName {
 	case "cdcl":
 		eng.Solver = sat.NewCDCL()
@@ -213,6 +216,11 @@ func cmdSolve(args []string, out *os.File) error {
 	fmt.Fprintf(out, "// full:    %d instances, %d lines\n", len(full.Instances), spec.LineCount(full))
 	fmt.Fprintf(out, "// graph:   %d nodes, %d hyperedges; sat: %d vars, %d clauses, %d decisions, %d conflicts\n",
 		st.GraphNodes, st.GraphEdges, st.Vars, st.Clauses, st.Solver.Decisions, st.Solver.Conflicts)
+	if !*minimal {
+		fmt.Fprintf(out, "// stages:  graph %v, encode %v, solve %v, build %v (parallelism %d)\n",
+			st.GraphWall.Round(time.Microsecond), st.EncodeWall.Round(time.Microsecond),
+			st.SolveWall.Round(time.Microsecond), st.BuildWall.Round(time.Microsecond), *parallel)
+	}
 	return nil
 }
 

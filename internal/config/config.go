@@ -9,6 +9,8 @@ package config
 
 import (
 	"fmt"
+	"runtime"
+	"time"
 
 	"engage/internal/constraint"
 	"engage/internal/hypergraph"
@@ -31,6 +33,15 @@ type Engine struct {
 	// SkipCheck disables the final CheckSpec pass (used only by
 	// benchmarks isolating solver cost).
 	SkipCheck bool
+	// Parallelism bounds the worker pool for hypergraph generation and
+	// constraint emission. Values ≤ 0 run the sequential reference
+	// path; any positive value selects the parallel path (whose output
+	// is byte-identical — see internal/workload's differential suite).
+	Parallelism int
+	// MeasureAllocs additionally fills the per-stage allocation
+	// counters in Stats via runtime.ReadMemStats deltas. Off by
+	// default: ReadMemStats stops the world.
+	MeasureAllocs bool
 }
 
 // New returns an engine over a registry with default solver settings.
@@ -45,6 +56,45 @@ type Stats struct {
 	Vars       int
 	Clauses    int
 	Solver     sat.Stats
+	// Per-stage wall clock: hypergraph generation, constraint
+	// encoding, SAT solving, and build+propagate+check.
+	GraphWall  time.Duration
+	EncodeWall time.Duration
+	SolveWall  time.Duration
+	BuildWall  time.Duration
+	// Per-stage heap allocation deltas (bytes), filled only when
+	// Engine.MeasureAllocs is set.
+	GraphAlloc  uint64
+	EncodeAlloc uint64
+	SolveAlloc  uint64
+	BuildAlloc  uint64
+}
+
+// stageMeter times one pipeline stage and, optionally, its allocations.
+type stageMeter struct {
+	measureAllocs bool
+	start         time.Time
+	startAlloc    uint64
+}
+
+func startStage(measureAllocs bool) stageMeter {
+	m := stageMeter{measureAllocs: measureAllocs}
+	if measureAllocs {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		m.startAlloc = ms.TotalAlloc
+	}
+	m.start = time.Now()
+	return m
+}
+
+func (m stageMeter) stop(wall *time.Duration, alloc *uint64) {
+	*wall = time.Since(m.start)
+	if m.measureAllocs {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		*alloc = ms.TotalAlloc - m.startAlloc
+	}
 }
 
 // UnsatError is returned when no full installation specification extends
@@ -65,14 +115,23 @@ func (e *Engine) Configure(partial *spec.Partial) (*spec.Full, error) {
 // ConfigureStats is Configure with effort statistics.
 func (e *Engine) ConfigureStats(partial *spec.Partial) (*spec.Full, Stats, error) {
 	var st Stats
-	g, err := hypergraph.Generate(e.Registry, partial)
+	m := startStage(e.MeasureAllocs)
+	g, err := hypergraph.GenerateOpts(e.Registry, partial, hypergraph.Options{Parallelism: e.Parallelism})
+	m.stop(&st.GraphWall, &st.GraphAlloc)
 	if err != nil {
 		return nil, st, err
 	}
 	st.GraphNodes = g.Len()
 	st.GraphEdges = len(g.Edges)
 
-	prob := constraint.Encode(g, e.Encoding)
+	m = startStage(e.MeasureAllocs)
+	var prob *constraint.Problem
+	if e.Parallelism > 0 {
+		prob = constraint.EncodeParallel(g, e.Encoding, e.Parallelism)
+	} else {
+		prob = constraint.Encode(g, e.Encoding)
+	}
+	m.stop(&st.EncodeWall, &st.EncodeAlloc)
 	st.Vars = prob.Formula.NumVars
 	st.Clauses = len(prob.Formula.Clauses)
 
@@ -80,7 +139,9 @@ func (e *Engine) ConfigureStats(partial *spec.Partial) (*spec.Full, Stats, error
 	if solver == nil {
 		solver = sat.NewCDCL()
 	}
+	m = startStage(e.MeasureAllocs)
 	res := solver.Solve(prob.Formula)
+	m.stop(&st.SolveWall, &st.SolveAlloc)
 	st.Solver = res.Stats
 	switch res.Status {
 	case sat.Sat:
@@ -90,16 +151,20 @@ func (e *Engine) ConfigureStats(partial *spec.Partial) (*spec.Full, Stats, error
 		return nil, st, fmt.Errorf("config: solver %q gave up", solver.Name())
 	}
 
+	m = startStage(e.MeasureAllocs)
 	selected := prob.Selected(res.Model)
 	full, err := e.build(g, partial, selected)
 	if err != nil {
+		m.stop(&st.BuildWall, &st.BuildAlloc)
 		return nil, st, err
 	}
 	if !e.SkipCheck {
 		if err := checkAfterBuild(e, full); err != nil {
+			m.stop(&st.BuildWall, &st.BuildAlloc)
 			return nil, st, err
 		}
 	}
+	m.stop(&st.BuildWall, &st.BuildAlloc)
 	return full, st, nil
 }
 

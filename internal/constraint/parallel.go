@@ -1,0 +1,198 @@
+package constraint
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"engage/internal/hypergraph"
+	"engage/internal/sat"
+)
+
+// EncodeParallel generates the same Problem as Encode — identical clause
+// list, literal order, and variable numbering — but shards clause
+// emission per hyperedge across a bounded worker pool and writes every
+// literal into one flat arena:
+//
+//  1. A serial O(E) pass computes each edge's exact clause, literal,
+//     and auxiliary-variable counts; prefix sums assign each edge a
+//     clause-slot range, a literal range, and an aux-var base. Ladder
+//     auxiliaries are numbered from the per-edge base exactly as the
+//     sequential encoder's incremental AddVar would have produced.
+//  2. Workers fill their preassigned ranges concurrently; no worker
+//     touches another's slots, and concatenation is implicit in the
+//     layout, so the output is canonical regardless of schedule.
+//
+// Every clause is a slice into the single backing literal arena, so
+// handing the Formula to the incremental solver's clause arena streams
+// one contiguous allocation instead of E small ones.
+//
+// workers ≤ 1 still uses the sharded layout but fills it serially.
+func EncodeParallel(g *hypergraph.Graph, enc Encoding, workers int) *Problem {
+	f := sat.NewFormula(g.Len())
+	p := &Problem{
+		Formula: f,
+		VarOf:   make(map[string]int, g.Len()),
+		IDOf:    make([]string, g.Len()+1),
+	}
+	for i, id := range g.Order {
+		v := i + 1
+		p.VarOf[id] = v
+		p.IDOf[v] = id
+	}
+
+	// Unit constraints for partial-spec instances (serial; cheap).
+	units := 0
+	for _, n := range g.Nodes() {
+		if n.FromSpec {
+			units++
+		}
+	}
+
+	// Pass 1: exact per-edge shard sizes and prefix offsets. Offsets
+	// start after the unit clauses.
+	nEdges := len(g.Edges)
+	clauseOff := make([]int, nEdges+1)
+	litOff := make([]int, nEdges+1)
+	auxOff := make([]int, nEdges+1)
+	clauseOff[0], litOff[0] = units, units
+	for i, e := range g.Edges {
+		nc, nl, na := edgeCounts(len(e.Targets), enc)
+		clauseOff[i+1] = clauseOff[i] + nc
+		litOff[i+1] = litOff[i] + nl
+		auxOff[i+1] = auxOff[i] + na
+	}
+
+	clauses := make([]sat.Clause, clauseOff[nEdges])
+	arena := make([]sat.Lit, litOff[nEdges])
+	f.NumVars = g.Len() + auxOff[nEdges]
+
+	// Unit clauses occupy the first slots, one literal each.
+	ui := 0
+	for _, n := range g.Nodes() {
+		if n.FromSpec {
+			arena[ui] = sat.Lit(p.VarOf[n.ID])
+			clauses[ui] = arena[ui : ui+1 : ui+1]
+			ui++
+		}
+	}
+
+	// Pass 2: fill edge shards concurrently.
+	parallelFor(nEdges, workers, func(i int) {
+		e := g.Edges[i]
+		s := shard{
+			clauses: clauses[clauseOff[i]:clauseOff[i+1]],
+			arena:   arena[litOff[i]:litOff[i+1]],
+		}
+		src := sat.Lit(p.VarOf[e.Source])
+		lits := make([]sat.Lit, len(e.Targets))
+		for j, t := range e.Targets {
+			lits[j] = sat.Lit(p.VarOf[t])
+		}
+		auxBase := g.Len() + auxOff[i]
+		emitEdge(&s, src, lits, enc, auxBase)
+		if s.ci != len(s.clauses) || s.li != len(s.arena) {
+			panic(fmt.Sprintf(
+				"constraint: edge %d shard fill mismatch: %d/%d clauses, %d/%d lits",
+				i, s.ci, len(s.clauses), s.li, len(s.arena)))
+		}
+	})
+
+	f.Clauses = clauses
+	for len(p.IDOf) < f.NumVars+1 {
+		p.IDOf = append(p.IDOf, "")
+	}
+	return p
+}
+
+// edgeCounts returns the exact number of clauses, literals, and
+// auxiliary variables that encoding an n-target hyperedge emits.
+func edgeCounts(n int, enc Encoding) (clauses, lits, aux int) {
+	if enc == Pairwise || n <= 3 {
+		pairs := n * (n - 1) / 2
+		return 1 + pairs, (n + 1) + 3*pairs, 0
+	}
+	// Ladder, n > 3: at-least-one (n+1 lits) plus the guarded
+	// sequential at-most-one — 3n-4 ternary clauses, n-1 aux vars.
+	return 3*n - 3, (n + 1) + 3*(3*n-4), n - 1
+}
+
+// shard is a preassigned clause/literal range being filled by one edge.
+type shard struct {
+	clauses []sat.Clause
+	arena   []sat.Lit
+	ci, li  int
+}
+
+func (s *shard) add(lits ...sat.Lit) {
+	c := s.arena[s.li : s.li+len(lits) : s.li+len(lits)]
+	copy(c, lits)
+	s.li += len(lits)
+	s.clauses[s.ci] = sat.Clause(c)
+	s.ci++
+}
+
+// addALO writes (¬src ∨ l1 ∨ … ∨ ln) without an intermediate slice.
+func (s *shard) addALO(src sat.Lit, lits []sat.Lit) {
+	n := len(lits) + 1
+	c := s.arena[s.li : s.li+n : s.li+n]
+	c[0] = src.Neg()
+	copy(c[1:], lits)
+	s.li += n
+	s.clauses[s.ci] = sat.Clause(c)
+	s.ci++
+}
+
+// emitEdge writes the clauses for src → ⊕lits into the shard, mirroring
+// Encode's emission order clause for clause.
+func emitEdge(s *shard, src sat.Lit, lits []sat.Lit, enc Encoding, auxBase int) {
+	n := len(lits)
+	if enc == Pairwise || n <= 3 {
+		s.addALO(src, lits)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				s.add(src.Neg(), lits[i].Neg(), lits[j].Neg())
+			}
+		}
+		return
+	}
+	s.addALO(src, lits)
+	aux := func(i int) sat.Lit { return sat.Lit(auxBase + i + 1) }
+	s.add(src.Neg(), lits[0].Neg(), aux(0))
+	for i := 1; i < n-1; i++ {
+		s.add(src.Neg(), aux(i-1).Neg(), aux(i))
+		s.add(src.Neg(), lits[i].Neg(), aux(i))
+		s.add(src.Neg(), lits[i].Neg(), aux(i-1).Neg())
+	}
+	s.add(src.Neg(), lits[n-1].Neg(), aux(n-2).Neg())
+}
+
+// parallelFor runs fn(0..n-1) on up to `workers` goroutines via an
+// atomic work counter, returning once every index has run.
+func parallelFor(n, workers int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -4,6 +4,12 @@
 // installation specification and constructs a directed hypergraph whose
 // nodes are resource instances and whose hyperedges represent
 // dependencies between them.
+//
+// Two generators produce the same graph: Generate is the sequential
+// reference implementation, a direct transcription of the paper's
+// worklist algorithm; GenerateOpts with Options.Parallelism ≥ 1 runs the
+// wave-parallel generator (parallel.go), which is proven byte-identical
+// to Generate by the differential suite in internal/workload.
 package hypergraph
 
 import (
@@ -94,21 +100,42 @@ func (g *Graph) add(n *Node) {
 // (new instances conservatively land on the dependent's machine); and
 // no new machines are ever created.
 func Generate(reg *resource.Registry, partial *spec.Partial) (*Graph, error) {
-	g := &Graph{nodes: make(map[string]*Node)}
-	sub := resource.NewSubtyper(reg)
-	var worklist []string
+	g, worklist, err := initFromPartial(reg, partial)
+	if err != nil {
+		return nil, err
+	}
+	r := &graphResolver{g: g, sub: resource.NewSubtyper(reg), frontierFn: reg.Frontier}
 
-	// Pass 1: create nodes for every instance in the partial spec.
+	// Pass 2: worklist processing.
+	for len(worklist) > 0 {
+		id := worklist[0]
+		worklist = worklist[1:]
+		edges, created, err := processNode(r, reg, g.nodes[id])
+		if err != nil {
+			return nil, err
+		}
+		g.Edges = append(g.Edges, edges...)
+		worklist = append(worklist, created...)
+	}
+	return g, nil
+}
+
+// initFromPartial runs pass 1 of GraphGen: one node per instance of the
+// partial specification, with machines resolved along inside chains. The
+// returned worklist lists the spec nodes in specification order.
+func initFromPartial(reg *resource.Registry, partial *spec.Partial) (*Graph, []string, error) {
+	g := &Graph{nodes: make(map[string]*Node)}
+	var worklist []string
 	for _, pi := range partial.Instances {
 		if _, dup := g.nodes[pi.ID]; dup {
-			return nil, fmt.Errorf("hypergraph: duplicate instance id %q", pi.ID)
+			return nil, nil, fmt.Errorf("hypergraph: duplicate instance id %q", pi.ID)
 		}
 		t, ok := reg.Lookup(pi.Key)
 		if !ok {
-			return nil, fmt.Errorf("hypergraph: instance %q: unknown resource type %q", pi.ID, pi.Key)
+			return nil, nil, fmt.Errorf("hypergraph: instance %q: unknown resource type %q", pi.ID, pi.Key)
 		}
 		if t.Abstract {
-			return nil, fmt.Errorf("hypergraph: instance %q: abstract type %q cannot be instantiated", pi.ID, pi.Key)
+			return nil, nil, fmt.Errorf("hypergraph: instance %q: abstract type %q cannot be instantiated", pi.ID, pi.Key)
 		}
 		g.add(&Node{ID: pi.ID, Key: pi.Key, Inside: pi.Inside, FromSpec: true, Config: pi.Config})
 		worklist = append(worklist, pi.ID)
@@ -119,73 +146,151 @@ func Generate(reg *resource.Registry, partial *spec.Partial) (*Graph, error) {
 	for _, id := range g.Order {
 		m, err := g.resolveMachine(id)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		g.nodes[id].Machine = m
 	}
+	return g, worklist, nil
+}
 
-	// Pass 2: worklist processing.
-	for len(worklist) > 0 {
-		id := worklist[0]
-		worklist = worklist[1:]
-		n := g.nodes[id]
-		t := reg.MustLookup(n.Key)
+// resolver provides the graph-state queries and mutations the per-node
+// expansion step needs. Implementations: graphResolver (sequential
+// generation and the parallel generator's redo path) and overlay
+// (parallel speculation against a frozen snapshot).
+type resolver interface {
+	node(id string) (*Node, bool)
+	// findMatch returns the first node in creation order whose key is a
+	// subtype of k, excluding source. machine == "" searches all
+	// machines (peer dependencies); otherwise only nodes on that
+	// machine match (environment dependencies).
+	findMatch(k resource.Key, machine, source string) string
+	// findContainer returns the first node in creation order on the
+	// machine whose key satisfies one of the inside alternatives.
+	findContainer(machine string, alts []resource.Key) string
+	// freshID derives the deterministic unique ID a new (key, machine)
+	// node would get.
+	freshID(k resource.Key, machine string) string
+	addNode(n *Node)
+	subtyper() resource.SubtypeChecker
+	frontier(k resource.Key) ([]resource.Key, error)
+}
 
-		// Inside dependency.
-		if t.Inside != nil {
-			if n.Inside == "" {
-				return nil, fmt.Errorf("hypergraph: instance %q (type %q) has an unresolved inside dependency", n.ID, n.Key)
-			}
-			container, ok := g.nodes[n.Inside]
-			if !ok {
-				return nil, fmt.Errorf("hypergraph: instance %q: container %q not in specification", n.ID, n.Inside)
-			}
-			if !matchesAny(sub, container.Key, t.Inside.Alternatives) {
-				return nil, fmt.Errorf("hypergraph: instance %q: container %q (type %q) does not satisfy inside dependency %s",
-					n.ID, container.ID, container.Key, t.Inside)
-			}
-			g.Edges = append(g.Edges, Hyperedge{
-				Source:         n.ID,
-				Class:          resource.DepInside,
-				Targets:        []string{container.ID},
-				PortMap:        t.Inside.PortMap,
-				ReversePortMap: t.Inside.ReversePortMap,
-			})
+// graphResolver resolves directly against a live graph; it is the
+// resolver of the sequential reference path.
+type graphResolver struct {
+	g          *Graph
+	sub        resource.SubtypeChecker
+	frontierFn func(resource.Key) ([]resource.Key, error)
+}
+
+func (r *graphResolver) node(id string) (*Node, bool) { return r.g.Node(id) }
+
+func (r *graphResolver) findMatch(k resource.Key, machine, source string) string {
+	for _, id := range r.g.Order {
+		if id == source {
+			continue
 		}
-
-		// Environment dependencies: targets on the same machine.
-		for _, d := range t.Env {
-			edge, created, err := g.resolveDep(reg, sub, n, d, resource.DepEnv)
-			if err != nil {
-				return nil, err
-			}
-			g.Edges = append(g.Edges, edge)
-			worklist = append(worklist, created...)
+		node := r.g.nodes[id]
+		if machine != "" && node.Machine != machine {
+			continue
 		}
-
-		// Peer dependencies: targets anywhere; new nodes on n's machine.
-		for _, d := range t.Peer {
-			edge, created, err := g.resolveDep(reg, sub, n, d, resource.DepPeer)
-			if err != nil {
-				return nil, err
-			}
-			g.Edges = append(g.Edges, edge)
-			worklist = append(worklist, created...)
+		if r.sub.IsSubtype(node.Key, k) {
+			return id
 		}
 	}
-	return g, nil
+	return ""
+}
+
+func (r *graphResolver) findContainer(machine string, alts []resource.Key) string {
+	for _, cid := range r.g.Order {
+		c := r.g.nodes[cid]
+		if c.Machine != machine {
+			continue
+		}
+		if matchesAny(r.sub, c.Key, alts) {
+			return cid
+		}
+	}
+	return ""
+}
+
+func (r *graphResolver) freshID(k resource.Key, machine string) string {
+	return freshIDIn(k, machine, func(id string) bool {
+		_, taken := r.g.nodes[id]
+		return taken
+	})
+}
+
+func (r *graphResolver) addNode(n *Node)                 { r.g.add(n) }
+func (r *graphResolver) subtyper() resource.SubtypeChecker { return r.sub }
+func (r *graphResolver) frontier(k resource.Key) ([]resource.Key, error) {
+	return r.frontierFn(k)
+}
+
+// processNode runs one worklist step for node n: its inside check plus
+// the resolution of every environment and peer dependency. Newly created
+// nodes are added through the resolver as they appear (later disjuncts
+// may match them); the hyperedges and the created IDs are returned in
+// emission order so callers append both deterministically.
+func processNode(r resolver, reg *resource.Registry, n *Node) ([]Hyperedge, []string, error) {
+	t := reg.MustLookup(n.Key)
+	var edges []Hyperedge
+	var created []string
+
+	// Inside dependency.
+	if t.Inside != nil {
+		if n.Inside == "" {
+			return nil, nil, fmt.Errorf("hypergraph: instance %q (type %q) has an unresolved inside dependency", n.ID, n.Key)
+		}
+		container, ok := r.node(n.Inside)
+		if !ok {
+			return nil, nil, fmt.Errorf("hypergraph: instance %q: container %q not in specification", n.ID, n.Inside)
+		}
+		if !matchesAny(r.subtyper(), container.Key, t.Inside.Alternatives) {
+			return nil, nil, fmt.Errorf("hypergraph: instance %q: container %q (type %q) does not satisfy inside dependency %s",
+				n.ID, container.ID, container.Key, t.Inside)
+		}
+		edges = append(edges, Hyperedge{
+			Source:         n.ID,
+			Class:          resource.DepInside,
+			Targets:        []string{container.ID},
+			PortMap:        t.Inside.PortMap,
+			ReversePortMap: t.Inside.ReversePortMap,
+		})
+	}
+
+	// Environment dependencies: targets on the same machine.
+	for _, d := range t.Env {
+		edge, made, err := resolveDep(r, reg, n, d, resource.DepEnv)
+		if err != nil {
+			return nil, nil, err
+		}
+		edges = append(edges, edge)
+		created = append(created, made...)
+	}
+
+	// Peer dependencies: targets anywhere; new nodes on n's machine.
+	for _, d := range t.Peer {
+		edge, made, err := resolveDep(r, reg, n, d, resource.DepPeer)
+		if err != nil {
+			return nil, nil, err
+		}
+		edges = append(edges, edge)
+		created = append(created, made...)
+	}
+	return edges, created, nil
 }
 
 // resolveDep resolves one environment or peer dependency of node n: for
 // each (frontier-expanded) disjunct, find a matching existing node or
 // create a new instance. Returns the hyperedge and the IDs of newly
 // created nodes.
-func (g *Graph) resolveDep(reg *resource.Registry, sub *resource.Subtyper,
+func resolveDep(r resolver, reg *resource.Registry,
 	n *Node, d resource.Dependency, class resource.DependencyClass) (Hyperedge, []string, error) {
 
 	var concrete []resource.Key
 	for _, alt := range d.Alternatives {
-		frontier, err := reg.Frontier(alt)
+		frontier, err := r.frontier(alt)
 		if err != nil {
 			return Hyperedge{}, nil, fmt.Errorf("hypergraph: instance %q: %v", n.ID, err)
 		}
@@ -198,13 +303,17 @@ func (g *Graph) resolveDep(reg *resource.Registry, sub *resource.Subtyper,
 		PortMap:        d.PortMap,
 		ReversePortMap: d.ReversePortMap,
 	}
+	machineScope := ""
+	if class == resource.DepEnv {
+		machineScope = n.Machine
+	}
 	var created []string
 	seen := make(map[string]bool)
 	for _, k := range concrete {
-		target := g.findMatch(sub, k, n.Machine, class, n.ID)
+		target := r.findMatch(k, machineScope, n.ID)
 		if target == "" {
 			var err error
-			target, err = g.create(reg, sub, k, n.Machine)
+			target, err = createNode(r, reg, k, n.Machine)
 			if err != nil {
 				return Hyperedge{}, nil, fmt.Errorf("hypergraph: resolving %s dependency of %q: %v", class, n.ID, err)
 			}
@@ -218,32 +327,11 @@ func (g *Graph) resolveDep(reg *resource.Registry, sub *resource.Subtyper,
 	return edge, created, nil
 }
 
-// findMatch looks for an existing node whose key is a subtype of k; for
-// environment dependencies the node must live on the given machine. The
-// dependent itself is never a match — a resource cannot satisfy its own
-// dependency (that would be a self-cycle), even when structural
-// subtyping relates the types.
-func (g *Graph) findMatch(sub *resource.Subtyper, k resource.Key, machine string, class resource.DependencyClass, source string) string {
-	for _, id := range g.Order {
-		if id == source {
-			continue
-		}
-		node := g.nodes[id]
-		if class == resource.DepEnv && node.Machine != machine {
-			continue
-		}
-		if sub.IsSubtype(node.Key, k) {
-			return id
-		}
-	}
-	return ""
-}
-
-// create instantiates a new node for key k on the given machine,
+// createNode instantiates a new node for key k on the given machine,
 // resolving its container: the machine itself when the type's inside
 // dependency admits it, otherwise an existing node on the machine whose
 // key satisfies the dependency.
-func (g *Graph) create(reg *resource.Registry, sub *resource.Subtyper, k resource.Key, machine string) (string, error) {
+func createNode(r resolver, reg *resource.Registry, k resource.Key, machine string) (string, error) {
 	t, ok := reg.Lookup(k)
 	if !ok {
 		return "", fmt.Errorf("unknown resource type %q", k)
@@ -251,27 +339,17 @@ func (g *Graph) create(reg *resource.Registry, sub *resource.Subtyper, k resourc
 	if t.Abstract {
 		return "", fmt.Errorf("abstract type %q cannot be instantiated", k)
 	}
-	id := g.freshID(k, machine)
+	id := r.freshID(k, machine)
 	node := &Node{ID: id, Key: k, Machine: machine}
 	if t.Inside != nil {
-		mnode := g.nodes[machine]
-		if mnode == nil {
+		mnode, ok := r.node(machine)
+		if !ok {
 			return "", fmt.Errorf("no machine %q for new instance of %q", machine, k)
 		}
-		if matchesAny(sub, mnode.Key, t.Inside.Alternatives) {
+		if matchesAny(r.subtyper(), mnode.Key, t.Inside.Alternatives) {
 			node.Inside = machine
 		} else {
-			container := ""
-			for _, cid := range g.Order {
-				c := g.nodes[cid]
-				if c.Machine != machine {
-					continue
-				}
-				if matchesAny(sub, c.Key, t.Inside.Alternatives) {
-					container = cid
-					break
-				}
-			}
+			container := r.findContainer(machine, t.Inside.Alternatives)
 			if container == "" {
 				return "", fmt.Errorf("no container on machine %q satisfying inside dependency %s of %q",
 					machine, t.Inside, k)
@@ -284,12 +362,13 @@ func (g *Graph) create(reg *resource.Registry, sub *resource.Subtyper, k resourc
 		// machines are created (§2).
 		return "", fmt.Errorf("dependency on machine type %q cannot be auto-instantiated (no new machines)", k)
 	}
-	g.add(node)
+	r.addNode(node)
 	return id, nil
 }
 
-// freshID derives a deterministic unique node ID from a key and machine.
-func (g *Graph) freshID(k resource.Key, machine string) string {
+// freshIDIn derives a deterministic unique node ID from a key and
+// machine, probing candidates against the given taken predicate.
+func freshIDIn(k resource.Key, machine string, taken func(string) bool) string {
 	base := strings.ToLower(strings.ReplaceAll(k.Name, " ", "-"))
 	if k.Version != "" {
 		base += "-" + k.Version
@@ -299,7 +378,7 @@ func (g *Graph) freshID(k resource.Key, machine string) string {
 	}
 	id := base
 	for i := 2; ; i++ {
-		if _, taken := g.nodes[id]; !taken {
+		if !taken(id) {
 			return id
 		}
 		id = fmt.Sprintf("%s#%d", base, i)
@@ -326,7 +405,7 @@ func (g *Graph) resolveMachine(id string) (string, error) {
 	}
 }
 
-func matchesAny(sub *resource.Subtyper, k resource.Key, alts []resource.Key) bool {
+func matchesAny(sub resource.SubtypeChecker, k resource.Key, alts []resource.Key) bool {
 	for _, a := range alts {
 		if sub.IsSubtype(k, a) {
 			return true

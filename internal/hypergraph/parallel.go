@@ -1,0 +1,427 @@
+package hypergraph
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"engage/internal/resource"
+	"engage/internal/spec"
+)
+
+// This file implements the wave-parallel GraphGen. The sequential
+// reference (Generate) processes the worklist one node at a time; here
+// the worklist is processed in waves — all nodes currently queued — and
+// the per-node expansion step runs concurrently on a bounded worker
+// pool. Output is byte-identical to Generate for any schedule:
+//
+//   speculate  Each wave node is expanded by processNode against a
+//              frozen snapshot of the graph (the state at wave start)
+//              through an overlay that collects created nodes privately
+//              and records a probe for every resolution query whose
+//              answer was NOT a pre-snapshot node. Pre-snapshot answers
+//              are stable: the graph only ever appends, and resolution
+//              always returns the first match in creation order, so a
+//              later append cannot displace an earlier answer.
+//   commit     Plans are applied strictly in worklist order. A plan is
+//              valid iff no node committed since its snapshot could
+//              change any recorded probe's answer (subtype match under
+//              the probe's machine scope) and no planned ID has been
+//              taken. Valid plans append their edges and nodes exactly
+//              as the sequential step would have; invalid plans are
+//              discarded and the node is re-expanded sequentially
+//              against the live graph (the redo), which by definition
+//              reproduces the sequential result.
+//
+// Created nodes join the next wave in commit order, which reproduces
+// the sequential FIFO worklist exactly.
+//
+// Shared lookups are memoized across expansions: the subtype relation
+// (resource.SharedSubtyper), concrete frontiers (frontierMemo), and
+// first-match resolution (matchCache, which remembers the first two
+// matches per (key, machine) and resumes its scan incrementally instead
+// of rescanning the node list per query).
+
+// Options configure GenerateOpts.
+type Options struct {
+	// Parallelism bounds the worker pool expanding independent frontier
+	// nodes concurrently. Values ≤ 0 select the sequential reference
+	// implementation; 1 runs the wave machinery on a single worker
+	// (useful to exercise the speculate/commit path deterministically).
+	Parallelism int
+}
+
+// GenerateOpts is Generate with a parallelism option. The result is
+// byte-identical to Generate (same node order, edge order, IDs, and
+// errors) for every Parallelism value; the differential suite in
+// internal/workload enforces this.
+func GenerateOpts(reg *resource.Registry, partial *spec.Partial, opts Options) (*Graph, error) {
+	if opts.Parallelism <= 0 {
+		return Generate(reg, partial)
+	}
+	return generateWaves(reg, partial, opts.Parallelism)
+}
+
+func generateWaves(reg *resource.Registry, partial *spec.Partial, workers int) (*Graph, error) {
+	g, worklist, err := initFromPartial(reg, partial)
+	if err != nil {
+		return nil, err
+	}
+	sub := resource.NewSharedSubtyper(reg)
+	fr := newFrontierMemo(reg)
+	cache := newMatchCache(g, sub)
+	redo := &cachedResolver{g: g, sub: sub, cache: cache, fr: fr}
+
+	for len(worklist) > 0 {
+		wave := worklist
+		worklist = nil
+		snapLen := len(g.Order)
+
+		// Speculation: expand every wave node against the frozen
+		// snapshot. The graph is not mutated until all workers finish.
+		plans := make([]*plan, len(wave))
+		parallelFor(len(wave), workers, func(i int) {
+			ov := &overlay{base: g, snapLen: snapLen, cache: cache, sub: sub, fr: fr}
+			edges, _, err := processNode(ov, reg, g.nodes[wave[i]])
+			plans[i] = &plan{edges: edges, created: ov.local, probes: ov.probes, err: err}
+		})
+
+		// Commit in worklist order.
+		for i, id := range wave {
+			p := plans[i]
+			if p.valid(g, sub, snapLen) {
+				if p.err != nil {
+					return nil, p.err
+				}
+				for _, c := range p.created {
+					g.add(c)
+					worklist = append(worklist, c.ID)
+				}
+				g.Edges = append(g.Edges, p.edges...)
+				continue
+			}
+			// Stale: re-expand sequentially against the live graph.
+			edges, created, err := processNode(redo, reg, g.nodes[id])
+			if err != nil {
+				return nil, err
+			}
+			g.Edges = append(g.Edges, edges...)
+			worklist = append(worklist, created...)
+		}
+	}
+	return g, nil
+}
+
+// plan is the speculative expansion of one wave node.
+type plan struct {
+	edges   []Hyperedge
+	created []*Node // private creations, in creation order
+	probes  []probe
+	err     error
+}
+
+// probe records a resolution query whose answer depended on
+// post-snapshot state (it matched a speculative creation, or nothing).
+// A node committed after the snapshot invalidates the plan iff it could
+// have answered the query: its key is a subtype of one of the probe's
+// keys, within the probe's machine scope ("" = any machine).
+type probe struct {
+	keys    []resource.Key
+	machine string
+}
+
+// valid reports whether the plan can be committed as-is: no node
+// committed since the plan's snapshot interferes with any probe, and no
+// planned creation's ID has been taken. A plan that errored is only
+// valid while the graph is still exactly at its snapshot (the error is
+// then exactly the sequential one).
+func (p *plan) valid(g *Graph, sub resource.SubtypeChecker, snapLen int) bool {
+	if len(g.Order) == snapLen {
+		return true
+	}
+	if p.err != nil {
+		return false
+	}
+	for _, c := range p.created {
+		if _, taken := g.nodes[c.ID]; taken {
+			return false
+		}
+	}
+	if len(p.probes) == 0 {
+		return true
+	}
+	for _, id := range g.Order[snapLen:] {
+		n := g.nodes[id]
+		for _, pr := range p.probes {
+			if pr.machine != "" && n.Machine != pr.machine {
+				continue
+			}
+			for _, k := range pr.keys {
+				if sub.IsSubtype(n.Key, k) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// overlay is the speculation resolver: reads see the frozen snapshot
+// (through the shared match cache) plus this expansion's own private
+// creations; writes stay private.
+type overlay struct {
+	base    *Graph
+	snapLen int
+	cache   *matchCache
+	sub     resource.SubtypeChecker
+	fr      *frontierMemo
+	local   []*Node
+	probes  []probe
+}
+
+func (o *overlay) node(id string) (*Node, bool) {
+	if n, ok := o.base.nodes[id]; ok {
+		return n, true
+	}
+	for _, n := range o.local {
+		if n.ID == id {
+			return n, true
+		}
+	}
+	return nil, false
+}
+
+func (o *overlay) findMatch(k resource.Key, machine, source string) string {
+	if id, _ := o.cache.query(k, machine, o.snapLen, source); id != "" {
+		return id // pre-snapshot answer: stable, no probe needed
+	}
+	o.probes = append(o.probes, probe{keys: []resource.Key{k}, machine: machine})
+	for _, n := range o.local {
+		if n.ID == source {
+			continue
+		}
+		if machine != "" && n.Machine != machine {
+			continue
+		}
+		if o.sub.IsSubtype(n.Key, k) {
+			return n.ID
+		}
+	}
+	return ""
+}
+
+func (o *overlay) findContainer(machine string, alts []resource.Key) string {
+	// First match in creation order across all alternatives: base nodes
+	// precede every local node, so a base answer (minimum index over
+	// the per-alternative first matches) is final and stable.
+	best, bestIdx := "", -1
+	for _, a := range alts {
+		if id, idx := o.cache.query(a, machine, o.snapLen, ""); id != "" {
+			if bestIdx < 0 || idx < bestIdx {
+				best, bestIdx = id, idx
+			}
+		}
+	}
+	if best != "" {
+		return best
+	}
+	o.probes = append(o.probes, probe{keys: alts, machine: machine})
+	for _, n := range o.local {
+		if n.Machine != machine {
+			continue
+		}
+		if matchesAny(o.sub, n.Key, alts) {
+			return n.ID
+		}
+	}
+	return ""
+}
+
+func (o *overlay) freshID(k resource.Key, machine string) string {
+	return freshIDIn(k, machine, func(id string) bool {
+		if _, taken := o.base.nodes[id]; taken {
+			return true
+		}
+		for _, n := range o.local {
+			if n.ID == id {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+func (o *overlay) addNode(n *Node)                   { o.local = append(o.local, n) }
+func (o *overlay) subtyper() resource.SubtypeChecker { return o.sub }
+func (o *overlay) frontier(k resource.Key) ([]resource.Key, error) {
+	return o.fr.frontier(k)
+}
+
+// cachedResolver is the redo resolver: it reads and writes the live
+// graph like graphResolver, but answers first-match queries through the
+// shared match cache.
+type cachedResolver struct {
+	g     *Graph
+	sub   resource.SubtypeChecker
+	cache *matchCache
+	fr    *frontierMemo
+}
+
+func (r *cachedResolver) node(id string) (*Node, bool) { return r.g.Node(id) }
+
+func (r *cachedResolver) findMatch(k resource.Key, machine, source string) string {
+	id, _ := r.cache.query(k, machine, len(r.g.Order), source)
+	return id
+}
+
+func (r *cachedResolver) findContainer(machine string, alts []resource.Key) string {
+	best, bestIdx := "", -1
+	for _, a := range alts {
+		if id, idx := r.cache.query(a, machine, len(r.g.Order), ""); id != "" {
+			if bestIdx < 0 || idx < bestIdx {
+				best, bestIdx = id, idx
+			}
+		}
+	}
+	return best
+}
+
+func (r *cachedResolver) freshID(k resource.Key, machine string) string {
+	return freshIDIn(k, machine, func(id string) bool {
+		_, taken := r.g.nodes[id]
+		return taken
+	})
+}
+
+func (r *cachedResolver) addNode(n *Node)                   { r.g.add(n) }
+func (r *cachedResolver) subtyper() resource.SubtypeChecker { return r.sub }
+func (r *cachedResolver) frontier(k resource.Key) ([]resource.Key, error) {
+	return r.fr.frontier(k)
+}
+
+// matchCache memoizes first-match resolution over the (append-only)
+// node list. For each (key, machine) pair it remembers the first two
+// matching nodes and how far the scan got; a query resumes the scan
+// instead of restarting it, so resolving a given pair costs one
+// amortized pass over the node list no matter how many dependency
+// disjuncts ask. Two matches suffice because a query excludes at most
+// one node (the dependent itself). Answers are a pure function of
+// (graph prefix, key, machine, limit, source) and therefore
+// schedule-independent, even though the internal scan positions vary.
+type matchCache struct {
+	mu  sync.Mutex
+	g   *Graph
+	sub resource.SubtypeChecker
+	m   map[matchKey]*matchEntry
+}
+
+type matchKey struct {
+	key     resource.Key
+	machine string // "" = any machine
+}
+
+type matchEntry struct {
+	ids     [2]string
+	idxs    [2]int
+	n       int // filled entries of ids/idxs
+	scanned int // g.Order[:scanned] has been scanned
+}
+
+func newMatchCache(g *Graph, sub resource.SubtypeChecker) *matchCache {
+	return &matchCache{g: g, sub: sub, m: make(map[matchKey]*matchEntry)}
+}
+
+// query returns the first node among g.Order[:limit] whose key is a
+// subtype of k (restricted to the machine when non-empty), excluding
+// source, together with its position in creation order; ("", -1) when
+// there is none.
+func (c *matchCache) query(k resource.Key, machine string, limit int, source string) (string, int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	mk := matchKey{key: k, machine: machine}
+	e := c.m[mk]
+	if e == nil {
+		e = &matchEntry{}
+		c.m[mk] = e
+	}
+	for e.n < 2 && e.scanned < limit {
+		id := c.g.Order[e.scanned]
+		n := c.g.nodes[id]
+		if (machine == "" || n.Machine == machine) && c.sub.IsSubtype(n.Key, k) {
+			e.ids[e.n] = id
+			e.idxs[e.n] = e.scanned
+			e.n++
+		}
+		e.scanned++
+	}
+	for i := 0; i < e.n; i++ {
+		if e.idxs[i] >= limit {
+			break
+		}
+		if e.ids[i] != source {
+			return e.ids[i], e.idxs[i]
+		}
+	}
+	return "", -1
+}
+
+// frontierMemo memoizes Registry.Frontier, which is a pure function of
+// the (immutable during generation) registry. Callers must not mutate
+// the returned slice.
+type frontierMemo struct {
+	mu  sync.RWMutex
+	reg *resource.Registry
+	m   map[resource.Key]frontierResult
+}
+
+type frontierResult struct {
+	keys []resource.Key
+	err  error
+}
+
+func newFrontierMemo(reg *resource.Registry) *frontierMemo {
+	return &frontierMemo{reg: reg, m: make(map[resource.Key]frontierResult)}
+}
+
+func (f *frontierMemo) frontier(k resource.Key) ([]resource.Key, error) {
+	f.mu.RLock()
+	r, ok := f.m[k]
+	f.mu.RUnlock()
+	if ok {
+		return r.keys, r.err
+	}
+	keys, err := f.reg.Frontier(k)
+	f.mu.Lock()
+	f.m[k] = frontierResult{keys: keys, err: err}
+	f.mu.Unlock()
+	return keys, err
+}
+
+// parallelFor runs fn(0..n-1) on up to `workers` goroutines, sharing
+// work through an atomic counter. It returns when every index has run.
+func parallelFor(n, workers int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

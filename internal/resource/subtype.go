@@ -1,6 +1,9 @@
 package resource
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // This file implements the subtyping relation ≤RT. Subtyping is
 // *declared* — "sub-resource types extend base resource type
@@ -71,6 +74,13 @@ func SubPortMap(sub, super map[string]string) bool {
 		}
 	}
 	return true
+}
+
+// SubtypeChecker is the query interface shared by Subtyper and
+// SharedSubtyper; consumers that only ask "is sub ≤RT super?" should
+// accept this so either checker can be plugged in.
+type SubtypeChecker interface {
+	IsSubtype(sub, super Key) bool
 }
 
 // Subtyper checks ≤RT over a registry, memoizing results. The relation
@@ -234,4 +244,37 @@ func (s *Subtyper) subDep(sub, super Dependency) error {
 		return fmt.Errorf("reverse port map not related")
 	}
 	return nil
+}
+
+// SharedSubtyper is a concurrency-safe ≤RT checker for use by parallel
+// hypergraph expansion: answered pairs are published in a lock-free map
+// so the hot path (memo hits from many workers scanning candidate nodes)
+// costs one atomic load; misses serialize on a mutex around the inner
+// Subtyper's derivation. Answers are identical to Subtyper's — the
+// relation is a pure function of the registry.
+type SharedSubtyper struct {
+	hits  sync.Map // [2]Key -> bool
+	mu    sync.Mutex
+	inner *Subtyper
+}
+
+// NewSharedSubtyper returns a concurrency-safe subtype checker.
+func NewSharedSubtyper(reg *Registry) *SharedSubtyper {
+	return &SharedSubtyper{inner: NewSubtyper(reg)}
+}
+
+// IsSubtype reports sub ≤RT super; safe for concurrent use.
+func (s *SharedSubtyper) IsSubtype(sub, super Key) bool {
+	if sub == super {
+		return true // Refl, no map traffic
+	}
+	pair := [2]Key{sub, super}
+	if v, ok := s.hits.Load(pair); ok {
+		return v.(bool)
+	}
+	s.mu.Lock()
+	v := s.inner.IsSubtype(sub, super)
+	s.mu.Unlock()
+	s.hits.Store(pair, v)
+	return v
 }

@@ -1,0 +1,151 @@
+package testlib
+
+import (
+	"testing"
+
+	"engage/internal/config"
+	"engage/internal/resource"
+	"engage/internal/typecheck"
+)
+
+// The fixtures other packages test against deserve tests of their own:
+// the OpenMRS RDL must parse into the §2 lattice, the Fig. 2 partial
+// must name instances of it, and the pair must configure end to end.
+
+func TestOpenMRSRegistry(t *testing.T) {
+	reg, err := OpenMRSRegistry()
+	if err != nil {
+		t.Fatalf("OpenMRSRegistry: %v", err)
+	}
+
+	wantConcrete := []string{
+		"Mac-OSX 10.6", "Windows-XP", "JDK 1.6", "JRE 1.6",
+		"Tomcat 6.0.18", "MySQL 5.1", "OpenMRS 1.8",
+	}
+	for _, s := range wantConcrete {
+		k := resource.ParseKey(s)
+		ty, ok := reg.Lookup(k)
+		if !ok {
+			t.Fatalf("registry lacks %q", s)
+		}
+		if ty.Abstract {
+			t.Errorf("%q should be concrete", s)
+		}
+	}
+	for _, s := range []string{"Server", "Java"} {
+		ty, ok := reg.Lookup(resource.ParseKey(s))
+		if !ok {
+			t.Fatalf("registry lacks abstract %q", s)
+		}
+		if !ty.Abstract {
+			t.Errorf("%q should be abstract", s)
+		}
+	}
+
+	// The Java frontier is the two concrete runtimes, sorted.
+	front, err := reg.Frontier(resource.ParseKey("Java"))
+	if err != nil {
+		t.Fatalf("Frontier(Java): %v", err)
+	}
+	if len(front) != 2 || front[0].Name != "JDK" || front[1].Name != "JRE" {
+		t.Fatalf("Frontier(Java) = %v, want [JDK 1.6, JRE 1.6]", front)
+	}
+
+	// Inheritance flattening: JDK gets Java's inside dep and output.
+	jdk, _ := reg.Lookup(resource.ParseKey("JDK 1.6"))
+	if jdk.Inside == nil || len(jdk.Inside.Alternatives) != 1 || jdk.Inside.Alternatives[0].Name != "Server" {
+		t.Errorf("JDK inside dependency = %+v, want Server", jdk.Inside)
+	}
+	if _, ok := jdk.FindPort(resource.SecOutput, "java"); !ok {
+		t.Errorf("JDK lacks inherited output port %q", "java")
+	}
+
+	// The declared extends edges are genuine subtypes.
+	sub := resource.NewSubtyper(reg)
+	for sub2, super := range map[string]string{
+		"JDK 1.6":      "Java",
+		"JRE 1.6":      "Java",
+		"Mac-OSX 10.6": "Server",
+		"Windows-XP":   "Server",
+	} {
+		if err := sub.Explain(resource.ParseKey(sub2), resource.ParseKey(super)); err != nil {
+			t.Errorf("%q ≤RT %q: %v", sub2, super, err)
+		}
+	}
+	if sub.IsSubtype(resource.ParseKey("JDK 1.6"), resource.ParseKey("JRE 1.6")) {
+		t.Error("JDK 1.6 must not be a subtype of its sibling JRE 1.6")
+	}
+}
+
+func TestFig2Partial(t *testing.T) {
+	p, err := Fig2Partial()
+	if err != nil {
+		t.Fatalf("Fig2Partial: %v", err)
+	}
+	if len(p.Instances) != 3 {
+		t.Fatalf("Fig. 2 partial has %d instances, want 3", len(p.Instances))
+	}
+	// The inside chain of Fig. 2: openmrs → tomcat → server.
+	wantInside := map[string]string{"server": "", "tomcat": "server", "openmrs": "tomcat"}
+	for _, inst := range p.Instances {
+		want, ok := wantInside[inst.ID]
+		if !ok {
+			t.Fatalf("unexpected instance %q", inst.ID)
+		}
+		if inst.Inside != want {
+			t.Errorf("instance %q inside = %q, want %q", inst.ID, inst.Inside, want)
+		}
+	}
+	srv, ok := p.Find("server")
+	if !ok {
+		t.Fatal("no server instance")
+	}
+	if got := srv.Config["hostname"]; got.Str != "localhost" {
+		t.Errorf("server hostname config = %v, want localhost", got)
+	}
+}
+
+func TestMustBadPartial(t *testing.T) {
+	reg, err := OpenMRSRegistry()
+	if err != nil {
+		t.Fatalf("OpenMRSRegistry: %v", err)
+	}
+	bad := MustBadPartial()
+	if _, err := config.New(reg).Configure(bad); err == nil {
+		t.Fatal("Configure(MustBadPartial()) succeeded, want unknown-type error")
+	}
+}
+
+// TestFixturesConfigureEndToEnd: the canonical fixture pair drives the
+// whole engine and yields a checkable full specification containing the
+// paper's auto-created instances (a Java runtime and a MySQL server).
+func TestFixturesConfigureEndToEnd(t *testing.T) {
+	reg, err := OpenMRSRegistry()
+	if err != nil {
+		t.Fatalf("OpenMRSRegistry: %v", err)
+	}
+	p, err := Fig2Partial()
+	if err != nil {
+		t.Fatalf("Fig2Partial: %v", err)
+	}
+	full, err := config.New(reg).Configure(p)
+	if err != nil {
+		t.Fatalf("Configure: %v", err)
+	}
+	if err := typecheck.CheckSpec(reg, full); err != nil {
+		t.Fatalf("CheckSpec: %v", err)
+	}
+	var haveJava, haveMySQL bool
+	for _, inst := range full.Instances {
+		switch inst.Key.Name {
+		case "JDK", "JRE":
+			haveJava = true
+		case "MySQL":
+			haveMySQL = true
+		}
+	}
+	if !haveJava || !haveMySQL {
+		t.Errorf("full spec lacks auto-created dependencies (java=%v mysql=%v): %v",
+			haveJava, haveMySQL, full.Instances)
+	}
+}

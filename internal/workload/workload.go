@@ -1,0 +1,204 @@
+// Package workload generates seeded synthetic fleets for benchmarks and
+// property tests: a resource library of N families × V versions with
+// configurable inside/env/peer fan-out, and a partial installation
+// specification spreading instances over M machines.
+//
+// The generated library is well-formed by construction:
+//
+//   - Families are numbered and dependencies only ever target
+//     lower-numbered families, so the dependency relation is a DAG and
+//     every generated full specification is acyclic.
+//   - Each family has one abstract base type and V concrete versions
+//     extending it. Dependencies target the abstract base, so hypergraph
+//     generation frontier-expands every dependency into a width-V
+//     exactly-one disjunction — the combinatorial shape the paper's §5
+//     encoding exists for.
+//   - Every declared input port is fed by exactly one dependency's port
+//     map, and all ports are strings, so generated full specifications
+//     pass typecheck.CheckSpec (no port-number conflicts by chance).
+//
+// Generation is a pure function of Spec (including Seed): the same Spec
+// always yields the same registry and partial, which the differential
+// harness relies on.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"engage/internal/resource"
+	"engage/internal/spec"
+)
+
+// Spec parameterizes a synthetic fleet.
+type Spec struct {
+	Seed     int64
+	Families int // N: resource families (types)
+	Versions int // V: concrete versions per family
+	// EnvFanout and PeerFanout are the number of same-machine and
+	// any-machine dependencies per family, capped by the number of
+	// lower-numbered families available.
+	EnvFanout  int
+	PeerFanout int
+	Machines   int // M: machines in the partial spec
+	Instances  int // partial-spec instances per machine
+	// PinConfigP is the probability that a partial-spec instance pins
+	// its "tag" config port (exercising partial-value propagation).
+	PinConfigP float64
+}
+
+// WithDefaults fills zero fields with a small but non-trivial fleet.
+func (s Spec) WithDefaults() Spec {
+	if s.Families <= 0 {
+		s.Families = 8
+	}
+	if s.Versions <= 0 {
+		s.Versions = 3
+	}
+	if s.EnvFanout < 0 {
+		s.EnvFanout = 0
+	}
+	if s.EnvFanout == 0 && s.PeerFanout == 0 {
+		s.EnvFanout, s.PeerFanout = 2, 1
+	}
+	if s.Machines <= 0 {
+		s.Machines = 4
+	}
+	if s.Instances <= 0 {
+		s.Instances = 3
+	}
+	if s.PinConfigP == 0 {
+		s.PinConfigP = 0.5
+	}
+	return s
+}
+
+// String names the fleet shape for benchmark sub-tests.
+func (s Spec) String() string {
+	return fmt.Sprintf("fam%d_v%d_e%d_p%d_m%d_i%d",
+		s.Families, s.Versions, s.EnvFanout, s.PeerFanout, s.Machines, s.Instances)
+}
+
+// MachineKey is the type of every generated machine.
+var MachineKey = resource.MakeKey("FleetMachine", "1")
+
+func familyBase(i int) resource.Key {
+	return resource.Key{Name: fmt.Sprintf("Fam%03d", i)}
+}
+
+func familyVersion(i, v int) resource.Key {
+	return resource.Key{Name: fmt.Sprintf("Fam%03d", i), Version: fmt.Sprintf("%d.0", v)}
+}
+
+func outPort(i int) string { return fmt.Sprintf("out_%03d", i) }
+func inPort(j int) string  { return fmt.Sprintf("in_%03d", j) }
+
+// Generate builds the resource library and partial specification for a
+// fleet. The result is deterministic in s.
+func Generate(s Spec) (*resource.Registry, *spec.Partial, error) {
+	s = s.WithDefaults()
+	rng := rand.New(rand.NewSource(s.Seed))
+	reg := resource.NewRegistry()
+
+	if err := reg.Add(&resource.Type{Key: MachineKey}); err != nil {
+		return nil, nil, err
+	}
+
+	for i := 0; i < s.Families; i++ {
+		// Pick this family's dependency targets among lower families:
+		// a random permutation split into disjoint env and peer sets,
+		// so no input port is fed twice.
+		perm := rng.Perm(i)
+		ne := min(s.EnvFanout, len(perm))
+		np := min(s.PeerFanout, len(perm)-ne)
+		envTargets, peerTargets := perm[:ne], perm[ne:ne+np]
+
+		input := make([]resource.Port, 0, ne+np)
+		deps := func(targets []int) []resource.Dependency {
+			out := make([]resource.Dependency, len(targets))
+			for di, j := range targets {
+				out[di] = resource.Single(familyBase(j),
+					map[string]string{outPort(j): inPort(j)})
+				input = append(input, resource.Port{
+					Name: inPort(j), Type: resource.T(resource.KindString)})
+			}
+			return out
+		}
+		env := deps(envTargets)
+		peer := deps(peerTargets)
+
+		base := &resource.Type{
+			Key:      familyBase(i),
+			Abstract: true,
+			Inside:   ptr(resource.Single(MachineKey, nil)),
+			Config: []resource.Port{{
+				Name: "tag",
+				Type: resource.T(resource.KindString),
+				Def:  resource.Lit{V: resource.Str(fmt.Sprintf("fam%03d", i))},
+			}},
+			Input: input,
+			Output: []resource.Port{{
+				Name: outPort(i),
+				Type: resource.T(resource.KindString),
+				Def:  resource.Ref{Sec: resource.SecConfig, Name: "tag"},
+			}},
+			Env:  env,
+			Peer: peer,
+		}
+		if err := reg.Add(base); err != nil {
+			return nil, nil, fmt.Errorf("workload: family %d base: %v", i, err)
+		}
+		for v := 1; v <= s.Versions; v++ {
+			child := &resource.Type{
+				Key:     familyVersion(i, v),
+				Extends: ptr(familyBase(i)),
+				Config: []resource.Port{{
+					Name: "tag",
+					Type: resource.T(resource.KindString),
+					Def:  resource.Lit{V: resource.Str(fmt.Sprintf("fam%03d-v%d", i, v))},
+				}},
+			}
+			if err := reg.Add(child); err != nil {
+				return nil, nil, fmt.Errorf("workload: family %d v%d: %v", i, v, err)
+			}
+		}
+	}
+
+	// Partial-spec instances pin one version per family fleet-wide.
+	// Two pinned instances of the same family at *different* versions
+	// would both be forced true while sharing a dependency edge's
+	// target set, making exactly-one — and the fleet — unsatisfiable.
+	// (The engine still chooses freely among all V versions for every
+	// auto-created dependency.)
+	famVer := make([]int, s.Families)
+	for i := range famVer {
+		famVer[i] = 1 + rng.Intn(s.Versions)
+	}
+
+	partial := &spec.Partial{}
+	for m := 0; m < s.Machines; m++ {
+		machineID := fmt.Sprintf("machine-%02d", m)
+		partial.Add(machineID, MachineKey)
+		for k := 0; k < s.Instances; k++ {
+			// Bias toward upper families so partial instances sit on
+			// top of real dependency chains.
+			lo := s.Families / 2
+			fam := lo + rng.Intn(s.Families-lo)
+			inst := partial.Add(fmt.Sprintf("app-%02d-%02d", m, k), familyVersion(fam, famVer[fam])).
+				In(machineID)
+			if rng.Float64() < s.PinConfigP {
+				inst.Set("tag", resource.Str(fmt.Sprintf("pinned-%02d-%02d", m, k)))
+			}
+		}
+	}
+	return reg, partial, nil
+}
+
+func ptr[T any](v T) *T { return &v }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
