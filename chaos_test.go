@@ -1,10 +1,15 @@
 package engage
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"os"
 	"testing"
 	"time"
+
+	"engage/internal/fault"
+	"engage/internal/telemetry"
 )
 
 // chaosPartial is the quickstart OpenMRS stack — the §2 running example
@@ -54,6 +59,64 @@ func checkChaosOutcome(t *testing.T, sys *System, d *Deployment, err error, seed
 	}
 }
 
+// checkChaosTrace asserts the telemetry side of the soak invariant:
+// the trace validates against the schema, records exactly the faults
+// the plan injected, and — when the deployment failed — contains a
+// fault-injection event for the failure's root cause, so a chaos
+// failure is always explainable from its trace artifact alone.
+func checkChaosTrace(t *testing.T, raw []byte, plan *FaultPlan, deployErr error, seed int64) {
+	t.Helper()
+	saveChaosTrace(t, raw)
+	trace, err := ReadTrace(bytes.NewReader(raw))
+	if err != nil {
+		t.Errorf("seed %d: chaos trace does not validate: %v", seed, err)
+		return
+	}
+	faults := trace.Events("fault.inject")
+	if len(faults) != plan.Injections() {
+		t.Errorf("seed %d: %d fault.inject events, plan injected %d",
+			seed, len(faults), plan.Injections())
+	}
+	if deployErr == nil {
+		return
+	}
+	var derr *DeployError
+	if errors.As(deployErr, &derr) && derr.Deadlock {
+		return // no failing action; nothing to match
+	}
+	var ferr *fault.Error
+	if !errors.As(deployErr, &ferr) {
+		t.Errorf("seed %d: chaos failure does not wrap *fault.Error: %v", seed, deployErr)
+		return
+	}
+	for _, f := range faults {
+		if telemetry.FaultOp(f) == ferr.Op.String() {
+			return
+		}
+	}
+	t.Errorf("seed %d: failure cause %q has no fault.inject event in the trace",
+		seed, ferr.Op)
+}
+
+// saveChaosTrace appends a seed's trace to the $ENGAGE_CHAOS_TRACE
+// artifact (JSON lines concatenate cleanly), so CI can upload one
+// file covering the whole sweep.
+func saveChaosTrace(t *testing.T, raw []byte) {
+	t.Helper()
+	path := os.Getenv("ENGAGE_CHAOS_TRACE")
+	if path == "" {
+		return
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatalf("chaos trace artifact: %v", err)
+	}
+	defer f.Close()
+	if _, err := f.Write(raw); err != nil {
+		t.Fatalf("chaos trace artifact: %v", err)
+	}
+}
+
 // TestChaosSoakDeploy drives the OpenMRS stack through a seeded sweep
 // of randomized fault schedules under the rollback policy. Every seed
 // must satisfy the completes-or-rolls-back invariant; at least one seed
@@ -69,6 +132,8 @@ func TestChaosSoakDeploy(t *testing.T) {
 				t.Fatal(err)
 			}
 			sys.OnFailure = FailRollback
+			var buf bytes.Buffer
+			tr := sys.StartTrace(&buf)
 			plan := ChaosPlan(seed, 0.08, 0)
 			sys.InjectFaults(plan)
 
@@ -78,6 +143,10 @@ func TestChaosSoakDeploy(t *testing.T) {
 			}
 			d, err := sys.Deploy(full)
 			checkChaosOutcome(t, sys, d, err, seed)
+			if terr := tr.Err(); terr != nil {
+				t.Fatalf("seed %d: tracer error: %v", seed, terr)
+			}
+			checkChaosTrace(t, buf.Bytes(), plan, err, seed)
 			if err == nil {
 				succeeded++
 			} else {
@@ -102,7 +171,10 @@ func TestChaosSoakConcurrent(t *testing.T) {
 				t.Fatal(err)
 			}
 			sys.OnFailure = FailRollback
-			sys.InjectFaults(ChaosPlan(seed, 0.08, 0))
+			var buf bytes.Buffer
+			tr := sys.StartTrace(&buf)
+			plan := ChaosPlan(seed, 0.08, 0)
+			sys.InjectFaults(plan)
 
 			full, err := sys.Configure(chaosPartial())
 			if err != nil {
@@ -110,6 +182,10 @@ func TestChaosSoakConcurrent(t *testing.T) {
 			}
 			d, err := sys.DeployConcurrent(full)
 			checkChaosOutcome(t, sys, d, err, seed)
+			if terr := tr.Err(); terr != nil {
+				t.Fatalf("seed %d: tracer error: %v", seed, terr)
+			}
+			checkChaosTrace(t, buf.Bytes(), plan, err, seed)
 		})
 	}
 }

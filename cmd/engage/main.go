@@ -35,6 +35,7 @@ import (
 	"engage/internal/resource"
 	"engage/internal/sat"
 	"engage/internal/spec"
+	"engage/internal/telemetry"
 	"engage/internal/typecheck"
 )
 
@@ -65,6 +66,8 @@ func run(args []string, out *os.File) error {
 		return cmdFmt(args[1:], out)
 	case "serve":
 		return cmdServe(args[1:], out)
+	case "trace":
+		return cmdTrace(args[1:], out)
 	case "demo":
 		return cmdDemo(out)
 	case "help", "-h", "--help":
@@ -88,15 +91,27 @@ commands:
                                            enumerate all valid full specs
   fmt     file.rdl...                      reformat RDL sources canonically
   serve   [-addr :8080]                    run the PaaS web service (simulated cloud)
+  trace   report|validate file.jsonl       summarize or validate a telemetry trace
   demo                                     OpenMRS quickstart end to end
+
+solve and deploy accept -trace out.jsonl to write a JSON-lines
+telemetry trace (spans per stage and per deploy action, events for
+retries, faults, and monitor activity); inspect it with trace report.
 `)
 }
 
 // loadRegistry builds the registry: from -rdl files when given,
-// otherwise the bundled library.
-func loadRegistry(rdlFiles string) (*resource.Registry, bool, error) {
+// otherwise the bundled library. With a tracer, parse/resolve and
+// typecheck each get a span (wall time is the interesting axis here —
+// nothing advances a virtual clock before deployment).
+func loadRegistry(rdlFiles string, tr *telemetry.Tracer) (*resource.Registry, bool, error) {
 	if rdlFiles == "" {
+		sp := tr.Span("rdl.resolve").Str("source", "bundled")
 		reg, err := library.Registry()
+		if reg != nil {
+			sp.Int("types", int64(reg.Len()))
+		}
+		endSpan(sp, err)
 		return reg, true, err
 	}
 	sources := make(map[string]string)
@@ -107,11 +122,47 @@ func loadRegistry(rdlFiles string) (*resource.Registry, bool, error) {
 		}
 		sources[f] = string(data)
 	}
+	sp := tr.Span("rdl.resolve").Str("source", rdlFiles).Int("files", int64(len(sources)))
 	reg, err := rdl.ParseAndResolve(sources)
+	if reg != nil {
+		sp.Int("types", int64(reg.Len()))
+	}
+	endSpan(sp, err)
 	if err != nil {
 		return nil, false, err
 	}
-	return reg, false, typecheck.CheckTypes(reg)
+	tsp := tr.Span("typecheck")
+	err = typecheck.CheckTypes(reg)
+	endSpan(tsp, err)
+	return reg, false, err
+}
+
+// endSpan stamps an error attribute (if any) and closes the span.
+func endSpan(sp *telemetry.Span, err error) {
+	if sp == nil {
+		return
+	}
+	if err != nil {
+		sp.Str("error", err.Error())
+	}
+	sp.End()
+}
+
+// openTrace opens path and returns a tracer stamping virtual times from
+// clock (nil = wall clock) plus a closer surfacing emission errors.
+func openTrace(path string, clock telemetry.Clock) (*telemetry.Tracer, func() error, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	tr := telemetry.New(f, clock)
+	return tr, func() error {
+		if err := tr.Err(); err != nil {
+			f.Close()
+			return fmt.Errorf("trace %s: %v", path, err)
+		}
+		return f.Close()
+	}, nil
 }
 
 func loadPartial(path string) (*spec.Partial, error) {
@@ -168,10 +219,19 @@ func cmdSolve(args []string, out *os.File) error {
 	encName := fs.String("encoding", "pairwise", "exactly-one encoding: pairwise or ladder")
 	minimal := fs.Bool("minimal", false, "compute a subset-minimal installation (OPIUM-style)")
 	parallel := fs.Int("parallel", 0, "worker pool size for hypergraph generation and constraint emission (0 = sequential)")
+	tracePath := fs.String("trace", "", "write a JSON-lines telemetry trace to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	reg, _, err := loadRegistry(*rdlFiles)
+	var tr *telemetry.Tracer
+	var closeTrace func() error
+	if *tracePath != "" {
+		var err error
+		if tr, closeTrace, err = openTrace(*tracePath, nil); err != nil {
+			return err
+		}
+	}
+	reg, _, err := loadRegistry(*rdlFiles, tr)
 	if err != nil {
 		return err
 	}
@@ -180,6 +240,7 @@ func cmdSolve(args []string, out *os.File) error {
 		return err
 	}
 	eng := config.New(reg)
+	eng.Tracer = tr
 	eng.Parallelism = *parallel
 	switch *solverName {
 	case "cdcl":
@@ -221,6 +282,12 @@ func cmdSolve(args []string, out *os.File) error {
 			st.GraphWall.Round(time.Microsecond), st.EncodeWall.Round(time.Microsecond),
 			st.SolveWall.Round(time.Microsecond), st.BuildWall.Round(time.Microsecond), *parallel)
 	}
+	if closeTrace != nil {
+		if err := closeTrace(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "// trace:   %s\n", *tracePath)
+	}
 	return nil
 }
 
@@ -232,7 +299,7 @@ func cmdAlternatives(args []string, out *os.File) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	reg, _, err := loadRegistry(*rdlFiles)
+	reg, _, err := loadRegistry(*rdlFiles, nil)
 	if err != nil {
 		return err
 	}
@@ -284,7 +351,7 @@ func cmdExplain(args []string, out *os.File) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	reg, _, err := loadRegistry(*rdlFiles)
+	reg, _, err := loadRegistry(*rdlFiles, nil)
 	if err != nil {
 		return err
 	}
@@ -324,10 +391,21 @@ func cmdDeploy(args []string, out *os.File) error {
 	partialPath := fs.String("partial", "", "partial installation specification (JSON)")
 	parallel := fs.Bool("parallel", false, "deploy independent resources in parallel (virtual time)")
 	multihost := fs.Bool("multihost", false, "use the master/slave multi-host coordinator")
+	tracePath := fs.String("trace", "", "write a JSON-lines telemetry trace to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	reg, bundled, err := loadRegistry(*rdlFiles)
+	w := machine.NewWorld()
+	var tr *telemetry.Tracer
+	var closeTrace func() error
+	if *tracePath != "" {
+		var err error
+		if tr, closeTrace, err = openTrace(*tracePath, w.Clock); err != nil {
+			return err
+		}
+		w.SetTracer(tr)
+	}
+	reg, bundled, err := loadRegistry(*rdlFiles, tr)
 	if err != nil {
 		return err
 	}
@@ -335,11 +413,12 @@ func cmdDeploy(args []string, out *os.File) error {
 	if err != nil {
 		return err
 	}
-	full, err := config.New(reg).Configure(p)
+	eng := config.New(reg)
+	eng.Tracer = tr
+	full, err := eng.Configure(p)
 	if err != nil {
 		return err
 	}
-	w := machine.NewWorld()
 	drivers := deploy.NewDriverRegistry()
 	index := pkgmgr.NewIndex()
 	if bundled {
@@ -350,6 +429,18 @@ func cmdDeploy(args []string, out *os.File) error {
 		Registry: reg, Drivers: drivers, World: w, Index: index,
 		Cache: pkgmgr.NewCache(), Parallel: *parallel,
 		ProvisionMissing: true, OSOf: library.OSOf,
+		Tracer: tr,
+	}
+	finishTrace := func() error {
+		if closeTrace == nil {
+			return nil
+		}
+		if err := closeTrace(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "trace written to %s (inspect with: engage trace report %s)\n",
+			*tracePath, *tracePath)
+		return nil
 	}
 	if *multihost {
 		mh, err := deploy.NewMultiHost(full, opts)
@@ -362,7 +453,7 @@ func cmdDeploy(args []string, out *os.File) error {
 		fmt.Fprintf(out, "deployed %d instances across machines %v in %v (simulated)\n",
 			len(full.Instances), mh.Order, mh.Elapsed())
 		printStatusMap(out, mh.Status())
-		return nil
+		return finishTrace()
 	}
 	d, err := deploy.New(full, opts)
 	if err != nil {
@@ -377,6 +468,38 @@ func cmdDeploy(args []string, out *os.File) error {
 		st[id] = string(s)
 	}
 	printStatusMap(out, st)
+	return finishTrace()
+}
+
+// cmdTrace inspects a JSON-lines telemetry trace written by
+// `solve -trace` or `deploy -trace`.
+func cmdTrace(args []string, out *os.File) error {
+	if len(args) != 2 || (args[0] != "report" && args[0] != "validate") {
+		return fmt.Errorf("trace: usage: engage trace report|validate file.jsonl")
+	}
+	f, err := os.Open(args[1])
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	t, err := telemetry.ReadTrace(f)
+	if err != nil {
+		return fmt.Errorf("trace %s: %v", args[1], err)
+	}
+	if args[0] == "validate" {
+		spans, events := 0, 0
+		for i := range t.Lines {
+			if t.Lines[i].Kind == telemetry.KindSpan {
+				spans++
+			} else {
+				events++
+			}
+		}
+		fmt.Fprintf(out, "ok: %d records are schema-valid (%d spans, %d events)\n",
+			len(t.Lines), spans, events)
+		return nil
+	}
+	telemetry.WriteReport(out, t)
 	return nil
 }
 

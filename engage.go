@@ -29,6 +29,7 @@ package engage
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"engage/internal/cloud"
@@ -45,6 +46,7 @@ import (
 	"engage/internal/resource"
 	"engage/internal/sat"
 	"engage/internal/spec"
+	"engage/internal/telemetry"
 	"engage/internal/typecheck"
 	"engage/internal/upgrade"
 )
@@ -96,7 +98,24 @@ type (
 	DeployError = deploy.DeployError
 	// Op identifies one injectable substrate operation.
 	Op = machine.Op
+	// Tracer emits the JSON-lines telemetry trace (see System.StartTrace).
+	Tracer = telemetry.Tracer
+	// MetricsRegistry holds counters, gauges, and histograms.
+	MetricsRegistry = telemetry.Registry
+	// Trace is a parsed JSON-lines trace with lookup helpers.
+	Trace = telemetry.Trace
+	// TraceLine is one span or event record of a trace.
+	TraceLine = telemetry.Line
 )
+
+// ReadTrace parses and validates a JSON-lines telemetry trace.
+func ReadTrace(r io.Reader) (*Trace, error) { return telemetry.ReadTrace(r) }
+
+// WriteTraceReport renders a parsed trace as a human-readable report:
+// stage summary, per-machine deployment timeline, fault injections
+// matched to the actions they hit, and the virtual-time critical path
+// (the same report as `engage trace report`).
+func WriteTraceReport(w io.Writer, t *Trace) { telemetry.WriteReport(w, t) }
 
 // Failure policies for System.OnFailure, re-exported.
 const (
@@ -159,6 +178,30 @@ type System struct {
 	// ActionTimeout fails any single driver action whose virtual-time
 	// cost exceeds it (0 = no limit).
 	ActionTimeout time.Duration
+	// Tracer, when non-nil, traces every stage — configuration,
+	// deployment actions with retries and rollbacks, fault injections,
+	// monitor restarts — as JSON lines stamped with the world's virtual
+	// clock. Attach one with StartTrace, or construct your own and also
+	// call World.SetTracer to capture substrate events.
+	Tracer *telemetry.Tracer
+	// Metrics, when non-nil, aggregates counters/gauges/histograms
+	// across configuration and deployment.
+	Metrics *telemetry.Registry
+}
+
+// StartTrace attaches a tracer writing JSON lines to w, stamped with
+// the system world's virtual clock, to every subsystem: configuration,
+// deployment, the machine substrate (provisioning, process crashes),
+// and monitors created via System.Monitor. It returns the tracer so
+// callers can check Err when done.
+func (s *System) StartTrace(w io.Writer) *Tracer {
+	tr := telemetry.New(w, s.World.Clock)
+	s.Tracer = tr
+	s.World.SetTracer(tr)
+	if s.Metrics == nil {
+		s.Metrics = telemetry.NewRegistry()
+	}
+	return tr
 }
 
 // NewSystem builds a System over the bundled resource library (the
@@ -198,6 +241,15 @@ func NewSystemFromRDL(sources map[string]string) (*System, error) {
 	}, nil
 }
 
+// engine returns a configuration engine wired to the system's
+// telemetry.
+func (s *System) engine() *config.Engine {
+	e := config.New(s.Registry)
+	e.Tracer = s.Tracer
+	e.Metrics = s.Metrics
+	return e
+}
+
 // Check runs the static well-formedness checks over the registry.
 func (s *System) Check() error { return typecheck.CheckTypes(s.Registry) }
 
@@ -207,12 +259,12 @@ func (s *System) CheckSpec(f *Full) error { return typecheck.CheckSpec(s.Registr
 // Configure runs the configuration engine: partial specification in,
 // full specification out (§4).
 func (s *System) Configure(p *Partial) (*Full, error) {
-	return config.New(s.Registry).Configure(p)
+	return s.engine().Configure(p)
 }
 
 // ConfigureStats is Configure with solver statistics.
 func (s *System) ConfigureStats(p *Partial) (*Full, config.Stats, error) {
-	return config.New(s.Registry).ConfigureStats(p)
+	return s.engine().ConfigureStats(p)
 }
 
 // ConfigureMinimal is Configure with a subset-minimality guarantee: no
@@ -220,7 +272,7 @@ func (s *System) ConfigureStats(p *Partial) (*Full, config.Stats, error) {
 // constraint (the "optimal install" flavor of OPIUM/apt-pbo, which the
 // paper cites as related work).
 func (s *System) ConfigureMinimal(p *Partial) (*Full, error) {
-	return config.New(s.Registry).ConfigureMinimal(p)
+	return s.engine().ConfigureMinimal(p)
 }
 
 // Alternatives enumerates up to limit distinct full installation
@@ -228,7 +280,7 @@ func (s *System) ConfigureMinimal(p *Partial) (*Full, error) {
 // satisfying assignments, materialized. For the §2 OpenMRS spec this
 // yields exactly two (JDK vs JRE). limit ≤ 0 enumerates everything.
 func (s *System) Alternatives(p *Partial, limit int) ([]*Full, error) {
-	return config.New(s.Registry).Alternatives(p, limit)
+	return s.engine().Alternatives(p, limit)
 }
 
 func (s *System) options() deploy.Options {
@@ -244,6 +296,8 @@ func (s *System) options() deploy.Options {
 		OnFailure:        s.OnFailure,
 		Retry:            s.Retry,
 		ActionTimeout:    s.ActionTimeout,
+		Tracer:           s.Tracer,
+		Metrics:          s.Metrics,
 	}
 }
 
@@ -266,6 +320,9 @@ func (s *System) InjectFaults(p *FaultPlan) {
 	if p == nil {
 		s.World.SetInjector(nil)
 		return
+	}
+	if s.Tracer != nil {
+		p.Instrument(s.Tracer)
 	}
 	s.World.SetInjector(p)
 }
@@ -317,6 +374,8 @@ func (s *System) DeployMultiHost(f *Full) (*MultiHost, error) {
 // daemon-backed service auto-registered.
 func (s *System) Monitor(d *Deployment) *Monitor {
 	m := monitor.New(d)
+	m.Tracer = s.Tracer
+	m.Metrics = s.Metrics
 	m.AutoRegister()
 	return m
 }

@@ -21,6 +21,8 @@ import (
 // A limit ≤ 0 enumerates everything; the solution count is bounded by
 // the product of the disjunction widths, so bound it for large stacks.
 func (e *Engine) Alternatives(partial *spec.Partial, limit int) ([]*spec.Full, error) {
+	root := e.Tracer.Span("config.alternatives")
+	defer root.End()
 	g, err := hypergraph.Generate(e.Registry, partial)
 	if err != nil {
 		return nil, err
@@ -38,7 +40,9 @@ func (e *Engine) Alternatives(partial *spec.Partial, limit int) ([]*spec.Full, e
 		project = append(project, prob.VarOf[id])
 	}
 
-	models := sat.EnumerateModels(solver, prob.Formula, project, limit)
+	inc := sat.Observe(sat.StartIncremental(solver, prob.Formula), e.observeSolves(root))
+	models, _ := sat.EnumerateModelsOn(inc, prob.Formula, project, limit)
+	root.Int("models", int64(len(models)))
 	out := make([]*spec.Full, 0, len(models))
 	for _, model := range models {
 		full, err := e.build(g, partial, prob.Selected(model))

@@ -17,6 +17,7 @@ import (
 	"engage/internal/resource"
 	"engage/internal/sat"
 	"engage/internal/spec"
+	"engage/internal/telemetry"
 	"engage/internal/typecheck"
 )
 
@@ -42,6 +43,16 @@ type Engine struct {
 	// counters in Stats via runtime.ReadMemStats deltas. Off by
 	// default: ReadMemStats stops the world.
 	MeasureAllocs bool
+	// Tracer, when non-nil, receives one span per pipeline stage
+	// (config.graph / config.encode / config.solve / config.build under
+	// a "config" root), wave and shard progress events, and one
+	// "sat.solve" event per incremental re-solve in Alternatives and
+	// ConfigureMinimal. For these stages wall time is authoritative —
+	// nothing advances the virtual clock during configuration.
+	Tracer *telemetry.Tracer
+	// Metrics, when non-nil, absorbs Stats (see Stats.Publish) plus
+	// per-solve solver effort counters.
+	Metrics *telemetry.Registry
 }
 
 // New returns an engine over a registry with default solver settings.
@@ -113,36 +124,55 @@ func (e *Engine) Configure(partial *spec.Partial) (*spec.Full, error) {
 }
 
 // ConfigureStats is Configure with effort statistics.
-func (e *Engine) ConfigureStats(partial *spec.Partial) (*spec.Full, Stats, error) {
-	var st Stats
+func (e *Engine) ConfigureStats(partial *spec.Partial) (full *spec.Full, st Stats, err error) {
+	root := e.Tracer.Span("config")
+	defer func() {
+		if err != nil {
+			root.Str("error", err.Error())
+		}
+		root.Int("graph_nodes", int64(st.GraphNodes)).
+			Int("graph_edges", int64(st.GraphEdges)).
+			Int("vars", int64(st.Vars)).
+			Int("clauses", int64(st.Clauses)).
+			End()
+		st.Publish(e.Metrics)
+	}()
+
+	sp := root.Child("config.graph")
 	m := startStage(e.MeasureAllocs)
-	g, err := hypergraph.GenerateOpts(e.Registry, partial, hypergraph.Options{Parallelism: e.Parallelism})
+	g, err := hypergraph.GenerateOpts(e.Registry, partial, hypergraph.Options{Parallelism: e.Parallelism, Span: sp})
 	m.stop(&st.GraphWall, &st.GraphAlloc)
 	if err != nil {
+		sp.End()
 		return nil, st, err
 	}
 	st.GraphNodes = g.Len()
 	st.GraphEdges = len(g.Edges)
+	sp.Int("nodes", int64(st.GraphNodes)).Int("edges", int64(st.GraphEdges)).End()
 
+	sp = root.Child("config.encode")
 	m = startStage(e.MeasureAllocs)
 	var prob *constraint.Problem
 	if e.Parallelism > 0 {
-		prob = constraint.EncodeParallel(g, e.Encoding, e.Parallelism)
+		prob = constraint.EncodeParallelTraced(g, e.Encoding, e.Parallelism, sp)
 	} else {
 		prob = constraint.Encode(g, e.Encoding)
 	}
 	m.stop(&st.EncodeWall, &st.EncodeAlloc)
 	st.Vars = prob.Formula.NumVars
 	st.Clauses = len(prob.Formula.Clauses)
+	sp.Int("vars", int64(st.Vars)).Int("clauses", int64(st.Clauses)).End()
 
 	solver := e.Solver
 	if solver == nil {
 		solver = sat.NewCDCL()
 	}
+	sp = root.Child("config.solve").Str("solver", solver.Name())
 	m = startStage(e.MeasureAllocs)
 	res := solver.Solve(prob.Formula)
 	m.stop(&st.SolveWall, &st.SolveAlloc)
 	st.Solver = res.Stats
+	spanSolverStats(sp, res).End()
 	switch res.Status {
 	case sat.Sat:
 	case sat.Unsat:
@@ -151,21 +181,91 @@ func (e *Engine) ConfigureStats(partial *spec.Partial) (*spec.Full, Stats, error
 		return nil, st, fmt.Errorf("config: solver %q gave up", solver.Name())
 	}
 
+	sp = root.Child("config.build")
 	m = startStage(e.MeasureAllocs)
 	selected := prob.Selected(res.Model)
-	full, err := e.build(g, partial, selected)
+	full, err = e.build(g, partial, selected)
 	if err != nil {
 		m.stop(&st.BuildWall, &st.BuildAlloc)
+		sp.End()
 		return nil, st, err
 	}
 	if !e.SkipCheck {
 		if err := checkAfterBuild(e, full); err != nil {
 			m.stop(&st.BuildWall, &st.BuildAlloc)
+			sp.End()
 			return nil, st, err
 		}
 	}
 	m.stop(&st.BuildWall, &st.BuildAlloc)
+	sp.Int("instances", int64(len(full.Instances))).End()
 	return full, st, nil
+}
+
+// spanSolverStats stamps one solve's effort onto a span.
+func spanSolverStats(sp *telemetry.Span, res sat.Result) *telemetry.Span {
+	return sp.Str("status", res.Status.String()).
+		Int("decisions", res.Stats.Decisions).
+		Int("propagations", res.Stats.Propagations).
+		Int("conflicts", res.Stats.Conflicts).
+		Int("learned", res.Stats.Learned).
+		Int("restarts", res.Stats.Restarts)
+}
+
+// Publish copies the per-call stats into a metrics registry: stage
+// walls/allocs as histograms (one observation per Configure), graph and
+// formula sizes as gauges, and solver effort as counters. A nil
+// registry is ignored, so Stats remains usable standalone while the
+// registry supersedes it as the one pipeline-wide snapshot.
+func (st Stats) Publish(r *telemetry.Registry) {
+	if r == nil {
+		return
+	}
+	r.Gauge("config.graph_nodes").Set(int64(st.GraphNodes))
+	r.Gauge("config.graph_edges").Set(int64(st.GraphEdges))
+	r.Gauge("config.vars").Set(int64(st.Vars))
+	r.Gauge("config.clauses").Set(int64(st.Clauses))
+	r.Counter("sat.decisions").Add(st.Solver.Decisions)
+	r.Counter("sat.propagations").Add(st.Solver.Propagations)
+	r.Counter("sat.conflicts").Add(st.Solver.Conflicts)
+	r.Counter("sat.learned").Add(st.Solver.Learned)
+	r.Counter("sat.restarts").Add(st.Solver.Restarts)
+	r.Histogram("config.graph_wall_ns").Observe(int64(st.GraphWall))
+	r.Histogram("config.encode_wall_ns").Observe(int64(st.EncodeWall))
+	r.Histogram("config.solve_wall_ns").Observe(int64(st.SolveWall))
+	r.Histogram("config.build_wall_ns").Observe(int64(st.BuildWall))
+}
+
+// observeSolves returns a sat.Observe callback emitting one "sat.solve"
+// event per SolveAssuming on sp and bumping solver-effort counters, or
+// nil when telemetry is disabled (Observe then returns the session
+// unwrapped, keeping the hot path free).
+func (e *Engine) observeSolves(sp *telemetry.Span) func([]sat.Lit, sat.Result) {
+	if e.Tracer == nil && e.Metrics == nil {
+		return nil
+	}
+	call := int64(0)
+	return func(assumps []sat.Lit, res sat.Result) {
+		call++
+		sp.Event("sat.solve").
+			Int("call", call).
+			Int("assumptions", int64(len(assumps))).
+			Str("status", res.Status.String()).
+			Int("decisions", res.Stats.Decisions).
+			Int("propagations", res.Stats.Propagations).
+			Int("conflicts", res.Stats.Conflicts).
+			Int("learned", res.Stats.Learned).
+			Int("restarts", res.Stats.Restarts).
+			Emit()
+		if e.Metrics != nil {
+			e.Metrics.Counter("sat.solves").Inc()
+			e.Metrics.Counter("sat.decisions").Add(res.Stats.Decisions)
+			e.Metrics.Counter("sat.propagations").Add(res.Stats.Propagations)
+			e.Metrics.Counter("sat.conflicts").Add(res.Stats.Conflicts)
+			e.Metrics.Counter("sat.learned").Add(res.Stats.Learned)
+			e.Metrics.Counter("sat.restarts").Add(res.Stats.Restarts)
+		}
+	}
 }
 
 // checkAfterBuild validates an engine-generated specification.

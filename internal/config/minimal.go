@@ -36,7 +36,9 @@ func (e *Engine) ConfigureMinimal(partial *spec.Partial) (*spec.Full, error) {
 		solver = sat.NewCDCL()
 	}
 
-	inc := sat.StartIncremental(solver, prob.Formula)
+	root := e.Tracer.Span("config.minimal")
+	defer root.End()
+	inc := sat.Observe(sat.StartIncremental(solver, prob.Formula), e.observeSolves(root))
 	res := inc.SolveAssuming(nil)
 	switch res.Status {
 	case sat.Sat:

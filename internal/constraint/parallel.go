@@ -7,6 +7,7 @@ import (
 
 	"engage/internal/hypergraph"
 	"engage/internal/sat"
+	"engage/internal/telemetry"
 )
 
 // EncodeParallel generates the same Problem as Encode — identical clause
@@ -29,6 +30,14 @@ import (
 //
 // workers ≤ 1 still uses the sharded layout but fills it serially.
 func EncodeParallel(g *hypergraph.Graph, enc Encoding, workers int) *Problem {
+	return EncodeParallelTraced(g, enc, workers, nil)
+}
+
+// EncodeParallelTraced is EncodeParallel emitting one "encode.shards"
+// summary event on sp (per-edge shard sizes aggregated; a per-edge
+// record would dominate the trace at fleet scale). A nil sp traces
+// nothing.
+func EncodeParallelTraced(g *hypergraph.Graph, enc Encoding, workers int, sp *telemetry.Span) *Problem {
 	f := sat.NewFormula(g.Len())
 	p := &Problem{
 		Formula: f,
@@ -102,6 +111,14 @@ func EncodeParallel(g *hypergraph.Graph, enc Encoding, workers int) *Problem {
 	for len(p.IDOf) < f.NumVars+1 {
 		p.IDOf = append(p.IDOf, "")
 	}
+	sp.Event("encode.shards").
+		Int("edges", int64(nEdges)).
+		Int("units", int64(units)).
+		Int("clauses", int64(len(clauses))).
+		Int("lits", int64(len(arena))).
+		Int("aux_vars", int64(auxOff[nEdges])).
+		Int("workers", int64(workers)).
+		Emit()
 	return p
 }
 

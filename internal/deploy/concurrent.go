@@ -2,12 +2,37 @@ package deploy
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
 	"engage/internal/driver"
 	"engage/internal/machine"
 )
+
+// retryRecord remembers one retry of a concurrent worker's action, in
+// instance-relative virtual time, so the trace can be emitted post-hoc
+// once critical-path accounting has fixed absolute timestamps.
+type retryRecord struct {
+	attempt int
+	at      time.Duration // instance virtual time of the failure
+	backoff time.Duration
+	err     string
+}
+
+// actionRecord remembers one executed action of a concurrent worker for
+// post-hoc trace emission.
+type actionRecord struct {
+	action   string
+	to       driver.State
+	start    time.Duration // instance virtual time interval
+	end      time.Duration
+	attempts int
+	err      string
+	timeout  bool
+	wall     time.Duration
+	retries  []retryRecord
+}
 
 // DeployConcurrent brings every instance to the active state using one
 // goroutine per instance, realizing the paper's blocking-transition
@@ -30,6 +55,8 @@ import (
 // satisfy, the deployment reports a deadlock error naming the blocked
 // instances and their unsatisfied guards instead of hanging forever.
 func (d *Deployment) DeployConcurrent() error {
+	clock0 := d.opts.World.Clock.Now()
+	trace := d.opts.Tracer != nil
 	var (
 		mu   sync.Mutex
 		cond = sync.NewCond(&mu)
@@ -42,7 +69,15 @@ func (d *Deployment) DeployConcurrent() error {
 		// is declared only from current evaluations, never stale ones.
 		gen     int
 		blocked = make(map[string]*blockedWait)
+		// recsByInst collects per-action records (under mu, only when
+		// tracing) for post-hoc span emission: concurrent workers learn
+		// their absolute virtual start only once the critical path is
+		// combined after the fact.
+		recsByInst map[string][]actionRecord
 	)
+	if trace {
+		recsByInst = make(map[string][]actionRecord, len(d.order))
+	}
 	var snap *worldSnapshot
 	if d.opts.OnFailure == FailRollback {
 		snap = d.snapshotWorld()
@@ -67,6 +102,7 @@ func (d *Deployment) DeployConcurrent() error {
 	}
 	// recordFailure files err as the first failure or an additional one.
 	recordFailure := func(ferr *DeployError) {
+		ferr.Policy = d.opts.OnFailure
 		if derr == nil {
 			derr = ferr
 		} else {
@@ -110,6 +146,25 @@ func (d *Deployment) DeployConcurrent() error {
 			}
 			for _, action := range path {
 				attempts := 0
+				actStart := sink.total()
+				var rec actionRecord
+				var wstart time.Time
+				if trace {
+					rec = actionRecord{action: action, start: actStart}
+					wstart = time.Now()
+				}
+				// saveRec files the action's trace record; caller holds mu.
+				saveRec := func(failErr string, timedOut bool) {
+					if !trace {
+						return
+					}
+					rec.to = drv.State()
+					rec.end = sink.total()
+					rec.err = failErr
+					rec.timeout = timedOut
+					rec.wall = time.Since(wstart)
+					recsByInst[inst.ID] = append(recsByInst[inst.ID], rec)
+				}
 				mu.Lock()
 				for {
 					if derr != nil {
@@ -129,7 +184,11 @@ func (d *Deployment) DeployConcurrent() error {
 						err = fmt.Errorf("action %q on %q exceeded timeout %v (cost %v)",
 							action, inst.ID, d.opts.ActionTimeout, cost)
 						attempts++
-						recordFailure(&DeployError{Instance: inst.ID, Action: action, Attempts: attempts, Err: err})
+						recordFailure(&DeployError{Instance: inst.ID, Action: action, Attempts: attempts, Policy: d.opts.OnFailure, Err: err})
+						rec.attempts = attempts
+						saveRec(err.Error(), true)
+						d.opts.Metrics.Counter("deploy.timeouts").Inc()
+						d.opts.Metrics.Counter("deploy.action_failures").Inc()
 						complete()
 						mu.Unlock()
 						return
@@ -137,6 +196,10 @@ func (d *Deployment) DeployConcurrent() error {
 					if err == nil {
 						gen++
 						cond.Broadcast()
+						rec.attempts = attempts + 1
+						saveRec("", false)
+						d.opts.Metrics.Counter("deploy.actions").Inc()
+						d.opts.Metrics.Histogram("deploy.action_vcost_ns").Observe(int64(sink.total() - actStart))
 						break
 					}
 					if berr, isBlocked := err.(*driver.BlockedError); isBlocked {
@@ -157,10 +220,20 @@ func (d *Deployment) DeployConcurrent() error {
 					}
 					attempts++
 					if attempts < policy.MaxAttempts {
-						sink.Charge(policy.backoff(attempts))
+						bo := policy.backoff(attempts)
+						if trace {
+							rec.retries = append(rec.retries, retryRecord{
+								attempt: attempts, at: sink.total(), backoff: bo, err: err.Error(),
+							})
+						}
+						d.opts.Metrics.Counter("deploy.retries").Inc()
+						sink.Charge(bo)
 						continue
 					}
-					recordFailure(&DeployError{Instance: inst.ID, Action: action, Attempts: attempts, Err: err})
+					recordFailure(&DeployError{Instance: inst.ID, Action: action, Attempts: attempts, Policy: d.opts.OnFailure, Err: err})
+					rec.attempts = attempts
+					saveRec(err.Error(), false)
+					d.opts.Metrics.Counter("deploy.action_failures").Inc()
 					complete()
 					mu.Unlock()
 					return
@@ -203,15 +276,90 @@ func (d *Deployment) DeployConcurrent() error {
 	}
 	d.elapsed = maxFinish
 	d.advanceClock()
+	rolledBack := false
 	if derr != nil {
 		derr.States = d.Status()
 		if snap != nil {
 			derr.RolledBack = true
 			derr.RollbackErr = d.rollbackWorld(snap)
+			d.opts.Metrics.Counter("deploy.rollbacks").Inc()
+			rolledBack = true
 		}
+		d.opts.Metrics.Counter("deploy.failures").Inc()
+	}
+
+	// Post-hoc trace emission: every instance's absolute virtual start is
+	// its dependency chain's finish, now that the critical path is known.
+	if trace {
+		root := d.opts.Tracer.Span("deploy").
+			Int("instances", int64(len(d.order))).
+			Bool("parallel", true).Bool("concurrent", true)
+		for _, inst := range d.order {
+			recs := recsByInst[inst.ID]
+			vstart := chain(inst.ID) - finish[inst.ID]
+			var consumed time.Duration
+			if n := len(recs); n > 0 {
+				consumed = recs[n-1].end
+			}
+			isp := root.Child("deploy.instance").
+				Str("instance", inst.ID).Str("key", inst.Key.String()).
+				Str("machine", d.drivers[inst.ID].Ctx.Machine.Name).
+				Str("deps", strings.Join(inst.DependencyIDs(), " "))
+			for _, rec := range recs {
+				sp := isp.Child("deploy.action").
+					Str("instance", inst.ID).Str("action", rec.action).
+					Str("to", string(rec.to)).Int("attempts", int64(rec.attempts))
+				if rec.err != "" {
+					sp.Str("error", rec.err)
+				}
+				for _, rr := range rec.retries {
+					sp.Event("deploy.retry").At(clock0.Add(vstart+rr.at)).
+						Int("attempt", int64(rr.attempt)).Dur("backoff", rr.backoff).
+						Str("error", rr.err).Emit()
+				}
+				if rec.timeout {
+					sp.Event("deploy.timeout").At(clock0.Add(vstart+rec.end)).
+						Dur("limit", d.opts.ActionTimeout).Emit()
+				}
+				sp.At(clock0.Add(vstart+rec.start), clock0.Add(vstart+rec.end)).
+					Wall(rec.wall).End()
+			}
+			if ferr := instanceError(derr, inst.ID); ferr != "" {
+				isp.Str("error", ferr)
+			}
+			isp.At(clock0.Add(vstart), clock0.Add(vstart+consumed)).End()
+		}
+		if rolledBack {
+			root.Child("deploy.rollback").Bool("ok", derr.RollbackErr == nil).
+				At(clock0.Add(d.elapsed), clock0.Add(d.elapsed)).End()
+		}
+		if derr != nil {
+			root.Str("error", derr.Error())
+		}
+		root.At(clock0, clock0.Add(d.elapsed)).End()
+	}
+
+	if derr != nil {
 		return derr
 	}
 	return nil
+}
+
+// instanceError returns the failure message attributed to the instance
+// in a structured deploy error, "" if none.
+func instanceError(derr *DeployError, id string) string {
+	if derr == nil {
+		return ""
+	}
+	if derr.Instance == id {
+		return derr.Error()
+	}
+	for _, add := range derr.Additional {
+		if ae, ok := add.(*DeployError); ok && ae.Instance == id {
+			return ae.Error()
+		}
+	}
+	return ""
 }
 
 // concurrentEnv adapts the deployment's neighbour-state view for use

@@ -10,6 +10,7 @@ package deploy
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"engage/internal/driver"
@@ -17,6 +18,7 @@ import (
 	"engage/internal/pkgmgr"
 	"engage/internal/resource"
 	"engage/internal/spec"
+	"engage/internal/telemetry"
 )
 
 // Options configure a deployment.
@@ -53,6 +55,17 @@ type Options struct {
 	// cost exceeds it (0 = unlimited). Timeouts are terminal: they are
 	// not retried, since the action may have partially applied.
 	ActionTimeout time.Duration
+	// Tracer, when non-nil, traces the deployment: a "deploy" root
+	// span, one "deploy.instance" span per instance, one
+	// "deploy.action" span per driver action stamped with its absolute
+	// virtual-time interval, and events for retries, backoffs,
+	// timeouts, snapshot, and rollback. A nil Tracer reduces the whole
+	// instrumentation surface to pointer checks (zero allocations on
+	// the action hot path — see BenchmarkDeployNilTracer).
+	Tracer *telemetry.Tracer
+	// Metrics, when non-nil, counts actions, retries, timeouts,
+	// failures, and rollbacks, and observes per-action virtual cost.
+	Metrics *telemetry.Registry
 }
 
 // Deployment is a managed deployment of one full installation
@@ -248,8 +261,10 @@ type accountingSink interface {
 // policy with exponential backoff charged to sink as virtual time.
 // Guard blocks are returned immediately (the callers own blocking
 // semantics), and timeouts are terminal. It reports how many attempts
-// were made.
-func (d *Deployment) fireWithRetry(drv *driver.Driver, id, action string, sink accountingSink, env driver.GuardEnv) (int, error) {
+// were made. Retry and timeout events are emitted on sp stamped at
+// vbase plus the instance's consumed virtual time; a nil sp traces
+// nothing.
+func (d *Deployment) fireWithRetry(drv *driver.Driver, id, action string, sink accountingSink, env driver.GuardEnv, sp *telemetry.Span, vbase time.Time) (int, error) {
 	policy := d.opts.Retry.resolve(d.opts.OnFailure)
 	for attempt := 1; ; attempt++ {
 		before := sink.total()
@@ -257,6 +272,11 @@ func (d *Deployment) fireWithRetry(drv *driver.Driver, id, action string, sink a
 		cost := sink.total() - before
 		if err == nil {
 			if d.opts.ActionTimeout > 0 && cost > d.opts.ActionTimeout {
+				if sp != nil {
+					sp.Event("deploy.timeout").At(vbase.Add(sink.total())).
+						Dur("cost", cost).Dur("limit", d.opts.ActionTimeout).Emit()
+				}
+				d.opts.Metrics.Counter("deploy.timeouts").Inc()
 				return attempt, fmt.Errorf("action %q on %q exceeded timeout %v (cost %v)",
 					action, id, d.opts.ActionTimeout, cost)
 			}
@@ -268,7 +288,14 @@ func (d *Deployment) fireWithRetry(drv *driver.Driver, id, action string, sink a
 		if attempt >= policy.MaxAttempts {
 			return attempt, err
 		}
-		sink.Charge(policy.backoff(attempt))
+		bo := policy.backoff(attempt)
+		if sp != nil {
+			sp.Event("deploy.retry").At(vbase.Add(sink.total())).
+				Int("attempt", int64(attempt)).Dur("backoff", bo).
+				Str("error", err.Error()).Emit()
+		}
+		d.opts.Metrics.Counter("deploy.retries").Inc()
+		sink.Charge(bo)
 	}
 }
 
@@ -276,8 +303,10 @@ func (d *Deployment) fireWithRetry(drv *driver.Driver, id, action string, sink a
 // current state to the target, charging durations (including retry
 // backoff) to sink. Guards are evaluated against the deployment's live
 // states. Failures come back as *DeployError naming the instance,
-// action, and attempt count.
-func (d *Deployment) driveTo(id string, target driver.State, sink *costSink) error {
+// action, and attempt count. When parent is non-nil, each action gets a
+// "deploy.action" child span whose virtual interval is vbase plus the
+// instance's consumed virtual time before/after the action.
+func (d *Deployment) driveTo(id string, target driver.State, sink *costSink, vbase time.Time, parent *telemetry.Span) error {
 	drv := d.drivers[id]
 	ctx := drv.Ctx
 	prevCtxSink, prevMgrSink := ctx.Sink, ctx.PkgMgr.Sink
@@ -289,9 +318,26 @@ func (d *Deployment) driveTo(id string, target driver.State, sink *costSink) err
 		return fmt.Errorf("deploy: instance %q: no path from %q to %q", id, drv.State(), target)
 	}
 	for _, action := range path {
-		attempts, err := d.fireWithRetry(drv, id, action, sink, d)
+		sp := parent.Child("deploy.action")
+		var wstart time.Time
+		if sp != nil {
+			wstart = time.Now()
+		}
+		before := sink.d
+		attempts, err := d.fireWithRetry(drv, id, action, sink, d, sp, vbase)
+		if sp != nil {
+			sp.Str("instance", id).Str("action", action).
+				Str("to", string(drv.State())).Int("attempts", int64(attempts))
+			if err != nil {
+				sp.Str("error", err.Error())
+			}
+			sp.At(vbase.Add(before), vbase.Add(sink.d)).Wall(time.Since(wstart)).End()
+		}
+		d.opts.Metrics.Counter("deploy.actions").Inc()
+		d.opts.Metrics.Histogram("deploy.action_vcost_ns").Observe(int64(sink.d - before))
 		if err != nil {
-			return &DeployError{Instance: id, Action: action, Attempts: attempts, Err: err}
+			d.opts.Metrics.Counter("deploy.action_failures").Inc()
+			return &DeployError{Instance: id, Action: action, Attempts: attempts, Policy: d.opts.OnFailure, Err: err}
 		}
 		d.events = append(d.events, Event{
 			Seq:      len(d.events),
@@ -311,9 +357,18 @@ func (d *Deployment) driveTo(id string, target driver.State, sink *costSink) err
 // whose dependencies are satisfied proceed concurrently in virtual
 // time; the world clock advances by the critical-path duration.
 func (d *Deployment) Deploy() error {
+	clock0 := d.opts.World.Clock.Now()
+	root := d.opts.Tracer.Span("deploy")
+	if root != nil {
+		root.Int("instances", int64(len(d.order))).Bool("parallel", d.opts.Parallel)
+	}
 	var snap *worldSnapshot
 	if d.opts.OnFailure == FailRollback {
+		ssp := root.Child("deploy.snapshot")
 		snap = d.snapshotWorld()
+		if ssp != nil {
+			ssp.Int("machines", int64(len(snap.machines))).At(clock0, clock0).End()
+		}
 	}
 	finish := make(map[string]time.Duration, len(d.order))
 	var total, maxFinish time.Duration
@@ -321,17 +376,35 @@ func (d *Deployment) Deploy() error {
 
 	for _, inst := range d.order {
 		sink := &costSink{}
-		err := d.driveTo(inst.ID, driver.Active, sink)
+		// The instance's virtual start: in parallel mode the latest
+		// dependency finish (valid because order is topological), in
+		// sequential mode the running total so far.
+		vstart := total
+		if d.opts.Parallel {
+			vstart = 0
+			for _, dep := range inst.DependencyIDs() {
+				if finish[dep] > vstart {
+					vstart = finish[dep]
+				}
+			}
+		}
+		isp := root.Child("deploy.instance")
+		if isp != nil {
+			isp.Str("instance", inst.ID).Str("key", inst.Key.String()).
+				Str("machine", d.drivers[inst.ID].Ctx.Machine.Name).
+				Str("deps", strings.Join(inst.DependencyIDs(), " "))
+		}
+		err := d.driveTo(inst.ID, driver.Active, sink, clock0.Add(vstart), isp)
+		if isp != nil {
+			if err != nil {
+				isp.Str("error", err.Error())
+			}
+			isp.At(clock0.Add(vstart), clock0.Add(vstart+sink.d)).End()
+		}
 		// Account the instance's cost even when it failed: retries and
 		// backoff consumed real (virtual) time.
 		if d.opts.Parallel {
-			start := time.Duration(0)
-			for _, dep := range inst.DependencyIDs() {
-				if finish[dep] > start {
-					start = finish[dep]
-				}
-			}
-			finish[inst.ID] = start + sink.d
+			finish[inst.ID] = vstart + sink.d
 			if finish[inst.ID] > maxFinish {
 				maxFinish = finish[inst.ID]
 			}
@@ -350,12 +423,26 @@ func (d *Deployment) Deploy() error {
 	}
 	d.advanceClock()
 	if derr != nil {
+		derr.Policy = d.opts.OnFailure
 		derr.States = d.Status()
 		if snap != nil {
+			rsp := root.Child("deploy.rollback")
 			derr.RolledBack = true
 			derr.RollbackErr = d.rollbackWorld(snap)
+			d.opts.Metrics.Counter("deploy.rollbacks").Inc()
+			if rsp != nil {
+				rsp.Bool("ok", derr.RollbackErr == nil).
+					At(clock0.Add(d.elapsed), clock0.Add(d.elapsed)).End()
+			}
 		}
+		if root != nil {
+			root.Str("error", derr.Error()).At(clock0, clock0.Add(d.elapsed)).End()
+		}
+		d.opts.Metrics.Counter("deploy.failures").Inc()
 		return derr
+	}
+	if root != nil {
+		root.At(clock0, clock0.Add(d.elapsed)).End()
 	}
 	return d.runPlugins("after-deploy", func(p Plugin) error { return p.AfterDeploy(d) })
 }
@@ -370,6 +457,8 @@ func (d *Deployment) advanceClock() {
 // "shutting down an application goes in the reverse dependency order"),
 // bringing each driver to inactive.
 func (d *Deployment) Shutdown() error {
+	clock0 := d.opts.World.Clock.Now()
+	root := d.opts.Tracer.Span("deploy.shutdown")
 	var total time.Duration
 	for i := len(d.order) - 1; i >= 0; i-- {
 		inst := d.order[i]
@@ -378,13 +467,19 @@ func (d *Deployment) Shutdown() error {
 			continue
 		}
 		sink := &costSink{}
-		if err := d.driveTo(inst.ID, driver.Inactive, sink); err != nil {
+		if err := d.driveTo(inst.ID, driver.Inactive, sink, clock0.Add(total), root); err != nil {
+			if root != nil {
+				root.Str("error", err.Error()).At(clock0, clock0.Add(total+sink.d)).End()
+			}
 			return err
 		}
 		total += sink.d
 	}
 	d.elapsed = total
 	d.advanceClock()
+	if root != nil {
+		root.At(clock0, clock0.Add(total)).End()
+	}
 	return d.runPlugins("after-shutdown", func(p Plugin) error { return p.AfterShutdown(d) })
 }
 
@@ -392,7 +487,15 @@ func (d *Deployment) Shutdown() error {
 // uninstalled state); the upgrade framework uses it for components that
 // cannot be upgraded in place.
 func (d *Deployment) Uninstall() error {
+	clock0 := d.opts.World.Clock.Now()
+	root := d.opts.Tracer.Span("deploy.uninstall")
 	var total time.Duration
+	fail := func(err error, spent time.Duration) error {
+		if root != nil {
+			root.Str("error", err.Error()).At(clock0, clock0.Add(spent)).End()
+		}
+		return err
+	}
 	// Pass 1: stop everything in reverse order (the ↓inactive stop
 	// guards require downstream instances to be exactly inactive, so
 	// nothing may be uninstalled while a dependency is still active).
@@ -402,8 +505,8 @@ func (d *Deployment) Uninstall() error {
 			continue
 		}
 		sink := &costSink{}
-		if err := d.driveTo(inst.ID, driver.Inactive, sink); err != nil {
-			return err
+		if err := d.driveTo(inst.ID, driver.Inactive, sink, clock0.Add(total), root); err != nil {
+			return fail(err, total+sink.d)
 		}
 		total += sink.d
 	}
@@ -411,13 +514,16 @@ func (d *Deployment) Uninstall() error {
 	for i := len(d.order) - 1; i >= 0; i-- {
 		inst := d.order[i]
 		sink := &costSink{}
-		if err := d.driveTo(inst.ID, driver.Uninstalled, sink); err != nil {
-			return err
+		if err := d.driveTo(inst.ID, driver.Uninstalled, sink, clock0.Add(total), root); err != nil {
+			return fail(err, total+sink.d)
 		}
 		total += sink.d
 	}
 	d.elapsed = total
 	d.advanceClock()
+	if root != nil {
+		root.At(clock0, clock0.Add(total)).End()
+	}
 	return nil
 }
 

@@ -141,6 +141,9 @@ type DeployError struct {
 	// world; RollbackErr is non-nil if that restoration itself failed.
 	RolledBack  bool
 	RollbackErr error
+	// Policy is the failure policy that was in force, so the message can
+	// state the terminal outcome (aborted vs rolled back).
+	Policy FailurePolicy
 }
 
 func (e *DeployError) Error() string {
@@ -155,7 +158,9 @@ func (e *DeployError) Error() string {
 		if e.Action != "" {
 			fmt.Fprintf(&b, ": action %q", e.Action)
 		}
-		if e.Attempts > 1 {
+		if e.Attempts == 1 {
+			b.WriteString(" failed after 1 attempt")
+		} else if e.Attempts > 1 {
 			fmt.Fprintf(&b, " failed after %d attempts", e.Attempts)
 		} else {
 			b.WriteString(" failed")
@@ -173,6 +178,8 @@ func (e *DeployError) Error() string {
 		} else {
 			b.WriteString(" [rolled back]")
 		}
+	} else if !e.Deadlock {
+		fmt.Fprintf(&b, " [aborted; policy %s]", e.Policy)
 	}
 	return b.String()
 }

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"engage/internal/machine"
+	"engage/internal/telemetry"
 )
 
 // Mode selects how a rule fires.
@@ -113,13 +114,61 @@ type Plan struct {
 	rng    *rand.Rand
 	rules  []*Rule
 	events []Event
+	id     string
+	tracer *telemetry.Tracer
 }
 
 // NewPlan returns an empty plan whose probabilistic rules draw from a
 // PRNG with the given seed; the same seed and operation sequence yield
-// the same failures.
+// the same failures. The plan's identity defaults to "plan-<seed>" so
+// trace events name which fault schedule fired.
 func NewPlan(seed int64) *Plan {
-	return &Plan{rng: rand.New(rand.NewSource(seed))}
+	return &Plan{rng: rand.New(rand.NewSource(seed)), id: fmt.Sprintf("plan-%d", seed)}
+}
+
+// ID returns the plan's identity as stamped on trace events.
+func (p *Plan) ID() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.id
+}
+
+// SetID overrides the plan's identity; returns the plan for chaining.
+func (p *Plan) SetID(id string) *Plan {
+	p.mu.Lock()
+	p.id = id
+	p.mu.Unlock()
+	return p
+}
+
+// Instrument emits a "fault.inject" trace event for every injection
+// (failed operation or scheduled crash); returns the plan for chaining.
+// The tracer's mutex is a leaf lock, so emission under the plan's own
+// lock is safe.
+func (p *Plan) Instrument(tr *telemetry.Tracer) *Plan {
+	p.mu.Lock()
+	p.tracer = tr
+	p.mu.Unlock()
+	return p
+}
+
+// emitLocked traces one injection; caller holds p.mu.
+func (p *Plan) emitLocked(op machine.Op, rule int, mode Mode, crash time.Duration) {
+	if p.tracer == nil {
+		return
+	}
+	ev := p.tracer.Event("fault.inject").
+		Str("plan", p.id).Int("rule", int64(rule)).Str("mode", mode.String()).
+		Str("op", string(op.Kind)).Str("machine", op.Machine).Str("name", op.Name)
+	if op.Port != 0 {
+		ev.Int("port", int64(op.Port))
+	}
+	if crash > 0 {
+		ev.Str("effect", "crash").Dur("crash_after", crash)
+	} else {
+		ev.Str("effect", "fail")
+	}
+	ev.Emit()
 }
 
 // Add appends a rule and returns the plan for chaining.
@@ -175,6 +224,7 @@ func (p *Plan) Inject(op machine.Op) error {
 		}
 		r.fired++
 		p.events = append(p.events, Event{Op: op, Rule: i})
+		p.emitLocked(op, i, r.Mode, 0)
 		return &Error{Op: op, Mode: r.Mode}
 	}
 	return nil
@@ -201,6 +251,7 @@ func (p *Plan) CrashDelay(op machine.Op) time.Duration {
 		}
 		r.fired++
 		p.events = append(p.events, Event{Op: op, Rule: i, Crash: r.Crash})
+		p.emitLocked(op, i, r.Mode, r.Crash)
 		return r.Crash
 	}
 	return 0

@@ -221,7 +221,7 @@ func (r *graphResolver) freshID(k resource.Key, machine string) string {
 	})
 }
 
-func (r *graphResolver) addNode(n *Node)                 { r.g.add(n) }
+func (r *graphResolver) addNode(n *Node)                   { r.g.add(n) }
 func (r *graphResolver) subtyper() resource.SubtypeChecker { return r.sub }
 func (r *graphResolver) frontier(k resource.Key) ([]resource.Key, error) {
 	return r.frontierFn(k)

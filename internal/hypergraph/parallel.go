@@ -6,6 +6,7 @@ import (
 
 	"engage/internal/resource"
 	"engage/internal/spec"
+	"engage/internal/telemetry"
 )
 
 // This file implements the wave-parallel GraphGen. The sequential
@@ -48,6 +49,10 @@ type Options struct {
 	// implementation; 1 runs the wave machinery on a single worker
 	// (useful to exercise the speculate/commit path deterministically).
 	Parallelism int
+	// Span, when non-nil, receives one "graphgen.wave" event per wave
+	// with the wave size, nodes created, and speculative-commit
+	// invalidations (plans discarded and redone sequentially).
+	Span *telemetry.Span
 }
 
 // GenerateOpts is Generate with a parallelism option. The result is
@@ -58,10 +63,10 @@ func GenerateOpts(reg *resource.Registry, partial *spec.Partial, opts Options) (
 	if opts.Parallelism <= 0 {
 		return Generate(reg, partial)
 	}
-	return generateWaves(reg, partial, opts.Parallelism)
+	return generateWaves(reg, partial, opts.Parallelism, opts.Span)
 }
 
-func generateWaves(reg *resource.Registry, partial *spec.Partial, workers int) (*Graph, error) {
+func generateWaves(reg *resource.Registry, partial *spec.Partial, workers int, sp *telemetry.Span) (*Graph, error) {
 	g, worklist, err := initFromPartial(reg, partial)
 	if err != nil {
 		return nil, err
@@ -71,10 +76,12 @@ func generateWaves(reg *resource.Registry, partial *spec.Partial, workers int) (
 	cache := newMatchCache(g, sub)
 	redo := &cachedResolver{g: g, sub: sub, cache: cache, fr: fr}
 
+	waveIdx := 0
 	for len(worklist) > 0 {
 		wave := worklist
 		worklist = nil
 		snapLen := len(g.Order)
+		invalidated := 0
 
 		// Speculation: expand every wave node against the frozen
 		// snapshot. The graph is not mutated until all workers finish.
@@ -100,6 +107,7 @@ func generateWaves(reg *resource.Registry, partial *spec.Partial, workers int) (
 				continue
 			}
 			// Stale: re-expand sequentially against the live graph.
+			invalidated++
 			edges, created, err := processNode(redo, reg, g.nodes[id])
 			if err != nil {
 				return nil, err
@@ -107,6 +115,13 @@ func generateWaves(reg *resource.Registry, partial *spec.Partial, workers int) (
 			g.Edges = append(g.Edges, edges...)
 			worklist = append(worklist, created...)
 		}
+		sp.Event("graphgen.wave").
+			Int("wave", int64(waveIdx)).
+			Int("size", int64(len(wave))).
+			Int("created", int64(len(g.Order)-snapLen)).
+			Int("invalidated", int64(invalidated)).
+			Emit()
+		waveIdx++
 	}
 	return g, nil
 }

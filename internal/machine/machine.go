@@ -15,6 +15,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"engage/internal/telemetry"
 )
 
 // Clock is a simulated clock shared by a World. All durations in the
@@ -120,6 +122,25 @@ type World struct {
 
 	injMu    sync.RWMutex
 	injector Injector
+
+	trMu   sync.RWMutex
+	tracer *telemetry.Tracer
+}
+
+// SetTracer attaches a tracer that records world-level events — machine
+// provisioning and process crashes — stamped with the virtual clock;
+// nil detaches it.
+func (w *World) SetTracer(tr *telemetry.Tracer) {
+	w.trMu.Lock()
+	w.tracer = tr
+	w.trMu.Unlock()
+}
+
+// Tracer returns the attached tracer (nil if none).
+func (w *World) Tracer() *telemetry.Tracer {
+	w.trMu.RLock()
+	defer w.trMu.RUnlock()
+	return w.tracer
 }
 
 // SetInjector attaches a fault injector consulted by machine and world
@@ -165,6 +186,10 @@ func (w *World) AddMachine(name, os string) (*Machine, error) {
 	}
 	w.nextIP++
 	w.machines[name] = m
+	if tr := w.Tracer(); tr != nil {
+		tr.Event("machine.provision").
+			Str("machine", name).Str("os", os).Str("ip", m.IP).Emit()
+	}
 	return m, nil
 }
 
@@ -438,6 +463,16 @@ func (m *Machine) crashLocked(proc *Process) {
 		if m.ports[p] == proc.PID {
 			delete(m.ports, p)
 		}
+	}
+	if tr := m.world.Tracer(); tr != nil {
+		ev := tr.Event("process.crash").
+			Str("machine", m.Name).Str("process", proc.Name).Int("pid", int64(proc.PID))
+		// Fault-injected crashes happened at their scheduled death time,
+		// which may be earlier than the clock instant that observed them.
+		if !proc.diesAt.IsZero() {
+			ev.At(proc.diesAt).Bool("injected", true)
+		}
+		ev.Emit()
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"engage/internal/deploy"
 	"engage/internal/driver"
 	"engage/internal/machine"
+	"engage/internal/telemetry"
 )
 
 // Monitor watches the service processes of one deployment. Restarts
@@ -36,6 +37,12 @@ type Monitor struct {
 	// it doubles for each additional restart within the window
 	// (default 2s).
 	RestartBackoff time.Duration
+	// Tracer, when non-nil, emits "monitor.restart" and
+	// "monitor.degraded" events stamped with the virtual clock.
+	Tracer *telemetry.Tracer
+	// Metrics, when non-nil, counts restarts, restart failures, and
+	// degradations.
+	Metrics *telemetry.Registry
 
 	dep      *deploy.Deployment
 	watched  map[string]string      // instance ID → scratch PID name
@@ -96,9 +103,12 @@ func (m *Monitor) Watched() []string {
 
 // Event records one monitoring observation.
 type Event struct {
-	Instance  string
-	PID       int
-	Dead      bool
+	Instance string
+	PID      int
+	Dead     bool
+	// At is the virtual time of the observation — for restarts, the
+	// moment the restart fired (after its backoff).
+	At        time.Time
 	Restarted bool
 	// Crashed reports the process died abnormally (killed / non-zero
 	// exit) rather than via a clean stop.
@@ -133,7 +143,8 @@ func (m *Monitor) Check() []Event {
 		if drv.Ctx.Machine.Running(pid) {
 			continue
 		}
-		ev := Event{Instance: id, PID: pid, Dead: true}
+		clock := drv.Ctx.Machine.Clock()
+		ev := Event{Instance: id, PID: pid, Dead: true, At: clock.Now()}
 		if _, killed, ok := drv.Ctx.Machine.ExitInfo(pid); ok {
 			ev.Crashed = killed
 		}
@@ -143,11 +154,14 @@ func (m *Monitor) Check() []Event {
 			continue
 		}
 		if drv.State() == driver.Active {
-			clock := drv.Ctx.Machine.Clock()
 			recent := m.recentRestarts(id, clock.Now())
 			if len(recent) >= m.MaxRestarts {
 				m.degraded[id] = true
 				ev.Degraded = true
+				m.Tracer.Event("monitor.degraded").
+					Str("instance", id).Int("pid", int64(pid)).
+					Int("restarts_in_window", int64(len(recent))).Emit()
+				m.Metrics.Counter("monitor.degradations").Inc()
 				events = append(events, ev)
 				continue
 			}
@@ -155,11 +169,25 @@ func (m *Monitor) Check() []Event {
 			// service doesn't spin the monitor.
 			ev.Backoff = m.RestartBackoff << uint(len(recent))
 			clock.Advance(ev.Backoff)
-			if err := drv.Fire("restart", m.dep); err != nil {
+			ev.At = clock.Now()
+			err := drv.Fire("restart", m.dep)
+			if err != nil {
 				ev.Err = err
+				m.Metrics.Counter("monitor.restart_failures").Inc()
 			} else {
 				ev.Restarted = true
 				m.restarts[id] = append(recent, clock.Now())
+				m.Metrics.Counter("monitor.restarts").Inc()
+			}
+			if m.Tracer != nil {
+				tev := m.Tracer.Event("monitor.restart").
+					Str("instance", id).Int("pid", int64(pid)).
+					Dur("backoff", ev.Backoff).Bool("crashed", ev.Crashed).
+					Bool("ok", err == nil)
+				if err != nil {
+					tev.Str("error", err.Error())
+				}
+				tev.Emit()
 			}
 		}
 		events = append(events, ev)
@@ -199,6 +227,7 @@ func (m *Monitor) Degraded() []string {
 func (m *Monitor) ClearDegraded(id string) {
 	delete(m.degraded, id)
 	delete(m.restarts, id)
+	m.Tracer.Event("monitor.cleared").Str("instance", id).Emit()
 }
 
 // ServiceStatus is the user-visible status of one watched service (the

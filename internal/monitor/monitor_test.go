@@ -195,6 +195,94 @@ func TestCrashLoopMarksDegraded(t *testing.T) {
 	}
 }
 
+func TestRestartBackoffExactVirtualTimes(t *testing.T) {
+	d, m := setup(t)
+	mon := New(d)
+	mon.AutoRegister()
+	mon.MaxRestarts = 10
+	mon.Window = time.Hour // keep every restart inside one window
+	drv, _ := d.Driver("web")
+	clock := m.Clock()
+
+	// Each consecutive crash within the window doubles the backoff:
+	// 2s, 4s, 8s, 16s. The restart must fire at exactly t_crash +
+	// backoff on the virtual clock.
+	want := []time.Duration{2 * time.Second, 4 * time.Second, 8 * time.Second, 16 * time.Second}
+	for i, wantBo := range want {
+		pid, _ := drv.Ctx.PID("daemon")
+		if err := m.KillProcess(pid); err != nil {
+			t.Fatal(err)
+		}
+		t0 := clock.Now()
+		evs := mon.Check()
+		if len(evs) != 1 || !evs[0].Restarted {
+			t.Fatalf("crash %d: event = %+v", i+1, evs)
+		}
+		if evs[0].Backoff != wantBo {
+			t.Errorf("crash %d: backoff = %v, want %v", i+1, evs[0].Backoff, wantBo)
+		}
+		if wantAt := t0.Add(wantBo); !evs[0].At.Equal(wantAt) {
+			t.Errorf("crash %d: restart at %v, want %v", i+1, evs[0].At, wantAt)
+		}
+	}
+}
+
+func TestClearDegradedReArmsAtBaseBackoff(t *testing.T) {
+	d, m := setup(t)
+	mon := New(d)
+	mon.AutoRegister()
+	drv, _ := d.Driver("web")
+	clock := m.Clock()
+
+	kill := func() {
+		t.Helper()
+		pid, _ := drv.Ctx.PID("daemon")
+		if err := m.KillProcess(pid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Exhaust the restart budget, then one more crash degrades.
+	for i := 0; i < mon.MaxRestarts; i++ {
+		kill()
+		if evs := mon.Check(); len(evs) != 1 || !evs[0].Restarted {
+			t.Fatalf("crash %d should restart: %+v", i+1, evs)
+		}
+	}
+	kill()
+	evs := mon.Check()
+	if len(evs) != 1 || !evs[0].Degraded || evs[0].Restarted {
+		t.Fatalf("budget exhausted: event = %+v", evs)
+	}
+	// Degraded observations carry the sweep's virtual time and do not
+	// advance the clock.
+	t0 := clock.Now()
+	evs = mon.Check()
+	if len(evs) != 1 || !evs[0].Degraded {
+		t.Fatalf("degraded sweep: %+v", evs)
+	}
+	if !evs[0].At.Equal(t0) {
+		t.Errorf("degraded event at %v, want sweep time %v", evs[0].At, t0)
+	}
+	if !clock.Now().Equal(t0) {
+		t.Errorf("degraded sweep advanced the clock: %v -> %v", t0, clock.Now())
+	}
+
+	// Forgiveness drops the restart history: the next restart waits only
+	// the base backoff again, at exactly t_clear + RestartBackoff.
+	mon.ClearDegraded("web")
+	t1 := clock.Now()
+	evs = mon.Check()
+	if len(evs) != 1 || !evs[0].Restarted {
+		t.Fatalf("cleared service should restart: %+v", evs)
+	}
+	if evs[0].Backoff != mon.RestartBackoff {
+		t.Errorf("re-armed backoff = %v, want base %v", evs[0].Backoff, mon.RestartBackoff)
+	}
+	if wantAt := t1.Add(mon.RestartBackoff); !evs[0].At.Equal(wantAt) {
+		t.Errorf("re-armed restart at %v, want %v", evs[0].At, wantAt)
+	}
+}
+
 func TestRestartBudgetRecoversOutsideWindow(t *testing.T) {
 	d, m := setup(t)
 	mon := New(d)

@@ -1,0 +1,275 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) Now() time.Time          { return c.t }
+func (c *fakeClock) Advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Date(2012, 6, 11, 0, 0, 0, 0, time.UTC)} }
+
+func TestSpanEventRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	clock := newFakeClock()
+	tr := New(&buf, clock)
+
+	root := tr.Span("deploy").Str("plan", "p1").Int("instances", 3)
+	clock.Advance(10 * time.Second)
+	child := root.Child("action").Str("instance", "web#0")
+	child.Event("retry").Int("attempt", 1).Dur("backoff", 2*time.Second).Emit()
+	clock.Advance(5 * time.Second)
+	child.End()
+	clock.Advance(time.Second)
+	root.Bool("ok", true).End()
+	tr.Event("fault.inject").Str("site", "host1").Emit()
+
+	if err := tr.Err(); err != nil {
+		t.Fatalf("tracer error: %v", err)
+	}
+	trace, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if got := len(trace.Lines); got != 4 {
+		t.Fatalf("got %d lines, want 4", got)
+	}
+
+	roots := trace.Spans("deploy")
+	if len(roots) != 1 {
+		t.Fatalf("got %d deploy spans, want 1", len(roots))
+	}
+	r := roots[0]
+	if r.Parent != 0 || r.Str("plan") != "p1" || r.Int("instances") != 3 {
+		t.Errorf("root span wrong: %+v", r)
+	}
+	if r.VDurNS != (16 * time.Second).Nanoseconds() {
+		t.Errorf("root vdur = %d, want 16s", r.VDurNS)
+	}
+
+	kids := trace.ChildSpans(r.ID)
+	if len(kids) != 1 || kids[0].Name != "action" {
+		t.Fatalf("children of root = %+v", kids)
+	}
+	action := kids[0]
+	if action.VStart.Sub(*r.VStart) != 10*time.Second {
+		t.Errorf("action vstart offset = %v, want 10s", action.VStart.Sub(*r.VStart))
+	}
+	if action.VDurNS != (5 * time.Second).Nanoseconds() {
+		t.Errorf("action vdur = %d, want 5s", action.VDurNS)
+	}
+
+	evs := trace.SpanEvents(action.ID)
+	if len(evs) != 1 || evs[0].Name != "retry" {
+		t.Fatalf("action events = %+v", evs)
+	}
+	if evs[0].Int("attempt") != 1 || evs[0].Int("backoff") != (2*time.Second).Nanoseconds() {
+		t.Errorf("retry attrs wrong: %+v", evs[0].Attrs)
+	}
+
+	free := trace.Events("fault.inject")
+	if len(free) != 1 || free[0].Span != 0 || free[0].Str("site") != "host1" {
+		t.Errorf("free event wrong: %+v", free)
+	}
+}
+
+func TestSpanAtOverride(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(&buf, newFakeClock())
+	v0 := time.Date(2012, 6, 11, 1, 0, 0, 0, time.UTC)
+	v1 := v0.Add(42 * time.Second)
+	tr.Span("install").At(v0, v1).Wall(3 * time.Millisecond).End()
+
+	trace, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	sp := trace.Spans("install")[0]
+	if !sp.VStart.Equal(v0) || !sp.VEnd.Equal(v1) {
+		t.Errorf("interval = [%v, %v], want [%v, %v]", sp.VStart, sp.VEnd, v0, v1)
+	}
+	if sp.VDurNS != (42 * time.Second).Nanoseconds() {
+		t.Errorf("vdur = %d, want 42s", sp.VDurNS)
+	}
+	if sp.WallNS != (3 * time.Millisecond).Nanoseconds() {
+		t.Errorf("wall = %d, want 3ms", sp.WallNS)
+	}
+}
+
+func TestValidateRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		line string
+		want string
+	}{
+		{"bad kind", `{"kind":"zork","id":1,"name":"x","vtime":"2012-06-11T00:00:00Z"}`, "unknown kind"},
+		{"span no interval", `{"kind":"span","id":1,"name":"x"}`, "missing vstart/vend"},
+		{"span bad dur", `{"kind":"span","id":1,"name":"x","vstart":"2012-06-11T00:00:00Z","vend":"2012-06-11T00:00:01Z","vdur_ns":5}`, "disagrees"},
+		{"event no vtime", `{"kind":"event","id":1,"name":"x"}`, "missing vtime"},
+		{"zero id", `{"kind":"event","id":0,"name":"x","vtime":"2012-06-11T00:00:00Z"}`, "positive"},
+		{"no name", `{"kind":"event","id":1,"vtime":"2012-06-11T00:00:00Z"}`, "no name"},
+		{"nested attr", `{"kind":"event","id":1,"name":"x","vtime":"2012-06-11T00:00:00Z","attrs":{"a":{"b":1}}}`, "not a scalar"},
+	}
+	for _, tc := range cases {
+		_, err := ReadTrace(strings.NewReader(tc.line + "\n"))
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestNilTracerNoOps(t *testing.T) {
+	var tr *Tracer
+	if err := tr.Err(); err != nil {
+		t.Fatalf("nil tracer Err = %v", err)
+	}
+	sp := tr.Span("x")
+	if sp != nil {
+		t.Fatal("nil tracer returned non-nil span")
+	}
+	// Every chained call must tolerate the nil values.
+	sp.Child("y").Str("a", "b").Int("n", 1).Dur("d", time.Second).Bool("b", true).
+		At(time.Time{}, time.Time{}).Wall(0).End()
+	sp.Event("e").Str("a", "b").Int("n", 1).Dur("d", time.Second).Bool("b", true).
+		At(time.Time{}).Emit()
+	tr.Event("free").Emit()
+	if sp.ID() != 0 {
+		t.Fatal("nil span has nonzero ID")
+	}
+}
+
+func TestNilTracerZeroAllocs(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.Span("deploy.action").Str("instance", "web#0").Int("attempt", 2)
+		sp.Event("retry").Dur("backoff", time.Second).Emit()
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil tracer allocates %v per op, want 0", allocs)
+	}
+	var reg *Registry
+	allocs = testing.AllocsPerRun(1000, func() {
+		reg.Counter("deploy.retries").Inc()
+		reg.Gauge("deploy.inflight").Set(3)
+		reg.Histogram("deploy.backoff_ns").Observe(1e9)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil registry allocates %v per op, want 0", allocs)
+	}
+}
+
+func TestConcurrentEmission(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(&buf, newFakeClock())
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				sp := tr.Span("worker")
+				sp.Event("tick").Emit()
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if err := tr.Err(); err != nil {
+		t.Fatalf("tracer error: %v", err)
+	}
+	trace, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("ReadTrace after concurrent emission: %v", err)
+	}
+	if got := len(trace.Lines); got != 800 {
+		t.Fatalf("got %d lines, want 800", got)
+	}
+	seen := make(map[int64]bool)
+	for _, l := range trace.Lines {
+		if seen[l.ID] {
+			t.Fatalf("duplicate record id %d", l.ID)
+		}
+		seen[l.ID] = true
+	}
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sat.conflicts").Add(7)
+	reg.Counter("sat.conflicts").Add(3)
+	reg.Gauge("fleet.instances").Set(254)
+	h := reg.Histogram("deploy.action_ns")
+	h.Observe(0)
+	h.Observe(1)
+	h.Observe(int64(time.Second))
+	h.Observe(int64(2 * time.Second))
+
+	s := reg.Snapshot()
+	if s.Counters["sat.conflicts"] != 10 {
+		t.Errorf("counter = %d, want 10", s.Counters["sat.conflicts"])
+	}
+	if s.Gauges["fleet.instances"] != 254 {
+		t.Errorf("gauge = %d, want 254", s.Gauges["fleet.instances"])
+	}
+	hs := s.Histograms["deploy.action_ns"]
+	if hs.Count != 4 || hs.Sum != 1+int64(3*time.Second) {
+		t.Errorf("histogram count/sum = %d/%d", hs.Count, hs.Sum)
+	}
+	var total int64
+	for _, n := range hs.Buckets {
+		total += n
+	}
+	if total != 4 {
+		t.Errorf("bucket counts sum to %d, want 4", total)
+	}
+	if hs.Buckets["<=0"] != 1 {
+		t.Errorf("zero bucket = %d, want 1", hs.Buckets["<=0"])
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if !strings.Contains(buf.String(), "sat.conflicts") {
+		t.Errorf("JSON snapshot missing counter: %s", buf.String())
+	}
+
+	want := []string{"deploy.action_ns", "fleet.instances", "sat.conflicts"}
+	got := reg.Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				reg.Counter("c").Inc()
+				reg.Histogram("h").Observe(int64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("c").Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	if got := reg.Histogram("h").Count(); got != 8000 {
+		t.Errorf("histogram count = %d, want 8000", got)
+	}
+}

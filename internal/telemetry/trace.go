@@ -1,0 +1,212 @@
+package telemetry
+
+// This file defines the on-disk JSON-lines schema and the reader used
+// by `engage trace report`, `engage trace validate`, and the trace
+// assertions in tests. One Line per record; spans are emitted when they
+// End, so a child span precedes its parent in the file and readers
+// order by VStart instead of file position.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Record kinds.
+const (
+	KindSpan  = "span"
+	KindEvent = "event"
+)
+
+// Line is one trace record: a span (interval) or an event (point).
+type Line struct {
+	Kind   string         `json:"kind"`
+	ID     int64          `json:"id"`
+	Parent int64          `json:"parent,omitempty"` // spans: enclosing span ID
+	Span   int64          `json:"span,omitempty"`   // events: owning span ID
+	Name   string         `json:"name"`
+	VStart *time.Time     `json:"vstart,omitempty"` // spans: virtual interval
+	VEnd   *time.Time     `json:"vend,omitempty"`
+	VDurNS int64          `json:"vdur_ns,omitempty"` // spans: VEnd-VStart
+	WallNS int64          `json:"wall_ns,omitempty"` // spans: real elapsed
+	VTime  *time.Time     `json:"vtime,omitempty"`   // events: virtual stamp
+	Attrs  map[string]any `json:"attrs,omitempty"`
+}
+
+// Str returns a string attribute ("" if absent or not a string).
+func (l *Line) Str(k string) string {
+	s, _ := l.Attrs[k].(string)
+	return s
+}
+
+// Int returns an integer attribute (0 if absent). JSON numbers decode
+// as float64; emission-side int64 values are converted back.
+func (l *Line) Int(k string) int64 {
+	switch v := l.Attrs[k].(type) {
+	case float64:
+		return int64(v)
+	case int64:
+		return v
+	case int:
+		return int64(v)
+	}
+	return 0
+}
+
+// Validate checks one line against the schema; the error names the
+// offending field.
+func (l *Line) Validate() error {
+	switch l.Kind {
+	case KindSpan:
+		if l.ID <= 0 {
+			return fmt.Errorf("span id %d must be positive", l.ID)
+		}
+		if l.Name == "" {
+			return fmt.Errorf("span %d has no name", l.ID)
+		}
+		if l.VStart == nil || l.VEnd == nil {
+			return fmt.Errorf("span %d (%s) missing vstart/vend", l.ID, l.Name)
+		}
+		if l.VEnd.Before(*l.VStart) {
+			return fmt.Errorf("span %d (%s) ends before it starts", l.ID, l.Name)
+		}
+		if l.VDurNS != l.VEnd.Sub(*l.VStart).Nanoseconds() {
+			return fmt.Errorf("span %d (%s) vdur_ns %d disagrees with interval", l.ID, l.Name, l.VDurNS)
+		}
+		if l.WallNS < 0 {
+			return fmt.Errorf("span %d (%s) negative wall_ns", l.ID, l.Name)
+		}
+		if l.VTime != nil {
+			return fmt.Errorf("span %d (%s) carries an event vtime", l.ID, l.Name)
+		}
+	case KindEvent:
+		if l.ID <= 0 {
+			return fmt.Errorf("event id %d must be positive", l.ID)
+		}
+		if l.Name == "" {
+			return fmt.Errorf("event %d has no name", l.ID)
+		}
+		if l.VTime == nil {
+			return fmt.Errorf("event %d (%s) missing vtime", l.ID, l.Name)
+		}
+		if l.VStart != nil || l.VEnd != nil {
+			return fmt.Errorf("event %d (%s) carries span interval fields", l.ID, l.Name)
+		}
+	default:
+		return fmt.Errorf("unknown kind %q", l.Kind)
+	}
+	for k, v := range l.Attrs {
+		switch v.(type) {
+		case string, float64, bool, int64, int:
+		default:
+			return fmt.Errorf("%s %d (%s): attr %q is not a scalar", l.Kind, l.ID, l.Name, k)
+		}
+	}
+	return nil
+}
+
+// Trace is a parsed trace with lookup helpers.
+type Trace struct {
+	Lines []Line
+}
+
+// ReadTrace parses and validates a JSON-lines trace. Errors identify
+// the first offending line by number.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var tr Trace
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var l Line
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineno, err)
+		}
+		if err := l.Validate(); err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineno, err)
+		}
+		tr.Lines = append(tr.Lines, l)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return &tr, nil
+}
+
+// Spans returns the spans with the given name, ordered by virtual start
+// (then ID, for spans sharing a timestamp). An empty name matches all.
+func (t *Trace) Spans(name string) []*Line {
+	var out []*Line
+	for i := range t.Lines {
+		l := &t.Lines[i]
+		if l.Kind == KindSpan && (name == "" || l.Name == name) {
+			out = append(out, l)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].VStart.Equal(*out[j].VStart) {
+			return out[i].VStart.Before(*out[j].VStart)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Events returns the events with the given name in virtual-time order.
+// An empty name matches all.
+func (t *Trace) Events(name string) []*Line {
+	var out []*Line
+	for i := range t.Lines {
+		l := &t.Lines[i]
+		if l.Kind == KindEvent && (name == "" || l.Name == name) {
+			out = append(out, l)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].VTime.Equal(*out[j].VTime) {
+			return out[i].VTime.Before(*out[j].VTime)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Span returns the span with the given ID, or nil.
+func (t *Trace) Span(id int64) *Line {
+	for i := range t.Lines {
+		l := &t.Lines[i]
+		if l.Kind == KindSpan && l.ID == id {
+			return l
+		}
+	}
+	return nil
+}
+
+// ChildSpans returns the spans parented under id, by virtual start.
+func (t *Trace) ChildSpans(id int64) []*Line {
+	var out []*Line
+	for _, l := range t.Spans("") {
+		if l.Parent == id {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// SpanEvents returns the events attached to span id, in virtual order.
+func (t *Trace) SpanEvents(id int64) []*Line {
+	var out []*Line
+	for _, l := range t.Events("") {
+		if l.Span == id {
+			out = append(out, l)
+		}
+	}
+	return out
+}

@@ -91,20 +91,45 @@ func (u *Upgrader) Upgrade(old *deploy.Deployment, oldSpec, newSpec *spec.Full) 
 	res := &Result{Diff: Compute(oldSpec, newSpec)}
 	clock := u.Options.World.Clock
 	t0 := clock.Now()
+	root := u.Options.Tracer.Span("upgrade")
+	if root != nil {
+		root.Int("added", int64(len(res.Diff.Added))).
+			Int("removed", int64(len(res.Diff.Removed))).
+			Int("changed", int64(len(res.Diff.Changed))).
+			Int("kept", int64(len(res.Diff.Kept)))
+	}
+	finish := func(err error) {
+		if root == nil {
+			return
+		}
+		root.Bool("rolled_back", res.RolledBack)
+		if err != nil {
+			root.Str("error", err.Error())
+		}
+		root.At(t0, clock.Now()).End()
+	}
 
 	// 1. Back up the current system (filesystems + process tables).
+	bsp := root.Child("upgrade.backup")
 	b := deploy.SnapshotWorld(u.Options.World)
+	if bsp != nil {
+		bsp.Int("machines", int64(len(b))).At(t0, t0).End()
+	}
 
 	// 2. Stop the old system (reverse dependency order).
 	if err := old.Shutdown(); err != nil {
-		return old, res, fmt.Errorf("upgrade: shutdown of old system failed: %w", err)
+		err = fmt.Errorf("upgrade: shutdown of old system failed: %w", err)
+		finish(err)
+		return old, res, err
 	}
 
 	// 3. Uninstall components that are removed or changed.
 	toDrop := append(append([]string(nil), res.Diff.Removed...), res.Diff.Changed...)
 	if err := uninstallSome(old, oldSpec, toDrop); err != nil {
 		// Old system is stopped but intact: restore and restart.
-		return u.rollback(old, oldSpec, b, res, err, t0)
+		dep, r, rerr := u.rollback(old, oldSpec, b, res, err, t0)
+		finish(rerr)
+		return dep, r, rerr
 	}
 
 	// 4. Deploy the new system.
@@ -116,10 +141,13 @@ func (u *Upgrader) Upgrade(old *deploy.Deployment, oldSpec, newSpec *spec.Full) 
 		if newDep != nil {
 			stopAllActive(newDep)
 		}
-		return u.rollback(old, oldSpec, b, res, err, t0)
+		dep, r, rerr := u.rollback(old, oldSpec, b, res, err, t0)
+		finish(rerr)
+		return dep, r, rerr
 	}
 
 	res.Elapsed = clock.Now().Sub(t0)
+	finish(nil)
 	return newDep, res, nil
 }
 
@@ -127,17 +155,30 @@ func (u *Upgrader) Upgrade(old *deploy.Deployment, oldSpec, newSpec *spec.Full) 
 func (u *Upgrader) rollback(old *deploy.Deployment, oldSpec *spec.Full, b deploy.MachineSnapshots, res *Result, cause error, t0 time.Time) (*deploy.Deployment, *Result, error) {
 	res.RolledBack = true
 	res.Cause = cause
+	rsp := u.Options.Tracer.Span("upgrade.rollback")
+	if rsp != nil {
+		rsp.Str("cause", cause.Error())
+	}
 	if err := b.Restore(u.Options.World); err != nil {
-		return old, res, fmt.Errorf("upgrade: backup restore failed after %v: %w", cause, err)
+		err = fmt.Errorf("upgrade: backup restore failed after %v: %w", cause, err)
+		if rsp != nil {
+			rsp.Str("error", err.Error()).End()
+		}
+		return old, res, err
 	}
 	restored, err := deploy.New(oldSpec, u.Options)
 	if err == nil {
 		err = restored.Deploy()
 	}
 	if err != nil {
-		return old, res, fmt.Errorf("upgrade: rollback failed after %v: %w", cause, err)
+		err = fmt.Errorf("upgrade: rollback failed after %v: %w", cause, err)
+		if rsp != nil {
+			rsp.Str("error", err.Error()).End()
+		}
+		return old, res, err
 	}
 	res.Elapsed = u.Options.World.Clock.Now().Sub(t0)
+	rsp.End()
 	return restored, res, nil
 }
 
