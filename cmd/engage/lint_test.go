@@ -1,0 +1,205 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"engage/internal/lint"
+)
+
+// RDL fixtures for the lint subcommand. lintUnsatRDL plus
+// lintUnsatPartial pin two sibling Db versions while App needs exactly
+// one — a canonical unsatisfiable specification.
+const lintUnsatRDL = `
+resource "M 1" { }
+abstract resource "Db" {
+    inside "M 1"
+    output { url: string = "u" }
+}
+resource "Db 1.0" extends "Db" {}
+resource "Db 2.0" extends "Db" {}
+resource "App 1" {
+    inside "M 1"
+    input { db: string }
+    env "Db" { url -> db }
+}`
+
+const lintUnsatPartial = `[
+  {"id": "m", "key": "M 1"},
+  {"id": "app", "key": "App 1", "inside": {"id": "m"}},
+  {"id": "db1", "key": "Db 1.0", "inside": {"id": "m"}},
+  {"id": "db2", "key": "Db 2.0", "inside": {"id": "m"}}
+]`
+
+// lintDefectRDL seeds one dead resource (App depends on a childless
+// abstract type) and one unused output port.
+const lintDefectRDL = `
+resource "M 1" {
+    output { extra: string = "x" }
+}
+abstract resource "Ghost" { inside "M 1" }
+resource "App 1" {
+    inside "M 1"
+    env "Ghost"
+}`
+
+func TestCmdLintCleanLibrary(t *testing.T) {
+	rdlFile := writeFile(t, "stack.rdl", cliRDL)
+	out, err := runCapture(t, "lint", rdlFile)
+	if err != nil {
+		t.Fatalf("lint: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "ok: no diagnostics (4 resource types)") {
+		t.Errorf("lint output: %s", out)
+	}
+}
+
+func TestCmdLintDefects(t *testing.T) {
+	rdlFile := writeFile(t, "bad.rdl", lintDefectRDL)
+	out, err := runCapture(t, "lint", rdlFile)
+	if err == nil {
+		t.Fatalf("lint of a defective library should exit nonzero:\n%s", out)
+	}
+	if !strings.Contains(err.Error(), "lint: 2 error(s)") {
+		t.Errorf("err = %v", err)
+	}
+	for _, want := range []string{
+		"error[empty-frontier]",
+		"error[dead-resource]",
+		"warning[unused-output]",
+		"2 error(s), 1 warning(s)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCmdLintUnsatSpec(t *testing.T) {
+	rdlFile := writeFile(t, "stack.rdl", lintUnsatRDL)
+	specFile := writeFile(t, "spec.json", lintUnsatPartial)
+	// Spec given as a positional operand, library via -rdl.
+	out, err := runCapture(t, "lint", "-rdl", rdlFile, specFile)
+	if err == nil {
+		t.Fatalf("lint of an unsat spec should exit nonzero:\n%s", out)
+	}
+	for _, want := range []string{
+		"error[spec-unsat]",
+		"jointly unsatisfiable (minimal core",
+		`the specification pins instance "db1" to Db 1.0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCmdLintJSON: -json output round-trips through the validating
+// reader, carrying the unsat explanation.
+func TestCmdLintJSON(t *testing.T) {
+	rdlFile := writeFile(t, "stack.rdl", lintUnsatRDL)
+	specFile := writeFile(t, "spec.json", lintUnsatPartial)
+	out, err := runCapture(t, "lint", "-json", "-rdl", rdlFile, "-partial", specFile)
+	if err == nil {
+		t.Fatal("lint -json of an unsat spec should still exit nonzero")
+	}
+	rep, rerr := lint.ReadReport(strings.NewReader(out))
+	if rerr != nil {
+		t.Fatalf("ReadReport: %v\n%s", rerr, out)
+	}
+	if rep.Unsat == nil || len(rep.Unsat.Core) != 4 {
+		t.Errorf("unsat core = %+v, want 4 constraints", rep.Unsat)
+	}
+	if rep.Library != rdlFile || rep.Spec != specFile {
+		t.Errorf("labels = %q %q", rep.Library, rep.Spec)
+	}
+}
+
+// TestCmdLintBundled: the shipped library must lint clean of errors;
+// its known warnings are unused-output on ports exported for consumers
+// outside the RDL sources (generated app types, the simulator).
+func TestCmdLintBundled(t *testing.T) {
+	out, err := runCapture(t, "lint")
+	if err != nil {
+		t.Fatalf("bundled library must lint without errors: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "0 error(s)") {
+		t.Errorf("lint output: %s", out)
+	}
+}
+
+// TestCmdLintTrace: -trace writes a valid trace containing the lint
+// spans, and trace report renders it.
+func TestCmdLintTrace(t *testing.T) {
+	rdlFile := writeFile(t, "stack.rdl", lintUnsatRDL)
+	specFile := writeFile(t, "spec.json", lintUnsatPartial)
+	tracePath := filepath.Join(t.TempDir(), "trace.jsonl")
+	if _, err := runCapture(t, "lint", "-rdl", rdlFile, "-partial", specFile, "-trace", tracePath); err == nil {
+		t.Fatal("unsat lint should exit nonzero")
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, span := range []string{"lint.library", "lint.spec"} {
+		if !strings.Contains(string(data), `"name":"`+span+`"`) {
+			t.Errorf("trace missing span %q", span)
+		}
+	}
+	if _, err := runCapture(t, "trace", "validate", tracePath); err != nil {
+		t.Errorf("trace validate: %v", err)
+	}
+	out, err := runCapture(t, "trace", "report", tracePath)
+	if err != nil {
+		t.Fatalf("trace report: %v", err)
+	}
+	for _, stage := range []string{"lint ", "lint.library", "lint.spec"} {
+		if !strings.Contains(out, stage) {
+			t.Errorf("trace report missing stage %q:\n%s", stage, out)
+		}
+	}
+}
+
+func TestCmdLintErrors(t *testing.T) {
+	if _, err := runCapture(t, "lint", "nope.xyz"); err == nil ||
+		!strings.Contains(err.Error(), "unrecognized operand") {
+		t.Errorf("err = %v", err)
+	}
+	a := writeFile(t, "a.json", "[]")
+	b := writeFile(t, "b.json", "[]")
+	if _, err := runCapture(t, "lint", a, b); err == nil ||
+		!strings.Contains(err.Error(), "two specifications") {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := runCapture(t, "lint", filepath.Join(t.TempDir(), "missing.rdl")); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+// TestCmdSolveTraceOnUnsat: a failed solve still closes the trace, so
+// the config.lint span explaining the conflict is inspectable.
+func TestCmdSolveTraceOnUnsat(t *testing.T) {
+	rdlFile := writeFile(t, "stack.rdl", lintUnsatRDL)
+	specFile := writeFile(t, "spec.json", lintUnsatPartial)
+	tracePath := filepath.Join(t.TempDir(), "trace.jsonl")
+	_, err := runCapture(t, "solve", "-rdl", rdlFile, "-partial", specFile, "-trace", tracePath)
+	if err == nil || !strings.Contains(err.Error(), "jointly unsatisfiable") {
+		t.Fatalf("solve err = %v, want unsat with explanation", err)
+	}
+	data, rerr := os.ReadFile(tracePath)
+	if rerr != nil {
+		t.Fatalf("trace not written on solve error: %v", rerr)
+	}
+	if !strings.Contains(string(data), `"name":"config.lint"`) {
+		t.Errorf("trace missing config.lint span:\n%s", data)
+	}
+	out, err := runCapture(t, "trace", "report", tracePath)
+	if err != nil {
+		t.Fatalf("trace report: %v", err)
+	}
+	if !strings.Contains(out, "config.lint") {
+		t.Errorf("trace report should list the lint stage:\n%s", out)
+	}
+}

@@ -2,6 +2,7 @@
 // management system:
 //
 //	engage check  file.rdl...                     statically check resource types
+//	engage lint   [-json] [files.rdl] [spec.json] run the static diagnostics engine
 //	engage solve  [-rdl files] -partial spec.json run the configuration engine
 //	engage explain [-rdl files] -partial spec.json show hypergraph + constraints
 //	engage deploy [-rdl files] -partial spec.json  configure and deploy (simulated)
@@ -28,6 +29,7 @@ import (
 	"engage/internal/deploy"
 	"engage/internal/hypergraph"
 	"engage/internal/library"
+	"engage/internal/lint"
 	"engage/internal/machine"
 	"engage/internal/paas"
 	"engage/internal/pkgmgr"
@@ -54,6 +56,8 @@ func run(args []string, out *os.File) error {
 	switch args[0] {
 	case "check":
 		return cmdCheck(args[1:], out)
+	case "lint":
+		return cmdLint(args[1:], out)
 	case "solve":
 		return cmdSolve(args[1:], out)
 	case "explain":
@@ -84,6 +88,10 @@ func usage(out *os.File) {
 
 commands:
   check   file.rdl...                      statically check resource types
+  lint    [-json] [file.rdl...] [spec.json]
+                                           static diagnostics: dead resources,
+                                           shadowed versions, unused ports, and
+                                           minimal-core unsat explanations
   solve   [-rdl f1,f2] -partial spec.json  compute a full installation spec
   explain [-rdl f1,f2] -partial spec.json  show the hypergraph and constraints
   deploy  [-rdl f1,f2] -partial spec.json  configure and deploy (simulated)
@@ -211,6 +219,109 @@ func cmdCheck(args []string, out *os.File) error {
 	return nil
 }
 
+// cmdLint runs the static diagnostics engine over a resource library
+// and, optionally, a partial installation specification. Unlike check
+// and solve it never fails on a malformed library: type errors come
+// back as diagnostics, and an unsatisfiable specification comes back
+// with a minimal-core conflict story instead of a bare "unsat".
+func cmdLint(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("lint", flag.ContinueOnError)
+	rdlFiles := fs.String("rdl", "", "comma-separated RDL files (default: bundled library)")
+	partialPath := fs.String("partial", "", "partial installation specification to lint (JSON)")
+	jsonOut := fs.Bool("json", false, "emit the report as machine-readable JSON")
+	tracePath := fs.String("trace", "", "write a JSON-lines telemetry trace to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	// Positional operands are accepted too: *.rdl files extend the
+	// library, a *.json file is the spec.
+	files := []string{}
+	if *rdlFiles != "" {
+		files = strings.Split(*rdlFiles, ",")
+	}
+	for _, a := range fs.Args() {
+		switch {
+		case strings.HasSuffix(a, ".rdl"):
+			files = append(files, a)
+		case strings.HasSuffix(a, ".json"):
+			if *partialPath != "" {
+				return fmt.Errorf("lint: two specifications given (%s and %s)", *partialPath, a)
+			}
+			*partialPath = a
+		default:
+			return fmt.Errorf("lint: unrecognized operand %q (want .rdl or .json)", a)
+		}
+	}
+
+	var tr *telemetry.Tracer
+	var closeTrace func() error
+	if *tracePath != "" {
+		var err error
+		if tr, closeTrace, err = openTrace(*tracePath, nil); err != nil {
+			return err
+		}
+	}
+
+	// Parse without typechecking: lint reports type problems itself.
+	libLabel := "<bundled>"
+	sources := library.Sources()
+	if len(files) > 0 {
+		libLabel = strings.Join(files, ",")
+		sources = make(map[string]string)
+		for _, f := range files {
+			data, err := os.ReadFile(f)
+			if err != nil {
+				return err
+			}
+			sources[f] = string(data)
+		}
+	}
+	reg, err := rdl.ParseAndResolve(sources)
+	if err != nil {
+		return err
+	}
+
+	var p *spec.Partial
+	if *partialPath != "" {
+		if p, err = loadPartial(*partialPath); err != nil {
+			return err
+		}
+	}
+
+	rep := lint.Check(reg, p, lint.Options{Tracer: tr})
+	rep.Library = libLabel
+	rep.Spec = *partialPath
+	if closeTrace != nil {
+		if err := closeTrace(); err != nil {
+			return err
+		}
+	}
+
+	if *jsonOut {
+		if err := rep.WriteJSON(out); err != nil {
+			return err
+		}
+	} else {
+		for _, d := range rep.Diagnostics {
+			fmt.Fprintln(out, d)
+		}
+		if rep.Unsat != nil {
+			fmt.Fprintln(out)
+			fmt.Fprintln(out, rep.Unsat.Story())
+		}
+		if len(rep.Diagnostics) == 0 {
+			fmt.Fprintf(out, "ok: no diagnostics (%d resource types)\n", reg.Len())
+		} else {
+			fmt.Fprintf(out, "%d error(s), %d warning(s)\n",
+				rep.Count(lint.Error), rep.Count(lint.Warning))
+		}
+	}
+	if rep.HasErrors() {
+		return fmt.Errorf("lint: %d error(s)", rep.Count(lint.Error))
+	}
+	return nil
+}
+
 func cmdSolve(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("solve", flag.ContinueOnError)
 	rdlFiles := fs.String("rdl", "", "comma-separated RDL files (default: bundled library)")
@@ -266,6 +377,14 @@ func cmdSolve(args []string, out *os.File) error {
 		full, st, err = eng.ConfigureStats(p)
 	}
 	if err != nil {
+		// Close the trace anyway: the config spans (including the
+		// config.lint explanation of an unsat spec) are exactly what
+		// the user wants to inspect after a failed solve.
+		if closeTrace != nil {
+			if cerr := closeTrace(); cerr != nil {
+				return fmt.Errorf("%v (also: %v)", err, cerr)
+			}
+		}
 		return err
 	}
 	text, err := spec.Render(full)

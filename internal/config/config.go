@@ -10,10 +10,12 @@ package config
 import (
 	"fmt"
 	"runtime"
+	"sync"
 	"time"
 
 	"engage/internal/constraint"
 	"engage/internal/hypergraph"
+	"engage/internal/lint"
 	"engage/internal/resource"
 	"engage/internal/sat"
 	"engage/internal/spec"
@@ -53,6 +55,17 @@ type Engine struct {
 	// Metrics, when non-nil, absorbs Stats (see Stats.Publish) plus
 	// per-solve solver effort counters.
 	Metrics *telemetry.Registry
+
+	// lastUnsat memoizes the lint explanation of the most recent
+	// unsatisfiable partial specification, keyed by pointer identity:
+	// retry loops (deployment self-healing re-runs Configure on the
+	// same *spec.Partial) get the cached explanation instead of paying
+	// the MUS derivation again.
+	mu        sync.Mutex
+	lastUnsat struct {
+		partial *spec.Partial
+		expl    *lint.UnsatExplanation
+	}
 }
 
 // New returns an engine over a registry with default solver settings.
@@ -110,10 +123,46 @@ func (m stageMeter) stop(wall *time.Duration, alloc *uint64) {
 
 // UnsatError is returned when no full installation specification extends
 // the partial specification (Theorem 1's "iff" in the negative).
-type UnsatError struct{}
+// Explanation, when non-nil, carries the diagnostics engine's minimal
+// unsatisfiable subset naming the conflicting instances and resources.
+type UnsatError struct {
+	Explanation *lint.UnsatExplanation
+}
 
-func (UnsatError) Error() string {
-	return "config: no full installation specification extends the partial specification (constraints unsatisfiable)"
+func (e UnsatError) Error() string {
+	const msg = "config: no full installation specification extends the partial specification (constraints unsatisfiable)"
+	if e.Explanation == nil {
+		return msg
+	}
+	return msg + "\n" + e.Explanation.Story()
+}
+
+// unsatError builds the UnsatError for a partial specification whose
+// constraints came back unsatisfiable, deriving (or recalling) the
+// minimal-core explanation. The derivation runs once per partial: a
+// retry on the same *spec.Partial reuses the cached explanation.
+func (e *Engine) unsatError(g *hypergraph.Graph, parent *telemetry.Span, partial *spec.Partial) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.lastUnsat.partial == partial {
+		return UnsatError{Explanation: e.lastUnsat.expl}
+	}
+	sp := parent.Child("config.lint")
+	expl := lint.ExplainGraphUnsat(g, lint.Options{Encoding: e.Encoding, Solver: e.Solver})
+	if expl != nil && len(expl.Core) == 0 {
+		// A degenerate session (e.g. a stub solver with no real core)
+		// explains nothing; drop it rather than tell an empty story.
+		expl = nil
+	}
+	if expl != nil {
+		sp.Int("mus", int64(len(expl.Core))).
+			Int("rawCore", int64(expl.RawCoreSize)).
+			Int("solves", int64(expl.Solves))
+	}
+	sp.End()
+	e.lastUnsat.partial = partial
+	e.lastUnsat.expl = expl
+	return UnsatError{Explanation: expl}
 }
 
 // Configure computes a full installation specification extending the
@@ -176,7 +225,7 @@ func (e *Engine) ConfigureStats(partial *spec.Partial) (full *spec.Full, st Stat
 	switch res.Status {
 	case sat.Sat:
 	case sat.Unsat:
-		return nil, st, UnsatError{}
+		return nil, st, e.unsatError(g, root, partial)
 	default:
 		return nil, st, fmt.Errorf("config: solver %q gave up", solver.Name())
 	}

@@ -64,7 +64,12 @@ func TestConfigureErrorPaths(t *testing.T) {
 				p.Add("db2", resource.MakeKey("Db", "2.0")).In("m")
 				return reg, p
 			},
-			wantErr: "config: no full installation specification extends the partial specification (constraints unsatisfiable)",
+			wantErr: "config: no full installation specification extends the partial specification (constraints unsatisfiable)\n" +
+				"these 4 constraints are jointly unsatisfiable (minimal core, shrunk from a solver core of 4):\n" +
+				"  - the specification pins instance \"app\" to App 1\n" +
+				"  - the specification pins instance \"db1\" to Db 1.0\n" +
+				"  - the specification pins instance \"db2\" to Db 2.0\n" +
+				"  - instance \"app\" (App 1) requires exactly one environment dependency among \"db1\" (Db 1.0), \"db2\" (Db 2.0)",
 		},
 		{
 			name: "static config port without value",
@@ -199,5 +204,54 @@ func TestConfigureErrorPaths(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// TestUnsatExplanationCached: the MUS explanation is derived once per
+// partial specification — a retry loop re-running Configure on the same
+// *spec.Partial (the self-healing deployment path) gets the cached
+// explanation back instead of paying the shrink again.
+func TestUnsatExplanationCached(t *testing.T) {
+	db := resource.Key{Name: "Db"}
+	reg := buildRegistry(t,
+		&resource.Type{Key: db, Abstract: true, Inside: insideBox()},
+		&resource.Type{Key: resource.MakeKey("Db", "1.0"), Extends: &db},
+		&resource.Type{Key: resource.MakeKey("Db", "2.0"), Extends: &db},
+		&resource.Type{Key: resource.MakeKey("App", "1"), Inside: insideBox(),
+			Env: []resource.Dependency{{Alternatives: []resource.Key{db}}}},
+	)
+	p := &spec.Partial{}
+	p.Add("m", box)
+	p.Add("app", resource.MakeKey("App", "1")).In("m")
+	p.Add("db1", resource.MakeKey("Db", "1.0")).In("m")
+	p.Add("db2", resource.MakeKey("Db", "2.0")).In("m")
+
+	eng := New(reg)
+	var ue1, ue2 UnsatError
+	if _, err := eng.Configure(p); !errors.As(err, &ue1) || ue1.Explanation == nil {
+		t.Fatalf("first Configure: %v", err)
+	}
+	if _, err := eng.Configure(p); !errors.As(err, &ue2) {
+		t.Fatalf("second Configure: %v", err)
+	}
+	if ue1.Explanation != ue2.Explanation {
+		t.Error("explanation re-derived on retry; want the cached pointer")
+	}
+	if len(ue1.Explanation.Core) != 4 {
+		t.Errorf("MUS size = %d, want 4", len(ue1.Explanation.Core))
+	}
+
+	// A distinct partial (same content) is a new derivation.
+	p2 := &spec.Partial{}
+	p2.Add("m", box)
+	p2.Add("app", resource.MakeKey("App", "1")).In("m")
+	p2.Add("db1", resource.MakeKey("Db", "1.0")).In("m")
+	p2.Add("db2", resource.MakeKey("Db", "2.0")).In("m")
+	var ue3 UnsatError
+	if _, err := eng.Configure(p2); !errors.As(err, &ue3) || ue3.Explanation == nil {
+		t.Fatalf("third Configure: %v", err)
+	}
+	if ue3.Explanation == ue1.Explanation {
+		t.Error("distinct partials must not share a cached explanation")
 	}
 }

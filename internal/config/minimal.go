@@ -43,7 +43,7 @@ func (e *Engine) ConfigureMinimal(partial *spec.Partial) (*spec.Full, error) {
 	switch res.Status {
 	case sat.Sat:
 	case sat.Unsat:
-		return nil, UnsatError{}
+		return nil, e.unsatError(g, root, partial)
 	default:
 		return nil, fmt.Errorf("config: solver %q gave up", solver.Name())
 	}

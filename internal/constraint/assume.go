@@ -1,0 +1,166 @@
+package constraint
+
+// This file is the provenance-carrying variant of Encode, built for
+// static diagnostics: every constraint group — one per partial-spec
+// instance, one per dependency hyperedge — is guarded by a fresh
+// selector variable instead of being asserted outright. Solving under
+// the assumption "all selectors true" is equivalent to solving the
+// plain encoding, but an Unsat answer now comes with an assumption
+// core naming the guilty groups, which internal/lint shrinks to a
+// minimal unsatisfiable subset and translates back into resources,
+// versions, and dependency edges (the constraint → hyperedge →
+// resource mapping the lint engine's conflict stories are built from).
+
+import (
+	"engage/internal/hypergraph"
+	"engage/internal/sat"
+)
+
+// GroupKind says what kind of constraint a selector guards.
+type GroupKind int
+
+// The group kinds.
+const (
+	// GroupSpec guards the unit constraint rsrc(v) of one partial-spec
+	// instance.
+	GroupSpec GroupKind = iota
+	// GroupEdge guards the exactly-one constraint of one dependency
+	// hyperedge.
+	GroupEdge
+)
+
+func (k GroupKind) String() string {
+	switch k {
+	case GroupSpec:
+		return "spec"
+	case GroupEdge:
+		return "edge"
+	default:
+		return "group?"
+	}
+}
+
+// Group is the provenance of one guarded constraint group.
+type Group struct {
+	Kind GroupKind
+	// Instance is the node ID whose unit constraint this is (GroupSpec)
+	// or the hyperedge's source node ID (GroupEdge).
+	Instance string
+	// Edge indexes the hyperedge in the graph's Edges slice (GroupEdge
+	// only; -1 for GroupSpec).
+	Edge int
+}
+
+// AssumableProblem is a generated SAT problem whose constraint groups
+// are individually switchable through assumption literals.
+type AssumableProblem struct {
+	*Problem
+	// Selectors holds one positive literal per group; assuming all of
+	// them reproduces the plain encoding. Selector variables map to ""
+	// in IDOf.
+	Selectors []sat.Lit
+	// Groups[i] is the provenance of Selectors[i].
+	Groups []Group
+	// groupOf maps a selector variable back to its group index.
+	groupOf map[int]int
+}
+
+// GroupFor returns the provenance of a selector literal (by variable).
+func (p *AssumableProblem) GroupFor(l sat.Lit) (Group, bool) {
+	i, ok := p.groupOf[l.Var()]
+	if !ok {
+		return Group{}, false
+	}
+	return p.Groups[i], true
+}
+
+// EncodeAssumable generates the Boolean constraints for a hypergraph
+// with one selector variable per constraint group. The node↔variable
+// mapping is identical to Encode's; selectors and encoding auxiliaries
+// are appended after the node variables.
+func EncodeAssumable(g *hypergraph.Graph, enc Encoding) *AssumableProblem {
+	f := sat.NewFormula(g.Len())
+	p := &AssumableProblem{
+		Problem: &Problem{
+			Formula: f,
+			VarOf:   make(map[string]int, g.Len()),
+			IDOf:    make([]string, g.Len()+1),
+		},
+		groupOf: make(map[int]int),
+	}
+	for i, id := range g.Order {
+		v := i + 1
+		p.VarOf[id] = v
+		p.IDOf[v] = id
+	}
+
+	addGroup := func(gr Group) sat.Lit {
+		s := sat.Lit(f.AddVar())
+		p.groupOf[s.Var()] = len(p.Groups)
+		p.Selectors = append(p.Selectors, s)
+		p.Groups = append(p.Groups, gr)
+		return s
+	}
+
+	// Unit constraints for partial-spec instances: s → rsrc(v).
+	for _, n := range g.Nodes() {
+		if n.FromSpec {
+			s := addGroup(Group{Kind: GroupSpec, Instance: n.ID, Edge: -1})
+			f.Add(s.Neg(), sat.Lit(p.VarOf[n.ID]))
+		}
+	}
+
+	// Dependency constraints, one guarded group per hyperedge.
+	for ei, e := range g.Edges {
+		s := addGroup(Group{Kind: GroupEdge, Instance: e.Source, Edge: ei})
+		src := sat.Lit(p.VarOf[e.Source])
+		lits := make([]sat.Lit, len(e.Targets))
+		for i, t := range e.Targets {
+			lits[i] = sat.Lit(p.VarOf[t])
+		}
+		addGuardedImpliesExactlyOne(f, enc, s, src, lits)
+	}
+
+	for len(p.IDOf) < f.NumVars+1 {
+		p.IDOf = append(p.IDOf, "")
+	}
+	return p
+}
+
+// addGuardedImpliesExactlyOne encodes s → (src → ⊕lits): the plain
+// encoding of Encode with ¬s added to every clause, so dropping the s
+// assumption disables the whole group.
+func addGuardedImpliesExactlyOne(f *sat.Formula, enc Encoding, s, src sat.Lit, lits []sat.Lit) {
+	guard := s.Neg()
+	if enc == Ladder && len(lits) > 3 {
+		// Sequential at-most-one over lits, every clause carrying both
+		// the group guard and ¬src (mirrors addImpliesExactlyOneLadder).
+		n := len(lits)
+		c := make([]sat.Lit, 0, n+2)
+		c = append(c, guard, src.Neg())
+		c = append(c, lits...)
+		f.Add(c...)
+		aux := make([]sat.Lit, n-1)
+		for i := range aux {
+			aux[i] = sat.Lit(f.AddVar())
+		}
+		f.Add(guard, src.Neg(), lits[0].Neg(), aux[0])
+		for i := 1; i < n-1; i++ {
+			f.Add(guard, src.Neg(), aux[i-1].Neg(), aux[i])
+			f.Add(guard, src.Neg(), lits[i].Neg(), aux[i])
+			f.Add(guard, src.Neg(), lits[i].Neg(), aux[i-1].Neg())
+		}
+		f.Add(guard, src.Neg(), lits[n-1].Neg(), aux[n-2].Neg())
+		return
+	}
+	// Pairwise: at-least-one plus guarded at-most-one pairs.
+	c := make([]sat.Lit, 0, len(lits)+2)
+	c = append(c, guard, src.Neg())
+	c = append(c, lits...)
+	f.Add(c...)
+	for i := 0; i < len(lits); i++ {
+		for j := i + 1; j < len(lits); j++ {
+			f.Add(guard, src.Neg(), lits[i].Neg(), lits[j].Neg())
+		}
+	}
+}

@@ -151,7 +151,7 @@ func (d *Deployment) DeployConcurrent() error {
 				var wstart time.Time
 				if trace {
 					rec = actionRecord{action: action, start: actStart}
-					wstart = time.Now()
+					wstart = time.Now() //engage:wallclock span wall-duration axis
 				}
 				// saveRec files the action's trace record; caller holds mu.
 				saveRec := func(failErr string, timedOut bool) {
@@ -162,7 +162,7 @@ func (d *Deployment) DeployConcurrent() error {
 					rec.end = sink.total()
 					rec.err = failErr
 					rec.timeout = timedOut
-					rec.wall = time.Since(wstart)
+					rec.wall = time.Since(wstart) //engage:wallclock span wall-duration axis
 					recsByInst[inst.ID] = append(recsByInst[inst.ID], rec)
 				}
 				mu.Lock()

@@ -321,7 +321,7 @@ func (d *Deployment) driveTo(id string, target driver.State, sink *costSink, vba
 		sp := parent.Child("deploy.action")
 		var wstart time.Time
 		if sp != nil {
-			wstart = time.Now()
+			wstart = time.Now() //engage:wallclock span wall-duration axis
 		}
 		before := sink.d
 		attempts, err := d.fireWithRetry(drv, id, action, sink, d, sp, vbase)
@@ -331,6 +331,7 @@ func (d *Deployment) driveTo(id string, target driver.State, sink *costSink, vba
 			if err != nil {
 				sp.Str("error", err.Error())
 			}
+			//engage:wallclock span wall-duration axis
 			sp.At(vbase.Add(before), vbase.Add(sink.d)).Wall(time.Since(wstart)).End()
 		}
 		d.opts.Metrics.Counter("deploy.actions").Inc()

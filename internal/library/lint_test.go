@@ -1,0 +1,35 @@
+package library_test
+
+import (
+	"testing"
+
+	"engage/internal/library"
+	"engage/internal/lint"
+)
+
+// TestBundledLibraryLint documents the diagnostic profile of the
+// shipped resource library: zero errors, and every warning is an
+// unused-output on a port that is exported for consumers outside the
+// RDL sources — generated Django app types bind MySQL's "dj_db" at
+// registration time, and the simulated machine substrate reads the
+// "os"/"host" exports of machine types. Keeping them is deliberate;
+// this test pins that the set never silently grows a new error class.
+func TestBundledLibraryLint(t *testing.T) {
+	reg, err := library.Registry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := lint.Library(reg, lint.Options{})
+	if rep.HasErrors() {
+		t.Fatalf("bundled library has lint errors:\n%v", rep.Diagnostics)
+	}
+	for _, d := range rep.Diagnostics {
+		if d.Code != lint.CodeUnusedOutput {
+			t.Errorf("unexpected diagnostic class %s: %s", d.Code, d)
+		}
+	}
+	if n := rep.Count(lint.Warning); n != 10 {
+		t.Errorf("bundled library warning count = %d, want 10 (update this "+
+			"test and DESIGN.md §10 if the library changed)", n)
+	}
+}

@@ -1,0 +1,94 @@
+package lint_test
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"engage/internal/lint"
+)
+
+// TestJSONRoundTrip: a report with diagnostics at every level and an
+// unsat explanation survives WriteJSON → ReadReport unchanged.
+func TestJSONRoundTrip(t *testing.T) {
+	reg := parseLib(t, specRDL)
+	rep := lint.Check(reg, unsatPartial(), lint.Options{})
+	rep.Library = "lib.rdl"
+	rep.Spec = "spec.json"
+	if rep.Unsat == nil || len(rep.Diagnostics) == 0 {
+		t.Fatalf("fixture did not produce an unsat report: %v", rep.Diagnostics)
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := lint.ReadReport(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadReport: %v\n%s", err, buf.String())
+	}
+	if !reflect.DeepEqual(back.Diagnostics, rep.Diagnostics) {
+		t.Errorf("diagnostics changed:\n got %+v\nwant %+v", back.Diagnostics, rep.Diagnostics)
+	}
+	if !reflect.DeepEqual(back.Unsat, rep.Unsat) {
+		t.Errorf("explanation changed:\n got %+v\nwant %+v", back.Unsat, rep.Unsat)
+	}
+	if back.Library != "lib.rdl" || back.Spec != "spec.json" {
+		t.Errorf("labels changed: %q %q", back.Library, back.Spec)
+	}
+}
+
+// TestJSONEmptyReport: a clean report round-trips with an empty (not
+// null) diagnostics array.
+func TestJSONEmptyReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&lint.Report{}).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"diagnostics": []`) {
+		t.Errorf("empty report should render an empty array:\n%s", buf.String())
+	}
+	back, err := lint.ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Diagnostics) != 0 || back.Unsat != nil {
+		t.Errorf("unexpected content: %+v", back)
+	}
+}
+
+// TestReadReportValidates: the reader rejects envelopes that are
+// structurally JSON but semantically wrong.
+func TestReadReportValidates(t *testing.T) {
+	cases := []struct {
+		name, doc, wantErr string
+	}{
+		{"bad version", `{"version": 2, "diagnostics": []}`, "unsupported report version"},
+		{"unknown field", `{"version": 1, "diagnostics": [], "bogus": true}`, "invalid report"},
+		{"unknown code", `{"version": 1, "errors": 1, "diagnostics": [
+			{"code": "made-up", "severity": "error", "message": "m"}]}`, `unknown code "made-up"`},
+		{"wrong severity", `{"version": 1, "warnings": 1, "diagnostics": [
+			{"code": "dead-resource", "severity": "warning", "message": "m"}]}`, "has severity warning, want error"},
+		{"bad severity name", `{"version": 1, "diagnostics": [
+			{"code": "dead-resource", "severity": "fatal", "message": "m"}]}`, `unknown severity "fatal"`},
+		{"empty message", `{"version": 1, "errors": 1, "diagnostics": [
+			{"code": "dead-resource", "severity": "error", "message": ""}]}`, "has no message"},
+		{"count mismatch", `{"version": 1, "errors": 2, "diagnostics": [
+			{"code": "dead-resource", "severity": "error", "message": "m"}]}`, "do not match"},
+		{"orphan explanation", `{"version": 1, "diagnostics": [],
+			"unsat": {"selectors": 1, "rawCore": 1, "solves": 1, "core": []}}`, "must come together"},
+		{"mus exceeds core", `{"version": 1, "errors": 1, "diagnostics": [
+			{"code": "spec-unsat", "severity": "error", "message": "m"}],
+			"unsat": {"selectors": 3, "rawCore": 1, "solves": 1, "core": [
+				{"kind": "spec", "instance": "a"}, {"kind": "spec", "instance": "b"}]}}`, "MUS larger than the raw core"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := lint.ReadReport(strings.NewReader(tc.doc))
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("err = %v, want containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}

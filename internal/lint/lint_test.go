@@ -1,0 +1,378 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"engage/internal/lint"
+	"engage/internal/rdl"
+	"engage/internal/resource"
+	"engage/internal/spec"
+)
+
+func parseLib(t *testing.T, src string) *resource.Registry {
+	t.Helper()
+	reg, err := rdl.ParseAndResolve(map[string]string{"lib.rdl": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+// one asserts the report holds exactly one diagnostic with the code and
+// returns it.
+func one(t *testing.T, rep *lint.Report, code string) lint.Diagnostic {
+	t.Helper()
+	ds := rep.ByCode(code)
+	if len(ds) != 1 {
+		t.Fatalf("got %d %s diagnostics, want 1; report: %v", len(ds), code, rep.Diagnostics)
+	}
+	return ds[0]
+}
+
+func wantMessage(t *testing.T, d lint.Diagnostic, want string) {
+	t.Helper()
+	if d.Message != want {
+		t.Errorf("message mismatch\n got: %s\nwant: %s", d.Message, want)
+	}
+}
+
+// Each library-level diagnostic code gets a minimal seeded-defect
+// fixture with an exact-message assertion.
+
+func TestTypecheckDiagnostics(t *testing.T) {
+	reg := parseLib(t, `
+resource "M 1" {
+    input { x: string }
+}`)
+	rep := lint.Library(reg, lint.Options{})
+	ds := rep.ByCode(lint.CodeTypecheck)
+	if len(ds) != 2 {
+		t.Fatalf("got %d typecheck diagnostics, want 2: %v", len(ds), rep.Diagnostics)
+	}
+	wantMessage(t, ds[0], `type "M 1": machine (no inside dependency) must not have input ports`)
+	wantMessage(t, ds[1], `type "M 1": input port "x" is not mapped by any dependency`)
+	if ds[0].Severity != lint.Error || ds[0].Subject != "M 1" || ds[0].Pos != "lib.rdl:2:1" {
+		t.Errorf("diagnostic metadata wrong: %+v", ds[0])
+	}
+}
+
+func TestDepCycleDiagnostic(t *testing.T) {
+	reg := parseLib(t, `
+resource "M 1" { }
+resource "A 1" {
+    inside "M 1"
+    peer "B 1"
+}
+resource "B 1" {
+    inside "M 1"
+    peer "A 1"
+}`)
+	rep := lint.Library(reg, lint.Options{})
+	d := one(t, rep, lint.CodeDepCycle)
+	wantMessage(t, d, `dependency cycle among resource types: A 1 -> B 1 -> A 1`)
+	if d.Subject != "A 1" || d.Severity != lint.Error {
+		t.Errorf("diagnostic metadata wrong: %+v", d)
+	}
+}
+
+const deadRDL = `
+resource "M 1" { }
+abstract resource "Db" {
+    inside "M 1"
+    output { url: string = "u" }
+}
+resource "App 1" {
+    inside "M 1"
+    input { db: string }
+    output { addr: string = "a" }
+    env "Db" { url -> db }
+}
+resource "Top 1" {
+    inside "M 1"
+    input { a: string }
+    env "App 1" { addr -> a }
+}`
+
+func TestEmptyFrontierAndDeadResourceDiagnostics(t *testing.T) {
+	reg := parseLib(t, deadRDL)
+	rep := lint.Library(reg, lint.Options{})
+
+	ef := one(t, rep, lint.CodeEmptyFrontier)
+	wantMessage(t, ef, `abstract resource "Db" has no concrete subtype; no dependency on it can ever be satisfied`)
+	if ef.Pos != "lib.rdl:3:1" {
+		t.Errorf("empty-frontier pos = %q, want lib.rdl:3:1", ef.Pos)
+	}
+
+	dead := rep.ByCode(lint.CodeDeadResource)
+	if len(dead) != 2 {
+		t.Fatalf("got %d dead-resource diagnostics, want 2: %v", len(dead), rep.Diagnostics)
+	}
+	wantMessage(t, dead[0], `resource "App 1" can never be deployed: its environment dependency Db has no deployable target`)
+	wantMessage(t, dead[1], `resource "Top 1" can never be deployed: every candidate of its environment dependency App 1 is itself undeployable`)
+	if rep.Count(lint.Error) != 3 {
+		t.Errorf("errors = %d, want 3", rep.Count(lint.Error))
+	}
+}
+
+func TestUnreachableVersionDiagnostic(t *testing.T) {
+	reg := parseLib(t, `
+resource "M 1" { }
+abstract resource "Db" {
+    inside "M 1"
+    output { url: string = "u" }
+}
+resource "Db 1.0" extends "Db" {}
+resource "Db 2.0" {
+    inside "M 1"
+    output { url: string = "u" }
+}
+resource "App 1" {
+    inside "M 1"
+    input { db: string }
+    env "Db" { url -> db }
+}`)
+	rep := lint.Library(reg, lint.Options{})
+	d := one(t, rep, lint.CodeUnreachableVersion)
+	wantMessage(t, d, `resource "Db 2.0" can never be chosen for a dependency, but other versions of "Db" can; it is shadowed by the subtyping frontier`)
+	if d.Severity != lint.Warning || rep.HasErrors() {
+		t.Errorf("unexpected severities: %v", rep.Diagnostics)
+	}
+}
+
+func TestUnusedOutputDiagnostic(t *testing.T) {
+	reg := parseLib(t, `
+resource "M 1" { }
+resource "Db 1" {
+    inside "M 1"
+    output {
+        url: string = "u"
+        extra: string = "x"
+    }
+}
+resource "App 1" {
+    inside "M 1"
+    input { db: string }
+    env "Db 1" { url -> db }
+}`)
+	rep := lint.Library(reg, lint.Options{})
+	d := one(t, rep, lint.CodeUnusedOutput)
+	wantMessage(t, d, `output port "extra" of "Db 1" is never read: no dependency in the library maps it`)
+	if !strings.HasPrefix(d.Pos, "lib.rdl:7:") {
+		t.Errorf("pos = %q, want the extra port's declaration (lib.rdl:7:*)", d.Pos)
+	}
+}
+
+func TestPortMismatchDiagnostic(t *testing.T) {
+	reg := parseLib(t, `
+resource "M 1" { }
+abstract resource "Db" {
+    inside "M 1"
+    output { url: string = "u" }
+}
+resource "Db 1.0" extends "Db" {
+    output { url: tcp_port = 5432 }
+}
+resource "App 1" {
+    inside "M 1"
+    input { db: string }
+    env "Db" { url -> db }
+}`)
+	rep := lint.Library(reg, lint.Options{})
+	d := one(t, rep, lint.CodePortMismatch)
+	wantMessage(t, d, `environment dependency Db of "App 1" may resolve to "Db 1.0", whose output "url" (tcp_port) is not assignable to input "db" (string)`)
+	// The drifted extension itself is the typecheck's finding; the
+	// use-site impact is lint's.
+	if len(rep.ByCode(lint.CodeTypecheck)) == 0 {
+		t.Errorf("expected an invalid-extension typecheck diagnostic alongside port-mismatch: %v", rep.Diagnostics)
+	}
+}
+
+// specRDL is the satisfiable two-version library the spec-level tests
+// pin into conflicts.
+const specRDL = `
+resource "M 1" { }
+abstract resource "Db" {
+    inside "M 1"
+    output { url: string = "u" }
+}
+resource "Db 1.0" extends "Db" {}
+resource "Db 2.0" extends "Db" {}
+resource "App 1" {
+    inside "M 1"
+    input { db: string }
+    env "Db" { url -> db }
+}`
+
+func unsatPartial() *spec.Partial {
+	p := &spec.Partial{}
+	p.Add("m", resource.MakeKey("M", "1"))
+	p.Add("app", resource.MakeKey("App", "1")).In("m")
+	p.Add("db1", resource.MakeKey("Db", "1.0")).In("m")
+	p.Add("db2", resource.MakeKey("Db", "2.0")).In("m")
+	return p
+}
+
+func TestSpecInvalidDiagnostic(t *testing.T) {
+	reg := parseLib(t, specRDL)
+	p := &spec.Partial{}
+	p.Add("x", resource.MakeKey("Nope", ""))
+	rep := lint.Check(reg, p, lint.Options{})
+	d := one(t, rep, lint.CodeSpecInvalid)
+	wantMessage(t, d, `specification rejected: hypergraph: instance "x": unknown resource type "Nope"`)
+}
+
+func TestSpecUnsatDiagnostic(t *testing.T) {
+	reg := parseLib(t, specRDL)
+	rep := lint.Check(reg, unsatPartial(), lint.Options{})
+	d := one(t, rep, lint.CodeSpecUnsat)
+
+	e := rep.Unsat
+	if e == nil {
+		t.Fatal("unsat explanation missing")
+	}
+	if len(e.Core) != 4 {
+		t.Fatalf("MUS size = %d, want 4: %+v", len(e.Core), e.Core)
+	}
+	if e.RawCoreSize < len(e.Core) || e.Solves < 2 {
+		t.Errorf("implausible stats: %+v", e)
+	}
+	const conflict = `the specification pins instance "app" to App 1; ` +
+		`the specification pins instance "db1" to Db 1.0; ` +
+		`the specification pins instance "db2" to Db 2.0; ` +
+		`instance "app" (App 1) requires exactly one environment dependency among "db1" (Db 1.0), "db2" (Db 2.0)`
+	want := `no full installation satisfies the specification: ` +
+		`minimal conflict (4 of 8 constraints, shrunk from a core of ` +
+		itoa(e.RawCoreSize) + `): ` + conflict
+	wantMessage(t, d, want)
+
+	story := e.Story()
+	for _, name := range []string{"App 1", "Db 1.0", "Db 2.0", `"db1"`, `"db2"`} {
+		if !strings.Contains(story, name) {
+			t.Errorf("story does not name %s:\n%s", name, story)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+func TestForcedChoiceDiagnostic(t *testing.T) {
+	reg := parseLib(t, `
+resource "M 1" { }
+abstract resource "Svc" {
+    inside "M 1"
+    output { addr: string = "s" }
+}
+resource "A 1" extends "Svc" {}
+resource "B 1" extends "Svc" {
+    input { db: string }
+    env "Db" { url -> db }
+}
+abstract resource "Db" {
+    inside "M 1"
+    output { url: string = "u" }
+}
+resource "Db 1.0" extends "Db" {}
+resource "Db 2.0" extends "Db" {}
+resource "App 1" {
+    inside "M 1"
+    input { svc: string }
+    env "Svc" { addr -> svc }
+}`)
+	p := &spec.Partial{}
+	p.Add("m", resource.MakeKey("M", "1"))
+	p.Add("app", resource.MakeKey("App", "1")).In("m")
+	p.Add("db1", resource.MakeKey("Db", "1.0")).In("m")
+	p.Add("db2", resource.MakeKey("Db", "2.0")).In("m")
+	rep := lint.Check(reg, p, lint.Options{})
+	d := one(t, rep, lint.CodeForcedChoice)
+	wantMessage(t, d, `the environment dependency of "app" is a forced choice: of 2 candidates only "a-1@m" (A 1) is feasible`)
+	if rep.Unsat != nil || len(rep.ByCode(lint.CodeSpecUnsat)) != 0 {
+		t.Errorf("satisfiable spec produced an unsat explanation: %v", rep.Diagnostics)
+	}
+}
+
+func TestNearConflictDiagnostic(t *testing.T) {
+	reg := parseLib(t, `
+resource "M 1" { }
+abstract resource "Svc" {
+    inside "M 1"
+    output { addr: string = "s" }
+}
+resource "A 1" extends "Svc" {}
+resource "B 1" extends "Svc" {}
+resource "C 1" extends "Svc" {
+    input { db: string }
+    env "Db" { url -> db }
+}
+abstract resource "Db" {
+    inside "M 1"
+    output { url: string = "u" }
+}
+resource "Db 1.0" extends "Db" {}
+resource "Db 2.0" extends "Db" {}
+resource "App 1" {
+    inside "M 1"
+    input { svc: string }
+    env "Svc" { addr -> svc }
+}`)
+	p := &spec.Partial{}
+	p.Add("m", resource.MakeKey("M", "1"))
+	p.Add("app", resource.MakeKey("App", "1")).In("m")
+	p.Add("db1", resource.MakeKey("Db", "1.0")).In("m")
+	p.Add("db2", resource.MakeKey("Db", "2.0")).In("m")
+	rep := lint.Check(reg, p, lint.Options{})
+	d := one(t, rep, lint.CodeNearConflict)
+	wantMessage(t, d, `the environment dependency of "app" cannot use "c-1@m" (C 1): every installation choosing one of them is unsatisfiable`)
+}
+
+// TestCleanLibrary: a coherent library and a satisfiable spec produce
+// no diagnostics at all.
+func TestCleanLibrary(t *testing.T) {
+	reg := parseLib(t, specRDL)
+	p := &spec.Partial{}
+	p.Add("m", resource.MakeKey("M", "1"))
+	p.Add("app", resource.MakeKey("App", "1")).In("m")
+	rep := lint.Check(reg, p, lint.Options{})
+	// The env edge app→{Db 1.0, Db 2.0} has two feasible targets and no
+	// infeasible ones: neither forced-choice nor near-conflict.
+	if len(rep.Diagnostics) != 0 {
+		t.Errorf("clean library produced diagnostics: %v", rep.Diagnostics)
+	}
+}
+
+func TestCodesTable(t *testing.T) {
+	codes := lint.Codes()
+	if len(codes) != 11 {
+		t.Errorf("Codes() = %v, want 11 entries", codes)
+	}
+	for _, c := range codes {
+		if _, ok := lint.CodeSeverity(c); !ok {
+			t.Errorf("CodeSeverity(%q) unknown", c)
+		}
+	}
+	if _, ok := lint.CodeSeverity("no-such-code"); ok {
+		t.Error("CodeSeverity accepted an unknown code")
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := lint.Diagnostic{Code: lint.CodeDeadResource, Severity: lint.Error, Pos: "lib.rdl:4:1", Message: "boom"}
+	if got := d.String(); got != "lib.rdl:4:1: error[dead-resource] boom" {
+		t.Errorf("String() = %q", got)
+	}
+	d.Pos = ""
+	if got := d.String(); got != "error[dead-resource] boom" {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -1,0 +1,41 @@
+package rdl
+
+import (
+	"strings"
+	"testing"
+
+	"engage/internal/resource"
+)
+
+// TestResolveTracksOrigins: resolved types and ports carry the source
+// position of their RDL declarations, for diagnostics to point at.
+func TestResolveTracksOrigins(t *testing.T) {
+	const src = `
+resource "Box 1" {
+    config { name: string = "box" }
+}
+resource "Svc 1" {
+    inside "Box 1"
+    output { addr: string = "here" }
+}`
+	reg, err := ParseAndResolve(map[string]string{"lib.rdl": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	box := reg.MustLookup(resource.MakeKey("Box", "1"))
+	if box.Origin != "lib.rdl:2:1" {
+		t.Fatalf("Box origin = %q, want lib.rdl:2:1", box.Origin)
+	}
+	svc := reg.MustLookup(resource.MakeKey("Svc", "1"))
+	if !strings.HasPrefix(svc.Origin, "lib.rdl:5:") {
+		t.Fatalf("Svc origin = %q, want lib.rdl:5:*", svc.Origin)
+	}
+	cp, ok := box.FindPort(resource.SecConfig, "name")
+	if !ok || !strings.HasPrefix(cp.Origin, "lib.rdl:3:") {
+		t.Fatalf("config port origin = %q (found %v), want lib.rdl:3:*", cp.Origin, ok)
+	}
+	op, ok := svc.FindPort(resource.SecOutput, "addr")
+	if !ok || !strings.HasPrefix(op.Origin, "lib.rdl:7:") {
+		t.Fatalf("output port origin = %q (found %v), want lib.rdl:7:*", op.Origin, ok)
+	}
+}

@@ -89,6 +89,7 @@ func lowerResource(d *ResourceDecl, versions versionIndex) (*resource.Type, erro
 		Key:      resource.ParseKey(d.Key),
 		Abstract: d.Abstract,
 		Doc:      d.Doc,
+		Origin:   d.Pos.String(),
 	}
 	if d.Extends != "" {
 		k := resource.ParseKey(d.Extends)
@@ -207,7 +208,7 @@ func lowerPorts(decls []*PortDecl) ([]resource.Port, error) {
 		if err != nil {
 			return nil, err
 		}
-		p := resource.Port{Name: pd.Name, Type: ty, Static: pd.Static}
+		p := resource.Port{Name: pd.Name, Type: ty, Static: pd.Static, Origin: pd.Pos.String()}
 		if pd.Def != nil {
 			e, err := lowerExpr(pd.Def)
 			if err != nil {

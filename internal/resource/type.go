@@ -68,6 +68,10 @@ type Port struct {
 	Type   PortType
 	Def    Expr // value definition; nil for input ports
 	Static bool
+	// Origin is the source position of the declaring RDL port clause
+	// ("file:line:col"); empty for programmatically built types.
+	// Diagnostics (internal/lint) point here.
+	Origin string
 }
 
 // Dependency is an inside, environment, or peer dependency (§3.1),
@@ -181,6 +185,11 @@ type Type struct {
 
 	// Doc is the doc comment from the RDL source, if any.
 	Doc string
+
+	// Origin is the source position of the RDL declaration
+	// ("file:line:col"); empty for programmatically built types.
+	// Diagnostics (internal/lint) point here.
+	Origin string
 }
 
 // IsMachine reports whether this type represents a physical or virtual

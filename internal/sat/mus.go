@@ -1,0 +1,95 @@
+package sat
+
+// This file implements minimal-unsatisfiable-subset (MUS) extraction
+// over assumption literals: given a set of assumptions that is jointly
+// inconsistent with the clause set, shrink it to a subset from which no
+// single assumption can be removed without restoring satisfiability.
+// This is the classic deletion-based algorithm run on an incremental
+// session, so every trial solve is a warm SolveAssuming — the same
+// machinery Engage's enumeration and minimization loops use. The lint
+// engine turns the resulting core into a human-readable conflict story
+// ("A requires B ≥ 3.1, but C pins B to 2.x") by mapping each surviving
+// assumption back to the constraint that introduced it.
+
+// ShrinkStats reports the effort of one ShrinkCore call.
+type ShrinkStats struct {
+	// Solves is the number of trial SolveAssuming calls made.
+	Solves int
+	// InitialSize and FinalSize are the core sizes before and after
+	// shrinking.
+	InitialSize int
+	FinalSize   int
+}
+
+// ShrinkCore reduces an unsatisfiable assumption set to a minimal one
+// by deletion: each assumption is tentatively dropped and the rest
+// re-solved; if still unsatisfiable the drop is committed (and the
+// working set is further pruned to the solver's returned core), else
+// the assumption is marked necessary and kept. The result is a MUS: a
+// subset of core that is still jointly inconsistent with the clause
+// set, from which removing any single element makes it consistent.
+//
+// The caller must pass an assumption set that SolveAssuming already
+// answered Unsat for (typically Result.Core); passing a satisfiable set
+// returns it unchanged. Order is preserved from the input.
+func ShrinkCore(inc IncrementalSolver, core []Lit) ([]Lit, ShrinkStats) {
+	st := ShrinkStats{InitialSize: len(core)}
+	work := append([]Lit(nil), core...)
+	needed := make(map[Lit]bool, len(work))
+
+	for i := 0; i < len(work); {
+		probe := work[i]
+		if needed[probe] {
+			i++
+			continue
+		}
+		trial := make([]Lit, 0, len(work)-1)
+		for _, l := range work {
+			if l != probe {
+				trial = append(trial, l)
+			}
+		}
+		res := inc.SolveAssuming(trial)
+		st.Solves++
+		switch res.Status {
+		case Unsat:
+			// probe is redundant. The solver's refined core is a subset
+			// of trial; intersecting against it prunes several
+			// assumptions per solve instead of one.
+			if res.Core != nil {
+				work = intersectPreservingOrder(trial, res.Core)
+			} else {
+				work = trial
+			}
+			i = 0 // restart the scan over the (smaller) working set
+		case Sat:
+			// probe is necessary: every remaining assumption set
+			// without it is satisfiable.
+			needed[probe] = true
+			i++
+		default:
+			// Solver gave up: keep the current (sound, possibly
+			// non-minimal) working set.
+			st.FinalSize = len(work)
+			return work, st
+		}
+	}
+	st.FinalSize = len(work)
+	return work, st
+}
+
+// intersectPreservingOrder returns the elements of a that are in b, in
+// a's order.
+func intersectPreservingOrder(a, b []Lit) []Lit {
+	inB := make(map[Lit]bool, len(b))
+	for _, l := range b {
+		inB[l] = true
+	}
+	out := make([]Lit, 0, len(b))
+	for _, l := range a {
+		if inB[l] {
+			out = append(out, l)
+		}
+	}
+	return out
+}

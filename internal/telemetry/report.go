@@ -37,15 +37,23 @@ func WriteReport(w io.Writer, t *Trace) {
 	writeMonitor(w, t)
 }
 
-// writeStages summarizes the front half: every configuration run with
-// its graph/encode/solve/build breakdown, then each deploy root.
+// writeStages summarizes the front half: every lint or configuration
+// run with its per-stage breakdown, then each deploy root.
 func writeStages(w io.Writer, t *Trace) {
+	lints := t.Spans("lint")
 	cfgs := t.Spans("config")
 	deps := t.Spans("deploy")
-	if len(cfgs) == 0 && len(deps) == 0 {
+	if len(lints) == 0 && len(cfgs) == 0 && len(deps) == 0 {
 		return
 	}
 	fmt.Fprintf(w, "\nstages:\n")
+	for _, l := range lints {
+		fmt.Fprintf(w, "  %-28s %s wall (%d errors, %d warnings)\n",
+			"lint", wall(l), l.Int("errors"), l.Int("warnings"))
+		for _, ch := range t.ChildSpans(l.ID) {
+			fmt.Fprintf(w, "    %-26s %s\n", ch.Name, wall(ch))
+		}
+	}
 	for _, c := range cfgs {
 		fmt.Fprintf(w, "  %-28s %s wall\n", "config", wall(c))
 		for _, ch := range t.ChildSpans(c.ID) {

@@ -31,6 +31,19 @@ import (
 // of §3.4, and the §3.4 requirement that disjunctive alternatives expose
 // identical port-map ranges.
 func CheckTypes(reg *resource.Registry) error {
+	errs := Problems(reg)
+	if err := checkAcyclic(reg); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
+}
+
+// Problems returns the individual per-type well-formedness violations
+// (everything CheckTypes reports except the dependency-cycle check,
+// which FindCycle exposes separately). The diagnostics engine
+// (internal/lint) consumes the violations one by one instead of as one
+// joined error.
+func Problems(reg *resource.Registry) []error {
 	var errs []error
 	report := func(format string, args ...any) {
 		errs = append(errs, fmt.Errorf(format, args...))
@@ -49,10 +62,7 @@ func CheckTypes(reg *resource.Registry) error {
 			}
 		}
 	}
-	if err := checkAcyclic(reg); err != nil {
-		errs = append(errs, err)
-	}
-	return errors.Join(errs...)
+	return errs
 }
 
 // collectReverseFed returns, per resource type key, the set of input
@@ -248,10 +258,27 @@ func findOutputMaybeAbstract(_ *resource.Registry, t *resource.Type, name string
 }
 
 // checkAcyclic verifies condition 4: the union of the three dependency
-// orderings on resource *types* is acyclic. Dependencies on abstract
-// types add edges to the abstract type; subtype edges do not count (a
-// subtype may legitimately depend on its supertype's siblings).
+// orderings on resource *types* is acyclic.
 func checkAcyclic(reg *resource.Registry) error {
+	cycle := FindCycle(reg)
+	if cycle == nil {
+		return nil
+	}
+	names := make([]string, len(cycle))
+	for i, c := range cycle {
+		names[i] = c.String()
+	}
+	return fmt.Errorf("typecheck: dependency cycle among resource types: %v", names)
+}
+
+// FindCycle searches the union of the three dependency orderings on
+// resource *types* for a cycle. It returns the offending dependency
+// path in dependency order — each key depends on the next, and the key
+// that closes the loop appears at both ends of its cycle — or nil if
+// the union is acyclic. Dependencies on abstract types add edges to the
+// abstract type; subtype edges do not count (a subtype may legitimately
+// depend on its supertype's siblings).
+func FindCycle(reg *resource.Registry) []resource.Key {
 	const (
 		white = 0
 		gray  = 1
@@ -290,12 +317,13 @@ func checkAcyclic(reg *resource.Registry) error {
 
 	for _, k := range reg.Keys() {
 		if !visit(k) {
-			// Render the cycle innermost-first.
-			names := make([]string, len(cycle))
+			// The DFS pushed the cycle innermost-first; reverse it into
+			// dependency order for rendering.
+			out := make([]resource.Key, len(cycle))
 			for i, c := range cycle {
-				names[len(cycle)-1-i] = c.String()
+				out[len(cycle)-1-i] = c
 			}
-			return fmt.Errorf("typecheck: dependency cycle among resource types: %v", names)
+			return out
 		}
 	}
 	return nil

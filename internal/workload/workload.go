@@ -45,6 +45,13 @@ type Spec struct {
 	// PinConfigP is the probability that a partial-spec instance pins
 	// its "tag" config port (exercising partial-value propagation).
 	PinConfigP float64
+	// Conflicts seeds this many version conflicts, each on a dedicated
+	// machine: an instance of a family with an env dependency is pinned
+	// alongside TWO different versions of that dependency's target
+	// family, so the dependency edge's exactly-one constraint sees two
+	// forced-true targets. Conflicts > 0 makes the fleet unsatisfiable
+	// by construction (requires Versions >= 2 and EnvFanout >= 1).
+	Conflicts int
 }
 
 // WithDefaults fills zero fields with a small but non-trivial fleet.
@@ -104,6 +111,7 @@ func Generate(s Spec) (*resource.Registry, *spec.Partial, error) {
 		return nil, nil, err
 	}
 
+	envOf := make([][]int, s.Families)
 	for i := 0; i < s.Families; i++ {
 		// Pick this family's dependency targets among lower families:
 		// a random permutation split into disjoint env and peer sets,
@@ -112,6 +120,7 @@ func Generate(s Spec) (*resource.Registry, *spec.Partial, error) {
 		ne := min(s.EnvFanout, len(perm))
 		np := min(s.PeerFanout, len(perm)-ne)
 		envTargets, peerTargets := perm[:ne], perm[ne:ne+np]
+		envOf[i] = envTargets
 
 		input := make([]resource.Port, 0, ne+np)
 		deps := func(targets []int) []resource.Dependency {
@@ -189,6 +198,34 @@ func Generate(s Spec) (*resource.Registry, *spec.Partial, error) {
 			if rng.Float64() < s.PinConfigP {
 				inst.Set("tag", resource.Str(fmt.Sprintf("pinned-%02d-%02d", m, k)))
 			}
+		}
+	}
+
+	if s.Conflicts > 0 {
+		var candidates []int
+		for i, env := range envOf {
+			if len(env) > 0 {
+				candidates = append(candidates, i)
+			}
+		}
+		if len(candidates) == 0 || s.Versions < 2 {
+			return nil, nil, fmt.Errorf(
+				"workload: Conflicts requires EnvFanout >= 1 and Versions >= 2 (spec %v)", s)
+		}
+		for c := 0; c < s.Conflicts; c++ {
+			fam := candidates[rng.Intn(len(candidates))]
+			target := envOf[fam][0]
+			machineID := fmt.Sprintf("conflict-machine-%02d", c)
+			partial.Add(machineID, MachineKey)
+			// The depending instance's env edge resolves to the pinned
+			// same-machine instances of the target family — both of
+			// them, at different versions, forced true at once.
+			partial.Add(fmt.Sprintf("conflict-%02d-app", c), familyVersion(fam, famVer[fam])).
+				In(machineID)
+			partial.Add(fmt.Sprintf("conflict-%02d-a", c), familyVersion(target, 1)).
+				In(machineID)
+			partial.Add(fmt.Sprintf("conflict-%02d-b", c), familyVersion(target, 2)).
+				In(machineID)
 		}
 	}
 	return reg, partial, nil

@@ -1,0 +1,357 @@
+// Command vet-engage runs repository-specific static checks that go
+// vet cannot express. It is hand-rolled on go/ast only (no external
+// analysis framework) and is wired into CI as
+//
+//	go run ./tools/vet-engage ./...
+//
+// Checks:
+//
+//   - wallclock: the simulator packages (internal/deploy, machine,
+//     monitor, fault, upgrade) run on a virtual clock; reading the wall
+//     clock there silently breaks determinism and trace reproducibility.
+//     Any use of time.Now, time.Sleep, time.Since, time.Until,
+//     time.After, time.Tick, time.NewTimer, time.NewTicker, or
+//     time.AfterFunc in those packages is an error unless the line (or
+//     the line above it) carries an //engage:wallclock comment, which
+//     marks a deliberate wall-time measurement such as the span
+//     wall-duration axis. Test files are exempt: they may time
+//     themselves.
+//
+//   - nilguard: disabled telemetry hands out nil *Tracer/*Span/*Event
+//     (and nil metric instruments), and the documented contract is that
+//     every method on them no-ops. That holds only if each exported
+//     pointer-receiver method in internal/telemetry guards the receiver
+//     against nil before touching its fields. The check verifies the
+//     declarations, which makes every call site in the repo provably
+//     nil-safe: a method may delegate to other methods of the receiver
+//     freely (the callee guards), but a field access before the first
+//     `if recv == nil` guard is an error.
+//
+// Exit status is 1 if any finding is reported.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// wallclockDirs are the virtual-clock packages, as slash-separated
+// paths relative to the module root.
+var wallclockDirs = map[string]bool{
+	"internal/deploy":  true,
+	"internal/machine": true,
+	"internal/monitor": true,
+	"internal/fault":   true,
+	"internal/upgrade": true,
+}
+
+const nilguardDir = "internal/telemetry"
+
+// nilguardTypes are the receiver types whose exported methods must be
+// nil-safe (the "disabled telemetry is free" contract).
+var nilguardTypes = map[string]bool{
+	"Tracer": true, "Span": true, "Event": true,
+	"Counter": true, "Gauge": true, "Histogram": true, "Registry": true,
+}
+
+// wallclockFuncs are the time package functions that read or wait on
+// the wall clock.
+var wallclockFuncs = map[string]bool{
+	"Now": true, "Sleep": true, "Since": true, "Until": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+const allowDirective = "//engage:wallclock"
+
+type finding struct {
+	pos token.Position
+	msg string
+}
+
+func main() {
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirs, err := expand(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vet-engage:", err)
+		os.Exit(2)
+	}
+	var findings []finding
+	fset := token.NewFileSet()
+	for _, dir := range dirs {
+		fs, err := checkDir(fset, dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vet-engage:", err)
+			os.Exit(2)
+		}
+		findings = append(findings, fs...)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].pos, findings[j].pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Offset < b.Offset
+	})
+	for _, f := range findings {
+		fmt.Printf("%s: %s\n", f.pos, f.msg)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+// expand resolves ./... style patterns into the set of directories
+// containing Go files.
+func expand(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		dir = filepath.Clean(dir)
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, p := range patterns {
+		root, recursive := p, false
+		if strings.HasSuffix(p, "/...") {
+			root, recursive = strings.TrimSuffix(p, "/..."), true
+		}
+		if !recursive {
+			add(root)
+			continue
+		}
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				if name := d.Name(); name != "." && (strings.HasPrefix(name, ".") || name == "testdata") {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if strings.HasSuffix(path, ".go") {
+				add(filepath.Dir(path))
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// checkDir parses the directory's non-test Go files and applies the
+// checks that are in scope for it.
+func checkDir(fset *token.FileSet, dir string) ([]finding, error) {
+	rel := filepath.ToSlash(strings.TrimPrefix(filepath.Clean(dir), "./"))
+	wantWallclock := wallclockDirs[rel]
+	wantNilguard := rel == nilguardDir
+	if !wantWallclock && !wantNilguard {
+		return nil, nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var findings []finding
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		file, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		if wantWallclock {
+			findings = append(findings, checkWallclock(fset, file)...)
+		}
+		if wantNilguard {
+			findings = append(findings, checkNilGuard(fset, file)...)
+		}
+	}
+	return findings, nil
+}
+
+// checkWallclock flags wall-clock reads outside //engage:wallclock
+// allowlisted lines.
+func checkWallclock(fset *token.FileSet, file *ast.File) []finding {
+	timeName := ""
+	for _, imp := range file.Imports {
+		if imp.Path.Value != `"time"` {
+			continue
+		}
+		timeName = "time"
+		if imp.Name != nil {
+			timeName = imp.Name.Name
+		}
+	}
+	if timeName == "" || timeName == "_" {
+		return nil
+	}
+	var findings []finding
+	if timeName == "." {
+		pos := fset.Position(file.Package)
+		return []finding{{pos, "wallclock: dot-import of time hides wall-clock reads; import it qualified"}}
+	}
+
+	// Lines carrying (or directly under) an //engage:wallclock comment
+	// are allowed.
+	allowed := map[int]bool{}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, allowDirective) {
+				line := fset.Position(c.Pos()).Line
+				allowed[line] = true
+				allowed[line+1] = true
+			}
+		}
+	}
+
+	ast.Inspect(file, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || id.Name != timeName || !wallclockFuncs[sel.Sel.Name] {
+			return true
+		}
+		pos := fset.Position(sel.Pos())
+		if allowed[pos.Line] {
+			return true
+		}
+		findings = append(findings, finding{pos, fmt.Sprintf(
+			"wallclock: %s.%s in a virtual-clock package; use the simulated clock, or annotate the line with %s",
+			timeName, sel.Sel.Name, allowDirective)})
+		return true
+	})
+	return findings
+}
+
+// checkNilGuard verifies that exported pointer-receiver methods on the
+// telemetry instrument types do not dereference the receiver before a
+// nil guard.
+func checkNilGuard(fset *token.FileSet, file *ast.File) []finding {
+	var findings []finding
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Recv == nil || len(fn.Recv.List) != 1 || fn.Body == nil {
+			continue
+		}
+		if !fn.Name.IsExported() {
+			continue // internal helpers run only after a caller's guard
+		}
+		star, ok := fn.Recv.List[0].Type.(*ast.StarExpr)
+		if !ok {
+			continue
+		}
+		tid, ok := star.X.(*ast.Ident)
+		if !ok || !nilguardTypes[tid.Name] {
+			continue
+		}
+		if len(fn.Recv.List[0].Names) == 0 {
+			continue // receiver unnamed, cannot be dereferenced
+		}
+		recv := fn.Recv.List[0].Names[0].Name
+		if recv == "_" {
+			continue
+		}
+		if pos, bad := derefBeforeGuard(fn.Body.List, recv); bad {
+			findings = append(findings, finding{fset.Position(pos), fmt.Sprintf(
+				"nilguard: method (*%s).%s dereferences receiver %q before checking it for nil; a nil %s must no-op",
+				tid.Name, fn.Name.Name, recv, tid.Name)})
+		}
+	}
+	return findings
+}
+
+// derefBeforeGuard scans the statements in order and reports the first
+// receiver field access occurring before an `if recv == nil` guard.
+// Method calls on the receiver do not count: the callee guards.
+func derefBeforeGuard(stmts []ast.Stmt, recv string) (token.Pos, bool) {
+	for _, st := range stmts {
+		if isNilGuard(st, recv) {
+			return token.NoPos, false
+		}
+		if pos, bad := firstDeref(st, recv); bad {
+			return pos, true
+		}
+	}
+	return token.NoPos, false
+}
+
+func isNilGuard(st ast.Stmt, recv string) bool {
+	ifst, ok := st.(*ast.IfStmt)
+	if !ok || ifst.Init != nil {
+		return false
+	}
+	bin, ok := ifst.Cond.(*ast.BinaryExpr)
+	if !ok || bin.Op != token.EQL {
+		return false
+	}
+	isRecv := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == recv
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	return (isRecv(bin.X) && isNil(bin.Y)) || (isNil(bin.X) && isRecv(bin.Y))
+}
+
+// firstDeref finds a receiver dereference inside one statement:
+// a selector or star expression on the receiver that is not the
+// function position of a call.
+func firstDeref(st ast.Stmt, recv string) (token.Pos, bool) {
+	methodCalls := map[*ast.SelectorExpr]bool{}
+	ast.Inspect(st, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				methodCalls[sel] = true
+			}
+		}
+		return true
+	})
+	var pos token.Pos
+	ast.Inspect(st, func(n ast.Node) bool {
+		if pos.IsValid() {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.SelectorExpr:
+			if id, ok := e.X.(*ast.Ident); ok && id.Name == recv && !methodCalls[e] {
+				pos = e.Pos()
+				return false
+			}
+		case *ast.StarExpr:
+			if id, ok := e.X.(*ast.Ident); ok && id.Name == recv {
+				pos = e.Pos()
+				return false
+			}
+		}
+		return true
+	})
+	return pos, pos.IsValid()
+}

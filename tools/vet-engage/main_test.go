@@ -1,0 +1,193 @@
+package main
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parse(t *testing.T, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, file
+}
+
+func messages(fs []finding) []string {
+	var out []string
+	for _, f := range fs {
+		out = append(out, f.pos.String()+": "+f.msg)
+	}
+	return out
+}
+
+func TestWallclockFlagsBareUse(t *testing.T) {
+	fset, file := parse(t, `package deploy
+import "time"
+func f() time.Time { return time.Now() }
+`)
+	fs := checkWallclock(fset, file)
+	if len(fs) != 1 || !strings.Contains(fs[0].msg, "time.Now in a virtual-clock package") {
+		t.Errorf("findings = %v", messages(fs))
+	}
+	if fs[0].pos.Line != 3 {
+		t.Errorf("line = %d, want 3", fs[0].pos.Line)
+	}
+}
+
+func TestWallclockAllowlist(t *testing.T) {
+	fset, file := parse(t, `package deploy
+import "time"
+func f() time.Duration {
+	start := time.Now() //engage:wallclock measuring real overhead
+	//engage:wallclock
+	return time.Since(start)
+}
+`)
+	if fs := checkWallclock(fset, file); len(fs) != 0 {
+		t.Errorf("allowlisted uses flagged: %v", messages(fs))
+	}
+}
+
+func TestWallclockAliasedImport(t *testing.T) {
+	fset, file := parse(t, `package deploy
+import wall "time"
+func f() wall.Time { return wall.Now() }
+`)
+	fs := checkWallclock(fset, file)
+	if len(fs) != 1 || !strings.Contains(fs[0].msg, "wall.Now") {
+		t.Errorf("findings = %v", messages(fs))
+	}
+}
+
+func TestWallclockDotImport(t *testing.T) {
+	fset, file := parse(t, `package deploy
+import . "time"
+var x = Now()
+`)
+	fs := checkWallclock(fset, file)
+	if len(fs) != 1 || !strings.Contains(fs[0].msg, "dot-import") {
+		t.Errorf("findings = %v", messages(fs))
+	}
+}
+
+func TestWallclockIgnoresOtherFuncs(t *testing.T) {
+	fset, file := parse(t, `package deploy
+import "time"
+var d = 3 * time.Second
+func f(t time.Time) string { return t.Format(time.RFC3339) }
+`)
+	if fs := checkWallclock(fset, file); len(fs) != 0 {
+		t.Errorf("non-clock uses flagged: %v", messages(fs))
+	}
+}
+
+func TestWallclockNoTimeImport(t *testing.T) {
+	fset, file := parse(t, `package deploy
+func f() {}
+`)
+	if fs := checkWallclock(fset, file); len(fs) != 0 {
+		t.Errorf("findings = %v", messages(fs))
+	}
+}
+
+func TestNilGuardFlagsUnguardedDeref(t *testing.T) {
+	fset, file := parse(t, `package telemetry
+type Span struct{ id int64 }
+func (s *Span) ID() int64 { return s.id }
+`)
+	fs := checkNilGuard(fset, file)
+	if len(fs) != 1 || !strings.Contains(fs[0].msg, `(*Span).ID dereferences receiver "s"`) {
+		t.Errorf("findings = %v", messages(fs))
+	}
+}
+
+func TestNilGuardAcceptsGuardedDeref(t *testing.T) {
+	fset, file := parse(t, `package telemetry
+type Span struct{ id int64 }
+func (s *Span) ID() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+func (s *Span) Late() int64 {
+	var zero int64
+	if s == nil {
+		return zero
+	}
+	return s.id
+}
+`)
+	if fs := checkNilGuard(fset, file); len(fs) != 0 {
+		t.Errorf("guarded methods flagged: %v", messages(fs))
+	}
+}
+
+func TestNilGuardAcceptsDelegation(t *testing.T) {
+	// Inc delegates to Add, which guards; a method call on a nil
+	// receiver is fine.
+	fset, file := parse(t, `package telemetry
+type Counter struct{ n int64 }
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.n += n
+}
+func (c *Counter) Inc() { c.Add(1) }
+`)
+	if fs := checkNilGuard(fset, file); len(fs) != 0 {
+		t.Errorf("delegating method flagged: %v", messages(fs))
+	}
+}
+
+func TestNilGuardScopesToContract(t *testing.T) {
+	// Unexported methods and types outside the instrument set are not
+	// part of the nil-safety contract.
+	fset, file := parse(t, `package telemetry
+type Span struct{ id int64 }
+func (s *Span) internal() int64 { return s.id }
+type Line struct{ Name string }
+func (l *Line) Title() string { return l.Name }
+`)
+	if fs := checkNilGuard(fset, file); len(fs) != 0 {
+		t.Errorf("out-of-contract methods flagged: %v", messages(fs))
+	}
+}
+
+func TestNilGuardDerefInCondition(t *testing.T) {
+	// A field read inside the condition of a non-guard if counts as a
+	// dereference before the guard.
+	fset, file := parse(t, `package telemetry
+type Gauge struct{ v int64 }
+func (g *Gauge) Value() int64 {
+	if g.v > 0 {
+		return g.v
+	}
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+`)
+	fs := checkNilGuard(fset, file)
+	if len(fs) != 1 {
+		t.Errorf("findings = %v", messages(fs))
+	}
+}
+
+func TestExpandPatterns(t *testing.T) {
+	dirs, err := expand([]string{"."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) != 1 || dirs[0] != "." {
+		t.Errorf("dirs = %v", dirs)
+	}
+}
