@@ -19,6 +19,7 @@ import (
 
 	"engage/internal/config"
 	"engage/internal/constraint"
+	"engage/internal/deploy"
 	"engage/internal/hypergraph"
 	"engage/internal/library"
 	"engage/internal/machine"
@@ -894,29 +895,29 @@ func rdlResolve(src string) (*resource.Registry, error) {
 	return rdl.ParseAndResolve(map[string]string{"bench.rdl": src})
 }
 
-// --- Scale: synthetic fleets through the parallel front half ---
-// Sweeps fleet size × worker count over the front half of the pipeline
-// (hypergraph generation + constraint emission) on seeded synthetic
-// fleets from internal/workload, and writes the measurements to
-// BENCH_scale.json so the perf trajectory has a checked-in baseline.
-// Parallelism 0 is the sequential reference path; ≥1 is the wave
-// engine with the shared resolution caches, whose output the
-// differential suite (internal/workload) proves byte-identical.
+// --- Scale: synthetic fleets through the whole parallel pipeline ---
+// Sweeps fleet size × worker count over the full pipeline — hypergraph
+// generation + constraint emission (front), portfolio SAT (solve),
+// port propagation (propagate, a slice of build), spec build (build),
+// deployment preparation + concurrent deploy (deploy), and the true
+// end-to-end wall (e2e) — on seeded synthetic fleets from
+// internal/workload, and writes per-stage rows to BENCH_scale.json so
+// the perf trajectory has a checked-in baseline. Parallelism 0 is the
+// sequential reference path; ≥ 1 is the parallel pipeline, whose
+// output the differential suites (internal/workload) prove
+// byte-identical across widths. The big fleets (fleet2000, fleet5000)
+// skip -short runs and the quadratic sequential reference: their
+// speedups are reported against P=1.
 
 func BenchmarkScaleFleet(b *testing.B) {
-	shapes := []struct {
-		name string
-		spec workload.Spec
-	}{
-		{"fleet90", workload.Spec{Seed: 1, Families: 12, Versions: 3, EnvFanout: 2, PeerFanout: 1, Machines: 8, Instances: 4}},
-		{"fleet250", workload.Spec{Seed: 1, Families: 20, Versions: 4, EnvFanout: 3, PeerFanout: 1, Machines: 16, Instances: 5}},
-		{"fleet570", workload.Spec{Seed: 1, Families: 28, Versions: 5, EnvFanout: 3, PeerFanout: 2, Machines: 24, Instances: 6}},
-	}
 	parallelisms := []int{0, 1, 2, 4, 8}
+	bigParallelisms := []int{1, 8}
+	stages := []string{"front", "solve", "propagate", "build", "deploy", "e2e"}
 
 	type row struct {
 		Fleet         string  `json:"fleet"`
 		Shape         string  `json:"shape"`
+		Stage         string  `json:"stage"`
 		Parallelism   int     `json:"parallelism"`
 		NsPerOp       float64 `json:"ns_per_op"`
 		GraphNodes    int     `json:"graph_nodes"`
@@ -926,79 +927,134 @@ func BenchmarkScaleFleet(b *testing.B) {
 		SpeedupVsSeq  float64 `json:"speedup_vs_seq"`
 	}
 	// b.Run invokes each sub-benchmark more than once while
-	// calibrating b.N; key rows by name so the final run wins.
+	// calibrating b.N; key rows by fleet/stage/parallelism so the final
+	// run wins.
 	rowByName := make(map[string]row)
 	var order []string
 
-	for _, sh := range shapes {
+	for _, sh := range workload.FleetShapes() {
 		sh := sh
-		reg, partial, err := workload.Generate(sh.spec)
-		if err != nil {
-			b.Fatal(err)
+		if sh.Big && testing.Short() {
+			continue
 		}
-		// Shape metadata, measured once outside the timed loops.
-		g, err := hypergraph.Generate(reg, partial)
-		if err != nil {
-			b.Fatal(err)
-		}
-		prob := constraint.Encode(g, constraint.Pairwise)
-		full, err := config.New(reg).Configure(partial)
-		if err != nil {
-			b.Fatal(err)
-		}
+		// The fleet group exists so -bench filters skip unselected
+		// fleets entirely: generation and shape metadata for a big
+		// fleet cost tens of seconds, paid only when a sub-bench runs.
+		b.Run(sh.Name, func(b *testing.B) {
+			reg, partial, err := workload.Generate(sh.Spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Shape metadata, measured once outside the timed loops
+			// (through the parallel path: the sequential front half is
+			// quadratic and the differential suites prove the outputs
+			// identical).
+			g, err := hypergraph.GenerateOpts(reg, partial, hypergraph.Options{Parallelism: 4})
+			if err != nil {
+				b.Fatal(err)
+			}
+			prob := constraint.EncodeParallel(g, constraint.Pairwise, 4)
+			eMeta := config.New(reg)
+			eMeta.Parallelism = 4
+			fullMeta, err := eMeta.Configure(partial)
+			if err != nil {
+				b.Fatal(err)
+			}
 
-		for _, par := range parallelisms {
-			par := par
-			name := fmt.Sprintf("%s/p%d", sh.name, par)
-			b.Run(name, func(b *testing.B) {
-				b.ReportAllocs()
-				for i := 0; i < b.N; i++ {
-					gg, err := hypergraph.GenerateOpts(reg, partial, hypergraph.Options{Parallelism: par})
-					if err != nil {
-						b.Fatal(err)
+			pars := parallelisms
+			if sh.Big {
+				pars = bigParallelisms
+			}
+			for _, par := range pars {
+				par := par
+				b.Run(fmt.Sprintf("p%d", par), func(b *testing.B) {
+					b.ReportAllocs()
+					var front, solve, prop, build, dep, e2e time.Duration
+					for i := 0; i < b.N; i++ {
+						start := time.Now()
+						e := config.New(reg)
+						e.Parallelism = par
+						full, st, err := e.ConfigureStats(partial)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if len(full.Instances) != len(fullMeta.Instances) {
+							b.Fatalf("output drifted: %d instances, want %d",
+								len(full.Instances), len(fullMeta.Instances))
+						}
+						dstart := time.Now()
+						d, err := deploy.New(full, deploy.Options{
+							Registry:         reg,
+							Drivers:          deploy.NewDriverRegistry(),
+							World:            machine.NewWorld(),
+							Index:            pkgmgr.NewIndex(),
+							Parallelism:      par,
+							ProvisionMissing: true,
+						})
+						if err != nil {
+							b.Fatal(err)
+						}
+						if err := d.DeployConcurrent(); err != nil {
+							b.Fatal(err)
+						}
+						front += st.GraphWall + st.EncodeWall
+						solve += st.SolveWall
+						prop += st.PropagateWall
+						build += st.BuildWall
+						dep += time.Since(dstart)
+						e2e += time.Since(start)
 					}
-					var pp *constraint.Problem
-					if par > 0 {
-						pp = constraint.EncodeParallel(gg, constraint.Pairwise, par)
-					} else {
-						pp = constraint.Encode(gg, constraint.Pairwise)
+					b.ReportMetric(float64(len(fullMeta.Instances)), "instances")
+					perOp := func(d time.Duration) float64 {
+						return float64(d.Nanoseconds()) / float64(b.N)
 					}
-					if gg.Len() != g.Len() || len(pp.Formula.Clauses) != len(prob.Formula.Clauses) {
-						b.Fatalf("output drifted: %d/%d nodes, %d/%d clauses",
-							gg.Len(), g.Len(), len(pp.Formula.Clauses), len(prob.Formula.Clauses))
+					stageNs := map[string]float64{
+						"front": perOp(front), "solve": perOp(solve),
+						"propagate": perOp(prop), "build": perOp(build),
+						"deploy": perOp(dep), "e2e": perOp(e2e),
 					}
-				}
-				b.ReportMetric(float64(len(full.Instances)), "instances")
-				if _, seen := rowByName[name]; !seen {
-					order = append(order, name)
-				}
-				rowByName[name] = row{
-					Fleet:         sh.name,
-					Shape:         sh.spec.String(),
-					Parallelism:   par,
-					NsPerOp:       float64(b.Elapsed().Nanoseconds()) / float64(b.N),
-					GraphNodes:    g.Len(),
-					GraphEdges:    len(g.Edges),
-					Clauses:       len(prob.Formula.Clauses),
-					FullInstances: len(full.Instances),
-				}
-			})
-		}
+					for _, stg := range stages {
+						key := fmt.Sprintf("%s/%s/p%d", sh.Name, stg, par)
+						if _, seen := rowByName[key]; !seen {
+							order = append(order, key)
+						}
+						rowByName[key] = row{
+							Fleet:         sh.Name,
+							Shape:         sh.Spec.String(),
+							Stage:         stg,
+							Parallelism:   par,
+							NsPerOp:       stageNs[stg],
+							GraphNodes:    g.Len(),
+							GraphEdges:    len(g.Edges),
+							Clauses:       len(prob.Formula.Clauses),
+							FullInstances: len(fullMeta.Instances),
+						}
+					}
+				})
+			}
+		})
 	}
 
-	// Fill speedups against each fleet's sequential row and persist.
+	// Fill speedups against each fleet+stage's sequential row (P=0, or
+	// P=1 for big fleets that skip the sequential reference) and
+	// persist.
 	rows := make([]row, 0, len(order))
 	for _, name := range order {
 		rows = append(rows, rowByName[name])
 	}
-	seqNs := make(map[string]float64)
+	baseNs := make(map[string]float64)
 	for _, r := range rows {
+		key := r.Fleet + "/" + r.Stage
 		if r.Parallelism == 0 {
-			seqNs[r.Fleet] = r.NsPerOp
+			baseNs[key] = r.NsPerOp
+		} else if r.Parallelism == 1 {
+			if _, ok := baseNs[key]; !ok {
+				baseNs[key] = r.NsPerOp
+			}
 		}
 	}
 	for i := range rows {
-		if base := seqNs[rows[i].Fleet]; base > 0 && rows[i].NsPerOp > 0 {
+		if base := baseNs[rows[i].Fleet+"/"+rows[i].Stage]; base > 0 && rows[i].NsPerOp > 0 {
 			rows[i].SpeedupVsSeq = base / rows[i].NsPerOp
 		}
 	}
@@ -1013,7 +1069,7 @@ func BenchmarkScaleFleet(b *testing.B) {
 		Rows       []row  `json:"rows"`
 	}{
 		Benchmark:  "BenchmarkScaleFleet",
-		Stage:      "hypergraph generation + constraint emission",
+		Stage:      "full pipeline: front (graph+encode), solve (portfolio), propagate, build, deploy, e2e",
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 		Rows:       rows,

@@ -329,7 +329,7 @@ func cmdSolve(args []string, out *os.File) error {
 	solverName := fs.String("solver", "cdcl", "SAT solver: cdcl or dpll")
 	encName := fs.String("encoding", "pairwise", "exactly-one encoding: pairwise or ladder")
 	minimal := fs.Bool("minimal", false, "compute a subset-minimal installation (OPIUM-style)")
-	parallel := fs.Int("parallel", 0, "worker pool size for hypergraph generation and constraint emission (0 = sequential)")
+	parallel := fs.Int("parallel", 0, "worker pool size for the whole pipeline: hypergraph generation, constraint emission, portfolio SAT width, spec build and port propagation (0 = sequential)")
 	tracePath := fs.String("trace", "", "write a JSON-lines telemetry trace to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -397,9 +397,10 @@ func cmdSolve(args []string, out *os.File) error {
 	fmt.Fprintf(out, "// graph:   %d nodes, %d hyperedges; sat: %d vars, %d clauses, %d decisions, %d conflicts\n",
 		st.GraphNodes, st.GraphEdges, st.Vars, st.Clauses, st.Solver.Decisions, st.Solver.Conflicts)
 	if !*minimal {
-		fmt.Fprintf(out, "// stages:  graph %v, encode %v, solve %v, build %v (parallelism %d)\n",
+		fmt.Fprintf(out, "// stages:  graph %v, encode %v, solve %v, build %v (propagate %v) (parallelism %d)\n",
 			st.GraphWall.Round(time.Microsecond), st.EncodeWall.Round(time.Microsecond),
-			st.SolveWall.Round(time.Microsecond), st.BuildWall.Round(time.Microsecond), *parallel)
+			st.SolveWall.Round(time.Microsecond), st.BuildWall.Round(time.Microsecond),
+			st.PropagateWall.Round(time.Microsecond), *parallel)
 	}
 	if closeTrace != nil {
 		if err := closeTrace(); err != nil {

@@ -1,0 +1,47 @@
+// Package conc holds the one concurrency primitive the parallel
+// pipeline stages share: a bounded worker pool over an index space.
+// Hypergraph generation, constraint emission, spec build, port
+// propagation, and deploy-plan construction all fan out the same way —
+// n independent items, w workers pulling the next index from an atomic
+// counter — so the pool lives here once instead of as per-package
+// copies.
+package conc
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ParallelFor invokes fn(i) for every i in [0, n), spread over at most
+// workers goroutines pulling indices from a shared atomic counter.
+// workers ≤ 1 (or n ≤ 1) degenerates to a plain sequential loop on the
+// calling goroutine — no goroutines, no synchronization. ParallelFor
+// returns when every call has returned. fn must be safe to call
+// concurrently for distinct indices.
+func ParallelFor(n, workers int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -36,10 +36,18 @@ type Engine struct {
 	// SkipCheck disables the final CheckSpec pass (used only by
 	// benchmarks isolating solver cost).
 	SkipCheck bool
-	// Parallelism bounds the worker pool for hypergraph generation and
-	// constraint emission. Values ≤ 0 run the sequential reference
-	// path; any positive value selects the parallel path (whose output
-	// is byte-identical — see internal/workload's differential suite).
+	// Parallelism governs the whole pipeline: it bounds the worker
+	// pools for hypergraph generation and constraint emission, sets the
+	// portfolio width for SAT solving, and bounds the worker pools for
+	// spec build and port propagation. Values ≤ 0 run the sequential
+	// reference path. The front half's output is byte-identical at any
+	// parallelism; the back half solves through a racing portfolio
+	// whose winning model is canonicalized, so the full specification
+	// is byte-identical at any parallelism ≥ 1 (and, after
+	// canonicalization, to the sequential solver's canonicalized model
+	// — see internal/workload's differential suites). Note the
+	// sequential path (0) skips canonicalization and may therefore pick
+	// a different — equally valid — model than parallel runs.
 	Parallelism int
 	// MeasureAllocs additionally fills the per-stage allocation
 	// counters in Stats via runtime.ReadMemStats deltas. Off by
@@ -81,11 +89,15 @@ type Stats struct {
 	Clauses    int
 	Solver     sat.Stats
 	// Per-stage wall clock: hypergraph generation, constraint
-	// encoding, SAT solving, and build+propagate+check.
-	GraphWall  time.Duration
-	EncodeWall time.Duration
-	SolveWall  time.Duration
-	BuildWall  time.Duration
+	// encoding, SAT solving (portfolio + canonicalization when
+	// parallel), and build+propagate+check. PropagateWall is the port
+	// propagation slice of BuildWall, broken out so the back-half
+	// benches can report it separately.
+	GraphWall     time.Duration
+	EncodeWall    time.Duration
+	SolveWall     time.Duration
+	BuildWall     time.Duration
+	PropagateWall time.Duration
 	// Per-stage heap allocation deltas (bytes), filled only when
 	// Engine.MeasureAllocs is set.
 	GraphAlloc  uint64
@@ -216,12 +228,26 @@ func (e *Engine) ConfigureStats(partial *spec.Partial) (full *spec.Full, st Stat
 	if solver == nil {
 		solver = sat.NewCDCL()
 	}
+	_, isCDCL := solver.(*sat.CDCL)
 	sp = root.Child("config.solve").Str("solver", solver.Name())
 	m = startStage(e.MeasureAllocs)
-	res := solver.Solve(prob.Formula)
+	var res sat.Result
+	var solveErr error
+	if e.Parallelism > 0 && isCDCL {
+		// Portfolio solve: Parallelism diversified workers race on the
+		// formula; the winning model is canonicalized on the winner's
+		// warm session so the answer is deterministic regardless of
+		// which worker won (and of the portfolio width).
+		res, solveErr = e.solvePortfolio(g, prob, sp)
+	} else {
+		res = solver.Solve(prob.Formula)
+	}
 	m.stop(&st.SolveWall, &st.SolveAlloc)
 	st.Solver = res.Stats
 	spanSolverStats(sp, res).End()
+	if solveErr != nil {
+		return nil, st, solveErr
+	}
 	switch res.Status {
 	case sat.Sat:
 	case sat.Unsat:
@@ -233,7 +259,8 @@ func (e *Engine) ConfigureStats(partial *spec.Partial) (full *spec.Full, st Stat
 	sp = root.Child("config.build")
 	m = startStage(e.MeasureAllocs)
 	selected := prob.Selected(res.Model)
-	full, err = e.build(g, partial, selected)
+	full, bt, err := e.buildOpts(g, partial, selected, e.Parallelism, sp)
+	st.PropagateWall = bt.propagate
 	if err != nil {
 		m.stop(&st.BuildWall, &st.BuildAlloc)
 		sp.End()
@@ -249,6 +276,45 @@ func (e *Engine) ConfigureStats(partial *spec.Partial) (full *spec.Full, st Stat
 	m.stop(&st.BuildWall, &st.BuildAlloc)
 	sp.Int("instances", int64(len(full.Instances))).End()
 	return full, st, nil
+}
+
+// solvePortfolio is the parallel solve stage: a racing portfolio of
+// e.Parallelism CDCL workers followed by canonicalization of the
+// winning model over the instance variables in graph order. It emits
+// one "solve.portfolio" event per worker on sp (the winner's effort,
+// and each loser's effort at the moment the stop flag cancelled it)
+// and stamps the portfolio shape onto sp itself.
+func (e *Engine) solvePortfolio(g *hypergraph.Graph, prob *constraint.Problem, sp *telemetry.Span) (sat.Result, error) {
+	pr := sat.SolvePortfolio(prob.Formula, e.Parallelism)
+	for _, w := range pr.Workers {
+		sp.Event("solve.portfolio").
+			Int("worker", int64(w.Worker)).
+			Bool("winner", w.Winner).
+			Str("status", w.Status.String()).
+			Int("restarts", w.Stats.Restarts).
+			Int("conflicts", w.Stats.Conflicts).
+			Int("decisions", w.Stats.Decisions).
+			Int("shared_in", w.SharedIn).
+			Int("shared_out", w.SharedOut).
+			Emit()
+	}
+	sp.Int("portfolio_workers", int64(len(pr.Workers))).Int("portfolio_winner", int64(pr.Winner))
+	res := pr.Result
+	res.Stats = pr.TotalStats() // honest effort: all workers, not just the winner
+	if res.Status != sat.Sat {
+		return res, nil
+	}
+	order := make([]int, 0, len(g.Order))
+	for _, id := range g.Order {
+		order = append(order, prob.VarOf[id])
+	}
+	canon, solves, err := sat.CanonicalModel(pr.Session(), res.Model, order)
+	if err != nil {
+		return res, fmt.Errorf("config: canonicalizing portfolio model: %w", err)
+	}
+	sp.Int("canon_solves", int64(solves))
+	res.Model = canon
+	return res, nil
 }
 
 // spanSolverStats stamps one solve's effort onto a span.
@@ -283,6 +349,7 @@ func (st Stats) Publish(r *telemetry.Registry) {
 	r.Histogram("config.encode_wall_ns").Observe(int64(st.EncodeWall))
 	r.Histogram("config.solve_wall_ns").Observe(int64(st.SolveWall))
 	r.Histogram("config.build_wall_ns").Observe(int64(st.BuildWall))
+	r.Histogram("config.propagate_wall_ns").Observe(int64(st.PropagateWall))
 }
 
 // observeSolves returns a sat.Observe callback emitting one "sat.solve"
@@ -326,93 +393,102 @@ func checkAfterBuild(e *Engine, full *spec.Full) error {
 }
 
 // build assembles the full specification from the solved selection and
-// propagates port values.
+// propagates port values (the sequential reference path; the parallel
+// pipeline goes through buildOpts, see parallel.go).
 func (e *Engine) build(g *hypergraph.Graph, partial *spec.Partial, selected map[string]bool) (*spec.Full, error) {
-	full := &spec.Full{}
-	byID := make(map[string]*spec.Instance)
+	full, _, err := e.buildOpts(g, partial, selected, 0, nil)
+	return full, err
+}
 
-	for _, n := range g.Nodes() {
-		if !selected[n.ID] {
-			continue
-		}
-		inst := &spec.Instance{
-			ID:      n.ID,
-			Key:     n.Key,
-			Machine: n.Machine,
-			Inside:  n.Inside,
-			Config:  make(map[string]resource.Value),
-			Input:   make(map[string]resource.Value),
-			Output:  make(map[string]resource.Value),
-		}
-		for k, v := range n.Config {
-			inst.Config[k] = v
-		}
-		full.Instances = append(full.Instances, inst)
-		byID[n.ID] = inst
+// instanceFromNode materializes one selected graph node as a spec
+// instance. Pure per-node work — the parallel build runs it
+// concurrently for distinct nodes.
+func instanceFromNode(n *hypergraph.Node) *spec.Instance {
+	inst := &spec.Instance{
+		ID:      n.ID,
+		Key:     n.Key,
+		Machine: n.Machine,
+		Inside:  n.Inside,
+		Config:  make(map[string]resource.Value, len(n.Config)),
+		Input:   make(map[string]resource.Value),
+		Output:  make(map[string]resource.Value),
 	}
-
-	// Resolve hyperedges to concrete links.
-	for _, edge := range g.Edges {
-		src := byID[edge.Source]
-		if src == nil {
-			continue // source not deployed
-		}
-		target, err := constraint.ChosenTarget(edge, selected)
-		if err != nil {
-			return nil, err
-		}
-		src.Deps = append(src.Deps, spec.DepLink{
-			Class:          edge.Class,
-			Target:         target,
-			PortMap:        edge.PortMap,
-			ReversePortMap: edge.ReversePortMap,
-		})
+	for k, v := range n.Config {
+		inst.Config[k] = v
 	}
-
-	if err := e.propagate(full, byID); err != nil {
-		return nil, err
-	}
-	return full, nil
+	return inst
 }
 
 // propagate computes port values: static ports first (they are known at
 // instantiation time and may flow in reverse), then a linear pass in
 // topological order filling input ports from upstream outputs, config
 // ports from overrides or defaults, and output ports from their
-// definitions (§4, final paragraph).
+// definitions (§4, final paragraph). This is the sequential reference;
+// propagateParallel (parallel.go) runs the same three passes with the
+// first and third fanned out over a worker pool, and falls back to
+// this walk on error so error messages stay identical.
 func (e *Engine) propagate(full *spec.Full, byID map[string]*spec.Instance) error {
 	// Pass 0: static config and output ports.
 	for _, inst := range full.Instances {
-		t := e.Registry.MustLookup(inst.Key)
-		for _, p := range t.Config {
-			if !p.Static {
-				continue
-			}
-			if _, overridden := inst.Config[p.Name]; overridden {
-				continue
-			}
-			if p.Def == nil {
-				return fmt.Errorf("config: instance %q: static config port %q has no value", inst.ID, p.Name)
-			}
-			v, err := p.Def.Eval(resource.MapScope{})
-			if err != nil {
-				return fmt.Errorf("config: instance %q: static config port %q: %v", inst.ID, p.Name, err)
-			}
-			inst.Config[p.Name] = v
-		}
-		for _, p := range t.Output {
-			if !p.Static {
-				continue
-			}
-			v, err := p.Def.Eval(resource.MapScope{Configs: inst.Config})
-			if err != nil {
-				return fmt.Errorf("config: instance %q: static output port %q: %v", inst.ID, p.Name, err)
-			}
-			inst.Output[p.Name] = v
+		if err := e.propagateStatic(inst); err != nil {
+			return err
 		}
 	}
 
-	// Reverse flows: static outputs of dependents feed dependee inputs.
+	if err := e.propagateReverse(full, byID); err != nil {
+		return err
+	}
+
+	// Main pass in dependency order.
+	order, err := full.TopoOrder()
+	if err != nil {
+		return err
+	}
+	for _, inst := range order {
+		if err := e.propagateNode(inst, byID); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// propagateStatic fills one instance's static config and output ports.
+// It reads and writes only inst.
+func (e *Engine) propagateStatic(inst *spec.Instance) error {
+	t := e.Registry.MustLookup(inst.Key)
+	for _, p := range t.Config {
+		if !p.Static {
+			continue
+		}
+		if _, overridden := inst.Config[p.Name]; overridden {
+			continue
+		}
+		if p.Def == nil {
+			return fmt.Errorf("config: instance %q: static config port %q has no value", inst.ID, p.Name)
+		}
+		v, err := p.Def.Eval(resource.MapScope{})
+		if err != nil {
+			return fmt.Errorf("config: instance %q: static config port %q: %v", inst.ID, p.Name, err)
+		}
+		inst.Config[p.Name] = v
+	}
+	for _, p := range t.Output {
+		if !p.Static {
+			continue
+		}
+		v, err := p.Def.Eval(resource.MapScope{Configs: inst.Config})
+		if err != nil {
+			return fmt.Errorf("config: instance %q: static output port %q: %v", inst.ID, p.Name, err)
+		}
+		inst.Output[p.Name] = v
+	}
+	return nil
+}
+
+// propagateReverse applies reverse flows: static outputs of dependents
+// feed dependee inputs. Writes cross instance boundaries, so this pass
+// stays serial even in the parallel pipeline.
+func (e *Engine) propagateReverse(full *spec.Full, byID map[string]*spec.Instance) error {
 	for _, inst := range full.Instances {
 		for _, l := range inst.Deps {
 			for outPort, inPort := range l.ReversePortMap {
@@ -428,59 +504,61 @@ func (e *Engine) propagate(full *spec.Full, byID map[string]*spec.Instance) erro
 			}
 		}
 	}
+	return nil
+}
 
-	// Main pass in dependency order.
-	order, err := full.TopoOrder()
-	if err != nil {
-		return err
+// propagateNode runs the main propagation pass for one instance whose
+// dependencies have all been propagated: inputs from upstream outputs,
+// config ports from overrides or defaults, output ports from their
+// definitions. It writes only to inst and reads upstream instances'
+// Output maps — which the wave schedule guarantees are complete and
+// no longer written.
+func (e *Engine) propagateNode(inst *spec.Instance, byID map[string]*spec.Instance) error {
+	t := e.Registry.MustLookup(inst.Key)
+
+	// Inputs from upstream outputs.
+	for _, l := range inst.Deps {
+		target := byID[l.Target]
+		for outPort, inPort := range l.PortMap {
+			v, ok := target.Output[outPort]
+			if !ok {
+				return fmt.Errorf("config: instance %q: upstream %q has no output %q", inst.ID, l.Target, outPort)
+			}
+			inst.Input[inPort] = v
+		}
 	}
-	for _, inst := range order {
-		t := e.Registry.MustLookup(inst.Key)
 
-		// Inputs from upstream outputs.
-		for _, l := range inst.Deps {
-			target := byID[l.Target]
-			for outPort, inPort := range l.PortMap {
-				v, ok := target.Output[outPort]
-				if !ok {
-					return fmt.Errorf("config: instance %q: upstream %q has no output %q", inst.ID, l.Target, outPort)
-				}
-				inst.Input[inPort] = v
-			}
+	scope := resource.MapScope{Inputs: inst.Input, Configs: inst.Config}
+
+	// Config ports: override > default expression.
+	for _, p := range t.Config {
+		if _, done := inst.Config[p.Name]; done {
+			continue
 		}
-
-		scope := resource.MapScope{Inputs: inst.Input, Configs: inst.Config}
-
-		// Config ports: override > default expression.
-		for _, p := range t.Config {
-			if _, done := inst.Config[p.Name]; done {
-				continue
-			}
-			if p.Def == nil {
-				return fmt.Errorf("config: instance %q: config port %q has no value and no default", inst.ID, p.Name)
-			}
-			v, err := p.Def.Eval(scope)
-			if err != nil {
-				return fmt.Errorf("config: instance %q: config port %q: %v", inst.ID, p.Name, err)
-			}
-			if !v.Type().AssignableTo(p.Type) {
-				return fmt.Errorf("config: instance %q: config port %q: %s not assignable to %s",
-					inst.ID, p.Name, v.Type(), p.Type)
-			}
-			inst.Config[p.Name] = v
+		if p.Def == nil {
+			return fmt.Errorf("config: instance %q: config port %q has no value and no default", inst.ID, p.Name)
 		}
-
-		// Output ports.
-		for _, p := range t.Output {
-			if _, done := inst.Output[p.Name]; done {
-				continue // static, already computed
-			}
-			v, err := p.Def.Eval(scope)
-			if err != nil {
-				return fmt.Errorf("config: instance %q: output port %q: %v", inst.ID, p.Name, err)
-			}
-			inst.Output[p.Name] = v
+		v, err := p.Def.Eval(scope)
+		if err != nil {
+			return fmt.Errorf("config: instance %q: config port %q: %v", inst.ID, p.Name, err)
 		}
+		if !v.Type().AssignableTo(p.Type) {
+			return fmt.Errorf("config: instance %q: config port %q: %s not assignable to %s",
+				inst.ID, p.Name, v.Type(), p.Type)
+		}
+		inst.Config[p.Name] = v
+	}
+
+	// Output ports.
+	for _, p := range t.Output {
+		if _, done := inst.Output[p.Name]; done {
+			continue // static, already computed
+		}
+		v, err := p.Def.Eval(scope)
+		if err != nil {
+			return fmt.Errorf("config: instance %q: output port %q: %v", inst.ID, p.Name, err)
+		}
+		inst.Output[p.Name] = v
 	}
 	return nil
 }

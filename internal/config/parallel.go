@@ -1,0 +1,217 @@
+package config
+
+// This file is the parallel back half of the configuration pipeline:
+// concurrent instance construction and hyperedge resolution, and
+// Kahn-style wave scheduling of port propagation over the instance
+// DAG. It mirrors the front half's wave machinery (see
+// internal/hypergraph/parallel.go) but is much simpler: port values
+// are pure functions of upstream outputs, so there is no speculation
+// to invalidate — a wave's instances touch disjoint state by
+// construction, and every dependency was finished by an earlier wave.
+//
+// Error semantics match the sequential path exactly: on any error in a
+// parallel pass the engine reruns the serial walk, which — because all
+// port evaluations are pure and idempotent — reproduces the exact
+// first error the sequential pipeline would have reported.
+
+import (
+	"fmt"
+	"time"
+
+	"engage/internal/conc"
+	"engage/internal/constraint"
+	"engage/internal/hypergraph"
+	"engage/internal/spec"
+	"engage/internal/telemetry"
+)
+
+// buildTiming carries sub-stage timings out of buildOpts so Stats can
+// report the port-propagation slice of the build wall separately.
+type buildTiming struct {
+	propagate time.Duration
+	waves     int
+}
+
+// buildOpts assembles the full specification from the solved selection
+// and propagates port values, fanning instance construction, hyperedge
+// resolution, and propagation over a pool of the given width. workers
+// ≤ 1 is the sequential reference path with identical output and
+// errors; workers > 1 produces byte-identical output (instance order
+// follows graph order, dep links follow edge order, and port values
+// are pure functions of the DAG).
+func (e *Engine) buildOpts(g *hypergraph.Graph, partial *spec.Partial, selected map[string]bool, workers int, sp *telemetry.Span) (*spec.Full, buildTiming, error) {
+	var bt buildTiming
+
+	// Instance construction: one independent slot per graph node, then
+	// a serial fan-in that preserves graph order.
+	nodes := g.Nodes()
+	slots := make([]*spec.Instance, len(nodes))
+	conc.ParallelFor(len(nodes), workers, func(i int) {
+		if selected[nodes[i].ID] {
+			slots[i] = instanceFromNode(nodes[i])
+		}
+	})
+	full := &spec.Full{}
+	byID := make(map[string]*spec.Instance, len(nodes))
+	for _, inst := range slots {
+		if inst == nil {
+			continue
+		}
+		full.Instances = append(full.Instances, inst)
+		byID[inst.ID] = inst
+	}
+
+	// Hyperedge resolution: ChosenTarget per edge is independent; the
+	// serial fan-in appends dep links in edge order and returns the
+	// first error in edge order, exactly like the sequential loop.
+	type edgeRes struct {
+		target string
+		err    error
+	}
+	eres := make([]edgeRes, len(g.Edges))
+	conc.ParallelFor(len(g.Edges), workers, func(i int) {
+		edge := g.Edges[i]
+		if byID[edge.Source] == nil {
+			return // source not deployed
+		}
+		eres[i].target, eres[i].err = constraint.ChosenTarget(edge, selected)
+	})
+	for i, edge := range g.Edges {
+		src := byID[edge.Source]
+		if src == nil {
+			continue
+		}
+		if eres[i].err != nil {
+			return nil, bt, eres[i].err
+		}
+		src.Deps = append(src.Deps, spec.DepLink{
+			Class:          edge.Class,
+			Target:         eres[i].target,
+			PortMap:        edge.PortMap,
+			ReversePortMap: edge.ReversePortMap,
+		})
+	}
+
+	start := time.Now()
+	var err error
+	if workers > 1 {
+		err = e.propagateParallel(full, byID, workers, sp, &bt)
+	} else {
+		err = e.propagate(full, byID)
+	}
+	bt.propagate = time.Since(start)
+	if err != nil {
+		return nil, bt, err
+	}
+	if bt.waves > 0 {
+		sp.Int("propagate_waves", int64(bt.waves))
+	}
+	return full, bt, nil
+}
+
+// propagateParallel runs the three propagation passes with the static
+// and main passes fanned out over the worker pool. The static pass is
+// embarrassingly parallel (each instance touches only itself); the
+// reverse pass stays serial (its writes cross instance boundaries and
+// it is a tiny fraction of the work); the main pass runs as Kahn waves
+// over the instance DAG — every instance whose dependencies have all
+// been propagated is ready, and ready instances propagate concurrently
+// because propagateNode writes only its own instance and reads only
+// finished upstream Output maps.
+//
+// On any error in a parallel pass the serial walk is rerun and its
+// error returned, so failures report exactly what the sequential
+// pipeline would have said, in the same order.
+func (e *Engine) propagateParallel(full *spec.Full, byID map[string]*spec.Instance, workers int, sp *telemetry.Span, bt *buildTiming) error {
+	n := len(full.Instances)
+
+	// Pass 0: static config and output ports, one instance per task.
+	errs := make([]error, n)
+	conc.ParallelFor(n, workers, func(i int) {
+		errs[i] = e.propagateStatic(full.Instances[i])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return e.serialFallback(full, byID, err)
+		}
+	}
+
+	// Reverse flows: serial, writes cross instance boundaries.
+	if err := e.propagateReverse(full, byID); err != nil {
+		return err
+	}
+
+	// Main pass: Kahn waves over the dependency DAG.
+	indeg := make(map[string]int, n)
+	dependents := make(map[string][]*spec.Instance, n)
+	wave := make([]*spec.Instance, 0, n)
+	for _, inst := range full.Instances {
+		deps := 0
+		for _, d := range inst.DependencyIDs() {
+			if d == inst.ID {
+				continue
+			}
+			if _, ok := byID[d]; !ok {
+				continue // dependency outside the deployed set
+			}
+			deps++
+			dependents[d] = append(dependents[d], inst)
+		}
+		indeg[inst.ID] = deps
+		if deps == 0 {
+			wave = append(wave, inst)
+		}
+	}
+
+	done := 0
+	for len(wave) > 0 {
+		werrs := make([]error, len(wave))
+		conc.ParallelFor(len(wave), workers, func(i int) {
+			werrs[i] = e.propagateNode(wave[i], byID)
+		})
+		for _, err := range werrs {
+			if err != nil {
+				return e.serialFallback(full, byID, err)
+			}
+		}
+		done += len(wave)
+		sp.Event("build.wave").
+			Int("wave", int64(bt.waves)).
+			Int("size", int64(len(wave))).
+			Emit()
+		bt.waves++
+
+		var next []*spec.Instance
+		for _, inst := range wave {
+			for _, dep := range dependents[inst.ID] {
+				indeg[dep.ID]--
+				if indeg[dep.ID] == 0 {
+					next = append(next, dep)
+				}
+			}
+		}
+		wave = next
+	}
+	if done != n {
+		// Dependency cycle: report it through the same path the serial
+		// walk uses so the error text is identical.
+		if _, err := full.TopoOrder(); err != nil {
+			return err
+		}
+		return fmt.Errorf("config: propagation stalled with %d of %d instances unreached", n-done, n)
+	}
+	return nil
+}
+
+// serialFallback reruns the sequential propagation walk after a
+// parallel pass hit an error. Port evaluations are pure and their
+// writes idempotent, so the rerun reproduces exactly the first error
+// the sequential pipeline would have reported. If the rerun somehow
+// succeeds, the parallel error is returned instead of silently
+// accepting a state the reference path was never observed to produce.
+func (e *Engine) serialFallback(full *spec.Full, byID map[string]*spec.Instance, parErr error) error {
+	if err := e.propagate(full, byID); err != nil {
+		return err
+	}
+	return parErr
+}

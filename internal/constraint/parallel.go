@@ -2,9 +2,8 @@ package constraint
 
 import (
 	"fmt"
-	"sync"
-	"sync/atomic"
 
+	"engage/internal/conc"
 	"engage/internal/hypergraph"
 	"engage/internal/sat"
 	"engage/internal/telemetry"
@@ -87,7 +86,7 @@ func EncodeParallelTraced(g *hypergraph.Graph, enc Encoding, workers int, sp *te
 	}
 
 	// Pass 2: fill edge shards concurrently.
-	parallelFor(nEdges, workers, func(i int) {
+	conc.ParallelFor(nEdges, workers, func(i int) {
 		e := g.Edges[i]
 		s := shard{
 			clauses: clauses[clauseOff[i]:clauseOff[i+1]],
@@ -182,34 +181,4 @@ func emitEdge(s *shard, src sat.Lit, lits []sat.Lit, enc Encoding, auxBase int) 
 		s.add(src.Neg(), lits[i].Neg(), aux(i-1).Neg())
 	}
 	s.add(src.Neg(), lits[n-1].Neg(), aux(n-2).Neg())
-}
-
-// parallelFor runs fn(0..n-1) on up to `workers` goroutines via an
-// atomic work counter, returning once every index has run.
-func parallelFor(n, workers int, fn func(int)) {
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				fn(i)
-			}
-		}()
-	}
-	wg.Wait()
 }

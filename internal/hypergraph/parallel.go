@@ -2,8 +2,8 @@ package hypergraph
 
 import (
 	"sync"
-	"sync/atomic"
 
+	"engage/internal/conc"
 	"engage/internal/resource"
 	"engage/internal/spec"
 	"engage/internal/telemetry"
@@ -86,7 +86,7 @@ func generateWaves(reg *resource.Registry, partial *spec.Partial, workers int, s
 		// Speculation: expand every wave node against the frozen
 		// snapshot. The graph is not mutated until all workers finish.
 		plans := make([]*plan, len(wave))
-		parallelFor(len(wave), workers, func(i int) {
+		conc.ParallelFor(len(wave), workers, func(i int) {
 			ov := &overlay{base: g, snapLen: snapLen, cache: cache, sub: sub, fr: fr}
 			edges, _, err := processNode(ov, reg, g.nodes[wave[i]])
 			plans[i] = &plan{edges: edges, created: ov.local, probes: ov.probes, err: err}
@@ -409,34 +409,4 @@ func (f *frontierMemo) frontier(k resource.Key) ([]resource.Key, error) {
 	f.m[k] = frontierResult{keys: keys, err: err}
 	f.mu.Unlock()
 	return keys, err
-}
-
-// parallelFor runs fn(0..n-1) on up to `workers` goroutines, sharing
-// work through an atomic counter. It returns when every index has run.
-func parallelFor(n, workers int, fn func(int)) {
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				fn(i)
-			}
-		}()
-	}
-	wg.Wait()
 }

@@ -1,0 +1,66 @@
+package sat
+
+import "fmt"
+
+// CanonicalModel strengthens an incremental session until its clause
+// set has exactly one model restricted to the variables in order: the
+// lexicographically smallest one, preferring false, with order[0] most
+// significant. Starting from any satisfying model, it walks order and
+// commits one unit clause per variable:
+//
+//   - current model has v false → ¬v is consistent with everything
+//     committed so far (the model witnesses it), commit ¬v without
+//     solving;
+//   - current model has v true → SolveAssuming(¬v): satisfiable means
+//     v was not forced, so commit ¬v and adopt the new model;
+//     unsatisfiable means v is forced by the committed prefix, so
+//     commit v and keep the current model.
+//
+// Each committed literal is a pure function of the clause set and the
+// prefix committed before it — never of the starting model — so two
+// calls over the same clause set and order agree on every variable in
+// order regardless of which models they started from. This is what
+// makes portfolio solving reproducible: whichever worker wins,
+// canonicalizing its model on its warm session yields the same
+// assignment. It also subsumes the minimal-configuration guarantee on
+// the ordered variables (no true variable can be flipped false, which
+// is exactly the shed loop's post-condition).
+//
+// The session is permanently strengthened by the committed units.
+// Solve effort is one SolveAssuming per variable that is true in the
+// running model — for Engage's configurations, roughly one warm solve
+// per deployed instance. The returned model is the canonical one; n is
+// the number of solver calls spent. model must satisfy the session's
+// clause set (Model from a Sat Result).
+func CanonicalModel(in IncrementalSolver, model []bool, order []int) (canon []bool, n int, err error) {
+	cur := append([]bool(nil), model...)
+	for _, v := range order {
+		if v <= 0 {
+			return nil, n, fmt.Errorf("sat: canonical: bad variable %d", v)
+		}
+		if v >= len(cur) || !cur[v] {
+			// cur witnesses that ¬v is consistent with the committed
+			// prefix; commit it without a solve.
+			if !in.AddClause(Clause{Lit(-v)}) {
+				return nil, n, fmt.Errorf("sat: canonical: session became unsatisfiable committing ¬%d", v)
+			}
+			continue
+		}
+		n++
+		res := in.SolveAssuming([]Lit{Lit(-v)})
+		switch res.Status {
+		case Sat:
+			if !in.AddClause(Clause{Lit(-v)}) {
+				return nil, n, fmt.Errorf("sat: canonical: session became unsatisfiable committing ¬%d", v)
+			}
+			cur = append(cur[:0], res.Model...)
+		case Unsat:
+			if !in.AddClause(Clause{Lit(v)}) {
+				return nil, n, fmt.Errorf("sat: canonical: session became unsatisfiable committing %d", v)
+			}
+		default:
+			return nil, n, fmt.Errorf("sat: canonical: solver gave up at variable %d", v)
+		}
+	}
+	return cur, n, nil
+}

@@ -1,6 +1,9 @@
 package sat
 
-import "sort"
+import (
+	"sort"
+	"sync/atomic"
+)
 
 // CDCL is a conflict-driven clause-learning solver in the MiniSat
 // lineage: two-literal watching with blocker literals and dedicated
@@ -95,6 +98,23 @@ type cdclState struct {
 	claInc float64
 	stats  Stats
 	ok     bool
+
+	// Portfolio hooks (see portfolio.go); all zero outside portfolio
+	// solves, in which case the solver behaves exactly like the
+	// sequential reference.
+	stop         *atomic.Bool // cooperative cancellation flag, checked in the search loop
+	exch         *exchange    // shared learned-clause buffer
+	exchID       int          // this worker's identity in exch
+	exchSeq      int          // export rotation over stripes
+	exchCursor   []int        // per-stripe read position
+	rnd          uint64       // xorshift state for random branching (0 = none)
+	randFreq     uint64       // percent of decisions branched at random
+	varDecayRate float64      // VSIDS decay factor (newState sets the default)
+	restartUnit  int64        // Luby restart base (newState sets the default)
+	defaultPhase bool         // initial branching phase for fresh variables
+	sharedIn     int64        // clauses imported from the exchange
+	sharedOut    int64        // clauses exported to the exchange
+	cancelled    bool         // last search ended by the stop flag
 }
 
 // Solve implements Solver.
@@ -110,9 +130,12 @@ func (*CDCL) Solve(f *Formula) Result {
 
 func newState(nVars int) *cdclState {
 	s := &cdclState{
-		varInc: 1,
-		claInc: 1,
-		ok:     true,
+		varInc:       1,
+		claInc:       1,
+		ok:           true,
+		varDecayRate: varDecay,
+		restartUnit:  restartUnit,
+		defaultPhase: true,
 	}
 	s.order.s = s
 	s.ensureVars(nVars)
@@ -140,8 +163,9 @@ func (s *cdclState) ensureVars(n int) {
 		// (MiniSat's default). In Engage's configuration problems this
 		// yields small models — resources not forced by a constraint
 		// stay undeployed. Phase saving overwrites the default with
-		// the last assigned value on backtracking.
-		s.polarity = append(s.polarity, true)
+		// the last assigned value on backtracking. Portfolio workers
+		// may flip the default to diversify their search.
+		s.polarity = append(s.polarity, s.defaultPhase)
 		s.seen = append(s.seen, false)
 	}
 	s.nVars = n
@@ -494,8 +518,9 @@ func (s *cdclState) bumpClause(c cref) {
 }
 
 const (
-	varDecay = 1.0 / 0.95
-	claDecay = 1.0 / 0.999
+	varDecay    = 1.0 / 0.95
+	claDecay    = 1.0 / 0.999
+	restartUnit = 100 // conflicts per Luby restart unit
 )
 
 // luby computes element x (0-based) of the Luby restart sequence
@@ -516,20 +541,34 @@ func luby(x int64) int64 {
 
 func (s *cdclState) search() Result {
 	s.core = nil
+	s.cancelled = false
 	if !s.ok {
 		return Result{Status: Unsat, Stats: s.stats}
 	}
 	maxLearnts := len(s.clauses)/3 + 100
 	var restarts int64 // local so incremental calls restart the schedule
 	for {
-		limit := 100 * luby(restarts)
+		limit := s.restartUnit * luby(restarts)
 		status, model := s.searchOnce(limit, &maxLearnts)
+		if s.cancelled {
+			return Result{Status: Unknown, Stats: s.stats}
+		}
 		if status != Unknown {
 			return Result{Status: status, Model: model, Core: s.core, Stats: s.stats}
 		}
 		restarts++
 		s.stats.Restarts++
 		s.backtrackTo(0)
+		// Restart boundaries are the import points for clauses shared
+		// by other portfolio workers: the trail is back at level 0, so
+		// imported clauses can be installed and propagated soundly.
+		s.importShared()
+		if !s.ok {
+			// A shared clause closed the formula: imported clauses are
+			// implied by the (shared) problem clauses, so this is a
+			// genuine root-level unsatisfiability.
+			return Result{Status: Unsat, Stats: s.stats}
+		}
 	}
 }
 
@@ -541,6 +580,13 @@ func (s *cdclState) search() Result {
 func (s *cdclState) searchOnce(conflictLimit int64, maxLearnts *int) (Status, []bool) {
 	var conflicts int64
 	for {
+		// Cooperative cancellation: a portfolio sibling found the
+		// answer first. Checked once per propagate/decide round — cheap
+		// relative to propagation, prompt enough for first-winner wins.
+		if s.stop != nil && s.stop.Load() {
+			s.cancelled = true
+			return Unknown, nil
+		}
 		confl := s.propagate()
 		if confl != crefUndef {
 			s.stats.Conflicts++
@@ -566,7 +612,8 @@ func (s *cdclState) searchOnce(conflictLimit int64, maxLearnts *int) (Status, []
 				s.attach(cl)
 				s.uncheckedEnqueue(learnt[0], cl)
 			}
-			s.varInc *= varDecay
+			s.exportLearnt(learnt)
+			s.varInc *= s.varDecayRate
 			s.claInc *= claDecay
 			continue
 		}
@@ -594,7 +641,16 @@ func (s *cdclState) searchOnce(conflictLimit int64, maxLearnts *int) (Status, []
 			}
 		}
 		if next < 0 {
-			v := s.pickBranchVar()
+			v := int32(-1)
+			// Portfolio diversification: a seeded fraction of decisions
+			// branch on a random unassigned variable instead of the
+			// VSIDS maximum, pushing workers into different subtrees.
+			if s.randFreq > 0 && s.nextRand()%100 < s.randFreq {
+				v = s.pickRandomVar()
+			}
+			if v < 0 {
+				v = s.pickBranchVar()
+			}
 			if v < 0 {
 				// All variables assigned: SAT.
 				model := make([]bool, s.nVars+1)
@@ -617,6 +673,29 @@ func (s *cdclState) searchOnce(conflictLimit int64, maxLearnts *int) (Status, []
 func (s *cdclState) pickBranchVar() int32 {
 	for !s.order.empty() {
 		v := s.order.pop()
+		if s.assign[v] == valUnassigned {
+			return v
+		}
+	}
+	return -1
+}
+
+// nextRand advances the worker's xorshift64 state.
+func (s *cdclState) nextRand() uint64 {
+	x := s.rnd
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	s.rnd = x
+	return x
+}
+
+// pickRandomVar probes a bounded number of random variables for an
+// unassigned one; -1 falls back to VSIDS. Leaving the probed variable
+// in the activity heap is fine — pickBranchVar skips assigned entries.
+func (s *cdclState) pickRandomVar() int32 {
+	for probe := 0; probe < 16; probe++ {
+		v := int32(s.nextRand() % uint64(s.nVars))
 		if s.assign[v] == valUnassigned {
 			return v
 		}

@@ -1,0 +1,173 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteLexMin enumerates assignments in lexicographic order (variable 1
+// most significant, false < true) and returns the first satisfying one
+// — the reference CanonicalModel must reproduce. Only for tiny nVars.
+func bruteLexMin(f *Formula) []bool {
+	n := f.NumVars
+	model := make([]bool, n+1)
+	for mask := 0; mask < 1<<n; mask++ {
+		for v := 1; v <= n; v++ {
+			model[v] = mask&(1<<(n-v)) != 0
+		}
+		if Verify(f, model) == -1 {
+			return model
+		}
+	}
+	return nil
+}
+
+func fullOrder(f *Formula) []int {
+	order := make([]int, f.NumVars)
+	for i := range order {
+		order[i] = i + 1
+	}
+	return order
+}
+
+func TestPortfolioAgreesWithSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cdcl := NewCDCL()
+	for trial := 0; trial < 40; trial++ {
+		nVars := 8 + rng.Intn(25)
+		f := randomFormula(rng, nVars, int(float64(nVars)*4.0))
+		want := cdcl.Solve(f)
+		for _, n := range []int{1, 2, 4, 8} {
+			pr := SolvePortfolio(f, n)
+			if pr.Result.Status != want.Status {
+				t.Fatalf("trial %d n=%d: portfolio %v, sequential %v", trial, n, pr.Result.Status, want.Status)
+			}
+			if pr.Result.Status == Sat {
+				if bad := Verify(f, pr.Result.Model); bad != -1 {
+					t.Fatalf("trial %d n=%d: winning model falsifies clause %d", trial, n, bad)
+				}
+			}
+			if pr.Winner < 0 || pr.Winner >= n {
+				t.Fatalf("trial %d n=%d: bad winner %d", trial, n, pr.Winner)
+			}
+			if len(pr.Workers) != n {
+				t.Fatalf("trial %d n=%d: %d worker reports", trial, n, len(pr.Workers))
+			}
+			winners := 0
+			for _, w := range pr.Workers {
+				if w.Winner {
+					winners++
+					if w.Worker != pr.Winner || w.Status != pr.Result.Status {
+						t.Fatalf("trial %d n=%d: inconsistent winner report %+v", trial, n, w)
+					}
+				}
+			}
+			if winners != 1 {
+				t.Fatalf("trial %d n=%d: %d winners", trial, n, winners)
+			}
+			if pr.Session() == nil {
+				t.Fatalf("trial %d n=%d: nil session", trial, n)
+			}
+		}
+	}
+}
+
+func TestCanonicalModelIsLexMin(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 120; trial++ {
+		nVars := 4 + rng.Intn(8) // small enough to brute-force
+		f := randomFormula(rng, nVars, int(float64(nVars)*3.5))
+		want := bruteLexMin(f)
+		res := NewCDCL().Solve(f)
+		if (want == nil) != (res.Status == Unsat) {
+			t.Fatalf("trial %d: brute force and solver disagree on satisfiability", trial)
+		}
+		if want == nil {
+			continue
+		}
+		in := NewCDCL().StartIncremental(f)
+		got, _, err := CanonicalModel(in, res.Model, fullOrder(f))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for v := 1; v <= nVars; v++ {
+			if got[v] != want[v] {
+				t.Fatalf("trial %d: canonical model differs from lex-min at var %d", trial, v)
+			}
+		}
+	}
+}
+
+// Canonicalizing the winner of any portfolio width must yield the same
+// model — the determinism contract the configuration pipeline rests on.
+func TestPortfolioCanonicalDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 25; trial++ {
+		nVars := 10 + rng.Intn(30)
+		f := randomFormula(rng, nVars, int(float64(nVars)*3.8))
+		var want []bool
+		for _, n := range []int{1, 2, 4, 8} {
+			pr := SolvePortfolio(f, n)
+			if pr.Result.Status != Sat {
+				want = nil
+				break
+			}
+			got, _, err := CanonicalModel(pr.Session(), pr.Result.Model, fullOrder(f))
+			if err != nil {
+				t.Fatalf("trial %d n=%d: %v", trial, n, err)
+			}
+			if bad := Verify(f, got); bad != -1 {
+				t.Fatalf("trial %d n=%d: canonical model falsifies clause %d", trial, n, bad)
+			}
+			if want == nil {
+				want = got
+				continue
+			}
+			for v := 1; v <= nVars; v++ {
+				if got[v] != want[v] {
+					t.Fatalf("trial %d n=%d: canonical model differs at var %d", trial, n, v)
+				}
+			}
+		}
+	}
+}
+
+func TestPortfolioUnsat(t *testing.T) {
+	f := NewFormula(2)
+	f.Add(Lit(1), Lit(2))
+	f.Add(Lit(1), Lit(-2))
+	f.Add(Lit(-1), Lit(2))
+	f.Add(Lit(-1), Lit(-2))
+	for _, n := range []int{1, 2, 4} {
+		pr := SolvePortfolio(f, n)
+		if pr.Result.Status != Unsat {
+			t.Fatalf("n=%d: %v, want Unsat", n, pr.Result.Status)
+		}
+	}
+}
+
+// The winner's session must stay usable after the portfolio is torn
+// down: further assumptions, clause adds, and solves on warm state.
+func TestPortfolioSessionContinues(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	f := randomFormula(rng, 30, 90)
+	pr := SolvePortfolio(f, 4)
+	if pr.Result.Status != Sat {
+		t.Skip("random instance unsat; covered elsewhere")
+	}
+	in := pr.Session()
+	res := in.SolveAssuming(nil)
+	if res.Status != Sat {
+		t.Fatalf("re-solve on winner session: %v", res.Status)
+	}
+	// Force a variable the current model sets true to false.
+	for v := 1; v <= f.NumVars; v++ {
+		if res.Model[v] {
+			trial := in.SolveAssuming([]Lit{Lit(-v)})
+			if trial.Status == Unknown {
+				t.Fatalf("session gave up under assumption ¬%d", v)
+			}
+			break
+		}
+	}
+}
