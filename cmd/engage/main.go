@@ -27,6 +27,7 @@ import (
 	"engage/internal/config"
 	"engage/internal/constraint"
 	"engage/internal/deploy"
+	"engage/internal/fault"
 	"engage/internal/hypergraph"
 	"engage/internal/library"
 	"engage/internal/lint"
@@ -37,6 +38,7 @@ import (
 	"engage/internal/resource"
 	"engage/internal/sat"
 	"engage/internal/spec"
+	"engage/internal/stack"
 	"engage/internal/telemetry"
 	"engage/internal/typecheck"
 )
@@ -70,6 +72,8 @@ func run(args []string, out *os.File) error {
 		return cmdFmt(args[1:], out)
 	case "serve":
 		return cmdServe(args[1:], out)
+	case "stack":
+		return cmdStack(args[1:], out)
 	case "trace":
 		return cmdTrace(args[1:], out)
 	case "demo":
@@ -99,12 +103,16 @@ commands:
                                            enumerate all valid full specs
   fmt     file.rdl...                      reformat RDL sources canonically
   serve   [-addr :8080]                    run the PaaS web service (simulated cloud)
+  stack   apply|status|reconcile           apply a named desired-state stack,
+                                           inspect its record, or run drift →
+                                           detect → replan → repair rounds
   trace   report|validate file.jsonl       summarize or validate a telemetry trace
   demo                                     OpenMRS quickstart end to end
 
-solve and deploy accept -trace out.jsonl to write a JSON-lines
-telemetry trace (spans per stage and per deploy action, events for
-retries, faults, and monitor activity); inspect it with trace report.
+solve, deploy, and stack accept -trace out.jsonl to write a JSON-lines
+telemetry trace (spans per stage, per deploy action, and per reconcile
+round, events for retries, faults, and monitor activity); inspect it
+with trace report.
 `)
 }
 
@@ -589,6 +597,185 @@ func cmdDeploy(args []string, out *os.File) error {
 	}
 	printStatusMap(out, st)
 	return finishTrace()
+}
+
+// cmdStack manages named desired-state stacks on the simulated world:
+//
+//	engage stack apply     -name web -partial spec.json -state web.json
+//	engage stack status    -state web.json
+//	engage stack reconcile -name web -partial spec.json -rounds 3 -seed 7
+//
+// apply configures and deploys the partial specification as a stack and
+// writes its record (desired spec + observed bindings) as JSON; status
+// prints a saved record; reconcile applies the stack, then runs seeded
+// drift-injection rounds (kill daemons, corrupt manifests, move ports)
+// and lets the reconciler detect, minimally replan, and repair each
+// disturbance.
+func cmdStack(args []string, out *os.File) error {
+	if len(args) == 0 {
+		return fmt.Errorf("stack: usage: engage stack apply|status|reconcile [flags]")
+	}
+	sub, args := args[0], args[1:]
+	switch sub {
+	case "apply", "reconcile":
+	case "status":
+		fs := flag.NewFlagSet("stack status", flag.ContinueOnError)
+		statePath := fs.String("state", "", "stack record written by `stack apply` (JSON)")
+		if err := fs.Parse(args); err != nil {
+			return err
+		}
+		if *statePath == "" {
+			return fmt.Errorf("stack status: -state is required")
+		}
+		f, err := os.Open(*statePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		st, err := stack.ReadStack(f)
+		if err != nil {
+			return err
+		}
+		printStackRecord(out, st)
+		return nil
+	default:
+		return fmt.Errorf("stack: unknown subcommand %q (want apply, status, or reconcile)", sub)
+	}
+
+	fs := flag.NewFlagSet("stack "+sub, flag.ContinueOnError)
+	name := fs.String("name", "default", "stack name")
+	rdlFiles := fs.String("rdl", "", "comma-separated RDL files (default: bundled library)")
+	partialPath := fs.String("partial", "", "partial installation specification (JSON)")
+	statePath := fs.String("state", "", "write the stack record (JSON) to this file")
+	tracePath := fs.String("trace", "", "write a JSON-lines telemetry trace to this file")
+	rounds := fs.Int("rounds", 3, "reconcile: drift-injection rounds to run")
+	seed := fs.Int64("seed", 1, "reconcile: drift schedule seed")
+	prob := fs.Float64("drift", 0.5, "reconcile: per-binding drift probability each round")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	w := machine.NewWorld()
+	var tr *telemetry.Tracer
+	var closeTrace func() error
+	if *tracePath != "" {
+		var err error
+		if tr, closeTrace, err = openTrace(*tracePath, w.Clock); err != nil {
+			return err
+		}
+		w.SetTracer(tr)
+	}
+	reg, bundled, err := loadRegistry(*rdlFiles, tr)
+	if err != nil {
+		return err
+	}
+	p, err := loadPartial(*partialPath)
+	if err != nil {
+		return err
+	}
+	drivers := deploy.NewDriverRegistry()
+	index := pkgmgr.NewIndex()
+	if bundled {
+		drivers = library.Drivers()
+		index = library.PackageIndex()
+	}
+	ctl := &stack.Controller{Options: deploy.Options{
+		Registry: reg, Drivers: drivers, World: w, Index: index,
+		Cache: pkgmgr.NewCache(), ProvisionMissing: true, OSOf: library.OSOf,
+		Tracer: tr,
+	}}
+	a, err := ctl.Apply(*name, p)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "stack %q v%d applied: %d instances (simulated)\n",
+		a.Stack.Name, a.Stack.Version, len(a.Stack.Desired.Instances))
+
+	if sub == "reconcile" {
+		plan := fault.NewPlan(*seed).DriftWithProbability(*prob)
+		if tr != nil {
+			plan.Instrument(tr)
+		}
+		for round := 1; round <= *rounds; round++ {
+			drifted := 0
+			for _, t := range a.DriftTargets() {
+				if _, ok := plan.InjectDrift(t); ok {
+					drifted++
+				}
+			}
+			fmt.Fprintf(out, "\ndisturbance %d: %d binding(s) drifted\n", round, drifted)
+			reps, converged := a.ReconcileUntilConverged(4)
+			for _, rep := range reps {
+				printRoundReport(out, rep)
+			}
+			if !converged {
+				return fmt.Errorf("stack %q did not reconverge after disturbance %d", *name, round)
+			}
+		}
+	}
+
+	printStackRecord(out, a.Stack)
+	if *statePath != "" {
+		f, err := os.Create(*statePath)
+		if err != nil {
+			return err
+		}
+		if err := a.Stack.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "record written to %s (inspect with: engage stack status -state %s)\n",
+			*statePath, *statePath)
+	}
+	if closeTrace != nil {
+		if err := closeTrace(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "trace written to %s (inspect with: engage trace report %s)\n",
+			*tracePath, *tracePath)
+	}
+	return nil
+}
+
+// printStackRecord renders a stack record's bindings table.
+func printStackRecord(out *os.File, st *stack.Stack) {
+	fmt.Fprintf(out, "stack %s (v%d): %d instance(s)\n",
+		st.Name, st.Version, len(st.Desired.Instances))
+	for _, id := range st.InstanceIDs() {
+		b := st.Bindings[id]
+		daemon := "-"
+		if b.PID != 0 {
+			daemon = fmt.Sprintf("pid %d ports %v", b.PID, b.Ports)
+		}
+		fmt.Fprintf(out, "  %-24s on %-12s %-24s %s\n", id, b.Machine, daemon, b.ManifestPath)
+	}
+}
+
+// printRoundReport renders one reconcile round like the trace report's
+// reconcile section.
+func printRoundReport(out *os.File, rep *stack.RoundReport) {
+	if rep.Converged() {
+		fmt.Fprintf(out, "  round %d: converged\n", rep.Round)
+		return
+	}
+	outcome := "FAILED"
+	if rep.Repaired {
+		outcome = "repaired"
+	} else if rep.RolledBack {
+		outcome = "ROLLED BACK"
+	}
+	fmt.Fprintf(out, "  round %d: %d drift(s), delta %d (pinned %d, replan %s) — %s\n",
+		rep.Round, len(rep.Drifts), len(rep.Cone), rep.Pinned,
+		strings.ToLower(rep.SolveStatus), outcome)
+	for _, d := range rep.Drifts {
+		fmt.Fprintf(out, "    %s\n", d)
+	}
+	if rep.Err != nil {
+		fmt.Fprintf(out, "    error: %v\n", rep.Err)
+	}
 }
 
 // cmdTrace inspects a JSON-lines telemetry trace written by

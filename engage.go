@@ -46,6 +46,7 @@ import (
 	"engage/internal/resource"
 	"engage/internal/sat"
 	"engage/internal/spec"
+	"engage/internal/stack"
 	"engage/internal/telemetry"
 	"engage/internal/typecheck"
 	"engage/internal/upgrade"
@@ -106,6 +107,23 @@ type (
 	Trace = telemetry.Trace
 	// TraceLine is one span or event record of a trace.
 	TraceLine = telemetry.Line
+	// Stack is a named, versioned desired-state record (see ApplyStack).
+	Stack = stack.Stack
+	// StackBinding records where one desired instance landed in the world.
+	StackBinding = stack.Binding
+	// AppliedStack is a stack applied to a live world, with its warm
+	// configuration session and monitor; Reconcile drives it back to the
+	// desired state after drift.
+	AppliedStack = stack.Applied
+	// Drift is one detected divergence between a stack record and the
+	// observed world.
+	Drift = stack.Drift
+	// ReconcileReport is what one reconcile round found and did.
+	ReconcileReport = stack.RoundReport
+	// DriftRule is one drift-injection rule of a FaultPlan.
+	DriftRule = fault.DriftRule
+	// DriftTarget names a deployed binding a FaultPlan may drift.
+	DriftTarget = fault.DriftTarget
 )
 
 // ReadTrace parses and validates a JSON-lines telemetry trace.
@@ -405,6 +423,19 @@ func (s *System) UpgradeIncremental(old *Deployment, oldSpec, newSpec *Full) (*D
 	u := &upgrade.Upgrader{Options: s.options()}
 	return u.UpgradeIncremental(old, oldSpec, newSpec)
 }
+
+// ApplyStack configures and deploys a partial specification as a named
+// stack: a versioned desired-state record whose bindings (daemon PIDs,
+// ports, config manifests) the returned AppliedStack can continuously
+// reconcile against the live world (detect drift, replan minimally on
+// the warm SAT session, repair or roll back).
+func (s *System) ApplyStack(name string, p *Partial) (*AppliedStack, error) {
+	c := &stack.Controller{Options: s.options()}
+	return c.Apply(name, p)
+}
+
+// ReadStackRecord parses a stack record written by Stack.WriteJSON.
+func ReadStackRecord(r io.Reader) (*Stack, error) { return stack.ReadStack(r) }
 
 // PackageApp validates and packages a Django application (§6.2).
 func (s *System) PackageApp(app App) (Archive, error) {

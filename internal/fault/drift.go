@@ -1,0 +1,234 @@
+package fault
+
+// This file makes configuration drift a first-class injectable fault.
+// A DriftRule does not fail a substrate operation the way the failure
+// rules do: it mutates a *deployed* instance's recorded state in place
+// — killing its daemon, corrupting its recorded config manifest, or
+// moving its process off the recorded port binding — the disturbances a
+// reconciler must detect and repair. Drift decisions come from the same
+// seeded PRNG and event log as every other rule, so drift schedules are
+// reproducible and traceable.
+
+import (
+	"fmt"
+	"time"
+
+	"engage/internal/machine"
+)
+
+// DriftKind selects what a drift injection mutates.
+type DriftKind int
+
+// Drift kinds.
+const (
+	// DriftAny lets the plan's PRNG pick one of the concrete kinds
+	// applicable to the target (only in rules, never in results).
+	DriftAny DriftKind = iota
+	// DriftKill kills the instance's recorded daemon process.
+	DriftKill
+	// DriftConfig corrupts the instance's recorded config manifest.
+	DriftConfig
+	// DriftPort kills the daemon and respawns a same-name process that
+	// is not listening on the recorded ports.
+	DriftPort
+)
+
+func (k DriftKind) String() string {
+	switch k {
+	case DriftAny:
+		return "any"
+	case DriftKill:
+		return "kill"
+	case DriftConfig:
+		return "config"
+	case DriftPort:
+		return "port"
+	default:
+		return fmt.Sprintf("drift(%d)", int(k))
+	}
+}
+
+// Injectable drift operation kinds, stamped on the plan's event log and
+// "fault.inject" trace events.
+const (
+	OpDriftKill   machine.OpKind = "drift-kill"
+	OpDriftConfig machine.OpKind = "drift-config"
+	OpDriftPort   machine.OpKind = "drift-port"
+)
+
+func (k DriftKind) op() machine.OpKind {
+	switch k {
+	case DriftKill:
+		return OpDriftKill
+	case DriftConfig:
+		return OpDriftConfig
+	default:
+		return OpDriftPort
+	}
+}
+
+// DriftRule matches deployed instances and decides drift injections for
+// them. Machine and Instance are path.Match globs ("" matches
+// anything); Kind DriftAny draws a concrete kind from the plan's PRNG
+// per firing. Modes carry the failure-rule semantics: Transient fires
+// the first Times matches, Persistent every match, Probabilistic each
+// match with probability Prob.
+type DriftRule struct {
+	Kind     DriftKind
+	Machine  string
+	Instance string
+	Mode     Mode
+	Times    int
+	Prob     float64
+
+	fired int
+}
+
+// DriftTarget describes one deployed instance's recorded state — the
+// binding a stack layer wrote down at apply time — as the drift
+// injector needs it. Zero/empty fields limit what kinds apply: an
+// instance with no daemon (PID 0) can only suffer config drift.
+type DriftTarget struct {
+	Instance string
+	Machine  *machine.Machine
+	// ManifestPath is the recorded config manifest file on Machine.
+	ManifestPath string
+	// PID, ProcName, and Command identify the recorded daemon.
+	PID      int
+	ProcName string
+	Command  string
+}
+
+// AddDrift appends a drift rule and returns the plan for chaining.
+func (p *Plan) AddDrift(r DriftRule) *Plan {
+	p.mu.Lock()
+	p.driftRules = append(p.driftRules, &r)
+	p.mu.Unlock()
+	return p
+}
+
+// DriftWithProbability injects a PRNG-chosen drift into each offered
+// target independently with probability prob.
+func (p *Plan) DriftWithProbability(prob float64) *Plan {
+	return p.AddDrift(DriftRule{Kind: DriftAny, Mode: Probabilistic, Prob: prob})
+}
+
+// kindsFor lists the concrete kinds applicable to a target: config
+// drift needs a recorded manifest, process kinds need a live daemon.
+func kindsFor(t DriftTarget) []DriftKind {
+	var kinds []DriftKind
+	if t.PID != 0 && t.Machine != nil && t.Machine.Running(t.PID) {
+		kinds = append(kinds, DriftKill, DriftPort)
+	}
+	if t.ManifestPath != "" && t.Machine != nil {
+		kinds = append(kinds, DriftConfig)
+	}
+	return kinds
+}
+
+// InjectDrift consults the drift rules for one deployed instance and,
+// when a rule fires, mutates the target's recorded state in place,
+// returning the kind applied. The decision — including the PRNG draw
+// for DriftAny — is made under the plan's lock and logged like any
+// other injection; the mutation itself runs unlocked, because substrate
+// operations (WriteFile, StartProcess) consult the injector and must
+// not re-enter it.
+func (p *Plan) InjectDrift(t DriftTarget) (DriftKind, bool) {
+	kind, ok := p.decideDrift(t)
+	if !ok {
+		return 0, false
+	}
+	// Best-effort mutation: a failure rule may refuse the drift's own
+	// substrate operation. The decision is logged either way, so the
+	// schedule stays reproducible; an unapplied drift simply leaves
+	// nothing for the detector to find.
+	_ = p.applyDrift(t, kind)
+	return kind, true
+}
+
+// decideDrift picks the first firing drift rule and concrete kind for a
+// target, under the plan's lock.
+func (p *Plan) decideDrift(t DriftTarget) (DriftKind, bool) {
+	applicable := kindsFor(t)
+	if len(applicable) == 0 {
+		return 0, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, r := range p.driftRules {
+		if !globMatch(r.Machine, machineName(t)) || !globMatch(r.Instance, t.Instance) {
+			continue
+		}
+		kind := r.Kind
+		switch r.Mode {
+		case Transient:
+			if r.fired >= r.Times {
+				continue
+			}
+		case Probabilistic:
+			if p.rng.Float64() >= r.Prob {
+				continue
+			}
+		}
+		if kind == DriftAny {
+			kind = applicable[p.rng.Intn(len(applicable))]
+		} else if !contains(applicable, kind) {
+			continue
+		}
+		r.fired++
+		op := machine.Op{Kind: kind.op(), Machine: machineName(t), Name: t.Instance}
+		p.events = append(p.events, Event{Op: op, Rule: i})
+		p.emitDriftLocked(op, i, r.Mode)
+		return kind, true
+	}
+	return 0, false
+}
+
+// emitDriftLocked traces one drift injection; caller holds p.mu.
+func (p *Plan) emitDriftLocked(op machine.Op, rule int, mode Mode) {
+	if p.tracer == nil {
+		return
+	}
+	p.tracer.Event("fault.inject").
+		Str("plan", p.id).Int("rule", int64(rule)).Str("mode", mode.String()).
+		Str("op", string(op.Kind)).Str("machine", op.Machine).Str("name", op.Name).
+		Str("effect", "drift").
+		Emit()
+}
+
+// applyDrift performs the decided mutation. Runs without the plan lock.
+func (p *Plan) applyDrift(t DriftTarget, kind DriftKind) error {
+	switch kind {
+	case DriftKill:
+		return t.Machine.KillProcess(t.PID)
+	case DriftConfig:
+		return t.Machine.WriteFile(t.ManifestPath,
+			fmt.Sprintf("# drifted by %s at %s\n", p.ID(), t.Machine.Clock().Now().Format(time.RFC3339)))
+	case DriftPort:
+		if err := t.Machine.KillProcess(t.PID); err != nil {
+			return err
+		}
+		// Respawn the daemon's name with no port claims: the recorded
+		// binding now points at a process that is not serving its port.
+		_, err := t.Machine.StartProcess(t.ProcName, t.Command)
+		return err
+	default:
+		return fmt.Errorf("fault: unknown drift kind %v", kind)
+	}
+}
+
+func machineName(t DriftTarget) string {
+	if t.Machine == nil {
+		return ""
+	}
+	return t.Machine.Name
+}
+
+func contains(ks []DriftKind, k DriftKind) bool {
+	for _, x := range ks {
+		if x == k {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,175 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"engage/internal/machine"
+)
+
+// driftTarget deploys a fake recorded binding on a fresh machine: a
+// daemon on a port plus a config manifest.
+func driftTarget(t *testing.T) (*machine.Machine, DriftTarget) {
+	t.Helper()
+	_, m := world(t)
+	p, err := m.StartProcess("appd", "appd --serve", 8080)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const manifest = "key = App 1.0\n"
+	if err := m.WriteFile("/etc/engage/stacks/s/app.conf", manifest); err != nil {
+		t.Fatal(err)
+	}
+	return m, DriftTarget{
+		Instance:     "app",
+		Machine:      m,
+		ManifestPath: "/etc/engage/stacks/s/app.conf",
+		PID:          p.PID,
+		ProcName:     "appd",
+		Command:      "appd --serve",
+	}
+}
+
+func TestDriftKillStopsRecordedDaemon(t *testing.T) {
+	m, tgt := driftTarget(t)
+	plan := NewPlan(1).AddDrift(DriftRule{Kind: DriftKill, Mode: Persistent})
+	kind, ok := plan.InjectDrift(tgt)
+	if !ok || kind != DriftKill {
+		t.Fatalf("InjectDrift = %v, %v", kind, ok)
+	}
+	if m.Running(tgt.PID) {
+		t.Error("recorded daemon should be dead")
+	}
+	if m.Listening(8080) {
+		t.Error("recorded port should be released")
+	}
+	evs := plan.Events()
+	if len(evs) != 1 || evs[0].Op.Kind != OpDriftKill || evs[0].Op.Name != "app" {
+		t.Errorf("event log = %+v", evs)
+	}
+}
+
+func TestDriftConfigCorruptsManifest(t *testing.T) {
+	m, tgt := driftTarget(t)
+	plan := NewPlan(1).AddDrift(DriftRule{Kind: DriftConfig, Mode: Persistent})
+	if kind, ok := plan.InjectDrift(tgt); !ok || kind != DriftConfig {
+		t.Fatalf("InjectDrift = %v, %v", kind, ok)
+	}
+	content, err := m.ReadFile(tgt.ManifestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(content, "drifted by plan-1") {
+		t.Errorf("manifest = %q, want drift marker", content)
+	}
+	if !m.Running(tgt.PID) {
+		t.Error("config drift must not touch the daemon")
+	}
+}
+
+func TestDriftPortMovesDaemonOffPort(t *testing.T) {
+	m, tgt := driftTarget(t)
+	plan := NewPlan(1).AddDrift(DriftRule{Kind: DriftPort, Mode: Persistent})
+	if kind, ok := plan.InjectDrift(tgt); !ok || kind != DriftPort {
+		t.Fatalf("InjectDrift = %v, %v", kind, ok)
+	}
+	if m.Running(tgt.PID) {
+		t.Error("original daemon should be dead")
+	}
+	if m.Listening(8080) {
+		t.Error("recorded port should no longer be served")
+	}
+	// An impostor with the daemon's name is running, off-port.
+	imp, ok := m.FindProcess("appd")
+	if !ok {
+		t.Fatal("impostor process should exist")
+	}
+	if imp.PID == tgt.PID || len(imp.Ports) != 0 {
+		t.Errorf("impostor = %+v", imp)
+	}
+}
+
+// TestDriftKindApplicability pins kindsFor: a passive target (no
+// daemon) can only suffer config drift, and a target with nothing
+// recorded cannot drift at all.
+func TestDriftKindApplicability(t *testing.T) {
+	_, m := world(t)
+	if err := m.WriteFile("/etc/x.conf", "x"); err != nil {
+		t.Fatal(err)
+	}
+	passive := DriftTarget{Instance: "lib", Machine: m, ManifestPath: "/etc/x.conf"}
+	plan := NewPlan(3).AddDrift(DriftRule{Kind: DriftAny, Mode: Persistent})
+	for i := 0; i < 5; i++ {
+		kind, ok := plan.InjectDrift(passive)
+		if !ok || kind != DriftConfig {
+			t.Fatalf("passive target: InjectDrift = %v, %v (want config only)", kind, ok)
+		}
+	}
+	// A kill rule cannot fire on a passive target.
+	killOnly := NewPlan(3).AddDrift(DriftRule{Kind: DriftKill, Mode: Persistent})
+	if _, ok := killOnly.InjectDrift(passive); ok {
+		t.Error("kill drift must not fire without a live daemon")
+	}
+	// Nothing recorded, nothing to drift.
+	if _, ok := plan.InjectDrift(DriftTarget{Instance: "ghost", Machine: m}); ok {
+		t.Error("bare target must not drift")
+	}
+}
+
+// TestDriftRuleModesAndGlobs pins transient counting and glob scoping.
+func TestDriftRuleModesAndGlobs(t *testing.T) {
+	_, tgt := driftTarget(t)
+	plan := NewPlan(1).AddDrift(DriftRule{Kind: DriftConfig, Mode: Transient, Times: 2})
+	for i := 0; i < 2; i++ {
+		if _, ok := plan.InjectDrift(tgt); !ok {
+			t.Fatalf("transient firing %d should fire", i+1)
+		}
+	}
+	if _, ok := plan.InjectDrift(tgt); ok {
+		t.Error("transient rule should stop after Times firings")
+	}
+
+	scoped := NewPlan(1).AddDrift(DriftRule{Kind: DriftConfig, Mode: Persistent, Instance: "db-*"})
+	if _, ok := scoped.InjectDrift(tgt); ok {
+		t.Error("non-matching instance glob should not fire")
+	}
+	tgt2 := tgt
+	tgt2.Instance = "db-1"
+	if _, ok := scoped.InjectDrift(tgt2); !ok {
+		t.Error("matching instance glob should fire")
+	}
+}
+
+// TestDriftScheduleReproducible replays a probabilistic drift schedule
+// and demands the identical decision sequence and event log.
+func TestDriftScheduleReproducible(t *testing.T) {
+	run := func() []Event {
+		_, tgt := driftTarget(t)
+		plan := NewPlan(42).DriftWithProbability(0.5)
+		for i := 0; i < 20; i++ {
+			plan.InjectDrift(tgt)
+			// Re-arm: a killed daemon limits later applicable kinds, so
+			// refresh the target to keep all kinds in play.
+			if !tgt.Machine.Running(tgt.PID) {
+				if p, ok := tgt.Machine.FindProcess("appd"); ok {
+					tgt.Machine.KillProcess(p.PID)
+				}
+				p, err := tgt.Machine.StartProcess("appd", "appd --serve", 8080)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tgt.PID = p.PID
+			}
+		}
+		return plan.Events()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("drift schedules differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Op.Kind != b[i].Op.Kind || a[i].Rule != b[i].Rule {
+			t.Errorf("drift %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -110,12 +110,15 @@ func (e *Error) Error() string {
 // machine.Injector. Rules are consulted in order; the first one that
 // fires decides the operation. A Plan is safe for concurrent use.
 type Plan struct {
-	mu     sync.Mutex
-	rng    *rand.Rand
-	rules  []*Rule
-	events []Event
-	id     string
-	tracer *telemetry.Tracer
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rules []*Rule
+	// driftRules are consulted only by InjectDrift (see drift.go) —
+	// they mutate deployed state rather than failing operations.
+	driftRules []*DriftRule
+	events     []Event
+	id         string
+	tracer     *telemetry.Tracer
 }
 
 // NewPlan returns an empty plan whose probabilistic rules draw from a

@@ -47,6 +47,7 @@ type Monitor struct {
 	dep      *deploy.Deployment
 	watched  map[string]string      // instance ID → scratch PID name
 	restarts map[string][]time.Time // instance ID → restart times (virtual)
+	failures map[string]int         // instance ID → consecutive failed restarts
 	degraded map[string]bool        // instance ID → crash-looping
 }
 
@@ -59,6 +60,7 @@ func New(dep *deploy.Deployment) *Monitor {
 		dep:            dep,
 		watched:        make(map[string]string),
 		restarts:       make(map[string][]time.Time),
+		failures:       make(map[string]int),
 		degraded:       make(map[string]bool),
 	}
 }
@@ -154,8 +156,13 @@ func (m *Monitor) Check() []Event {
 			continue
 		}
 		if drv.State() == driver.Active {
+			// The backoff counter: restarts within the window plus
+			// consecutive failed restart attempts, so a restart action
+			// that keeps failing escalates (and eventually degrades)
+			// instead of retrying at the base backoff forever.
 			recent := m.recentRestarts(id, clock.Now())
-			if len(recent) >= m.MaxRestarts {
+			level := len(recent) + m.failures[id]
+			if level >= m.MaxRestarts {
 				m.degraded[id] = true
 				ev.Degraded = true
 				m.Tracer.Event("monitor.degraded").
@@ -167,15 +174,17 @@ func (m *Monitor) Check() []Event {
 			}
 			// Consecutive restarts back off exponentially so a flapping
 			// service doesn't spin the monitor.
-			ev.Backoff = m.RestartBackoff << uint(len(recent))
+			ev.Backoff = m.RestartBackoff << uint(level)
 			clock.Advance(ev.Backoff)
 			ev.At = clock.Now()
 			err := drv.Fire("restart", m.dep)
 			if err != nil {
 				ev.Err = err
+				m.failures[id]++
 				m.Metrics.Counter("monitor.restart_failures").Inc()
 			} else {
 				ev.Restarted = true
+				delete(m.failures, id)
 				m.restarts[id] = append(recent, clock.Now())
 				m.Metrics.Counter("monitor.restarts").Inc()
 			}
@@ -221,13 +230,56 @@ func (m *Monitor) Degraded() []string {
 	return out
 }
 
-// ClearDegraded forgives a degraded service (say, after an operator
-// fixed its configuration): its restart history is dropped and the
-// monitor resumes restarting it.
+// ClearDegraded forgives a degraded service (say, after an operator or
+// the reconciler fixed its configuration): its restart history AND its
+// backoff counter — including the failed-restart escalation — are
+// reset, so the monitor resumes restarting it at the base backoff.
 func (m *Monitor) ClearDegraded(id string) {
 	delete(m.degraded, id)
 	delete(m.restarts, id)
+	delete(m.failures, id)
 	m.Tracer.Event("monitor.cleared").Str("instance", id).Emit()
+}
+
+// ProcessState is one watched service's restart bookkeeping, as a
+// reconciler needs it: a crash-looping (degraded) instance calls for
+// replacement, a transiently restarting one (some restarts in the
+// window, process currently running) should be left alone.
+type ProcessState struct {
+	Instance string
+	PID      int
+	Running  bool
+	// Degraded reports the restart budget is exhausted: the monitor
+	// has given up and an external repair must step in.
+	Degraded bool
+	// RestartsInWindow counts successful restarts within Window.
+	RestartsInWindow int
+	// FailedRestarts counts consecutive failed restart attempts.
+	FailedRestarts int
+	// BackoffLevel is the exponent of the next restart's wait: the
+	// monitor would wait RestartBackoff << BackoffLevel.
+	BackoffLevel int
+}
+
+// Snapshot captures every watched service's restart/degraded state
+// without restarting anything or advancing the virtual clock.
+func (m *Monitor) Snapshot() map[string]ProcessState {
+	out := make(map[string]ProcessState, len(m.watched))
+	for _, id := range m.Watched() {
+		drv, ok := m.dep.Driver(id)
+		if !ok {
+			continue
+		}
+		st := ProcessState{Instance: id, Degraded: m.degraded[id], FailedRestarts: m.failures[id]}
+		if pid, ok := drv.Ctx.PID(m.watched[id]); ok {
+			st.PID = pid
+			st.Running = drv.Ctx.Machine.Running(pid)
+		}
+		st.RestartsInWindow = len(m.recentRestarts(id, drv.Ctx.Machine.Clock().Now()))
+		st.BackoffLevel = st.RestartsInWindow + st.FailedRestarts
+		out[id] = st
+	}
+	return out
 }
 
 // ServiceStatus is the user-visible status of one watched service (the

@@ -1,0 +1,126 @@
+package monitor
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFailedRestartsEscalate pins the failure-escalation half of the
+// backoff counter: a restart action that keeps failing (here: an
+// impostor process squatting on the service's port) must double the
+// backoff per attempt and eventually degrade the service, not retry at
+// the base backoff forever.
+func TestFailedRestartsEscalate(t *testing.T) {
+	d, m := setup(t)
+	mon := New(d)
+	mon.AutoRegister()
+	drv, _ := d.Driver("web")
+
+	pid, _ := drv.Ctx.PID("daemon")
+	if err := m.KillProcess(pid); err != nil {
+		t.Fatal(err)
+	}
+	// Squat on the port so every restart attempt fails to bind.
+	blocker, err := m.StartProcess("blocker", "blocker", 9000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantBackoffs := []time.Duration{2 * time.Second, 4 * time.Second, 8 * time.Second}
+	for i, want := range wantBackoffs {
+		evs := mon.Check()
+		if len(evs) != 1 || evs[0].Restarted || evs[0].Err == nil {
+			t.Fatalf("attempt %d: want a failed restart, got %+v", i+1, evs)
+		}
+		if evs[0].Backoff != want {
+			t.Errorf("attempt %d: backoff = %v, want %v (failures must escalate)",
+				i+1, evs[0].Backoff, want)
+		}
+	}
+
+	// The budget is exhausted by failures alone: degraded, no restart.
+	evs := mon.Check()
+	if len(evs) != 1 || !evs[0].Degraded || evs[0].Restarted {
+		t.Fatalf("after %d failed restarts: event = %+v", len(wantBackoffs), evs)
+	}
+
+	// ClearDegraded resets the failure counter too: with the port free
+	// again, the next restart fires at the base backoff and succeeds.
+	mon.ClearDegraded("web")
+	if err := m.KillProcess(blocker.PID); err != nil {
+		t.Fatal(err)
+	}
+	evs = mon.Check()
+	if len(evs) != 1 || !evs[0].Restarted || evs[0].Err != nil {
+		t.Fatalf("after forgiveness: event = %+v", evs)
+	}
+	if evs[0].Backoff != mon.RestartBackoff {
+		t.Errorf("forgiven backoff = %v, want base %v (failure counter must reset)",
+			evs[0].Backoff, mon.RestartBackoff)
+	}
+	if !m.Listening(9000) {
+		t.Error("service should be back on its port")
+	}
+}
+
+// TestSnapshot pins the reconciler's view of the monitor: per-service
+// restart/degraded bookkeeping, read without restarting anything or
+// advancing the virtual clock.
+func TestSnapshot(t *testing.T) {
+	d, m := setup(t)
+	mon := New(d)
+	mon.AutoRegister()
+	drv, _ := d.Driver("web")
+	clock := m.Clock()
+
+	// Healthy: running, no restarts, level 0.
+	st, ok := mon.Snapshot()["web"]
+	if !ok {
+		t.Fatal("snapshot should cover the watched service")
+	}
+	if !st.Running || st.Degraded || st.RestartsInWindow != 0 || st.BackoffLevel != 0 {
+		t.Errorf("healthy snapshot = %+v", st)
+	}
+
+	// One crash-and-restart: one restart in the window, level 1.
+	pid, _ := drv.Ctx.PID("daemon")
+	if err := m.KillProcess(pid); err != nil {
+		t.Fatal(err)
+	}
+	if evs := mon.Check(); len(evs) != 1 || !evs[0].Restarted {
+		t.Fatalf("restart sweep: %+v", evs)
+	}
+	st = mon.Snapshot()["web"]
+	if !st.Running || st.RestartsInWindow != 1 || st.BackoffLevel != 1 || st.FailedRestarts != 0 {
+		t.Errorf("post-restart snapshot = %+v", st)
+	}
+
+	// A failed restart shows up in FailedRestarts and the level.
+	pid, _ = drv.Ctx.PID("daemon")
+	if err := m.KillProcess(pid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.StartProcess("blocker", "blocker", 9000); err != nil {
+		t.Fatal(err)
+	}
+	if evs := mon.Check(); len(evs) != 1 || evs[0].Err == nil {
+		t.Fatalf("blocked restart sweep: %+v", evs)
+	}
+	t0 := clock.Now()
+	st = mon.Snapshot()["web"]
+	if st.Running || st.FailedRestarts != 1 || st.BackoffLevel != 2 {
+		t.Errorf("post-failure snapshot = %+v", st)
+	}
+	if !clock.Now().Equal(t0) {
+		t.Errorf("Snapshot advanced the clock: %v -> %v", t0, clock.Now())
+	}
+
+	// Degradation is surfaced.
+	for i := 0; i < mon.MaxRestarts; i++ {
+		mon.Check()
+	}
+	st = mon.Snapshot()["web"]
+	if !st.Degraded {
+		t.Errorf("degraded snapshot = %+v", st)
+	}
+}

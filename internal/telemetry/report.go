@@ -34,6 +34,7 @@ func WriteReport(w io.Writer, t *Trace) {
 		writeCriticalPath(w, t, root)
 	}
 	writeFaults(w, t)
+	writeReconcile(w, t)
 	writeMonitor(w, t)
 }
 
@@ -276,6 +277,52 @@ func writeCriticalPath(w io.Writer, t *Trace, root *Line) {
 	for i := len(path) - 1; i >= 0; i-- {
 		isp := path[i]
 		fmt.Fprintf(w, "  %s %-24s %s\n", interval(isp, t0), isp.Str("instance"), isp.Str("key"))
+	}
+}
+
+// writeReconcile renders the reconciliation rounds, one block per
+// "reconcile.round" span: the drift verdicts found by detection, the
+// minimal replan's pin/cone/effort numbers, and the repair outcome
+// (repaired, rolled back, or converged with nothing to do).
+func writeReconcile(w io.Writer, t *Trace) {
+	rounds := t.Spans("reconcile.round")
+	if len(rounds) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\nreconcile:\n")
+	for _, r := range rounds {
+		label := fmt.Sprintf("  round %d (stack %s):", r.Int("round"), r.Str("stack"))
+		if b, _ := r.Attrs["converged"].(bool); b {
+			fmt.Fprintf(w, "%s converged\n", label)
+			continue
+		}
+		outcome := "FAILED"
+		if b, _ := r.Attrs["repaired"].(bool); b {
+			outcome = "repaired"
+		} else if b, _ := r.Attrs["rolled_back"].(bool); b {
+			outcome = "ROLLED BACK"
+		}
+		fmt.Fprintf(w, "%s %d drift(s), delta %d — %s\n",
+			label, r.Int("drifts"), r.Int("delta"), outcome)
+		for _, ch := range t.ChildSpans(r.ID) {
+			switch ch.Name {
+			case "reconcile.detect":
+				for _, ev := range t.SpanEvents(ch.ID) {
+					if ev.Name != "reconcile.drift" {
+						continue
+					}
+					fmt.Fprintf(w, "    %s: %s drift (%s)\n",
+						ev.Str("instance"), ev.Str("kind"), ev.Str("detail"))
+				}
+			case "reconcile.plan":
+				fmt.Fprintf(w, "    replan %s: %d pinned, cone %d, %d decisions, %d conflicts\n",
+					strings.ToLower(ch.Str("status")), ch.Int("pinned"), ch.Int("cone"),
+					ch.Int("decisions"), ch.Int("conflicts"))
+			}
+		}
+		if e := r.Str("error"); e != "" {
+			fmt.Fprintf(w, "    error: %s\n", e)
+		}
 	}
 }
 

@@ -1,0 +1,206 @@
+package engage
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"engage/internal/fault"
+	"engage/internal/machine"
+)
+
+// TestReconcileChaosSoak drives the OpenMRS stack through a seeded
+// sweep of drift disturbances: each round the fault plan kills daemons,
+// corrupts config manifests, and moves processes off their recorded
+// ports, plus one transient substrate failure per disturbance aimed at
+// the repair itself. The reconciler must restore the stack invariant —
+// every desired instance live, bindings matching the record — within
+// three repair rounds per disturbance, touching only the damaged cone,
+// with every failed round rolled back.
+func TestReconcileChaosSoak(t *testing.T) {
+	totalDrifts, totalRolledBack := 0, 0
+	for seed := int64(0); seed < 20; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			sys, err := NewSystem()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			tr := sys.StartTrace(&buf)
+			a, err := sys.ApplyStack("web", chaosPartial())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if drifts := a.Verify(); len(drifts) != 0 {
+				t.Fatalf("fresh stack should verify clean: %v", drifts)
+			}
+
+			// Attach chaos only after the clean apply, à la the monitor
+			// soak: the reconciler, not the deployer, absorbs it.
+			plan := NewFaultPlan(seed).DriftWithProbability(0.5)
+			sys.InjectFaults(plan)
+
+			for disturbance := 1; disturbance <= 3; disturbance++ {
+				before := plan.Injections()
+				for _, tgt := range a.DriftTargets() {
+					plan.InjectDrift(tgt)
+				}
+				totalDrifts += plan.Injections() - before
+				// When this disturbance took a daemon down, arm one
+				// transient spawn failure: the repair's restart fails once,
+				// forcing a rollback round before the repair lands. (Armed
+				// only when a restart is sure to consume it — unconsumed
+				// rules would accumulate across disturbances and stack
+				// several rollback rounds onto a later one.)
+				for _, ev := range plan.Events()[before:] {
+					if ev.Op.Kind == fault.OpDriftKill || ev.Op.Kind == fault.OpDriftPort {
+						plan.Add(fault.Rule{Op: machine.OpStartProcess, Mode: fault.Transient, Times: 1})
+						break
+					}
+				}
+
+				pidsBefore := map[string]int{}
+				for id, b := range a.Stack.Bindings {
+					if b.PID != 0 {
+						pidsBefore[id] = b.PID
+					}
+				}
+
+				reps, converged := a.ReconcileUntilConverged(4)
+				if !converged {
+					t.Fatalf("disturbance %d: no convergence in %d rounds: %+v",
+						disturbance, len(reps), reps[len(reps)-1])
+				}
+				if repairRounds := len(reps) - 1; repairRounds > 3 {
+					t.Errorf("disturbance %d: took %d repair rounds, want <= 3",
+						disturbance, repairRounds)
+				}
+				touched := map[string]bool{}
+				for _, rep := range reps {
+					if rep.RolledBack {
+						totalRolledBack++
+					}
+					if rep.Err != nil && !rep.RolledBack {
+						t.Errorf("disturbance %d round %d: failed without rollback: %v",
+							disturbance, rep.Round, rep.Err)
+					}
+					for _, id := range rep.Cone {
+						touched[id] = true
+					}
+				}
+
+				// The stack invariant: every desired instance live on its
+				// recorded bindings, manifests matching the record.
+				if drifts := a.Verify(); len(drifts) != 0 {
+					t.Errorf("disturbance %d: stack does not verify after convergence: %v",
+						disturbance, drifts)
+				}
+				for id, b := range a.Stack.Bindings {
+					if b.PID == 0 {
+						continue
+					}
+					m, ok := sys.World.Machine(b.Machine)
+					if !ok {
+						t.Fatalf("machine %s vanished", b.Machine)
+					}
+					if !m.Running(b.PID) {
+						t.Errorf("disturbance %d: %s recorded pid %d not running", disturbance, id, b.PID)
+					}
+					for _, port := range b.Ports {
+						if !m.Listening(port) {
+							t.Errorf("disturbance %d: %s port %d not served", disturbance, id, port)
+						}
+					}
+					// Minimality, observed at the process table: daemons
+					// outside every round's cone keep their PIDs.
+					if !touched[id] && pidsBefore[id] != b.PID {
+						t.Errorf("disturbance %d: untouched %s daemon was replaced (pid %d -> %d)",
+							disturbance, id, pidsBefore[id], b.PID)
+					}
+				}
+			}
+
+			if terr := tr.Err(); terr != nil {
+				t.Fatalf("seed %d: tracer error: %v", seed, terr)
+			}
+			saveChaosTrace(t, buf.Bytes())
+			trace, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("reconcile trace does not validate: %v", err)
+			}
+			rounds := trace.Spans("reconcile.round")
+			if len(rounds) == 0 {
+				t.Error("trace should carry reconcile.round spans")
+			}
+			for _, r := range rounds {
+				if len(trace.ChildSpans(r.ID)) == 0 {
+					t.Errorf("round span %d has no detect/plan/repair children", r.Int("round"))
+				}
+			}
+			if faults := trace.Events("fault.inject"); len(faults) != plan.Injections() {
+				t.Errorf("%d fault.inject events, plan injected %d", len(faults), plan.Injections())
+			}
+		})
+	}
+	if totalDrifts == 0 {
+		t.Error("sweep never injected drift; the soak is vacuous")
+	}
+	if totalRolledBack == 0 {
+		t.Error("sweep never exercised a rolled-back repair round")
+	}
+}
+
+// TestReconcileReproducible replays one soak seed twice and demands the
+// exact same drift schedule and round-by-round reconcile story.
+func TestReconcileReproducible(t *testing.T) {
+	run := func() ([]Op, []string) {
+		sys, err := NewSystem()
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := sys.ApplyStack("web", chaosPartial())
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan := NewFaultPlan(7).DriftWithProbability(0.5)
+		sys.InjectFaults(plan)
+		var story []string
+		for disturbance := 0; disturbance < 3; disturbance++ {
+			for _, tgt := range a.DriftTargets() {
+				plan.InjectDrift(tgt)
+			}
+			reps, converged := a.ReconcileUntilConverged(4)
+			if !converged {
+				t.Fatal("no convergence")
+			}
+			for _, rep := range reps {
+				story = append(story, fmt.Sprintf("round %d: drifts=%v cone=%v pinned=%d repaired=%v rolledback=%v",
+					rep.Round, rep.Drifts, rep.Cone, rep.Pinned, rep.Repaired, rep.RolledBack))
+			}
+		}
+		var ops []Op
+		for _, ev := range plan.Events() {
+			ops = append(ops, ev.Op)
+		}
+		return ops, story
+	}
+	opsA, storyA := run()
+	opsB, storyB := run()
+	if len(opsA) != len(opsB) {
+		t.Fatalf("same seed, different drift counts: %d vs %d", len(opsA), len(opsB))
+	}
+	for i := range opsA {
+		if opsA[i] != opsB[i] {
+			t.Errorf("drift %d differs: %v vs %v", i, opsA[i], opsB[i])
+		}
+	}
+	if len(storyA) != len(storyB) {
+		t.Fatalf("same seed, different round counts: %d vs %d", len(storyA), len(storyB))
+	}
+	for i := range storyA {
+		if storyA[i] != storyB[i] {
+			t.Errorf("round %d differs:\n  %s\n  %s", i, storyA[i], storyB[i])
+		}
+	}
+}
