@@ -14,16 +14,20 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
+	"engage/internal/api"
 	"engage/internal/config"
 	"engage/internal/constraint"
 	"engage/internal/deploy"
@@ -39,6 +43,7 @@ import (
 	"engage/internal/sat"
 	"engage/internal/spec"
 	"engage/internal/stack"
+	"engage/internal/store"
 	"engage/internal/telemetry"
 	"engage/internal/typecheck"
 )
@@ -102,7 +107,11 @@ commands:
   alternatives [-rdl f1,f2] -partial spec.json [-limit N]
                                            enumerate all valid full specs
   fmt     file.rdl...                      reformat RDL sources canonically
-  serve   [-addr :8080]                    run the PaaS web service (simulated cloud)
+  serve   [-addr :8080] [-state store.json] [-rdl f1,f2] [-pool N] [-trace out.jsonl]
+                                           run the resident control plane: warm
+                                           session pool, CAS deployment store,
+                                           JSON API + /metrics; -paas serves the
+                                           PaaS web service (simulated cloud)
   stack   apply|status|reconcile           apply a named desired-state stack,
                                            inspect its record, or run drift →
                                            detect → replan → repair rounds
@@ -821,23 +830,127 @@ func printStatusMap(out *os.File, st map[string]string) {
 	}
 }
 
+// cmdServe runs the resident control plane: library, warm-session
+// pool, deployment store, and telemetry stay alive across requests.
+// SIGTERM/SIGINT shut it down gracefully — in-flight requests complete,
+// then the store is flushed to -state. -paas serves the older PaaS
+// platform instead.
 func cmdServe(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
+	paasMode := fs.Bool("paas", false, "serve the PaaS platform (simulated cloud) instead of the control plane")
+	rdlFiles := fs.String("rdl", "", "comma-separated RDL files (default: bundled library)")
+	statePath := fs.String("state", "", "deployment store file: loaded at startup, flushed on shutdown")
+	poolIdle := fs.Int("pool", 4, "idle warm sessions kept per request shape")
+	parallel := fs.Int("parallel", 0, "solver/deploy parallelism (0 = sequential, deterministic)")
+	tracePath := fs.String("trace", "", "write a JSON-lines telemetry trace to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	platform, err := paas.NewPlatform()
+
+	if *paasMode {
+		platform, err := paas.NewPlatform()
+		if err != nil {
+			return err
+		}
+		ln, err := net.Listen("tcp", *addr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "engage PaaS listening on %s (simulated cloud)\n", ln.Addr())
+		fmt.Fprintln(out, "  POST /apps  GET /apps  GET /apps/{name}/status  POST /apps/{name}/upgrade  DELETE /apps/{name}")
+		return (&http.Server{Handler: platform.Handler()}).Serve(ln)
+	}
+
+	var tr *telemetry.Tracer
+	var closeTrace func() error
+	if *tracePath != "" {
+		var err error
+		if tr, closeTrace, err = openTrace(*tracePath, nil); err != nil {
+			return err
+		}
+	}
+	reg, bundled, err := loadRegistry(*rdlFiles, tr)
 	if err != nil {
 		return err
 	}
+	opts := api.Options{
+		Registry:    reg,
+		Tracer:      tr,
+		PoolIdle:    *poolIdle,
+		Parallelism: *parallel,
+	}
+	if bundled {
+		opts.Drivers = library.Drivers()
+		opts.Index = library.PackageIndex()
+		opts.OSOf = library.OSOf
+	}
+	if *statePath != "" {
+		if f, err := os.Open(*statePath); err == nil {
+			st, rerr := store.ReadStore(f)
+			f.Close()
+			if rerr != nil {
+				return fmt.Errorf("serve: loading -state %s: %v", *statePath, rerr)
+			}
+			opts.Store = st
+			fmt.Fprintf(out, "loaded %d stack records from %s\n", st.Len(), *statePath)
+		} else if !os.IsNotExist(err) {
+			return err
+		}
+	}
+	srv, err := api.New(opts)
+	if err != nil {
+		return err
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "engage PaaS listening on %s (simulated cloud)\n", ln.Addr())
-	fmt.Fprintln(out, "  POST /apps  GET /apps  GET /apps/{name}/status  POST /apps/{name}/upgrade  DELETE /apps/{name}")
-	return (&http.Server{Handler: platform.Handler()}).Serve(ln)
+	fmt.Fprintf(out, "engage control plane listening on %s\n", ln.Addr())
+	fmt.Fprintln(out, "  POST /v1/configure  POST /v1/deploy  POST /v1/lint")
+	fmt.Fprintln(out, "  GET|POST /v1/stacks/{name}  GET /v1/stacks  GET /v1/status  GET /metrics")
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintln(out, "shutting down: draining in-flight requests")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("serve: shutdown: %v", err)
+	}
+	if err := <-serveErr; err != nil && err != http.ErrServerClosed {
+		return err
+	}
+
+	if *statePath != "" {
+		f, err := os.Create(*statePath)
+		if err != nil {
+			return err
+		}
+		if err := srv.Store().WriteJSON(f); err != nil {
+			f.Close()
+			return fmt.Errorf("serve: flushing store to %s: %v", *statePath, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "flushed %d stack records to %s\n", srv.Store().Len(), *statePath)
+	}
+	if closeTrace != nil {
+		return closeTrace()
+	}
+	return nil
 }
 
 func cmdDemo(out *os.File) error {

@@ -1,0 +1,199 @@
+package main
+
+// End-to-end test of `engage serve`: start the control plane on an
+// ephemeral port, drive it with a real HTTP client over localhost, then
+// deliver SIGTERM and assert the graceful path — in-flight requests
+// complete, the command exits cleanly, and the deployment store is
+// flushed to the -state file, from which every stack record round-trips
+// through stack.WriteJSON/ReadStack.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"engage/internal/stack"
+	"engage/internal/store"
+)
+
+var listenRE = regexp.MustCompile(`listening on (\S+)`)
+
+// startServe launches `engage serve` in a goroutine with stdout to a
+// temp file, waits for the listen line, and returns the base URL plus a
+// channel carrying run's error after shutdown.
+func startServe(t *testing.T, extra ...string) (string, string, chan error) {
+	t.Helper()
+	outFile, err := os.CreateTemp(t.TempDir(), "serve-out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := append([]string{"serve", "-addr", "127.0.0.1:0"}, extra...)
+	done := make(chan error, 1)
+	go func() {
+		defer outFile.Close()
+		done <- run(args, outFile)
+	}()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		data, _ := os.ReadFile(outFile.Name())
+		if m := listenRE.FindSubmatch(data); m != nil {
+			return "http://" + string(m[1]), outFile.Name(), done
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("serve exited before listening: %v\n%s", err, data)
+		case <-time.After(10 * time.Millisecond):
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("serve never reported a listen address\n%s", data)
+		}
+	}
+}
+
+const servePartial = `{
+  "partial": [
+    {"id": "server", "key": "Mac-OSX 10.6"},
+    {"id": "tomcat", "key": "Tomcat 6.0.18", "inside": {"id": "server"}},
+    {"id": "openmrs", "key": "OpenMRS 1.8", "inside": {"id": "tomcat"}}
+  ]
+}`
+
+func postJSON(t *testing.T, url, body string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var decoded map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&decoded); err != nil {
+		t.Fatalf("POST %s: decoding response: %v", url, err)
+	}
+	return resp.StatusCode, decoded
+}
+
+func TestServeEndToEnd(t *testing.T) {
+	statePath := filepath.Join(t.TempDir(), "store.json")
+	base, outPath, done := startServe(t, "-state", statePath)
+
+	// The control plane answers over real localhost HTTP.
+	st, status := postJSON(t, base+"/v1/configure", servePartial)
+	if st != http.StatusOK {
+		t.Fatalf("configure: status %d: %v", st, status)
+	}
+	if status["instances"].(float64) != 5 {
+		t.Errorf("openmrs chain should configure to 5 instances, got %v", status["instances"])
+	}
+	// Warm second hit through the same resident pool.
+	st, warm := postJSON(t, base+"/v1/configure", servePartial)
+	if st != http.StatusOK || warm["warm"] != true {
+		t.Errorf("second configure: status %d warm=%v, want warm hit", st, warm["warm"])
+	}
+
+	// Apply a stack; its record must survive into the state file.
+	applyBody := fmt.Sprintf(`{"action": "apply", "expect_version": 0, %s`, servePartial[1:])
+	st, applied := postJSON(t, base+"/v1/stacks/prod", applyBody)
+	if st != http.StatusOK {
+		t.Fatalf("stack apply: status %d: %v", st, applied)
+	}
+	if applied["version"].(float64) != 1 {
+		t.Fatalf("stack apply version = %v, want 1", applied["version"])
+	}
+
+	resp, err := http.Get(base + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status endpoint: %d", resp.StatusCode)
+	}
+
+	// Graceful shutdown: SIGTERM → drain → flush → clean exit.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve exited with error after SIGTERM: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("serve did not shut down within 15s of SIGTERM")
+	}
+	out, _ := os.ReadFile(outPath)
+	if !bytes.Contains(out, []byte("draining in-flight requests")) {
+		t.Errorf("shutdown narration missing:\n%s", out)
+	}
+	if !bytes.Contains(out, []byte("flushed 1 stack records to")) {
+		t.Errorf("store flush narration missing:\n%s", out)
+	}
+
+	// The flushed state file reloads through the store codec, and the
+	// record's stack round-trips through stack.WriteJSON/ReadStack.
+	f, err := os.Open(statePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	reloaded, err := store.ReadStore(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, ok := reloaded.Get("prod")
+	if !ok {
+		t.Fatalf("state file lost the prod stack; store has %d records", reloaded.Len())
+	}
+	if rec.Version != 1 || rec.Status != "applied" || rec.Stack == nil {
+		t.Fatalf("reloaded record = %+v", rec)
+	}
+	var buf bytes.Buffer
+	if err := rec.Stack.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	again, err := stack.ReadStack(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Name != "prod" || len(again.Bindings) != len(rec.Stack.Bindings) || len(again.Bindings) == 0 {
+		t.Errorf("stack round-trip drifted: %+v vs %+v", again, rec.Stack)
+	}
+
+	// A fresh server reloads the flushed store and reports the record.
+	base2, _, done2 := startServe(t, "-state", statePath)
+	resp, err = http.Get(base2 + "/v1/stacks/prod")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reloaded server GET /v1/stacks/prod: %d", resp.StatusCode)
+	}
+	if got["version"].(float64) != 1 || got["live"] != false {
+		t.Errorf("reloaded record should be version 1 and not live, got %v", got)
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done2:
+		if err != nil {
+			t.Fatalf("second serve exited with error: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("second serve did not shut down")
+	}
+}

@@ -1,0 +1,91 @@
+package api
+
+// Pool poisoning audit: a session checked out of the warm pool when a
+// request panics must be discarded, never returned — a poisoned solver
+// session re-pooled would corrupt every later request that drew it.
+
+import (
+	"net/http"
+	"testing"
+)
+
+func TestPanickedRequestDiscardsSession(t *testing.T) {
+	s := newTestServer(t)
+	h := s.Handler()
+	payload := configureBody(t, choicePartial())
+
+	// Cold solve donates a warm session to the pool.
+	if st, _, _ := do(t, h, "POST", "/v1/configure", payload); st != http.StatusOK {
+		t.Fatalf("cold configure failed: %d", st)
+	}
+	if ps := s.PoolStats(); ps.Idle != 1 {
+		t.Fatalf("pool idle = %d after cold solve, want 1", ps.Idle)
+	}
+
+	// Arm the fault hook: the next warm request panics while its
+	// session is checked out.
+	armed := true
+	s.panicOn = func(op string) {
+		if op == "configure.warm" && armed {
+			armed = false
+			panic("injected mid-request panic")
+		}
+	}
+	st, resp, _ := do(t, h, "POST", "/v1/configure", payload)
+	if st != http.StatusInternalServerError {
+		t.Fatalf("panicking request: status %d: %v", st, resp)
+	}
+	if code := resp["error"].(map[string]any)["code"]; code != "internal" {
+		t.Errorf("panicking request error code = %v", code)
+	}
+
+	ps := s.PoolStats()
+	if ps.Discards != 1 {
+		t.Errorf("pool discards = %d, want 1 (the poisoned session)", ps.Discards)
+	}
+	if ps.Idle != 0 {
+		t.Errorf("pool idle = %d after panic, want 0 — the poisoned session must not be re-pooled", ps.Idle)
+	}
+
+	// The server keeps serving: the next request is a clean cold solve
+	// that re-donates, and a fourth hits warm again.
+	st, resp, _ = do(t, h, "POST", "/v1/configure", payload)
+	if st != http.StatusOK || resp["warm"] != false {
+		t.Fatalf("post-panic request: status %d warm=%v, want cold 200", st, resp["warm"])
+	}
+	st, resp, _ = do(t, h, "POST", "/v1/configure", payload)
+	if st != http.StatusOK || resp["warm"] != true {
+		t.Fatalf("recovered pool: status %d warm=%v, want warm 200", st, resp["warm"])
+	}
+
+	ps = s.PoolStats()
+	if ps.Hits != 2 || ps.Misses != 2 || ps.Discards != 1 || ps.Idle != 1 {
+		t.Errorf("pool stats after recovery = %+v, want 2 hits / 2 misses / 1 discard / 1 idle", ps)
+	}
+
+	// The panic was counted and surfaced in metrics.
+	snap := s.Metrics().Snapshot()
+	if snap.Counters["api.http.configure.panics"] != 1 {
+		t.Errorf("panic counter = %d, want 1", snap.Counters["api.http.configure.panics"])
+	}
+}
+
+// TestPoolEviction: idle sessions beyond the per-key cap are dropped,
+// not hoarded.
+func TestPoolEviction(t *testing.T) {
+	p := newSessionPool(2)
+	mk := func() *PooledSession { return &PooledSession{Key: "k"} }
+	p.Return(mk())
+	p.Return(mk())
+	p.Return(mk())
+	st := p.Stats()
+	if st.Idle != 2 || st.Evicted != 1 {
+		t.Errorf("pool stats = %+v, want 2 idle / 1 evicted", st)
+	}
+	if p.Checkout("k") == nil || p.Checkout("k") == nil {
+		t.Fatal("both capped sessions should check out")
+	}
+	if p.Checkout("k") != nil {
+		t.Fatal("third checkout should miss")
+	}
+}

@@ -1,0 +1,112 @@
+package api
+
+// Concurrency soak: goroutines race CAS-guarded applies, reconciles,
+// and stateless configure/deploy requests against ONE stack name. The
+// store's accounting must stay airtight — every applied version granted
+// exactly once, no version skipped, the final version equal to the
+// number of granted writes — and every stack response must be either a
+// success carrying the applied version or a clean 409 conflict. Run
+// with -race; the CI soak does.
+
+import (
+	"net/http"
+	"sync"
+	"testing"
+)
+
+func TestSoakOneStackName(t *testing.T) {
+	s := newTestServer(t)
+	h := s.Handler()
+
+	// Pre-create the stack at version 1, so racing reconciles never see
+	// an empty store (404s are out of contract for this soak).
+	st, resp, _ := do(t, h, "POST", "/v1/stacks/soak",
+		body(t, map[string]any{"action": "apply", "partial": webPartial(9000), "expect_version": 0}))
+	if st != http.StatusOK {
+		t.Fatalf("pre-create: status %d: %v", st, resp)
+	}
+
+	const workers = 9
+	iters := 12
+	if testing.Short() {
+		iters = 6
+	}
+
+	var mu sync.Mutex
+	granted := make(map[int64]int) // applied version → times granted
+	conflicts := 0
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Each worker tracks the newest version it has seen and uses
+			// it as its CAS token; losing a race yields a 409 whose
+			// "have" re-synchronizes the worker.
+			var lastSeen int64 = 1
+			for i := 0; i < iters; i++ {
+				var payload map[string]any
+				switch w % 3 {
+				case 0: // CAS apply with a port toggle (a real upgrade)
+					payload = map[string]any{
+						"action": "apply", "partial": webPartial(9000 + (i % 2)),
+						"expect_version": lastSeen,
+					}
+				case 1: // CAS reconcile
+					payload = map[string]any{"action": "reconcile", "expect_version": lastSeen}
+				default: // stateless configure riding along on the pool
+					st, resp, raw := do(t, h, "POST", "/v1/configure", configureBody(t, choicePartial()))
+					if st != http.StatusOK {
+						t.Errorf("configure during soak: status %d: %s", st, raw)
+					} else if resp["instances"].(float64) != 3 {
+						t.Errorf("configure during soak: %v instances", resp["instances"])
+					}
+					continue
+				}
+				st, resp, raw := do(t, h, "POST", "/v1/stacks/soak", body(t, payload))
+				switch st {
+				case http.StatusOK:
+					v := int64(resp["version"].(float64))
+					mu.Lock()
+					granted[v]++
+					mu.Unlock()
+					lastSeen = v
+				case http.StatusConflict:
+					have, ok := resp["error"].(map[string]any)["have"].(float64)
+					if !ok {
+						t.Errorf("409 without a have version: %s", raw)
+						continue
+					}
+					mu.Lock()
+					conflicts++
+					mu.Unlock()
+					lastSeen = int64(have)
+				default:
+					t.Errorf("soak response must be 200 or 409, got %d: %s", st, raw)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Airtight accounting: versions 2..final granted exactly once each,
+	// none skipped, and the store's global sequence saw exactly the
+	// granted writes (including the pre-create).
+	final := s.Store().Version("soak")
+	if final < 2 {
+		t.Fatalf("soak never advanced the stack: final version %d", final)
+	}
+	for v := int64(2); v <= final; v++ {
+		if granted[v] != 1 {
+			t.Errorf("version %d granted %d times, want exactly once", v, granted[v])
+		}
+	}
+	if extra := int64(len(granted)) - (final - 1); extra != 0 {
+		t.Errorf("%d granted versions beyond the final version %d", extra, final)
+	}
+	if seq := s.Store().Seq(); seq != final {
+		t.Errorf("store seq %d != final version %d: a write was lost or double-counted", seq, final)
+	}
+	t.Logf("soak: %d workers × %d iters → final version %d, %d clean conflicts", workers, iters, final, conflicts)
+}

@@ -32,9 +32,18 @@ type Session struct {
 // session that is returned alongside the full specification for later
 // warm re-solves (see Session.SolvePinned).
 func (e *Engine) ConfigureSession(partial *spec.Partial) (*spec.Full, *Session, error) {
+	full, sess, _, err := e.ConfigureSessionStats(partial)
+	return full, sess, err
+}
+
+// ConfigureSessionStats is ConfigureSession with the initial (cold)
+// solve's effort reported, so callers keeping sessions warm — the
+// control plane's session pool — can compare it against later per-call
+// deltas from Session.SolvePinned / Session.Resolve.
+func (e *Engine) ConfigureSessionStats(partial *spec.Partial) (*spec.Full, *Session, sat.Stats, error) {
 	g, err := hypergraph.Generate(e.Registry, partial)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, sat.Stats{}, err
 	}
 	prob := constraint.Encode(g, e.Encoding)
 	solver := e.Solver
@@ -49,22 +58,55 @@ func (e *Engine) ConfigureSession(partial *spec.Partial) (*spec.Full, *Session, 
 	switch res.Status {
 	case sat.Sat:
 	case sat.Unsat:
-		return nil, nil, e.unsatError(g, root, partial)
+		return nil, nil, res.Stats, e.unsatError(g, root, partial)
 	default:
-		return nil, nil, fmt.Errorf("config: solver %q gave up", solver.Name())
+		return nil, nil, res.Stats, fmt.Errorf("config: solver %q gave up", solver.Name())
 	}
 
 	full, err := e.build(g, partial, prob.Selected(res.Model))
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, res.Stats, err
 	}
 	if !e.SkipCheck {
 		if err := checkAfterBuild(e, full); err != nil {
-			return nil, nil, err
+			return nil, nil, res.Stats, err
 		}
 	}
 	root.Int("instances", int64(len(full.Instances)))
-	return full, &Session{Graph: g, Problem: prob, Inc: inc, Model: res.Model}, nil
+	return full, &Session{Graph: g, Problem: prob, Inc: inc, Model: res.Model}, res.Stats, nil
+}
+
+// Resolve answers a repeat of the session's original configuration
+// request on the warm path. The session's clause set has not grown
+// since the cold solve proved Model (pooled sessions only ever Resolve
+// or SolvePinned, and assumptions are temporary), so that model is
+// still a model: the warm path pays zero solver effort — no decisions,
+// no propagations — and rebuilds the full specification from the
+// retained model. The returned zero-valued stats are the per-call
+// effort delta; compared against the cold solve's real search they are
+// what the control plane's load test asserts ("warm requests do
+// strictly fewer propagations"). If the model was discarded (Model
+// nil), Resolve re-proves it with one warm incremental solve first.
+func (s *Session) Resolve(e *Engine, partial *spec.Partial) (*spec.Full, sat.Stats, error) {
+	var st sat.Stats
+	if s.Model == nil {
+		res := s.Inc.SolveAssuming(nil)
+		if res.Status != sat.Sat {
+			return nil, res.Stats, fmt.Errorf("config: warm session re-solve came back %s", res.Status)
+		}
+		s.Model = res.Model
+		st = res.Stats
+	}
+	full, err := e.build(s.Graph, partial, s.Problem.Selected(s.Model))
+	if err != nil {
+		return nil, st, err
+	}
+	if !e.SkipCheck {
+		if err := checkAfterBuild(e, full); err != nil {
+			return nil, st, err
+		}
+	}
+	return full, st, nil
 }
 
 // SolvePinned re-solves the session's formula with the given instance

@@ -34,6 +34,10 @@ type CoreConstraint struct {
 	Targets []TargetRef `json:"targets,omitempty"`
 }
 
+// String renders the constraint as one story line; the control plane's
+// unsat error bodies carry it next to the structured core.
+func (c CoreConstraint) String() string { return c.describe() }
+
 // describe renders the constraint as one story line.
 func (c CoreConstraint) describe() string {
 	if c.Kind == "spec" {

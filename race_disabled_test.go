@@ -1,0 +1,5 @@
+//go:build !race
+
+package engage
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package engage
+
+// raceEnabled reports whether this test binary was built with the race
+// detector; perf floors scale down under its instrumentation overhead.
+const raceEnabled = true
