@@ -29,6 +29,7 @@ import (
 	"engage/internal/resource"
 	"engage/internal/sat"
 	"engage/internal/spec"
+	"engage/internal/stack"
 	"engage/internal/upgrade"
 	"engage/internal/workload"
 )
@@ -908,6 +909,48 @@ func rdlResolve(src string) (*resource.Registry, error) {
 // byte-identical across widths. The big fleets (fleet2000, fleet5000)
 // skip -short runs and the quadratic sequential reference: their
 // speedups are reported against P=1.
+
+// --- Health: probe overhead on the monitor sweep ---
+// The health subsystem's cost model: one monitor sweep over fleet570
+// with 0 (baseline: no health blocks declared), 1, and 4 probes per
+// instance. Probes read the simulated world's tables, so the measured
+// wall time is pure scheduler + state-machine overhead — the number the
+// EXPERIMENTS.md probe-overhead table records.
+
+func BenchmarkHealthProbeOverhead(b *testing.B) {
+	shape := workload.Spec{Seed: 1, Families: 28, Versions: 5,
+		EnvFanout: 3, PeerFanout: 2, Machines: 24, Instances: 6} // fleet570
+	for _, probes := range []int{0, 1, 4} {
+		probes := probes
+		b.Run(fmt.Sprintf("probes-%d", probes), func(b *testing.B) {
+			sp := shape
+			sp.Probes = probes
+			reg, partial, err := workload.Generate(sp)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctl := &stack.Controller{Options: deploy.Options{
+				Registry:         reg,
+				Drivers:          deploy.NewDriverRegistry(),
+				World:            machine.NewWorld(),
+				Index:            pkgmgr.NewIndex(),
+				Parallelism:      4,
+				ProvisionMissing: true,
+			}}
+			a, err := ctl.Apply("bench", partial)
+			if err != nil {
+				b.Fatal(err)
+			}
+			clock := ctl.Options.World.Clock
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				clock.Advance(30 * time.Second)
+				a.Monitor.Check()
+			}
+			b.ReportMetric(float64(len(a.Health.Tracked())), "probed-instances")
+		})
+	}
+}
 
 func BenchmarkScaleFleet(b *testing.B) {
 	parallelisms := []int{0, 1, 2, 4, 8}

@@ -1,0 +1,126 @@
+package main
+
+// Tests for `engage health`: the local apply-and-probe mode over a
+// custom library, the JSON rendering, flag validation, and the remote
+// mode against a live `engage serve` control plane.
+
+import (
+	"encoding/json"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"os"
+)
+
+// healthCLIRDL declares probes on the service so the local one-shot has
+// something to run; with no drivers registered the instance is passive
+// (no daemon, no ports), so proc-alive and port-open pass vacuously and
+// config-digest does the real work against the written manifest.
+const healthCLIRDL = `
+abstract resource "Server" {}
+resource "Box 1" extends "Server" {}
+resource "Svc 1" {
+    inside "Server"
+    config { port: tcp_port = 9000 }
+    health {
+        probe "port-open"
+        probe "proc-alive"
+        probe "config-digest"
+        interval "30s"
+        timeout "2s"
+    }
+}
+`
+
+const healthCLIPartial = `[
+  {"id": "box", "key": "Box 1"},
+  {"id": "svc", "key": "Svc 1", "inside": {"id": "box"}}
+]`
+
+func TestCmdHealthLocal(t *testing.T) {
+	rdlFile := writeFile(t, "h.rdl", healthCLIRDL)
+	partial := writeFile(t, "p.json", healthCLIPartial)
+	out, err := runCapture(t, "health", "-rdl", rdlFile, "-partial", partial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "stack default: healthy (1 healthy, 0 suspect, 0 recovering, 0 unhealthy)") {
+		t.Errorf("health output: %s", out)
+	}
+	if !strings.Contains(out, "svc") || !strings.Contains(out, "machine box: healthy") {
+		t.Errorf("rollup tree missing instance/machine lines: %s", out)
+	}
+}
+
+func TestCmdHealthLocalJSON(t *testing.T) {
+	rdlFile := writeFile(t, "h.rdl", healthCLIRDL)
+	partial := writeFile(t, "p.json", healthCLIPartial)
+	out, err := runCapture(t, "health", "-rdl", rdlFile, "-partial", partial, "-json", "-name", "web")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var roll struct {
+		Stack   string `json:"stack"`
+		Summary struct {
+			State   string `json:"state"`
+			Healthy int    `json:"healthy"`
+		} `json:"summary"`
+		Machines []struct {
+			Machine string `json:"machine"`
+		} `json:"machines"`
+	}
+	if err := json.Unmarshal([]byte(out), &roll); err != nil {
+		t.Fatalf("-json output is not JSON: %v\n%s", err, out)
+	}
+	if roll.Stack != "web" || roll.Summary.State != "healthy" || roll.Summary.Healthy != 1 {
+		t.Errorf("rollup = %+v", roll)
+	}
+	if len(roll.Machines) != 1 || roll.Machines[0].Machine != "box" {
+		t.Errorf("machines = %+v", roll.Machines)
+	}
+}
+
+func TestCmdHealthFlagErrors(t *testing.T) {
+	if _, err := runCapture(t, "health"); err == nil {
+		t.Error("health without -url or -partial should fail")
+	}
+	rdlFile := writeFile(t, "h.rdl", healthCLIRDL)
+	partial := writeFile(t, "p.json", healthCLIPartial)
+	if _, err := runCapture(t, "health", "-url", "http://x", "-rdl", rdlFile, "-partial", partial); err == nil {
+		t.Error("health with both -url and -partial should fail")
+	}
+}
+
+// TestCmdHealthURL drives the remote mode end to end: serve, apply a
+// stack over HTTP, then `engage health -url` renders the fleet rollup.
+func TestCmdHealthURL(t *testing.T) {
+	base, _, done := startServe(t)
+	applyBody := `{"action": "apply", "expect_version": 0, ` + servePartial[1:]
+	if st, resp := postJSON(t, base+"/v1/stacks/prod", applyBody); st != 200 {
+		t.Fatalf("stack apply: status %d: %v", st, resp)
+	}
+	out, err := runCapture(t, "health", "-url", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "fleet: healthy (1 stack(s))") {
+		t.Errorf("remote health output: %s", out)
+	}
+	if !strings.Contains(out, "stack prod:") {
+		t.Errorf("remote health should list the prod stack: %s", out)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve exited with error: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("serve did not shut down")
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"engage/internal/constraint"
 	"engage/internal/deploy"
 	"engage/internal/fault"
+	"engage/internal/health"
 	"engage/internal/hypergraph"
 	"engage/internal/library"
 	"engage/internal/lint"
@@ -79,6 +80,8 @@ func run(args []string, out *os.File) error {
 		return cmdServe(args[1:], out)
 	case "stack":
 		return cmdStack(args[1:], out)
+	case "health":
+		return cmdHealth(args[1:], out)
 	case "trace":
 		return cmdTrace(args[1:], out)
 	case "demo":
@@ -115,6 +118,11 @@ commands:
   stack   apply|status|reconcile           apply a named desired-state stack,
                                            inspect its record, or run drift →
                                            detect → replan → repair rounds
+  health  -url http://host:port | -partial spec.json [-rdl f1,f2] [-json]
+                                           one-shot fleet health: ask a live
+                                           control plane's /v1/health, or apply
+                                           the spec locally and run the declared
+                                           probes once; exits 1 when unhealthy
   trace   report|validate file.jsonl       summarize or validate a telemetry trace
   demo                                     OpenMRS quickstart end to end
 
@@ -787,6 +795,116 @@ func printRoundReport(out *os.File, rep *stack.RoundReport) {
 	}
 }
 
+// cmdHealth is the one-shot fleet health check:
+//
+//	engage health -url http://localhost:8080       ask a live control plane
+//	engage health -partial spec.json [-rdl files]  apply locally, probe once
+//
+// Both render the instance → machine → stack health rollup. The command
+// itself fails (exit 1) when any instance is unhealthy, so it scripts
+// like a health probe: `engage health -url … && deploy-more`.
+func cmdHealth(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("health", flag.ContinueOnError)
+	url := fs.String("url", "", "base URL of a running control plane (engage serve)")
+	rdlFiles := fs.String("rdl", "", "comma-separated RDL files (default: bundled library)")
+	partialPath := fs.String("partial", "", "partial installation specification (JSON) to apply and probe locally")
+	name := fs.String("name", "default", "stack name for -partial mode")
+	jsonOut := fs.Bool("json", false, "emit the rollup as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*url == "") == (*partialPath == "") {
+		return fmt.Errorf("health: exactly one of -url or -partial is required")
+	}
+
+	if *url != "" {
+		resp, err := http.Get(strings.TrimRight(*url, "/") + "/v1/health")
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		var body struct {
+			State  string               `json:"state"`
+			Stacks []health.StackRollup `json:"stacks"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			return fmt.Errorf("health: %s answered unparsable JSON: %v", *url, err)
+		}
+		if *jsonOut {
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(body); err != nil {
+				return err
+			}
+		} else {
+			fmt.Fprintf(out, "fleet: %s (%d stack(s))\n", body.State, len(body.Stacks))
+			for _, r := range body.Stacks {
+				printStackRollup(out, r)
+			}
+		}
+		if body.State == health.Unhealthy.String() {
+			return fmt.Errorf("health: fleet is unhealthy")
+		}
+		return nil
+	}
+
+	reg, bundled, err := loadRegistry(*rdlFiles, nil)
+	if err != nil {
+		return err
+	}
+	p, err := loadPartial(*partialPath)
+	if err != nil {
+		return err
+	}
+	drivers := deploy.NewDriverRegistry()
+	index := pkgmgr.NewIndex()
+	if bundled {
+		drivers = library.Drivers()
+		index = library.PackageIndex()
+	}
+	ctl := &stack.Controller{Options: deploy.Options{
+		Registry: reg, Drivers: drivers, World: machine.NewWorld(), Index: index,
+		Cache: pkgmgr.NewCache(), ProvisionMissing: true, OSOf: library.OSOf,
+	}}
+	a, err := ctl.Apply(*name, p)
+	if err != nil {
+		return err
+	}
+	a.Health.ProbeNow()
+	roll := a.HealthRollup()
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(roll); err != nil {
+			return err
+		}
+	} else {
+		printStackRollup(out, roll)
+	}
+	if roll.Summary.WorstState() == health.Unhealthy {
+		return fmt.Errorf("health: stack %q is unhealthy", *name)
+	}
+	return nil
+}
+
+// printStackRollup renders one stack's health rollup as an indented
+// machine → instance tree.
+func printStackRollup(out *os.File, r health.StackRollup) {
+	s := r.Summary
+	fmt.Fprintf(out, "stack %s: %s (%d healthy, %d suspect, %d recovering, %d unhealthy)\n",
+		r.Stack, s.State, s.Healthy, s.Suspect, s.Recovering, s.Unhealthy)
+	for _, m := range r.Machines {
+		fmt.Fprintf(out, "  machine %s: %s\n", m.Machine, m.Summary.State)
+		for _, ih := range m.Instances {
+			detail := ""
+			if ih.Detail != "" {
+				detail = "  (" + ih.Detail + ")"
+			}
+			fmt.Fprintf(out, "    %-24s %s%s\n", ih.Instance, ih.State, detail)
+		}
+	}
+}
+
 // cmdTrace inspects a JSON-lines telemetry trace written by
 // `solve -trace` or `deploy -trace`.
 func cmdTrace(args []string, out *os.File) error {
@@ -909,7 +1027,7 @@ func cmdServe(args []string, out *os.File) error {
 	}
 	fmt.Fprintf(out, "engage control plane listening on %s\n", ln.Addr())
 	fmt.Fprintln(out, "  POST /v1/configure  POST /v1/deploy  POST /v1/lint")
-	fmt.Fprintln(out, "  GET|POST /v1/stacks/{name}  GET /v1/stacks  GET /v1/status  GET /metrics")
+	fmt.Fprintln(out, "  GET|POST /v1/stacks/{name}  GET /v1/stacks  GET /v1/status  GET /v1/health  GET /metrics")
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

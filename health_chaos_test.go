@@ -1,0 +1,178 @@
+package engage
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"engage/internal/health"
+)
+
+// TestHealthChaosSoak drives the OpenMRS stack through a seeded sweep
+// of sickness injections: daemons that keep running and keep serving
+// their ports but fail their declared health probes (persistent, flap,
+// or brownout — the PRNG picks per target). The health subsystem must
+// detect every sick daemon as Unhealthy within FailureThreshold ×
+// Interval of virtual time, the reconciler must escalate Unhealthy to
+// replacement within three repair rounds, and the replaced daemons must
+// re-prove themselves Healthy — all of it recorded in a trace that
+// validates and accounts for every injection.
+func TestHealthChaosSoak(t *testing.T) {
+	const (
+		interval         = 30 * time.Second // the library's declared probe interval
+		failureThreshold = 3                // and its failure threshold
+	)
+	detectBound := failureThreshold * interval
+
+	totalSick := 0
+	kindSeen := map[string]bool{}
+	for seed := int64(0); seed < 20; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			sys, err := NewSystem()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			tr := sys.StartTrace(&buf)
+			a, err := sys.ApplyStack("web", chaosPartial())
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// One sweep proves the fresh fleet healthy: the library
+			// declares probes on its daemons (tomcat, mysql), so both are
+			// tracked and must pass their first round.
+			sys.World.Clock.Advance(interval)
+			a.Monitor.Check()
+			if got := a.Health.Tracked(); len(got) != 2 {
+				t.Fatalf("tracked = %v, want the two daemons", got)
+			}
+			for _, ih := range a.Health.States() {
+				if ih.HealthState() != health.Healthy {
+					t.Fatalf("fresh %s = %s, want healthy", ih.Instance, ih.State)
+				}
+			}
+
+			// Sicken daemons with seeded rules; the plan answers the
+			// synthetic "check" probe from here on.
+			plan := NewFaultPlan(seed).SickenWithProbability(0.7)
+			sys.InjectFaults(plan)
+			a.Health.Source = plan
+			sick := map[string]bool{}
+			for _, tgt := range a.DriftTargets() {
+				if kind, ok := plan.InjectSickness(tgt, sys.World.Clock.Now()); ok {
+					sick[tgt.Instance] = true
+					kindSeen[kind.String()] = true
+				}
+			}
+			totalSick += len(sick)
+
+			// Detection: every sick daemon reaches Unhealthy within the
+			// virtual bound, while its process keeps running (only probes
+			// see the sickness — this is exactly what "process" and "port"
+			// drift detection cannot catch).
+			t0 := sys.World.Clock.Now()
+			detected := map[string]bool{}
+			for sweep := 0; sweep < failureThreshold && len(detected) < len(sick); sweep++ {
+				sys.World.Clock.Advance(interval)
+				a.Monitor.Check()
+				for id := range sick {
+					if st, _ := a.Health.State(id); st == health.Unhealthy && !detected[id] {
+						if elapsed := sys.World.Clock.Now().Sub(t0); elapsed > detectBound {
+							t.Errorf("%s detected after %v, bound %v", id, elapsed, detectBound)
+						}
+						detected[id] = true
+					}
+				}
+			}
+			for id := range sick {
+				if !detected[id] {
+					t.Errorf("sick %s not Unhealthy within %v", id, detectBound)
+				}
+				b := a.Stack.Bindings[id]
+				m, ok := sys.World.Machine(b.Machine)
+				if !ok || !m.Running(b.PID) {
+					t.Errorf("sick %s daemon should still be running", id)
+				}
+			}
+
+			if len(sick) > 0 {
+				// Repair: Unhealthy is drift; the reconciler replaces the
+				// sick daemons within three repair rounds and converges.
+				pidsBefore := map[string]int{}
+				for id, b := range a.Stack.Bindings {
+					pidsBefore[id] = b.PID
+				}
+				reps, converged := a.ReconcileUntilConverged(4)
+				if !converged {
+					t.Fatalf("no convergence in %d rounds: %+v", len(reps), reps[len(reps)-1])
+				}
+				if repairRounds := len(reps) - 1; repairRounds > 3 {
+					t.Errorf("took %d repair rounds, want <= 3", repairRounds)
+				}
+				sawHealthDrift := false
+				for _, d := range reps[0].Drifts {
+					if d.Kind == "health" && sick[d.Instance] {
+						sawHealthDrift = true
+					}
+				}
+				if !sawHealthDrift {
+					t.Errorf("first round drifts carry no health drift: %v", reps[0].Drifts)
+				}
+				for id, b := range a.Stack.Bindings {
+					if sick[id] && b.PID == pidsBefore[id] {
+						t.Errorf("sick %s was not replaced", id)
+					}
+					if !sick[id] && b.PID != pidsBefore[id] {
+						t.Errorf("healthy %s was replaced (pid %d -> %d)", id, pidsBefore[id], b.PID)
+					}
+				}
+
+				// Re-proof: replacement cured the PID-keyed sicknesses, so
+				// one more sweep takes the whole fleet back to Healthy and
+				// the stack stays converged.
+				sys.World.Clock.Advance(interval)
+				a.Monitor.Check()
+				for _, ih := range a.Health.States() {
+					if ih.HealthState() != health.Healthy {
+						t.Errorf("%s = %s after repair + sweep, want healthy", ih.Instance, ih.State)
+					}
+				}
+				if left := plan.Sickened(); len(left) != 0 {
+					t.Errorf("replacement should cure all sicknesses, still sick: %v", left)
+				}
+				if rep := a.Reconcile(); !rep.Converged() {
+					t.Errorf("healed stack should stay converged: %+v", rep)
+				}
+			}
+
+			if terr := tr.Err(); terr != nil {
+				t.Fatalf("tracer error: %v", terr)
+			}
+			saveChaosTrace(t, buf.Bytes())
+			trace, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("health chaos trace does not validate: %v", err)
+			}
+			if faults := trace.Events("fault.inject"); len(faults) != plan.Injections() {
+				t.Errorf("%d fault.inject events, plan injected %d", len(faults), plan.Injections())
+			}
+			if len(trace.Events("health.probe")) == 0 {
+				t.Error("trace carries no health.probe events")
+			}
+			if len(sick) > 0 && len(trace.Events("health.transition")) == 0 {
+				t.Error("trace carries no health.transition events despite sickness")
+			}
+		})
+	}
+	if totalSick == 0 {
+		t.Error("sweep never injected sickness; the soak is vacuous")
+	}
+	for _, kind := range []string{"persistent-sick", "flap", "brownout"} {
+		if !kindSeen[kind] {
+			t.Errorf("sweep never drew a %s sickness", kind)
+		}
+	}
+}

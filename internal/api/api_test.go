@@ -37,6 +37,15 @@ abstract resource "Db" {
     inside "Server"
     config { port: tcp_port = 5432 }
     output { db: struct { port: tcp_port } = { port: config.port } }
+    health {
+        probe "port-open"
+        probe "proc-alive"
+        probe "config-digest"
+        interval "30s"
+        timeout "2s"
+        failures 3
+        successes 2
+    }
 }
 resource "Db 1.0" extends "Db" {}
 resource "Db 2.0" extends "Db" {}
@@ -45,6 +54,15 @@ resource "App 1.0" {
     input { db: struct { port: tcp_port } }
     config { port: tcp_port = 9000 }
     env "Db" { db -> db }
+    health {
+        probe "port-open"
+        probe "proc-alive"
+        probe "check"
+        interval "30s"
+        timeout "2s"
+        failures 3
+        successes 2
+    }
 }
 `
 
@@ -455,6 +473,127 @@ func TestStackApplyUnsatAndEmpty(t *testing.T) {
 	// Nothing was stored for the failed applies.
 	if s.Store().Len() != 0 {
 		t.Errorf("failed applies left %d records", s.Store().Len())
+	}
+}
+
+// TestHealthEndpoint drives the fleet health contract over HTTP: a
+// fresh server is vacuously healthy, an applied stack proves itself
+// healthy on demand, a sick daemon flips the endpoint to 503 after the
+// failure threshold, and a reconcile (which replaces the daemon and
+// cures the PID-keyed sickness) brings it back to 200.
+func TestHealthEndpoint(t *testing.T) {
+	s := newTestServer(t)
+	h := s.Handler()
+
+	st, resp, _ := do(t, h, "GET", "/v1/health", nil)
+	if st != http.StatusOK || resp["state"] != "healthy" {
+		t.Fatalf("fresh health: status %d state %v", st, resp["state"])
+	}
+	if len(resp["stacks"].([]any)) != 0 {
+		t.Fatalf("fresh health lists stacks: %v", resp["stacks"])
+	}
+
+	do(t, h, "POST", "/v1/stacks/web",
+		body(t, map[string]any{"action": "apply", "partial": webPartial(9000)}))
+	st, resp, _ = do(t, h, "GET", "/v1/health", nil)
+	if st != http.StatusOK || resp["state"] != "healthy" {
+		t.Fatalf("applied health: status %d state %v", st, resp["state"])
+	}
+	stacks := resp["stacks"].([]any)
+	if len(stacks) != 1 {
+		t.Fatalf("health lists %d stacks, want 1", len(stacks))
+	}
+	sum := stacks[0].(map[string]any)["summary"].(map[string]any)
+	if sum["healthy"].(float64) != 2 {
+		t.Fatalf("summary = %v, want 2 healthy (db + app; passive server untracked)", sum)
+	}
+
+	// Sicken the app daemon behind the API's back: the process keeps
+	// running, only the synthetic check probe sees it.
+	e := s.entry("web")
+	plan := fault.NewPlan(7).SickenPersistent("", "app")
+	e.applied.Health.Source = plan
+	now := e.world.Clock.Now()
+	injected := false
+	for _, tgt := range e.applied.DriftTargets() {
+		if _, ok := plan.InjectSickness(tgt, now); ok {
+			injected = true
+		}
+	}
+	if !injected {
+		t.Fatal("sickness did not fire on app")
+	}
+
+	// Each GET forces a probe round; the third consecutive failure
+	// crosses the declared threshold and the endpoint turns 503.
+	for i := 0; i < 2; i++ {
+		if st, resp, _ = do(t, h, "GET", "/v1/health", nil); st != http.StatusOK {
+			t.Fatalf("round %d: status %d (state %v) before threshold", i+1, st, resp["state"])
+		}
+	}
+	st, resp, _ = do(t, h, "GET", "/v1/health", nil)
+	if st != http.StatusServiceUnavailable || resp["state"] != "unhealthy" {
+		t.Fatalf("sick health: status %d state %v, want 503 unhealthy", st, resp["state"])
+	}
+
+	// Reconcile treats Unhealthy as drift and replaces the daemon, which
+	// cures the PID-keyed sickness; the replacement re-proves itself on
+	// the next on-demand round.
+	st, resp, _ = do(t, h, "POST", "/v1/stacks/web", body(t, map[string]any{"action": "reconcile"}))
+	if st != http.StatusOK || resp["converged"] != true {
+		t.Fatalf("reconcile: status %d: %v", st, resp)
+	}
+	first := resp["rounds"].([]any)[0].(map[string]any)
+	var sawHealthDrift bool
+	for _, d := range first["drifts"].([]any) {
+		if dm := d.(map[string]any); dm["kind"] == "health" && dm["instance"] == "app" {
+			sawHealthDrift = true
+		}
+	}
+	if !sawHealthDrift {
+		t.Errorf("reconcile saw no health drift: %v", first["drifts"])
+	}
+	st, resp, _ = do(t, h, "GET", "/v1/health", nil)
+	if st != http.StatusOK || resp["state"] != "healthy" {
+		t.Errorf("post-repair health: status %d state %v, want 200 healthy", st, resp["state"])
+	}
+}
+
+// TestMetricsPrometheusNegotiation: Accept text/plain yields the
+// exposition format with engage_-prefixed families; no Accept header
+// keeps the JSON snapshot byte-for-byte.
+func TestMetricsPrometheusNegotiation(t *testing.T) {
+	s := newTestServer(t)
+	h := s.Handler()
+	payload := configureBody(t, choicePartial())
+	do(t, h, "POST", "/v1/configure", payload)
+	do(t, h, "POST", "/v1/configure", payload)
+
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	req.Header.Set("Accept", "text/plain")
+	rw := httptest.NewRecorder()
+	h.ServeHTTP(rw, req)
+	if rw.Code != http.StatusOK {
+		t.Fatalf("prometheus scrape: status %d", rw.Code)
+	}
+	if ct := rw.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q, want text/plain exposition", ct)
+	}
+	text := rw.Body.String()
+	for _, want := range []string{
+		"engage_api_http_configure_requests 2",
+		"# TYPE engage_api_http_configure_latency_ns histogram",
+		"engage_sat_propagations",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+
+	// Default representation stays JSON.
+	st, resp, raw := do(t, h, "GET", "/metrics", nil)
+	if st != http.StatusOK || resp["counters"] == nil {
+		t.Fatalf("JSON scrape: status %d body %s", st, raw)
 	}
 }
 

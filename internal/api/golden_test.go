@@ -21,19 +21,24 @@ import (
 
 var updateGolden = flag.Bool("update", false, "rewrite golden files")
 
-// goldenStep is one recorded exchange.
+// goldenStep is one recorded exchange. ContentType is recorded only
+// for requests that sent an Accept header, pinning which
+// representation the negotiation served.
 type goldenStep struct {
-	Method   string          `json:"method"`
-	Path     string          `json:"path"`
-	Body     json.RawMessage `json:"body,omitempty"`
-	Status   int             `json:"status"`
-	Response json.RawMessage `json:"response,omitempty"`
+	Method      string          `json:"method"`
+	Path        string          `json:"path"`
+	Accept      string          `json:"accept,omitempty"`
+	Body        json.RawMessage `json:"body,omitempty"`
+	Status      int             `json:"status"`
+	ContentType string          `json:"content_type,omitempty"`
+	Response    json.RawMessage `json:"response,omitempty"`
 }
 
 // scriptReq is one request of a fixture script.
 type scriptReq struct {
 	method string
 	path   string
+	accept string
 	body   []byte
 }
 
@@ -74,6 +79,24 @@ func goldenScripts(t *testing.T) map[string][]scriptReq {
 		},
 		// A fresh server's metrics snapshot (no instruments yet).
 		"metrics_fresh": {get("/metrics")},
+		// A fresh control plane is vacuously healthy: 200, no stacks.
+		"health_fresh": {get("/v1/health")},
+		// Apply a stack whose daemons declare probes, then read the fleet
+		// rollup: /v1/health runs the probe rounds on demand, so the
+		// freshly-applied instances prove themselves Healthy in the same
+		// request.
+		"health_deployed": {
+			post("/v1/stacks/web", map[string]any{"action": "apply", "partial": webPartial(9000), "expect_version": 0}),
+			get("/v1/health"),
+		},
+		// Content negotiation on /metrics: Accept text/plain selects the
+		// Prometheus exposition (empty on a fresh registry — the
+		// negotiated Content-Type is the contract here; metrics_fresh
+		// pins the JSON default, and a second step would record the
+		// first's wall-clock latency histogram, so one step it is).
+		"metrics_prometheus": {
+			{method: "GET", path: "/metrics", accept: "text/plain"},
+		},
 	}
 }
 
@@ -91,15 +114,23 @@ func TestGoldenContracts(t *testing.T) {
 					rd = bytes.NewReader(req.body)
 				}
 				r := httptest.NewRequest(req.method, req.path, rd)
+				if req.accept != "" {
+					r.Header.Set("Accept", req.accept)
+				}
 				rw := httptest.NewRecorder()
 				h.ServeHTTP(rw, r)
-				steps = append(steps, goldenStep{
+				step := goldenStep{
 					Method:   req.method,
 					Path:     req.path,
+					Accept:   req.accept,
 					Body:     rawOrNil(req.body),
 					Status:   rw.Code,
 					Response: rawOrNil(rw.Body.Bytes()),
-				})
+				}
+				if req.accept != "" {
+					step.ContentType = rw.Header().Get("Content-Type")
+				}
+				steps = append(steps, step)
 			}
 			got, err := json.MarshalIndent(steps, "", "  ")
 			if err != nil {

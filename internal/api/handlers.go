@@ -21,10 +21,13 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
+	"strings"
 	"time"
 
 	"engage/internal/config"
 	"engage/internal/deploy"
+	"engage/internal/health"
 	"engage/internal/lint"
 	"engage/internal/machine"
 	"engage/internal/sat"
@@ -43,6 +46,7 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/stacks/{name}", s.instrument("stack_get", s.handleStackGet))
 	mux.HandleFunc("POST /v1/stacks/{name}", s.instrument("stack_post", s.handleStackPost))
 	mux.HandleFunc("GET /v1/status", s.instrument("status", s.handleStatus))
+	mux.HandleFunc("GET /v1/health", s.instrument("health", s.handleHealth))
 	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	return mux
 }
@@ -631,10 +635,81 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// healthResponse is the body of GET /v1/health: the fleet-level
+// worst-of state plus one rollup per live stack. The status code
+// mirrors the state — 503 when any instance is Unhealthy, 200
+// otherwise — so load balancers can point a plain HTTP check at it.
+type healthResponse struct {
+	State  string               `json:"state"`
+	Stacks []health.StackRollup `json:"stacks"`
+}
+
+// handleHealth runs an on-demand probe round over every live stack
+// (ProbeNow ignores the virtual schedule — a health check answers with
+// fresh observations, not stale ones) and rolls the results up
+// instance → machine → stack → fleet.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.stacksMu.Lock()
+	names := make([]string, 0, len(s.stacks))
+	for name := range s.stacks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	entries := make([]*stackEntry, len(names))
+	for i, name := range names {
+		entries[i] = s.stacks[name]
+	}
+	s.stacksMu.Unlock()
+
+	resp := healthResponse{Stacks: []health.StackRollup{}}
+	worst := health.Healthy
+	for _, e := range entries {
+		e.mu.Lock()
+		if e.applied == nil || e.applied.Health == nil {
+			e.mu.Unlock()
+			continue
+		}
+		e.applied.Health.ProbeNow()
+		roll := e.applied.HealthRollup()
+		e.mu.Unlock()
+		resp.Stacks = append(resp.Stacks, roll)
+		if w := roll.Summary.WorstState(); w > worst {
+			worst = w
+		}
+	}
+	resp.State = worst.String()
+	status := http.StatusOK
+	if worst == health.Unhealthy {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
+}
+
+// handleMetrics serves the resident registry in the representation the
+// client asked for: Prometheus text exposition when the Accept header
+// names text/plain (or an OpenMetrics type), the JSON snapshot
+// otherwise — existing JSON scrapers send no Accept header and are
+// untouched.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if acceptsPrometheus(r.Header.Get("Accept")) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		if err := s.metrics.WritePrometheus(w); err != nil {
+			s.metrics.Counter("api.http.metrics.write_errors").Inc()
+		}
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	if err := s.metrics.WriteJSON(w); err != nil {
 		s.metrics.Counter("api.http.metrics.write_errors").Inc()
 	}
+}
+
+// acceptsPrometheus is the /metrics content negotiation: any Accept
+// value naming text/plain or an OpenMetrics media type selects the
+// exposition format; everything else (including no header at all)
+// keeps the JSON snapshot.
+func acceptsPrometheus(accept string) bool {
+	return strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics")
 }

@@ -12,7 +12,11 @@
 //	GET  /v1/stacks/{name}      one stack record
 //	POST /v1/stacks/{name}      apply / reconcile, CAS-guarded (409 on conflict)
 //	GET  /v1/status             uptime, request counts, pool effectiveness
-//	GET  /metrics               telemetry registry snapshot (JSON)
+//	GET  /v1/health             fleet health rollup (503 when any instance
+//	                            is unhealthy; probes run on demand)
+//	GET  /metrics               telemetry registry snapshot — JSON by
+//	                            default, Prometheus text exposition when
+//	                            Accept names text/plain
 //
 // The paper frames Engage as a management system, not a batch solver;
 // a long-lived planner serving a request stream is the shape related

@@ -116,9 +116,13 @@ type Plan struct {
 	// driftRules are consulted only by InjectDrift (see drift.go) —
 	// they mutate deployed state rather than failing operations.
 	driftRules []*DriftRule
-	events     []Event
-	id         string
-	tracer     *telemetry.Tracer
+	// sickRules and sick are the health-degradation schedule (see
+	// sickness.go): active sicknesses answer HealthCheck.
+	sickRules []*SicknessRule
+	sick      map[string]*sickness
+	events    []Event
+	id        string
+	tracer    *telemetry.Tracer
 }
 
 // NewPlan returns an empty plan whose probabilistic rules draw from a

@@ -1,0 +1,254 @@
+package fault
+
+// This file makes health degradation a first-class injectable fault.
+// Where a DriftRule mutates an instance's recorded state (dead daemon,
+// corrupt manifest), a SicknessRule leaves the daemon running and
+// instead makes it *sick*: the health subsystem's synthetic "check"
+// probe (health.CheckSource) starts reporting failure, which is exactly
+// the running-but-unhealthy case process and port checks cannot see.
+// Sickness decisions come from the same seeded PRNG and event log as
+// every other rule, so sickness schedules are reproducible and
+// traceable.
+//
+// A sickness is keyed to the daemon PID observed at injection time:
+// replacing the daemon (the reconciler's repair) cures it. Brownouts
+// additionally self-heal after their duration, exercising the
+// Unhealthy → Recovering → Healthy path without any repair.
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"engage/internal/machine"
+)
+
+// SickKind selects how an injected sickness behaves over virtual time.
+type SickKind int
+
+// Sickness kinds.
+const (
+	// SickAny lets the plan's PRNG pick a concrete kind per firing
+	// (only in rules, never in results).
+	SickAny SickKind = iota
+	// SickPersistent fails every check until the daemon is replaced.
+	SickPersistent
+	// SickFlap fails checks for Period of virtual time, passes exactly
+	// one check, then falls sick again — the oscillation the health
+	// state machine's flap damping exists for.
+	SickFlap
+	// SickBrownout fails checks for Duration of virtual time, then
+	// self-heals (no repair needed).
+	SickBrownout
+)
+
+func (k SickKind) String() string {
+	switch k {
+	case SickAny:
+		return "any"
+	case SickPersistent:
+		return "persistent-sick"
+	case SickFlap:
+		return "flap"
+	case SickBrownout:
+		return "brownout"
+	default:
+		return fmt.Sprintf("sick(%d)", int(k))
+	}
+}
+
+// Injectable sickness operation kinds, stamped on the plan's event log
+// and "fault.inject" trace events.
+const (
+	OpSickPersistent machine.OpKind = "sick-persistent"
+	OpSickFlap       machine.OpKind = "sick-flap"
+	OpSickBrownout   machine.OpKind = "sick-brownout"
+)
+
+func (k SickKind) op() machine.OpKind {
+	switch k {
+	case SickPersistent:
+		return OpSickPersistent
+	case SickFlap:
+		return OpSickFlap
+	default:
+		return OpSickBrownout
+	}
+}
+
+// SicknessRule matches deployed instances and decides sickness
+// injections for them. Machine and Instance are path.Match globs (""
+// matches anything); Kind SickAny draws a concrete kind from the plan's
+// PRNG per firing. Modes carry the failure-rule semantics.
+type SicknessRule struct {
+	Kind     SickKind
+	Machine  string
+	Instance string
+	Mode     Mode
+	Times    int
+	Prob     float64
+	// Period is SickFlap's sick-phase length (default 2 minutes).
+	Period time.Duration
+	// Duration is SickBrownout's length (default 2 minutes).
+	Duration time.Duration
+
+	fired int
+}
+
+// sickness is one active injected sickness.
+type sickness struct {
+	kind SickKind
+	// pid is the daemon observed at injection; a different PID on a
+	// later check means the daemon was replaced, which cures.
+	pid   int
+	start time.Time
+	// period / duration carry the rule's timing knobs.
+	period   time.Duration
+	duration time.Duration
+}
+
+// AddSickness appends a sickness rule and returns the plan for
+// chaining.
+func (p *Plan) AddSickness(r SicknessRule) *Plan {
+	p.mu.Lock()
+	p.sickRules = append(p.sickRules, &r)
+	p.mu.Unlock()
+	return p
+}
+
+// SickenPersistent makes every matching instance persistently sick on
+// injection — only replacement cures.
+func (p *Plan) SickenPersistent(machinePat, instancePat string) *Plan {
+	return p.AddSickness(SicknessRule{Kind: SickPersistent, Machine: machinePat, Instance: instancePat, Mode: Persistent})
+}
+
+// SickenFlap makes matching instances flap: sick for period, one
+// passing check, sick again.
+func (p *Plan) SickenFlap(machinePat, instancePat string, period time.Duration) *Plan {
+	return p.AddSickness(SicknessRule{Kind: SickFlap, Machine: machinePat, Instance: instancePat, Mode: Persistent, Period: period})
+}
+
+// SickenBrownout makes matching instances sick for duration, then
+// self-heal.
+func (p *Plan) SickenBrownout(machinePat, instancePat string, duration time.Duration) *Plan {
+	return p.AddSickness(SicknessRule{Kind: SickBrownout, Machine: machinePat, Instance: instancePat, Mode: Persistent, Duration: duration})
+}
+
+// SickenWithProbability injects a PRNG-chosen sickness into each
+// offered target independently with probability prob.
+func (p *Plan) SickenWithProbability(prob float64) *Plan {
+	return p.AddSickness(SicknessRule{Kind: SickAny, Mode: Probabilistic, Prob: prob})
+}
+
+// InjectSickness consults the sickness rules for one deployed instance
+// and, when a rule fires, marks the instance sick from now (a virtual
+// timestamp — the plan has no clock of its own) until cured. The
+// target's daemon must be alive: sickness is a property of a running
+// process. Already-sick instances are left alone.
+func (p *Plan) InjectSickness(t DriftTarget, now time.Time) (SickKind, bool) {
+	if t.PID == 0 || t.Machine == nil || !t.Machine.Running(t.PID) {
+		return 0, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.sick == nil {
+		p.sick = make(map[string]*sickness)
+	}
+	if _, already := p.sick[t.Instance]; already {
+		return 0, false
+	}
+	for i, r := range p.sickRules {
+		if !globMatch(r.Machine, machineName(t)) || !globMatch(r.Instance, t.Instance) {
+			continue
+		}
+		switch r.Mode {
+		case Transient:
+			if r.fired >= r.Times {
+				continue
+			}
+		case Probabilistic:
+			if p.rng.Float64() >= r.Prob {
+				continue
+			}
+		}
+		kind := r.Kind
+		if kind == SickAny {
+			kind = []SickKind{SickPersistent, SickFlap, SickBrownout}[p.rng.Intn(3)]
+		}
+		period, duration := r.Period, r.Duration
+		if period <= 0 {
+			period = 2 * time.Minute
+		}
+		if duration <= 0 {
+			duration = 2 * time.Minute
+		}
+		r.fired++
+		p.sick[t.Instance] = &sickness{kind: kind, pid: t.PID, start: now, period: period, duration: duration}
+		op := machine.Op{Kind: kind.op(), Machine: machineName(t), Name: t.Instance}
+		p.events = append(p.events, Event{Op: op, Rule: i})
+		p.emitSickLocked(op, i, r.Mode)
+		return kind, true
+	}
+	return 0, false
+}
+
+// emitSickLocked traces one sickness injection; caller holds p.mu.
+func (p *Plan) emitSickLocked(op machine.Op, rule int, mode Mode) {
+	if p.tracer == nil {
+		return
+	}
+	p.tracer.Event("fault.inject").
+		Str("plan", p.id).Int("rule", int64(rule)).Str("mode", mode.String()).
+		Str("op", string(op.Kind)).Str("machine", op.Machine).Str("name", op.Name).
+		Str("effect", "sicken").
+		Emit()
+}
+
+// HealthCheck implements the health subsystem's CheckSource: the
+// synthetic "check" probe asks the fault plan whether the instance is
+// sick at the given virtual time. A check against a PID different from
+// the one recorded at injection means the daemon was replaced, which
+// cures any sickness kind.
+func (p *Plan) HealthCheck(instance string, pid int, now time.Time) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s, ok := p.sick[instance]
+	if !ok {
+		return true
+	}
+	if pid != 0 && s.pid != 0 && pid != s.pid {
+		delete(p.sick, instance) // replaced daemon: cured
+		return true
+	}
+	switch s.kind {
+	case SickPersistent:
+		return false
+	case SickFlap:
+		if now.Sub(s.start) >= s.period {
+			// One passing check, then the sick phase restarts.
+			s.start = now
+			return true
+		}
+		return false
+	case SickBrownout:
+		if now.Sub(s.start) >= s.duration {
+			delete(p.sick, instance) // self-healed
+			return true
+		}
+		return false
+	default:
+		return true
+	}
+}
+
+// Sickened lists the instances currently sick, sorted.
+func (p *Plan) Sickened() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.sick))
+	for id := range p.sick {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,178 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSickenPersistentUntilReplaced(t *testing.T) {
+	m, tgt := driftTarget(t)
+	clock := m.Clock()
+	plan := NewPlan(1).SickenPersistent("", "")
+
+	kind, ok := plan.InjectSickness(tgt, clock.Now())
+	if !ok || kind != SickPersistent {
+		t.Fatalf("InjectSickness = %v, %v", kind, ok)
+	}
+	if !m.Running(tgt.PID) {
+		t.Fatal("sickness must not kill the daemon")
+	}
+	// Sick indefinitely under the same PID.
+	for i := 0; i < 5; i++ {
+		clock.Advance(time.Hour)
+		if plan.HealthCheck("app", tgt.PID, clock.Now()) {
+			t.Fatalf("persistent sickness healed by itself at +%dh", i+1)
+		}
+	}
+	if got := plan.Sickened(); len(got) != 1 || got[0] != "app" {
+		t.Errorf("Sickened = %v", got)
+	}
+	// A replaced daemon (new PID) cures.
+	if !plan.HealthCheck("app", tgt.PID+100, clock.Now()) {
+		t.Error("replacement should cure")
+	}
+	if len(plan.Sickened()) != 0 {
+		t.Error("cured sickness should be dropped")
+	}
+	// And stays cured.
+	if !plan.HealthCheck("app", tgt.PID+100, clock.Now()) {
+		t.Error("cured instance should stay healthy")
+	}
+	evs := plan.Events()
+	if len(evs) != 1 || evs[0].Op.Kind != OpSickPersistent || evs[0].Op.Name != "app" {
+		t.Errorf("event log = %+v", evs)
+	}
+}
+
+func TestSickenFlapPassesOneCheckPerPeriod(t *testing.T) {
+	m, tgt := driftTarget(t)
+	clock := m.Clock()
+	plan := NewPlan(1).SickenFlap("", "", 90*time.Second)
+	if kind, ok := plan.InjectSickness(tgt, clock.Now()); !ok || kind != SickFlap {
+		t.Fatalf("InjectSickness = %v, %v", kind, ok)
+	}
+	// Checks every 30s: sick for the whole 90s period...
+	for i := 0; i < 3; i++ {
+		if plan.HealthCheck("app", tgt.PID, clock.Now()) {
+			t.Fatalf("check %d should be sick", i)
+		}
+		clock.Advance(30 * time.Second)
+	}
+	// ...then exactly one passing check (the flap's healthy blip)...
+	if !plan.HealthCheck("app", tgt.PID, clock.Now()) {
+		t.Fatal("check at period boundary should pass")
+	}
+	// ...and the sick phase restarts immediately.
+	clock.Advance(30 * time.Second)
+	if plan.HealthCheck("app", tgt.PID, clock.Now()) {
+		t.Error("flap should be sick again after the blip")
+	}
+	if len(plan.Sickened()) != 1 {
+		t.Error("flap never self-heals")
+	}
+}
+
+func TestSickenBrownoutSelfHeals(t *testing.T) {
+	m, tgt := driftTarget(t)
+	clock := m.Clock()
+	plan := NewPlan(1).SickenBrownout("", "", 2*time.Minute)
+	if kind, ok := plan.InjectSickness(tgt, clock.Now()); !ok || kind != SickBrownout {
+		t.Fatalf("InjectSickness = %v, %v", kind, ok)
+	}
+	clock.Advance(time.Minute)
+	if plan.HealthCheck("app", tgt.PID, clock.Now()) {
+		t.Fatal("mid-brownout check should be sick")
+	}
+	clock.Advance(time.Minute)
+	if !plan.HealthCheck("app", tgt.PID, clock.Now()) {
+		t.Fatal("expired brownout should self-heal")
+	}
+	if len(plan.Sickened()) != 0 {
+		t.Error("self-healed sickness should be dropped")
+	}
+}
+
+func TestSicknessNeedsLiveDaemon(t *testing.T) {
+	m, tgt := driftTarget(t)
+	clock := m.Clock()
+	plan := NewPlan(1).SickenPersistent("", "")
+	if err := m.KillProcess(tgt.PID); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := plan.InjectSickness(tgt, clock.Now()); ok {
+		t.Error("sickness must not fire on a dead daemon")
+	}
+	passive := tgt
+	passive.PID = 0
+	if _, ok := plan.InjectSickness(passive, clock.Now()); ok {
+		t.Error("sickness must not fire on a passive target")
+	}
+	if plan.Injections() != 0 {
+		t.Errorf("no injections expected, got %d", plan.Injections())
+	}
+}
+
+func TestSicknessDoubleInjectionIsIdempotent(t *testing.T) {
+	m, tgt := driftTarget(t)
+	clock := m.Clock()
+	plan := NewPlan(1).SickenPersistent("", "")
+	if _, ok := plan.InjectSickness(tgt, clock.Now()); !ok {
+		t.Fatal("first injection should fire")
+	}
+	if _, ok := plan.InjectSickness(tgt, clock.Now()); ok {
+		t.Error("already-sick instance must not be re-injected")
+	}
+	if plan.Injections() != 1 {
+		t.Errorf("injections = %d, want 1", plan.Injections())
+	}
+	_ = m
+}
+
+func TestSicknessRuleGlobsAndModes(t *testing.T) {
+	_, tgt := driftTarget(t)
+	clock := tgt.Machine.Clock()
+	scoped := NewPlan(1).AddSickness(SicknessRule{Kind: SickPersistent, Mode: Persistent, Instance: "db-*"})
+	if _, ok := scoped.InjectSickness(tgt, clock.Now()); ok {
+		t.Error("non-matching instance glob should not fire")
+	}
+	tgt2 := tgt
+	tgt2.Instance = "db-1"
+	if _, ok := scoped.InjectSickness(tgt2, clock.Now()); !ok {
+		t.Error("matching instance glob should fire")
+	}
+
+	transient := NewPlan(1).AddSickness(SicknessRule{Kind: SickBrownout, Mode: Transient, Times: 1})
+	if _, ok := transient.InjectSickness(tgt, clock.Now()); !ok {
+		t.Fatal("transient rule should fire once")
+	}
+	other := tgt
+	other.Instance = "other"
+	if _, ok := transient.InjectSickness(other, clock.Now()); ok {
+		t.Error("transient rule should stop after Times firings")
+	}
+}
+
+// TestSicknessScheduleReproducible replays a probabilistic sickness
+// schedule and demands the identical decision sequence.
+func TestSicknessScheduleReproducible(t *testing.T) {
+	run := func() []Event {
+		m, tgt := driftTarget(t)
+		clock := m.Clock()
+		plan := NewPlan(42).SickenWithProbability(0.5)
+		for i := 0; i < 20; i++ {
+			tgt.Instance = []string{"a", "b", "c", "d"}[i%4]
+			plan.InjectSickness(tgt, clock.Now())
+			clock.Advance(time.Second)
+		}
+		return plan.Events()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("sickness schedules differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Op.Kind != b[i].Op.Kind || a[i].Op.Name != b[i].Op.Name {
+			t.Errorf("injection %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package health
+
+// Rollups: instance health aggregates worst-of with counts, up the
+// instance → machine → stack hierarchy. State is ordered by severity,
+// so worst-of is a max.
+
+import "sort"
+
+// Summary is a worst-of aggregate with per-state counts.
+type Summary struct {
+	State      string `json:"state"`
+	Healthy    int    `json:"healthy"`
+	Suspect    int    `json:"suspect"`
+	Recovering int    `json:"recovering"`
+	Unhealthy  int    `json:"unhealthy"`
+
+	worst State
+}
+
+// WorstState returns the typed worst state behind the JSON string.
+func (s Summary) WorstState() State { return s.worst }
+
+// Total is the number of instances summarized.
+func (s Summary) Total() int { return s.Healthy + s.Suspect + s.Recovering + s.Unhealthy }
+
+func (s *Summary) add(st State) {
+	switch st {
+	case Healthy:
+		s.Healthy++
+	case Suspect:
+		s.Suspect++
+	case Recovering:
+		s.Recovering++
+	case Unhealthy:
+		s.Unhealthy++
+	}
+	if st > s.worst {
+		s.worst = st
+	}
+	s.State = s.worst.String()
+}
+
+// Summarize aggregates instance healths into a worst-of summary. An
+// empty set is Healthy (nothing is wrong with nothing).
+func Summarize(states []InstanceHealth) Summary {
+	s := Summary{State: Healthy.String()}
+	for _, ih := range states {
+		s.add(ih.HealthState())
+	}
+	return s
+}
+
+// MachineRollup is one machine's worst-of aggregate with its instances.
+type MachineRollup struct {
+	Machine   string           `json:"machine"`
+	Summary   Summary          `json:"summary"`
+	Instances []InstanceHealth `json:"instances"`
+}
+
+// ByMachine groups instance healths into per-machine rollups, sorted by
+// machine name; instances with no recorded machine group under "".
+func ByMachine(states []InstanceHealth) []MachineRollup {
+	byName := make(map[string]*MachineRollup)
+	var names []string
+	for _, ih := range states {
+		r, ok := byName[ih.Machine]
+		if !ok {
+			r = &MachineRollup{Machine: ih.Machine, Summary: Summary{State: Healthy.String()}}
+			byName[ih.Machine] = r
+			names = append(names, ih.Machine)
+		}
+		r.Instances = append(r.Instances, ih)
+		r.Summary.add(ih.HealthState())
+	}
+	sort.Strings(names)
+	out := make([]MachineRollup, 0, len(names))
+	for _, n := range names {
+		out = append(out, *byName[n])
+	}
+	return out
+}
+
+// StackRollup is one stack's full health rollup: the stack-level
+// worst-of summary plus its per-machine breakdown.
+type StackRollup struct {
+	Stack    string          `json:"stack"`
+	Summary  Summary         `json:"summary"`
+	Machines []MachineRollup `json:"machines"`
+}
+
+// RollupStack builds a stack rollup from a checker's current states.
+func RollupStack(name string, states []InstanceHealth) StackRollup {
+	return StackRollup{
+		Stack:    name,
+		Summary:  Summarize(states),
+		Machines: ByMachine(states),
+	}
+}

@@ -76,6 +76,15 @@ abstract resource "Tomcat" {
         }
     }
     env "Java" { java -> java }
+    health {
+        probe "port-open"
+        probe "proc-alive"
+        probe "check"
+        interval "30s"
+        timeout "2s"
+        failures 3
+        successes 2
+    }
 }
 
 resource "Tomcat 5.5" extends "Tomcat" {}
@@ -118,6 +127,16 @@ resource "MySQL 5.1" extends "DjangoDatabase" {
         dj_db: struct { engine: string, host: string, port: tcp_port } = {
             engine: "mysql", host: "localhost", port: config.port
         }
+    }
+    health {
+        probe "port-open"
+        probe "proc-alive"
+        probe "config-digest"
+        probe "check"
+        interval "30s"
+        timeout "2s"
+        failures 3
+        successes 2
     }
 }
 

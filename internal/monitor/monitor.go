@@ -16,6 +16,7 @@ import (
 
 	"engage/internal/deploy"
 	"engage/internal/driver"
+	"engage/internal/health"
 	"engage/internal/machine"
 	"engage/internal/telemetry"
 )
@@ -43,6 +44,12 @@ type Monitor struct {
 	// Metrics, when non-nil, counts restarts, restart failures, and
 	// degradations.
 	Metrics *telemetry.Registry
+	// Health, when non-nil, is the probe scheduler ticked by every Check
+	// sweep: monitoring and health probing share the monitor loop (and
+	// therefore the virtual clock). A service cleared from degraded
+	// re-enters the probe schedule at Suspect — it must prove itself
+	// healthy again rather than being assumed so.
+	Health *health.Checker
 
 	dep      *deploy.Deployment
 	watched  map[string]string      // instance ID → scratch PID name
@@ -130,6 +137,11 @@ type Event struct {
 // restarted (see Degraded / ClearDegraded). It returns an event per
 // dead process found.
 func (m *Monitor) Check() []Event {
+	if m.Health != nil {
+		// Probes ride the monitor sweep: due entries fire at the current
+		// virtual instant, before restart decisions charge any backoff.
+		m.Health.Tick()
+	}
 	var events []Event
 	ids := m.Watched()
 	for _, id := range ids {
@@ -233,11 +245,17 @@ func (m *Monitor) Degraded() []string {
 // ClearDegraded forgives a degraded service (say, after an operator or
 // the reconciler fixed its configuration): its restart history AND its
 // backoff counter — including the failed-restart escalation — are
-// reset, so the monitor resumes restarting it at the base backoff.
+// reset, so the monitor resumes restarting it at the base backoff. The
+// forgiveness does not extend to health: if the service is probed, it
+// re-enters the schedule at Suspect and must pass a probe round before
+// it reads Healthy again.
 func (m *Monitor) ClearDegraded(id string) {
 	delete(m.degraded, id)
 	delete(m.restarts, id)
 	delete(m.failures, id)
+	if m.Health != nil {
+		m.Health.MarkSuspect(id)
+	}
 	m.Tracer.Event("monitor.cleared").Str("instance", id).Emit()
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"engage/internal/deploy"
 	"engage/internal/driver"
+	"engage/internal/health"
 	"engage/internal/machine"
 	"engage/internal/rdl"
 	"engage/internal/resource"
@@ -280,6 +281,93 @@ func TestClearDegradedReArmsAtBaseBackoff(t *testing.T) {
 	}
 	if wantAt := t1.Add(mon.RestartBackoff); !evs[0].At.Equal(wantAt) {
 		t.Errorf("re-armed restart at %v, want %v", evs[0].At, wantAt)
+	}
+}
+
+func TestClearDegradedReentersProbeScheduleAtSuspect(t *testing.T) {
+	d, m := setup(t)
+	mon := New(d)
+	mon.AutoRegister()
+	drv, _ := d.Driver("web")
+	clock := m.Clock()
+
+	// Attach a probe schedule to the monitor loop and prove the service
+	// healthy: one passing probe round promotes Suspect → Healthy.
+	hc := health.NewChecker(clock)
+	mon.Health = hc
+	pid, _ := drv.Ctx.PID("daemon")
+	hc.Track(health.Target{Instance: "web", Machine: m, PID: pid, Ports: []int{9000}},
+		&resource.HealthSpec{
+			Probes:           []string{resource.ProbePortOpen, resource.ProbeProcAlive},
+			Interval:         30 * time.Second,
+			Timeout:          time.Second,
+			FailureThreshold: 3,
+			SuccessThreshold: 2,
+		})
+	mon.Check()
+	if st, _ := hc.State("web"); st != health.Healthy {
+		t.Fatalf("setup: state = %v, want healthy", st)
+	}
+
+	kill := func() {
+		t.Helper()
+		pid, _ := drv.Ctx.PID("daemon")
+		if err := m.KillProcess(pid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Degrade the service: budget exhausted, monitor gives up.
+	for i := 0; i < mon.MaxRestarts; i++ {
+		kill()
+		if evs := mon.Check(); len(evs) != 1 || !evs[0].Restarted {
+			t.Fatalf("crash %d should restart: %+v", i+1, evs)
+		}
+	}
+	kill()
+	if evs := mon.Check(); len(evs) != 1 || !evs[0].Degraded {
+		t.Fatal("budget should be exhausted")
+	}
+
+	// ClearDegraded must NOT forgive health: the instance re-enters the
+	// probe schedule at Suspect, not Healthy.
+	mon.ClearDegraded("web")
+	if st, ok := hc.State("web"); !ok || st != health.Suspect {
+		t.Fatalf("cleared instance = %v, want suspect", st)
+	}
+
+	// The next sweep both probes (immediately due after MarkSuspect) and
+	// restarts at exactly the base backoff — the two are independent:
+	// the probe fires at sweep time, before the restart charges backoff.
+	t0 := clock.Now()
+	evs := mon.Check()
+	if len(evs) != 1 || !evs[0].Restarted {
+		t.Fatalf("cleared service should restart: %+v", evs)
+	}
+	if evs[0].Backoff != mon.RestartBackoff {
+		t.Errorf("re-armed backoff = %v, want base %v", evs[0].Backoff, mon.RestartBackoff)
+	}
+	if wantAt := t0.Add(mon.RestartBackoff); !evs[0].At.Equal(wantAt) {
+		t.Errorf("re-armed restart at %v, want %v", evs[0].At, wantAt)
+	}
+	// That probe round ran against the dead PID, so the instance stays
+	// Suspect; after the restart is re-tracked and a round passes, it is
+	// Healthy again.
+	if st, _ := hc.State("web"); st == health.Healthy {
+		t.Error("instance must not read healthy before passing a probe round")
+	}
+	newPID, _ := drv.Ctx.PID("daemon")
+	hc.Track(health.Target{Instance: "web", Machine: m, PID: newPID, Ports: []int{9000}},
+		&resource.HealthSpec{
+			Probes:           []string{resource.ProbePortOpen, resource.ProbeProcAlive},
+			Interval:         30 * time.Second,
+			Timeout:          time.Second,
+			FailureThreshold: 3,
+			SuccessThreshold: 2,
+		})
+	clock.Advance(30 * time.Second)
+	mon.Check()
+	if st, _ := hc.State("web"); st != health.Healthy {
+		t.Errorf("re-proved instance = %v, want healthy", st)
 	}
 }
 

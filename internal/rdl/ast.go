@@ -21,6 +21,7 @@ type ResourceDecl struct {
 	Envs    []*DepDecl
 	Peers   []*DepDecl
 	Driver  *DriverDecl
+	Health  *HealthDecl
 }
 
 // DriverDecl is a parsed `driver { … }` clause: the declarative
@@ -37,6 +38,37 @@ type DriverDecl struct {
 	Pos         Pos
 	States      []string
 	Transitions []TransitionDecl
+}
+
+// HealthDecl is a parsed `health { … }` clause: the probe set and
+// state-machine thresholds of a resource's health check, e.g.
+//
+//	health {
+//	    probe "port-open"
+//	    probe "check"
+//	    interval "30s"
+//	    timeout "5s"
+//	    failures 3
+//	    successes 2
+//	}
+//
+// Durations are string literals (parsed at resolve time, so a bad
+// duration points at its source position).
+type HealthDecl struct {
+	Pos         Pos
+	Probes      []ProbeDecl
+	Interval    string // raw duration literal, "" when omitted
+	IntervalPos Pos
+	Timeout     string
+	TimeoutPos  Pos
+	Failures    int // 0 when omitted
+	Successes   int
+}
+
+// ProbeDecl is one `probe "kind"` line of a health clause.
+type ProbeDecl struct {
+	Pos  Pos
+	Kind string
 }
 
 // TransitionDecl is one guarded transition of a driver clause.

@@ -52,8 +52,23 @@ func Format(t *resource.Type) string {
 	if t.Driver != nil {
 		writeDriver(&b, t.Driver)
 	}
+	if t.Health != nil {
+		writeHealth(&b, t.Health)
+	}
 	b.WriteString("}\n")
 	return b.String()
+}
+
+func writeHealth(b *strings.Builder, h *resource.HealthSpec) {
+	b.WriteString("    health {\n")
+	for _, kind := range h.Probes {
+		fmt.Fprintf(b, "        probe %q\n", kind)
+	}
+	fmt.Fprintf(b, "        interval %q\n", h.Interval.String())
+	fmt.Fprintf(b, "        timeout %q\n", h.Timeout.String())
+	fmt.Fprintf(b, "        failures %d\n", h.FailureThreshold)
+	fmt.Fprintf(b, "        successes %d\n", h.SuccessThreshold)
+	b.WriteString("    }\n")
 }
 
 func writeDriver(b *strings.Builder, d *resource.DriverSpec) {

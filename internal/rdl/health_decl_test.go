@@ -1,0 +1,149 @@
+package rdl
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"engage/internal/resource"
+)
+
+const healthRDL = `
+abstract resource "Server" {}
+resource "Cache 1.4" {
+    inside "Server"
+    config { port: tcp_port = 11211 }
+    health {
+        probe "port-open"
+        probe "proc-alive"
+        probe "check"
+        interval "15s"
+        timeout "2s"
+        failures 4
+        successes 3
+    }
+}`
+
+func TestParseHealthClause(t *testing.T) {
+	reg, err := ParseAndResolve(map[string]string{"h.rdl": healthRDL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := reg.MustLookup(resource.MakeKey("Cache", "1.4"))
+	if c.Health == nil {
+		t.Fatal("health spec missing")
+	}
+	h := c.Health
+	want := []string{"port-open", "proc-alive", "check"}
+	if len(h.Probes) != len(want) {
+		t.Fatalf("probes = %v, want %v", h.Probes, want)
+	}
+	for i, kind := range want {
+		if h.Probes[i] != kind {
+			t.Errorf("probe %d = %q, want %q", i, h.Probes[i], kind)
+		}
+	}
+	if h.Interval != 15*time.Second || h.Timeout != 2*time.Second {
+		t.Errorf("interval/timeout = %v/%v", h.Interval, h.Timeout)
+	}
+	if h.FailureThreshold != 4 || h.SuccessThreshold != 3 {
+		t.Errorf("thresholds = %d/%d", h.FailureThreshold, h.SuccessThreshold)
+	}
+	if h.Origin == "" || !strings.HasPrefix(h.Origin, "h.rdl:") {
+		t.Errorf("origin = %q, want h.rdl position", h.Origin)
+	}
+}
+
+func TestHealthClauseDefaults(t *testing.T) {
+	src := `resource "A 1" { health { probe "proc-alive" } }`
+	reg, err := ParseAndResolve(map[string]string{"h.rdl": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := reg.MustLookup(resource.MakeKey("A", "1")).Health
+	if h.Interval != 30*time.Second || h.Timeout != 5*time.Second {
+		t.Errorf("default interval/timeout = %v/%v", h.Interval, h.Timeout)
+	}
+	if h.FailureThreshold != 3 || h.SuccessThreshold != 2 {
+		t.Errorf("default thresholds = %d/%d", h.FailureThreshold, h.SuccessThreshold)
+	}
+}
+
+func TestHealthClauseInherited(t *testing.T) {
+	src := healthRDL + `
+resource "Cache-Pro 2.0" extends "Cache 1.4" {}`
+	reg, err := ParseAndResolve(map[string]string{"h.rdl": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pro := reg.MustLookup(resource.MakeKey("Cache-Pro", "2.0"))
+	if pro.Health == nil || len(pro.Health.Probes) != 3 {
+		t.Error("health spec should be inherited")
+	}
+}
+
+func TestHealthClauseFormatRoundTrip(t *testing.T) {
+	reg, err := ParseAndResolve(map[string]string{"h.rdl": healthRDL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(reg.MustLookup(resource.MakeKey("Cache", "1.4")))
+	for _, want := range []string{
+		"health {",
+		`probe "port-open"`,
+		`interval "15s"`,
+		`timeout "2s"`,
+		"failures 4",
+		"successes 3",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("formatted health missing %q:\n%s", want, text)
+		}
+	}
+	full := `abstract resource "Server" {}` + "\n" + text
+	reg2, err := ParseAndResolve(map[string]string{"again.rdl": full})
+	if err != nil {
+		t.Fatalf("formatted health does not re-parse: %v\n%s", err, text)
+	}
+	h2 := reg2.MustLookup(resource.MakeKey("Cache", "1.4")).Health
+	if h2 == nil || len(h2.Probes) != 3 || h2.FailureThreshold != 4 {
+		t.Error("health lost in round trip")
+	}
+}
+
+func TestHealthClauseErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{`resource "A 1" { health {} health {} }`, "duplicate health"},
+		{`resource "A 1" { health { 42 } }`, "expected health setting"},
+		{`resource "A 1" { health { wibble "x" } }`, "expected health setting"},
+		{`resource "A 1" { health { probe 42 } }`, "expected string"},
+		{`resource "A 1" { health { failures "three" } }`, "expected integer literal"},
+		{`resource "A 1" { health { interval "1s" interval "2s" } }`, "duplicate interval"},
+		{`resource "A 1" { health { timeout "1s" timeout "2s" } }`, "duplicate timeout"},
+	}
+	for _, c := range cases {
+		_, err := Parse("t", c.src)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) error = %v, want %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestHealthBadDurationPosition(t *testing.T) {
+	src := `resource "A 1" {
+    health {
+        probe "check"
+        interval "soon"
+    }
+}`
+	_, err := ParseAndResolve(map[string]string{"pos.rdl": src})
+	if err == nil {
+		t.Fatal("bad duration should not resolve")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "pos.rdl:4") || !strings.Contains(msg, `bad interval "soon"`) {
+		t.Errorf("error should point at the interval literal: %v", err)
+	}
+}

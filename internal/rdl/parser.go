@@ -155,9 +155,22 @@ func (p *Parser) parseResource() (*ResourceDecl, error) {
 				d.Driver = drv
 				continue
 			}
-			return nil, p.errorf("expected clause (inside/env/peer/input/config/output/driver), found %s", p.tok)
+			if p.tok.Text == "health" {
+				if d.Health != nil {
+					return nil, p.errorf("duplicate health clause")
+				}
+				pos := p.tok.Pos
+				p.next()
+				h, err := p.parseHealth(pos)
+				if err != nil {
+					return nil, err
+				}
+				d.Health = h
+				continue
+			}
+			return nil, p.errorf("expected clause (inside/env/peer/input/config/output/driver/health), found %s", p.tok)
 		default:
-			return nil, p.errorf("expected clause (inside/env/peer/input/config/output/driver), found %s", p.tok)
+			return nil, p.errorf("expected clause (inside/env/peer/input/config/output/driver/health), found %s", p.tok)
 		}
 	}
 	if _, err := p.expect(TokRBrace); err != nil {
@@ -348,6 +361,68 @@ func (p *Parser) parseDriver() (*DriverDecl, error) {
 		return nil, err
 	}
 	return d, p.err
+}
+
+// parseHealth parses the body of a `health { … }` clause: probe lines
+// plus the interval/timeout/failures/successes settings, in any order.
+func (p *Parser) parseHealth(pos Pos) (*HealthDecl, error) {
+	h := &HealthDecl{Pos: pos}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	str := func() (Token, error) { p.next(); return p.expect(TokString) }
+	num := func() (Token, error) { p.next(); return p.expect(TokInt) }
+	for p.err == nil && p.tok.Kind != TokRBrace {
+		if p.tok.Kind != TokIdent {
+			return nil, p.errorf("expected health setting (probe/interval/timeout/failures/successes), found %s", p.tok)
+		}
+		setPos := p.tok.Pos
+		switch p.tok.Text {
+		case "probe":
+			t, err := str()
+			if err != nil {
+				return nil, err
+			}
+			h.Probes = append(h.Probes, ProbeDecl{Pos: setPos, Kind: t.Text})
+		case "interval":
+			if h.Interval != "" {
+				return nil, p.errorf("duplicate interval setting")
+			}
+			t, err := str()
+			if err != nil {
+				return nil, err
+			}
+			h.Interval, h.IntervalPos = t.Text, t.Pos
+		case "timeout":
+			if h.Timeout != "" {
+				return nil, p.errorf("duplicate timeout setting")
+			}
+			t, err := str()
+			if err != nil {
+				return nil, err
+			}
+			h.Timeout, h.TimeoutPos = t.Text, t.Pos
+		case "failures":
+			t, err := num()
+			if err != nil {
+				return nil, err
+			}
+			h.Failures = t.Int
+		case "successes":
+			t, err := num()
+			if err != nil {
+				return nil, err
+			}
+			h.Successes = t.Int
+		default:
+			return nil, p.errorf("expected health setting (probe/interval/timeout/failures/successes), found %s", p.tok)
+		}
+		p.accept(TokComma)
+	}
+	if _, err := p.expect(TokRBrace); err != nil {
+		return nil, err
+	}
+	return h, p.err
 }
 
 // parseGuardPred parses `up(state)` or `down(state)`.

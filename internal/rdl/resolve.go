@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"engage/internal/resource"
 	"engage/internal/version"
@@ -129,7 +130,50 @@ func lowerResource(d *ResourceDecl, versions versionIndex) (*resource.Type, erro
 	if d.Driver != nil {
 		t.Driver = lowerDriver(d.Driver)
 	}
+	if d.Health != nil {
+		h, err := lowerHealth(d.Health)
+		if err != nil {
+			return nil, err
+		}
+		t.Health = h
+	}
 	return t, nil
+}
+
+// lowerHealth lowers a health clause, parsing its duration literals and
+// filling the documented defaults for omitted settings.
+func lowerHealth(d *HealthDecl) (*resource.HealthSpec, error) {
+	h := &resource.HealthSpec{
+		Interval:         30 * time.Second,
+		Timeout:          5 * time.Second,
+		FailureThreshold: 3,
+		SuccessThreshold: 2,
+		Origin:           d.Pos.String(),
+	}
+	for _, pr := range d.Probes {
+		h.Probes = append(h.Probes, pr.Kind)
+	}
+	if d.Interval != "" {
+		dur, err := time.ParseDuration(d.Interval)
+		if err != nil {
+			return nil, &Error{Pos: d.IntervalPos, Msg: fmt.Sprintf("bad interval %q: %v", d.Interval, err)}
+		}
+		h.Interval = dur
+	}
+	if d.Timeout != "" {
+		dur, err := time.ParseDuration(d.Timeout)
+		if err != nil {
+			return nil, &Error{Pos: d.TimeoutPos, Msg: fmt.Sprintf("bad timeout %q: %v", d.Timeout, err)}
+		}
+		h.Timeout = dur
+	}
+	if d.Failures != 0 {
+		h.FailureThreshold = d.Failures
+	}
+	if d.Successes != 0 {
+		h.SuccessThreshold = d.Successes
+	}
+	return h, nil
 }
 
 func lowerDriver(d *DriverDecl) *resource.DriverSpec {

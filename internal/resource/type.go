@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"engage/internal/version"
 )
@@ -163,6 +164,40 @@ type DriverSpec struct {
 	Transitions []DriverTransition
 }
 
+// Probe kinds a health block may declare. "check" is the synthetic
+// probe: it consults the fault plan's sickness rules, so chaos soaks
+// can make a running daemon report unhealthy.
+const (
+	ProbePortOpen     = "port-open"
+	ProbeProcAlive    = "proc-alive"
+	ProbeConfigDigest = "config-digest"
+	ProbeCheck        = "check"
+)
+
+// HealthSpec is the declarative form of a resource's health block:
+// which probes to run against a deployed instance, how often (virtual
+// time), and how many consecutive results flip the instance's health
+// state. Like DriverSpec it is pure data, populated by the RDL front
+// end and interpreted by internal/health.
+type HealthSpec struct {
+	// Probes lists probe kinds (Probe* constants), in declaration order.
+	Probes []string
+	// Interval is the virtual-time probe period.
+	Interval time.Duration
+	// Timeout is the virtual-time cost charged to a failed probe round.
+	Timeout time.Duration
+	// FailureThreshold is how many consecutive failed rounds take a
+	// Suspect instance to Unhealthy (and bound detection latency at
+	// FailureThreshold × Interval).
+	FailureThreshold int
+	// SuccessThreshold is how many consecutive passing rounds take a
+	// Recovering instance back to Healthy.
+	SuccessThreshold int
+	// Origin is the source position of the declaring RDL health clause
+	// ("file:line:col"); empty for programmatically built types.
+	Origin string
+}
+
 // Type is a resource type: the formal model
 // R = (key, InP, ConfP, OutP, Inside, Env, Peer) of §3.1, extended with
 // abstractness and inheritance (§3.2).
@@ -182,6 +217,10 @@ type Type struct {
 	// Driver is the declarative driver state machine, if the resource
 	// declares one; a child type's driver overrides the parent's.
 	Driver *DriverSpec
+
+	// Health is the declarative probe specification, if the resource
+	// declares one; a child type's health block overrides the parent's.
+	Health *HealthSpec
 
 	// Doc is the doc comment from the RDL source, if any.
 	Doc string
@@ -296,6 +335,10 @@ func flattenInheritance(child, parent *Type) {
 	if child.Driver == nil && parent.Driver != nil {
 		d := *parent.Driver
 		child.Driver = &d
+	}
+	if child.Health == nil && parent.Health != nil {
+		h := *parent.Health
+		child.Health = &h
 	}
 }
 

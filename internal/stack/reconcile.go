@@ -17,6 +17,7 @@ import (
 	"engage/internal/deploy"
 	"engage/internal/driver"
 	"engage/internal/fault"
+	"engage/internal/health"
 	"engage/internal/sat"
 	"engage/internal/spec"
 	"engage/internal/telemetry"
@@ -28,8 +29,9 @@ type Drift struct {
 	Instance string
 	// Kind is "process" (recorded daemon dead), "port" (recorded port
 	// not served), "config" (manifest diverged), "degraded" (monitor
-	// gave up restarting — escalate to replacement), or "state"
-	// (driver not active).
+	// gave up restarting — escalate to replacement), "health" (probes
+	// report the instance Unhealthy even though it may still be running
+	// — escalate to replacement), or "state" (driver not active).
 	Kind   string
 	Detail string
 }
@@ -198,6 +200,22 @@ func (a *Applied) detect(sp *telemetry.Span) ([]Drift, map[string]bool) {
 				Detail: fmt.Sprintf("crash-looping: %d restarts in window", ps.RestartsInWindow)})
 			replace[inst.ID] = true
 			continue
+		}
+		if a.Health != nil {
+			// An Unhealthy verdict (FailureThreshold consecutive failing
+			// probe rounds) is drift even when the daemon still runs —
+			// the running-but-sick case that process/port checks miss.
+			// Suspect and Recovering are not drift: the state machine is
+			// still making up its mind.
+			if ih, tracked := a.Health.Instance(inst.ID); tracked && ih.HealthState() == health.Unhealthy {
+				detail := ih.Detail
+				if detail == "" {
+					detail = "probes report unhealthy"
+				}
+				add(Drift{Instance: inst.ID, Kind: "health", Detail: detail})
+				replace[inst.ID] = true
+				continue
+			}
 		}
 		if drv.State() != driver.Active {
 			add(Drift{Instance: inst.ID, Kind: "state",

@@ -20,6 +20,7 @@ import (
 
 	"engage/internal/config"
 	"engage/internal/deploy"
+	"engage/internal/health"
 	"engage/internal/monitor"
 	"engage/internal/spec"
 	"engage/internal/upgrade"
@@ -132,6 +133,12 @@ type Applied struct {
 	Dep     *deploy.Deployment
 	Session *config.Session
 	Monitor *monitor.Monitor
+	// Health schedules the probes declared by the stack's resource types
+	// (RDL health blocks) over the recorded bindings; it is ticked by the
+	// monitor's Check sweep and read by the reconciler's detect phase.
+	// Set Health.Source to a fault plan to answer synthetic "check"
+	// probes.
+	Health *health.Checker
 
 	ctl    *Controller
 	rounds int
@@ -159,9 +166,13 @@ func (c *Controller) Apply(name string, partial *spec.Partial) (*Applied, error)
 		Session: sess,
 		ctl:     c,
 	}
+	a.Health = health.NewChecker(c.Options.World.Clock)
+	a.Health.Tracer = c.Options.Tracer
+	a.Health.Metrics = c.Options.Metrics
 	a.Monitor = monitor.New(dep)
 	a.Monitor.Tracer = c.Options.Tracer
 	a.Monitor.Metrics = c.Options.Metrics
+	a.Monitor.Health = a.Health
 	a.Monitor.AutoRegister()
 	if err := a.RecordBindings(); err != nil {
 		return nil, err
@@ -203,6 +214,12 @@ func (a *Applied) Reapply(partial *spec.Partial) error {
 	a.Monitor = monitor.New(newDep)
 	a.Monitor.Tracer = c.Options.Tracer
 	a.Monitor.Metrics = c.Options.Metrics
+	if a.Health == nil {
+		a.Health = health.NewChecker(c.Options.World.Clock)
+		a.Health.Tracer = c.Options.Tracer
+		a.Health.Metrics = c.Options.Metrics
+	}
+	a.Monitor.Health = a.Health
 	a.Monitor.AutoRegister()
 	return a.RecordBindings()
 }
@@ -215,9 +232,14 @@ func (a *Applied) RecordBindings() error { return a.recordBindings(nil) }
 
 // recordBindings records bindings for the instances in only (nil =
 // all). Repair passes its cone, so instances outside it see no write —
-// not even a no-op rewrite of an identical manifest.
+// not even a no-op rewrite of an identical manifest. Each recorded
+// binding is (re-)tracked with the health checker: a replaced daemon's
+// new PID resets its health to Suspect, so repairs must re-prove health
+// before the instance reads Healthy again.
 func (a *Applied) recordBindings(only map[string]bool) error {
+	desired := make(map[string]bool, len(a.Stack.Desired.Instances))
 	for _, inst := range a.Stack.Desired.Instances {
+		desired[inst.ID] = true
 		if only != nil && !only[inst.ID] {
 			continue
 		}
@@ -229,8 +251,48 @@ func (a *Applied) recordBindings(only map[string]bool) error {
 			return err
 		}
 		a.Stack.Bindings[inst.ID] = b
+		a.trackHealth(inst, b)
+	}
+	if only == nil && a.Health != nil {
+		// A full re-record (apply / reapply) prunes probe schedules of
+		// instances no longer in the desired specification.
+		for _, id := range a.Health.Tracked() {
+			if !desired[id] {
+				a.Health.Forget(id)
+			}
+		}
 	}
 	return nil
+}
+
+// trackHealth registers one binding with the probe scheduler, when its
+// resource type declares a health block.
+func (a *Applied) trackHealth(inst *spec.Instance, b Binding) {
+	if a.Health == nil {
+		return
+	}
+	t, ok := a.ctl.Options.Registry.Lookup(inst.Key)
+	if !ok || t.Health == nil {
+		return
+	}
+	m, _ := a.ctl.Options.World.Machine(b.Machine)
+	a.Health.Track(health.Target{
+		Instance:     inst.ID,
+		Machine:      m,
+		PID:          b.PID,
+		Ports:        append([]int(nil), b.Ports...),
+		ManifestPath: b.ManifestPath,
+		Digest:       health.Digest(b.Manifest),
+	}, t.Health)
+}
+
+// HealthRollup aggregates the stack's current probe states worst-of
+// into the stack rollup (instance → machine → stack).
+func (a *Applied) HealthRollup() health.StackRollup {
+	if a.Health == nil {
+		return health.RollupStack(a.Stack.Name, nil)
+	}
+	return health.RollupStack(a.Stack.Name, a.Health.States())
 }
 
 // observeBinding reads one instance's live placement.

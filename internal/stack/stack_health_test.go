@@ -1,0 +1,292 @@
+package stack
+
+import (
+	"testing"
+	"time"
+
+	"engage/internal/deploy"
+	"engage/internal/fault"
+	"engage/internal/health"
+	"engage/internal/machine"
+	"engage/internal/pkgmgr"
+	"engage/internal/rdl"
+	"engage/internal/spec"
+)
+
+// healthRDL is stackRDL with health blocks: both daemons declare the
+// full probe set, including the synthetic "check" probe answered by the
+// fault plan's sickness rules.
+const healthRDL = `
+abstract resource "Server" {}
+resource "Linux 1.0" extends "Server" {}
+resource "Db 1.0" {
+    inside "Server"
+    config { port: tcp_port = 5432 }
+    output { db: struct { port: tcp_port } = { port: config.port } }
+    health {
+        probe "port-open"
+        probe "proc-alive"
+        probe "config-digest"
+        probe "check"
+        interval "30s"
+        timeout "2s"
+        failures 3
+        successes 2
+    }
+}
+resource "App 1.0" {
+    inside "Server"
+    input { db: struct { port: tcp_port } }
+    config { port: tcp_port = 9000 }
+    env "Db 1.0" { db -> db }
+    health {
+        probe "port-open"
+        probe "proc-alive"
+        probe "check"
+        interval "30s"
+        timeout "2s"
+        failures 3
+        successes 2
+    }
+}
+`
+
+func setupHealthStack(t *testing.T) (*Controller, *Applied, *machine.World) {
+	t.Helper()
+	reg, err := rdl.ParseAndResolve(map[string]string{"stack.rdl": healthRDL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := machine.NewWorld()
+	ctl := &Controller{Options: deploy.Options{
+		Registry: reg, Drivers: stackDrivers(t), World: w,
+		Index: pkgmgr.NewIndex(), ProvisionMissing: true,
+	}}
+	a, err := ctl.Apply("web", stackPartial())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctl, a, w
+}
+
+// sweep runs n monitor sweeps spaced one probe interval apart.
+func sweep(a *Applied, w *machine.World, n int) {
+	for i := 0; i < n; i++ {
+		w.Clock.Advance(30 * time.Second)
+		a.Monitor.Check()
+	}
+}
+
+func TestApplyTracksDeclaredProbes(t *testing.T) {
+	_, a, w := setupHealthStack(t)
+	// Daemon-backed instances with health blocks are tracked; the passive
+	// server (no health block) is not.
+	if got := a.Health.Tracked(); len(got) != 2 || got[0] != "app" || got[1] != "db" {
+		t.Fatalf("tracked = %v", got)
+	}
+	// Fresh instances are Suspect until a probe round passes.
+	for _, ih := range a.Health.States() {
+		if ih.HealthState() != health.Suspect {
+			t.Errorf("%s fresh state = %s, want suspect", ih.Instance, ih.State)
+		}
+	}
+	// One monitor sweep runs the due probe rounds: everything proves
+	// healthy (ports served, PIDs live, manifests intact, no sickness).
+	a.Monitor.Check()
+	for _, ih := range a.Health.States() {
+		if ih.HealthState() != health.Healthy {
+			t.Errorf("%s after sweep = %s, want healthy", ih.Instance, ih.State)
+		}
+	}
+	r := a.HealthRollup()
+	if r.Stack != "web" || r.Summary.WorstState() != health.Healthy || r.Summary.Healthy != 2 {
+		t.Errorf("rollup = %+v", r.Summary)
+	}
+	if len(r.Machines) != 1 || r.Machines[0].Machine != "server" {
+		t.Errorf("machine rollups = %+v", r.Machines)
+	}
+	_ = w
+}
+
+// TestSickDaemonDetectedAndRepaired is the subsystem's core contract:
+// a running-but-sick daemon (invisible to process/port checks) is
+// detected as Unhealthy within FailureThreshold × Interval of virtual
+// time, escalated to the reconciler as "health" drift, replaced, and
+// proves itself Healthy again — while the healthy instance is left
+// completely alone.
+func TestSickDaemonDetectedAndRepaired(t *testing.T) {
+	_, a, w := setupHealthStack(t)
+	a.Monitor.Check() // prove the fleet healthy
+	dbPID := a.Stack.Bindings["db"].PID
+	appPID := a.Stack.Bindings["app"].PID
+
+	plan := fault.NewPlan(7).SickenPersistent("", "app")
+	a.Health.Source = plan
+	var injected bool
+	for _, tgt := range a.DriftTargets() {
+		if _, ok := plan.InjectSickness(tgt, w.Clock.Now()); ok {
+			injected = true
+		}
+	}
+	if !injected {
+		t.Fatal("sickness should fire on app")
+	}
+
+	// Detection: Unhealthy within FailureThreshold × Interval.
+	t0 := w.Clock.Now()
+	bound := 3 * 30 * time.Second
+	for {
+		sweep(a, w, 1)
+		if st, _ := a.Health.State("app"); st == health.Unhealthy {
+			break
+		}
+		if w.Clock.Now().Sub(t0) > bound {
+			t.Fatalf("sickness not detected within %v", bound)
+		}
+	}
+	// The daemon is still running: only probes see the sickness.
+	m, _ := w.Machine("server")
+	if !m.Running(appPID) {
+		t.Fatal("sick daemon should still be running")
+	}
+
+	// The reconciler treats Unhealthy as drift and replaces the daemon.
+	rep := a.Reconcile()
+	if !rep.Repaired || rep.RolledBack {
+		t.Fatalf("round = %+v (err %v)", rep, rep.Err)
+	}
+	var found bool
+	for _, d := range rep.Drifts {
+		if d.Instance == "app" && d.Kind == "health" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("drifts = %v, want app health drift", rep.Drifts)
+	}
+	newPID := a.Stack.Bindings["app"].PID
+	if newPID == appPID {
+		t.Error("repair should replace the sick daemon")
+	}
+	if a.Stack.Bindings["db"].PID != dbPID {
+		t.Error("healthy db must not be touched")
+	}
+	// Replacement cures (the sickness was keyed to the old PID) but the
+	// new daemon starts Suspect and must re-prove itself.
+	if st, _ := a.Health.State("app"); st != health.Suspect {
+		t.Errorf("replaced app = %v, want suspect", st)
+	}
+	sweep(a, w, 1)
+	if st, _ := a.Health.State("app"); st != health.Healthy {
+		t.Errorf("app should re-prove healthy, got %v", st)
+	}
+	if len(plan.Sickened()) != 0 {
+		t.Errorf("replacement should cure the sickness: %v", plan.Sickened())
+	}
+	// And the stack converges.
+	if rep := a.Reconcile(); !rep.Converged() {
+		t.Errorf("final round should converge: %+v", rep)
+	}
+}
+
+// TestBrownoutRecoversWithoutRepair: a brownout shorter than the
+// detection threshold never becomes drift; one long enough goes
+// Unhealthy, then self-heals through Recovering back to Healthy — the
+// reconciler replaces it only if a round runs while it is Unhealthy.
+func TestBrownoutRecoversWithoutRepair(t *testing.T) {
+	_, a, w := setupHealthStack(t)
+	a.Monitor.Check()
+	plan := fault.NewPlan(7).SickenBrownout("", "db", 4*30*time.Second)
+	a.Health.Source = plan
+	for _, tgt := range a.DriftTargets() {
+		plan.InjectSickness(tgt, w.Clock.Now())
+	}
+	pid := a.Stack.Bindings["db"].PID
+
+	// Rounds 1-3 fail → Unhealthy at round 3; round 4 (brownout expired)
+	// passes → Recovering; round 5 passes → Healthy. No reconcile runs,
+	// so the daemon is never replaced.
+	sweep(a, w, 3)
+	if st, _ := a.Health.State("db"); st != health.Unhealthy {
+		t.Fatalf("mid-brownout = %v, want unhealthy", st)
+	}
+	sweep(a, w, 1)
+	if st, _ := a.Health.State("db"); st != health.Recovering {
+		t.Fatalf("post-brownout = %v, want recovering", st)
+	}
+	sweep(a, w, 1)
+	if st, _ := a.Health.State("db"); st != health.Healthy {
+		t.Fatalf("recovered = %v, want healthy", st)
+	}
+	if a.Stack.Bindings["db"].PID != pid {
+		t.Error("self-healing must not replace the daemon")
+	}
+	if rep := a.Reconcile(); !rep.Converged() {
+		t.Errorf("healed stack should converge: %+v", rep)
+	}
+}
+
+// TestManifestDriftFailsConfigDigestProbe: config drift is visible to
+// the config-digest probe (db declares it), independent of the
+// reconciler's own manifest comparison.
+func TestManifestDriftFailsConfigDigestProbe(t *testing.T) {
+	_, a, w := setupHealthStack(t)
+	a.Monitor.Check()
+	m, _ := w.Machine("server")
+	if err := m.WriteFile(a.Stack.Bindings["db"].ManifestPath, "# corrupted\n"); err != nil {
+		t.Fatal(err)
+	}
+	sweep(a, w, 1)
+	ih, ok := a.Health.Instance("db")
+	if !ok || ih.HealthState() != health.Suspect {
+		t.Fatalf("db after corruption = %+v", ih)
+	}
+	if ih.Detail == "" {
+		t.Error("failing probe should leave a detail")
+	}
+	// The reconciler repairs the manifest (config drift), and the next
+	// probe round passes again.
+	if rep := a.Reconcile(); !rep.Repaired {
+		t.Fatalf("manifest repair failed: %+v", rep)
+	}
+	sweep(a, w, 1)
+	if st, _ := a.Health.State("db"); st != health.Healthy {
+		t.Errorf("repaired db = %v, want healthy", st)
+	}
+}
+
+// TestReapplyKeepsHealthMemoryAndPrunes: an identical reapply keeps
+// probe state; a reapply that drops an instance forgets its schedule.
+func TestReapplyKeepsHealthMemoryAndPrunes(t *testing.T) {
+	_, a, w := setupHealthStack(t)
+	a.Monitor.Check()
+	if st, _ := a.Health.State("app"); st != health.Healthy {
+		t.Fatal("setup: app should be healthy")
+	}
+	if err := a.Reapply(stackPartial()); err != nil {
+		t.Fatal(err)
+	}
+	// Same PIDs → health memory preserved, no reset to Suspect.
+	if st, _ := a.Health.State("app"); st != health.Healthy {
+		t.Errorf("identical reapply reset health to %v", st)
+	}
+
+	// Drop app from the desired state: its probe schedule goes too.
+	smaller := &spec.Partial{}
+	smaller.Add("server", a.Stack.Desired.Instances[0].Key)
+	for _, inst := range stackPartial().Instances {
+		if inst.ID == "db" {
+			smaller.Add("db", inst.Key).In("server")
+		}
+	}
+	if err := a.Reapply(smaller); err != nil {
+		t.Fatal(err)
+	}
+	if _, tracked := a.Health.State("app"); tracked {
+		t.Error("dropped instance should be forgotten")
+	}
+	if got := a.Health.Tracked(); len(got) != 1 || got[0] != "db" {
+		t.Errorf("tracked after prune = %v", got)
+	}
+	_ = w
+}

@@ -9,7 +9,9 @@ package telemetry
 // a pointer check.
 
 import (
+	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"math/bits"
 	"sort"
@@ -236,7 +238,80 @@ func bucketLabel(i int) string {
 	return "<2^" + string(buf[w:])
 }
 
-// WriteJSON writes the snapshot as indented JSON.
+// MarshalJSON renders the snapshot with every section and every
+// instrument name in sorted order, explicitly — not by leaning on
+// encoding/json's map-key sorting — so /metrics goldens are byte-stable
+// by construction. The encoding is byte-identical to the default struct
+// encoding.
+func (s Snapshot) MarshalJSON() ([]byte, error) {
+	var b bytes.Buffer
+	b.WriteByte('{')
+	wrote := false
+	section := func(name string) {
+		if wrote {
+			b.WriteByte(',')
+		}
+		wrote = true
+		b.WriteString(`"` + name + `":`)
+	}
+	if len(s.Counters) > 0 {
+		section("counters")
+		writeSortedInt64Map(&b, s.Counters)
+	}
+	if len(s.Gauges) > 0 {
+		section("gauges")
+		writeSortedInt64Map(&b, s.Gauges)
+	}
+	if len(s.Histograms) > 0 {
+		section("histograms")
+		b.WriteByte('{')
+		for i, name := range sortedKeys(s.Histograms) {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			writeJSONString(&b, name)
+			hs := s.Histograms[name]
+			fmt.Fprintf(&b, `:{"count":%d,"sum":%d`, hs.Count, hs.Sum)
+			if len(hs.Buckets) > 0 {
+				b.WriteString(`,"buckets":`)
+				writeSortedInt64Map(&b, hs.Buckets)
+			}
+			b.WriteByte('}')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte('}')
+	return b.Bytes(), nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func writeSortedInt64Map(b *bytes.Buffer, m map[string]int64) {
+	b.WriteByte('{')
+	for i, k := range sortedKeys(m) {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		writeJSONString(b, k)
+		fmt.Fprintf(b, ":%d", m[k])
+	}
+	b.WriteByte('}')
+}
+
+func writeJSONString(b *bytes.Buffer, s string) {
+	enc, _ := json.Marshal(s) // marshaling a string cannot fail
+	b.Write(enc)
+}
+
+// WriteJSON writes the snapshot as indented JSON, instruments in
+// sorted-key order (see Snapshot.MarshalJSON).
 func (r *Registry) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

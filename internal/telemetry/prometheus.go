@@ -1,0 +1,152 @@
+package telemetry
+
+// Prometheus text exposition (format version 0.0.4) over the metrics
+// registry. Instrument names are prefixed "engage_" and sanitized
+// (dots → underscores); histograms render cumulative _bucket series
+// with power-of-two le bounds plus _sum and _count; the per-instance
+// "health.state.<id>" gauges collapse into one engage_health_state
+// family with an instance label. Families and series are emitted in
+// sorted order, so the output is byte-stable for goldens.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// healthStatePrefix is the registry-name prefix of the per-instance
+// health gauges, collapsed into one labeled Prometheus family.
+const healthStatePrefix = "health.state."
+
+// WritePrometheus renders every instrument in Prometheus text
+// exposition format. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	s := r.Snapshot()
+	var b strings.Builder
+
+	// Families keyed by exposition name, each a sorted set of lines.
+	type family struct {
+		typ   string
+		lines []string
+	}
+	fams := make(map[string]*family)
+	add := func(name, typ, line string) {
+		f, ok := fams[name]
+		if !ok {
+			f = &family{typ: typ}
+			fams[name] = f
+		}
+		f.lines = append(f.lines, line)
+	}
+
+	for name, v := range s.Counters {
+		pn := promName(name)
+		add(pn, "counter", fmt.Sprintf("%s %d", pn, v))
+	}
+	for name, v := range s.Gauges {
+		if inst, ok := strings.CutPrefix(name, healthStatePrefix); ok {
+			pn := promName("health.state")
+			add(pn, "gauge", fmt.Sprintf(`%s{instance="%s"} %d`, pn, escapeLabel(inst), v))
+			continue
+		}
+		pn := promName(name)
+		add(pn, "gauge", fmt.Sprintf("%s %d", pn, v))
+	}
+	for name, hs := range s.Histograms {
+		pn := promName(name)
+		f := &family{typ: "histogram"}
+		fams[pn] = f
+		// Cumulative buckets: registry bucket i counts values v with
+		// bits.Len64(v) == i, i.e. v in [2^(i-1), 2^i); since values are
+		// integers the inclusive upper bound is 2^i - 1. Bucket 0 is
+		// v <= 0.
+		labels := make([]string, 0, len(hs.Buckets))
+		for l := range hs.Buckets {
+			labels = append(labels, l)
+		}
+		sort.Slice(labels, func(i, j int) bool { return bucketExp(labels[i]) < bucketExp(labels[j]) })
+		cum := int64(0)
+		for _, l := range labels {
+			cum += hs.Buckets[l]
+			f.lines = append(f.lines, fmt.Sprintf(`%s_bucket{le="%s"} %d`, pn, bucketBound(l), cum))
+		}
+		f.lines = append(f.lines,
+			fmt.Sprintf(`%s_bucket{le="+Inf"} %d`, pn, hs.Count),
+			fmt.Sprintf("%s_sum %d", pn, hs.Sum),
+			fmt.Sprintf("%s_count %d", pn, hs.Count))
+	}
+
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := fams[name]
+		fmt.Fprintf(&b, "# TYPE %s %s\n", name, f.typ)
+		if f.typ != "histogram" {
+			sort.Strings(f.lines)
+		}
+		for _, line := range f.lines {
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// promName maps a registry instrument name to a Prometheus metric
+// name: "engage_" prefix, every character outside [a-zA-Z0-9_:]
+// replaced with '_'.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("engage_")
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == ':':
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// bucketExp orders snapshot bucket labels: "<=0" is exponent 0, "<2^i"
+// is exponent i.
+func bucketExp(label string) int {
+	if label == "<=0" {
+		return 0
+	}
+	var i int
+	fmt.Sscanf(label, "<2^%d", &i)
+	return i
+}
+
+// bucketBound renders a snapshot bucket label as its inclusive upper
+// bound: "<=0" → "0", "<2^i" → 2^i − 1.
+func bucketBound(label string) string {
+	i := bucketExp(label)
+	if i == 0 {
+		return "0"
+	}
+	if i >= 63 {
+		// Bucket 63 holds everything with the top bit set; its upper
+		// bound is the int64 range itself.
+		return "9223372036854775807"
+	}
+	return fmt.Sprintf("%d", (int64(1)<<uint(i))-1)
+}
+
+// escapeLabel escapes a Prometheus label value.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}

@@ -1,0 +1,162 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestWriteJSONSortedAndStable pins the satellite contract: WriteJSON
+// emits sections and instrument names in sorted order, byte-identically
+// across calls, regardless of insertion order.
+func TestWriteJSONSortedAndStable(t *testing.T) {
+	build := func(names []string) *Registry {
+		r := NewRegistry()
+		for _, n := range names {
+			r.Counter("c." + n).Inc()
+			r.Gauge("g." + n).Set(7)
+		}
+		r.Histogram("h.lat").Observe(3)
+		r.Histogram("h.lat").Observe(0)
+		r.Histogram("h.lat").Observe(1 << 11)
+		return r
+	}
+	// Two insertion orders must produce identical bytes.
+	a, b := bytes.Buffer{}, bytes.Buffer{}
+	if err := build([]string{"zz", "aa", "mm"}).WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build([]string{"mm", "zz", "aa"}).WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("WriteJSON not insertion-order independent:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	want := `{
+  "counters": {
+    "c.aa": 1,
+    "c.mm": 1,
+    "c.zz": 1
+  },
+  "gauges": {
+    "g.aa": 7,
+    "g.mm": 7,
+    "g.zz": 7
+  },
+  "histograms": {
+    "h.lat": {
+      "count": 3,
+      "sum": 2051,
+      "buckets": {
+        "\u003c2^12": 1,
+        "\u003c2^2": 1,
+        "\u003c=0": 1
+      }
+    }
+  }
+}
+`
+	if a.String() != want {
+		t.Errorf("WriteJSON = %s, want %s", a.String(), want)
+	}
+	// The explicit marshaler must stay byte-identical to the default
+	// struct encoding (the shape every existing golden was pinned to).
+	snap := build([]string{"zz", "aa", "mm"}).Snapshot()
+	type plain struct {
+		Counters   map[string]int64             `json:"counters,omitempty"`
+		Gauges     map[string]int64             `json:"gauges,omitempty"`
+		Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	}
+	got, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := json.Marshal(plain{snap.Counters, snap.Gauges, snap.Histograms})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, def) {
+		t.Errorf("MarshalJSON diverges from default encoding:\n%s\nvs\n%s", got, def)
+	}
+	// Empty snapshot stays "{}".
+	var empty bytes.Buffer
+	if err := NewRegistry().WriteJSON(&empty); err != nil {
+		t.Fatal(err)
+	}
+	if empty.String() != "{}\n" {
+		t.Errorf("empty snapshot = %q", empty.String())
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("monitor.restarts").Add(4)
+	r.Gauge("deploy.active").Set(12)
+	r.Gauge("health.state.app").Set(3)
+	r.Gauge("health.state.db").Set(0)
+	h := r.Histogram("health.probe.latency_ns")
+	h.Observe(0)
+	h.Observe(3)    // bucket 2 (<2^2)
+	h.Observe(2000) // bucket 11 (<2^11)
+	h.Observe(2001)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE engage_deploy_active gauge
+engage_deploy_active 12
+# TYPE engage_health_probe_latency_ns histogram
+engage_health_probe_latency_ns_bucket{le="0"} 1
+engage_health_probe_latency_ns_bucket{le="3"} 2
+engage_health_probe_latency_ns_bucket{le="2047"} 4
+engage_health_probe_latency_ns_bucket{le="+Inf"} 4
+engage_health_probe_latency_ns_sum 4004
+engage_health_probe_latency_ns_count 4
+# TYPE engage_health_state gauge
+engage_health_state{instance="app"} 3
+engage_health_state{instance="db"} 0
+# TYPE engage_monitor_restarts counter
+engage_monitor_restarts 4
+`
+	if buf.String() != want {
+		t.Errorf("WritePrometheus =\n%s\nwant\n%s", buf.String(), want)
+	}
+
+	// Byte-stable across calls.
+	var again bytes.Buffer
+	if err := r.WritePrometheus(&again); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != again.String() {
+		t.Error("WritePrometheus is not byte-stable")
+	}
+
+	// Nil and empty registries write nothing.
+	var nilBuf bytes.Buffer
+	var nilReg *Registry
+	if err := nilReg.WritePrometheus(&nilBuf); err != nil || nilBuf.Len() != 0 {
+		t.Errorf("nil registry: %q, %v", nilBuf.String(), err)
+	}
+	if err := NewRegistry().WritePrometheus(&nilBuf); err != nil || nilBuf.Len() != 0 {
+		t.Errorf("empty registry: %q, %v", nilBuf.String(), err)
+	}
+}
+
+func TestPromNameSanitizes(t *testing.T) {
+	cases := map[string]string{
+		"monitor.restarts":   "engage_monitor_restarts",
+		"probe-latency ns":   "engage_probe_latency_ns",
+		"plain":              "engage_plain",
+		"already_underscore": "engage_already_underscore",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if !strings.Contains(promName("a/b"), "a_b") {
+		t.Error("slash should sanitize to underscore")
+	}
+}

@@ -36,6 +36,7 @@ func WriteReport(w io.Writer, t *Trace) {
 	writeFaults(w, t)
 	writeReconcile(w, t)
 	writeMonitor(w, t)
+	writeHealth(w, t)
 }
 
 // writeStages summarizes the front half: every lint or configuration
@@ -347,6 +348,30 @@ func writeMonitor(w io.Writer, t *Trace) {
 	}
 	for _, ev := range cleared {
 		fmt.Fprintf(w, "  %s cleared %s\n", stamp(ev.VTime), ev.Str("instance"))
+	}
+}
+
+// writeHealth summarizes health-probe activity, if any was traced:
+// per-round probe counts and every state transition with its exact
+// virtual stamp.
+func writeHealth(w io.Writer, t *Trace) {
+	probes := t.Events("health.probe")
+	transitions := t.Events("health.transition")
+	if len(probes) == 0 && len(transitions) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\nhealth:\n")
+	failed := 0
+	for _, ev := range probes {
+		if ok, _ := ev.Attrs["ok"].(bool); !ok {
+			failed++
+		}
+	}
+	fmt.Fprintf(w, "  %d probe round(s), %d failed\n", len(probes), failed)
+	for _, ev := range transitions {
+		fmt.Fprintf(w, "  %s %s: %s -> %s (%s)\n",
+			stamp(ev.VTime), ev.Str("instance"),
+			ev.Str("from"), ev.Str("to"), ev.Str("why"))
 	}
 }
 

@@ -161,6 +161,45 @@ func checkOne(reg *resource.Registry, t *resource.Type, reverseFed map[string]bo
 			}
 		}
 	}
+
+	if t.Health != nil {
+		checkHealth(t, report)
+	}
+}
+
+// checkHealth validates a health block: known probe kinds, positive
+// virtual-time settings, and thresholds of at least one (a zero
+// threshold would make the state machine flip on no evidence).
+func checkHealth(t *resource.Type, report func(string, ...any)) {
+	key, h := t.Key, t.Health
+	if len(h.Probes) == 0 {
+		report("type %q: health block declares no probes", key)
+	}
+	seen := make(map[string]bool, len(h.Probes))
+	for _, kind := range h.Probes {
+		switch kind {
+		case resource.ProbePortOpen, resource.ProbeProcAlive,
+			resource.ProbeConfigDigest, resource.ProbeCheck:
+		default:
+			report("type %q: unknown probe kind %q (want port-open, proc-alive, config-digest, or check)", key, kind)
+		}
+		if seen[kind] {
+			report("type %q: duplicate probe %q", key, kind)
+		}
+		seen[kind] = true
+	}
+	if h.Interval <= 0 {
+		report("type %q: health interval must be positive, got %v", key, h.Interval)
+	}
+	if h.Timeout <= 0 {
+		report("type %q: health timeout must be positive, got %v", key, h.Timeout)
+	}
+	if h.FailureThreshold < 1 {
+		report("type %q: health failures threshold must be at least 1, got %d", key, h.FailureThreshold)
+	}
+	if h.SuccessThreshold < 1 {
+		report("type %q: health successes threshold must be at least 1, got %d", key, h.SuccessThreshold)
+	}
 }
 
 // checkStaticOutput enforces §3.4: a static output port is a constant or

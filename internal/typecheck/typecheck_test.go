@@ -3,6 +3,7 @@ package typecheck
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"engage/internal/resource"
 	"engage/internal/spec"
@@ -641,5 +642,47 @@ func TestCheckTypesMapToUndefinedInput(t *testing.T) {
 	err := CheckTypes(reg)
 	if err == nil || !strings.Contains(err.Error(), "undefined input port") {
 		t.Errorf("map to undefined input should be reported: %v", err)
+	}
+}
+
+func TestCheckTypesHealthBlock(t *testing.T) {
+	mk := func(h *resource.HealthSpec) *resource.Registry {
+		reg := resource.NewRegistry()
+		mustAdd(t, reg, &resource.Type{Key: resource.MakeKey("Server", "")})
+		mustAdd(t, reg, &resource.Type{
+			Key:    resource.MakeKey("App", "1"),
+			Inside: &resource.Dependency{Alternatives: []resource.Key{{Name: "Server"}}},
+			Health: h,
+		})
+		return reg
+	}
+	ok := &resource.HealthSpec{
+		Probes:   []string{resource.ProbePortOpen, resource.ProbeCheck},
+		Interval: 30 * time.Second, Timeout: 5 * time.Second,
+		FailureThreshold: 3, SuccessThreshold: 2,
+	}
+	if err := CheckTypes(mk(ok)); err != nil {
+		t.Errorf("valid health block should pass: %v", err)
+	}
+	cases := []struct {
+		mutate func(h *resource.HealthSpec)
+		want   string
+	}{
+		{func(h *resource.HealthSpec) { h.Probes = nil }, "declares no probes"},
+		{func(h *resource.HealthSpec) { h.Probes = []string{"ping"} }, "unknown probe kind"},
+		{func(h *resource.HealthSpec) { h.Probes = []string{"check", "check"} }, "duplicate probe"},
+		{func(h *resource.HealthSpec) { h.Interval = 0 }, "interval must be positive"},
+		{func(h *resource.HealthSpec) { h.Timeout = -time.Second }, "timeout must be positive"},
+		{func(h *resource.HealthSpec) { h.FailureThreshold = 0 }, "failures threshold"},
+		{func(h *resource.HealthSpec) { h.SuccessThreshold = 0 }, "successes threshold"},
+	}
+	for _, c := range cases {
+		h := *ok
+		h.Probes = append([]string(nil), ok.Probes...)
+		c.mutate(&h)
+		err := CheckTypes(mk(&h))
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("mutated health block: error = %v, want %q", err, c.want)
+		}
 	}
 }

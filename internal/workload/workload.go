@@ -25,6 +25,7 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"engage/internal/resource"
 	"engage/internal/spec"
@@ -52,6 +53,13 @@ type Spec struct {
 	// forced-true targets. Conflicts > 0 makes the fleet unsatisfiable
 	// by construction (requires Versions >= 2 and EnvFanout >= 1).
 	Conflicts int
+	// Probes attaches a health block with this many probe kinds (capped
+	// at 4, drawn in the order proc-alive, port-open, config-digest,
+	// check) to every family base, inherited by all concrete versions.
+	// 0 — the default — declares no health block, so the monitor sweep
+	// carries no probe work: the baseline of the probe-overhead
+	// experiment.
+	Probes int
 }
 
 // WithDefaults fills zero fields with a small but non-trivial fleet.
@@ -82,8 +90,35 @@ func (s Spec) WithDefaults() Spec {
 
 // String names the fleet shape for benchmark sub-tests.
 func (s Spec) String() string {
-	return fmt.Sprintf("fam%d_v%d_e%d_p%d_m%d_i%d",
+	name := fmt.Sprintf("fam%d_v%d_e%d_p%d_m%d_i%d",
 		s.Families, s.Versions, s.EnvFanout, s.PeerFanout, s.Machines, s.Instances)
+	if s.Probes > 0 {
+		name += fmt.Sprintf("_pr%d", s.Probes)
+	}
+	return name
+}
+
+// probeKinds is the draw order for Spec.Probes, cheapest first.
+var probeKinds = []string{
+	resource.ProbeProcAlive,
+	resource.ProbePortOpen,
+	resource.ProbeConfigDigest,
+	resource.ProbeCheck,
+}
+
+// healthSpec builds the health block Spec.Probes asks for, nil when
+// Probes is 0.
+func (s Spec) healthSpec() *resource.HealthSpec {
+	if s.Probes <= 0 {
+		return nil
+	}
+	return &resource.HealthSpec{
+		Probes:           probeKinds[:min(s.Probes, len(probeKinds))],
+		Interval:         30 * time.Second,
+		Timeout:          2 * time.Second,
+		FailureThreshold: 3,
+		SuccessThreshold: 2,
+	}
 }
 
 // MachineKey is the type of every generated machine.
@@ -151,8 +186,9 @@ func Generate(s Spec) (*resource.Registry, *spec.Partial, error) {
 				Type: resource.T(resource.KindString),
 				Def:  resource.Ref{Sec: resource.SecConfig, Name: "tag"},
 			}},
-			Env:  env,
-			Peer: peer,
+			Env:    env,
+			Peer:   peer,
+			Health: s.healthSpec(),
 		}
 		if err := reg.Add(base); err != nil {
 			return nil, nil, fmt.Errorf("workload: family %d base: %v", i, err)
