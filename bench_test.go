@@ -17,6 +17,7 @@ import (
 	"testing"
 	"time"
 
+	"engage/internal/certify"
 	"engage/internal/config"
 	"engage/internal/constraint"
 	"engage/internal/deploy"
@@ -950,6 +951,120 @@ func BenchmarkHealthProbeOverhead(b *testing.B) {
 			b.ReportMetric(float64(len(a.Health.Tracked())), "probed-instances")
 		})
 	}
+}
+
+// BenchmarkProofOverhead prices DRAT-style proof logging on the fleet
+// ladder's solve stage: the same CDCL search with and without a proof
+// sink. The acceptance bar is proof-on solve wall ≤ 2× proof-off at
+// fleet570 (EXPERIMENTS.md "Certified solving").
+func BenchmarkProofOverhead(b *testing.B) {
+	for _, sh := range workload.FleetShapes() {
+		sh := sh
+		if sh.Big {
+			continue
+		}
+		b.Run(sh.Name, func(b *testing.B) {
+			reg, partial, err := workload.Generate(sh.Spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			g, err := hypergraph.GenerateOpts(reg, partial, hypergraph.Options{Parallelism: 4})
+			if err != nil {
+				b.Fatal(err)
+			}
+			prob := constraint.EncodeParallel(g, constraint.Pairwise, 4)
+			for _, logProof := range []bool{false, true} {
+				name := "proof-off"
+				if logProof {
+					name = "proof-on"
+				}
+				b.Run(name, func(b *testing.B) {
+					b.ReportAllocs()
+					var res sat.Result
+					for i := 0; i < b.N; i++ {
+						res = (&sat.CDCL{LogProof: logProof}).Solve(prob.Formula)
+						if res.Status != sat.Sat {
+							b.Fatalf("expected SAT, got %v", res.Status)
+						}
+					}
+					// SAT results carry a model, not a proof; the
+					// logged-step count still prices the bookkeeping.
+					if logProof {
+						b.ReportMetric(float64(res.Stats.ProofSteps), "proof-steps")
+					}
+				})
+			}
+			// The checker's side of the ledger: certifying the model by
+			// direct clause evaluation.
+			b.Run("check-model", func(b *testing.B) {
+				res := sat.NewCDCL().Solve(prob.Formula)
+				if res.Status != sat.Sat {
+					b.Fatalf("expected SAT, got %v", res.Status)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := certify.CheckModel(prob.Formula, res.Model); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+
+	// A conflict-heavy control: random 3-CNF at the phase transition,
+	// where nearly every step is a learned clause. This is the honest
+	// upper bound — fleet encodings learn a few dozen clauses, this
+	// learns thousands.
+	b.Run("hard3sat", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(7))
+		n, m := 140, 616 // ratio 4.4, UNSAT for this seed
+		f := sat.NewFormula(n)
+		for i := 0; i < m; i++ {
+			vs := rng.Perm(n)[:3]
+			cl := make([]sat.Lit, 3)
+			for j, v := range vs {
+				cl[j] = sat.Lit(v + 1)
+				if rng.Intn(2) == 0 {
+					cl[j] = -cl[j]
+				}
+			}
+			f.Add(cl...)
+		}
+		for _, logProof := range []bool{false, true} {
+			name := "proof-off"
+			if logProof {
+				name = "proof-on"
+			}
+			b.Run(name, func(b *testing.B) {
+				b.ReportAllocs()
+				var res sat.Result
+				for i := 0; i < b.N; i++ {
+					res = (&sat.CDCL{LogProof: logProof}).Solve(f)
+					if res.Status != sat.Unsat {
+						b.Fatalf("expected UNSAT, got %v", res.Status)
+					}
+				}
+				if logProof {
+					b.ReportMetric(float64(res.Stats.ProofSteps), "proof-steps")
+				}
+			})
+		}
+		// The checker's side: full RUP replay of the UNSAT proof.
+		b.Run("check-proof", func(b *testing.B) {
+			res := (&sat.CDCL{LogProof: true}).Solve(f)
+			if res.Status != sat.Unsat {
+				b.Fatalf("expected UNSAT, got %v", res.Status)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := certify.CheckUnsat(f, res.Proof); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
 }
 
 func BenchmarkScaleFleet(b *testing.B) {

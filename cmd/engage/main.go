@@ -6,6 +6,7 @@
 //	engage solve  [-rdl files] -partial spec.json run the configuration engine
 //	engage explain [-rdl files] -partial spec.json show hypergraph + constraints
 //	engage deploy [-rdl files] -partial spec.json  configure and deploy (simulated)
+//	engage verify [-partial|-full|-stack|-proof]   independently certify pipeline claims
 //	engage demo                                    OpenMRS quickstart end to end
 //
 // Without -rdl, commands run against the bundled resource library (the
@@ -72,6 +73,8 @@ func run(args []string, out *os.File) error {
 		return cmdExplain(args[1:], out)
 	case "deploy":
 		return cmdDeploy(args[1:], out)
+	case "verify":
+		return cmdVerify(args[1:], out)
 	case "alternatives":
 		return cmdAlternatives(args[1:], out)
 	case "fmt":
@@ -107,6 +110,14 @@ commands:
   solve   [-rdl f1,f2] -partial spec.json  compute a full installation spec
   explain [-rdl f1,f2] -partial spec.json  show the hypergraph and constraints
   deploy  [-rdl f1,f2] -partial spec.json  configure and deploy (simulated)
+  verify  [-rdl f1,f2] [-partial spec.json] [-full spec.json] [-stack rec.json]
+          [-proof proof.jsonl -cnf f.cnf] [-json]
+                                           independently certify pipeline claims:
+                                           SAT models by evaluation, UNSAT verdicts
+                                           by RUP proof replay, MUS stories by
+                                           proof + minimality witnesses, resolved
+                                           plans and stack records by solver-free
+                                           re-validation; refuted claims exit 1
   alternatives [-rdl f1,f2] -partial spec.json [-limit N]
                                            enumerate all valid full specs
   fmt     file.rdl...                      reformat RDL sources canonically

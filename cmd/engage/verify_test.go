@@ -1,0 +1,242 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"engage/internal/config"
+	"engage/internal/resource"
+	"engage/internal/sat"
+	"engage/internal/spec"
+	"engage/internal/stack"
+)
+
+// TestCmdVerifySatSpec: a satisfiable spec's model and configured plan
+// both certify against the bundled library.
+func TestCmdVerifySatSpec(t *testing.T) {
+	specFile := writeFile(t, "p.json", cliLibPartial)
+	out, err := runCapture(t, "verify", "-partial", specFile)
+	if err != nil {
+		t.Fatalf("verify: %v\n%s", err, out)
+	}
+	for _, want := range []string{"certified: model for", "certified: configured plan for"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCmdVerifyUnsatSpec: the canonical unsat fixture's MUS story is
+// certified — proof replayed, minimality witnessed — and exits zero.
+func TestCmdVerifyUnsatSpec(t *testing.T) {
+	rdlFile := writeFile(t, "stack.rdl", lintUnsatRDL)
+	specFile := writeFile(t, "spec.json", lintUnsatPartial)
+	dump := filepath.Join(t.TempDir(), "proof.jsonl")
+	out, err := runCapture(t, "verify", "-rdl", rdlFile, "-partial", specFile, "-dump-proof", dump)
+	if err != nil {
+		t.Fatalf("verify of a certified unsat story should exit zero: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "certified: unsat story for") {
+		t.Errorf("output missing unsat certification:\n%s", out)
+	}
+	if !strings.Contains(out, "MUS certified") {
+		t.Errorf("output missing MUS detail:\n%s", out)
+	}
+	// The dumped artifacts are self-contained: proof + MUS-pinned
+	// formula replay end-to-end without the solver or the spec.
+	out, err = runCapture(t, "verify", "-proof", dump, "-cnf", dump+".cnf")
+	if err != nil {
+		t.Fatalf("dumped proof artifacts do not replay: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "certified: UNSAT proof") {
+		t.Errorf("output missing proof replay certification:\n%s", out)
+	}
+}
+
+// configuredLib resolves cliLibPartial against the bundled library —
+// the same registry `verify` loads when -rdl is empty.
+func configuredLib(t *testing.T) *spec.Full {
+	t.Helper()
+	reg, _, err := loadRegistry("", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial, err := loadPartial(writeFile(t, "p.json", cliLibPartial))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := config.New(reg).Configure(partial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return full
+}
+
+// TestCmdVerifyTamperedFull: corrupting a port value in a solved full
+// specification is refuted with a plan-port diagnostic and exit 1.
+func TestCmdVerifyTamperedFull(t *testing.T) {
+	full := configuredLib(t)
+	render := func(name string) string {
+		t.Helper()
+		text, err := spec.Render(full)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return writeFile(t, name, text)
+	}
+	specFile := writeFile(t, "spec.json", cliLibPartial)
+	if out, err := runCapture(t, "verify", "-partial", specFile, "-full", render("full.json")); err != nil {
+		t.Fatalf("genuine full spec refuted: %v\n%s", err, out)
+	}
+
+	om := full.MustFind("openmrs")
+	keys := make([]string, 0, len(om.Output))
+	for k := range om.Output {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if len(keys) == 0 {
+		t.Fatal("fixture changed: openmrs has no output ports")
+	}
+	om.Output[keys[0]] = resource.Str("http://evil.example")
+	out, err := runCapture(t, "verify", "-partial", specFile, "-full", render("bad.json"))
+	if err == nil {
+		t.Fatalf("tampered full spec must be refuted:\n%s", out)
+	}
+	if !strings.Contains(out, "error[plan-port]") || !strings.Contains(out, "REFUTED") {
+		t.Errorf("output missing plan-port refutation:\n%s", out)
+	}
+}
+
+// TestCmdVerifyProof: a solver proof for a DIMACS formula certifies;
+// injecting a non-RUP lemma refutes it.
+func TestCmdVerifyProof(t *testing.T) {
+	f := sat.NewFormula(3)
+	f.Add(1, 2)
+	f.Add(1, -2)
+	f.Add(-1, 3)
+	f.Add(-1, -3)
+	res := (&sat.CDCL{LogProof: true}).Solve(f)
+	if res.Status != sat.Unsat {
+		t.Fatalf("fixture formula should be UNSAT, got %v", res.Status)
+	}
+	cnfFile := writeFile(t, "f.cnf", sat.Dimacs(f))
+	var b strings.Builder
+	if err := res.Proof.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	proofFile := writeFile(t, "proof.jsonl", b.String())
+	out, err := runCapture(t, "verify", "-proof", proofFile, "-cnf", cnfFile)
+	if err != nil {
+		t.Fatalf("genuine proof refuted: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "certified: UNSAT proof") {
+		t.Errorf("output missing proof certification:\n%s", out)
+	}
+
+	bad := writeFile(t, "bad.jsonl", `{"op":"a","lits":[7]}`+"\n"+b.String())
+	out, err = runCapture(t, "verify", "-proof", bad, "-cnf", cnfFile)
+	if err == nil {
+		t.Fatalf("injected lemma must be refuted:\n%s", out)
+	}
+	if !strings.Contains(out, "not RUP") {
+		t.Errorf("output missing RUP refutation:\n%s", out)
+	}
+}
+
+// TestCmdVerifyStack: a consistent record certifies; a stale manifest
+// is refuted as plan-binding.
+func TestCmdVerifyStack(t *testing.T) {
+	full := configuredLib(t)
+	rec := &stack.Stack{Name: "web", Version: 1, Desired: full, Bindings: map[string]stack.Binding{}}
+	for _, inst := range full.Instances {
+		rec.Bindings[inst.ID] = stack.Binding{
+			Instance:     inst.ID,
+			Machine:      inst.Machine,
+			ManifestPath: stack.ManifestPath("web", inst.ID),
+			Manifest:     stack.ManifestFor(inst),
+		}
+	}
+	write := func(name string, s *stack.Stack) string {
+		t.Helper()
+		p := filepath.Join(t.TempDir(), name)
+		f, err := os.Create(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := s.WriteJSON(f); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	specFile := writeFile(t, "p.json", cliLibPartial)
+	good := write("good.json", rec)
+	out, err := runCapture(t, "verify", "-partial", specFile, "-stack", good, "-json")
+	if err != nil {
+		t.Fatalf("consistent record refuted: %v\n%s", err, out)
+	}
+	var rep struct {
+		Claims []struct{ Claim, Verdict string } `json:"claims"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("bad JSON report: %v\n%s", err, out)
+	}
+	// Solve certification (model + configured plan) plus the stack
+	// record and its desired state.
+	if len(rep.Claims) != 4 {
+		t.Errorf("want 4 claims, got %+v", rep.Claims)
+	}
+
+	b := rec.Bindings["openmrs"]
+	b.Manifest = "stale"
+	rec.Bindings["openmrs"] = b
+	bad := write("bad.json", rec)
+	out, err = runCapture(t, "verify", "-partial", specFile, "-stack", bad)
+	if err == nil {
+		t.Fatalf("stale manifest must be refuted:\n%s", out)
+	}
+	if !strings.Contains(out, "error[plan-binding]") {
+		t.Errorf("output missing plan-binding diagnostic:\n%s", out)
+	}
+}
+
+// TestCmdVerifyTrace: -trace writes a certify.check span with claim
+// events, and the trace validates.
+func TestCmdVerifyTrace(t *testing.T) {
+	rdlFile := writeFile(t, "stack.rdl", lintUnsatRDL)
+	specFile := writeFile(t, "spec.json", lintUnsatPartial)
+	tracePath := filepath.Join(t.TempDir(), "trace.jsonl")
+	if _, err := runCapture(t, "verify", "-rdl", rdlFile, "-partial", specFile, "-trace", tracePath); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"name":"certify.check"`) {
+		t.Errorf("trace missing certify.check span:\n%s", data)
+	}
+	if !strings.Contains(string(data), `"name":"certify.claim"`) {
+		t.Errorf("trace missing certify.claim events:\n%s", data)
+	}
+	if _, err := runCapture(t, "trace", "validate", tracePath); err != nil {
+		t.Errorf("trace validate: %v", err)
+	}
+}
+
+func TestCmdVerifyErrors(t *testing.T) {
+	if _, err := runCapture(t, "verify"); err == nil ||
+		!strings.Contains(err.Error(), "nothing to verify") {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := runCapture(t, "verify", "-proof", "p.jsonl"); err == nil ||
+		!strings.Contains(err.Error(), "-proof and -cnf go together") {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -1,0 +1,202 @@
+package certify
+
+// This file is the claim-checking layer on top of the dumb propagator:
+// replaying a solver proof, and the four verdict checks the rest of
+// Engage calls — SAT models, UNSAT proofs, assumption cores, and MUS
+// stories. The trust boundary is deliberate: everything here accepts
+// only what unit propagation or direct clause evaluation can confirm.
+
+import (
+	"fmt"
+
+	"engage/internal/sat"
+)
+
+// Checker is a replayed proof: the original formula plus every
+// accepted lemma and input, with deletions applied. It answers further
+// queries (core conflicts) against that database.
+type Checker struct {
+	c *checker
+}
+
+// Replay verifies a proof against its base formula: every "a" lemma
+// must be RUP with respect to the formula, the trusted "i" inputs, and
+// the accepted lemmas preceding it. The first refuted lemma fails the
+// replay. Truncated proofs are rejected outright — a capped log cannot
+// certify anything.
+func Replay(f *sat.Formula, p *sat.Proof) (*Checker, error) {
+	c := newChecker(f.NumVars)
+	for _, cl := range f.Clauses {
+		c.addClause(cl)
+	}
+	if p != nil {
+		if p.Truncated() {
+			return nil, fmt.Errorf("certify: proof truncated at %d steps; cannot certify", p.Len())
+		}
+		for i, n := 0, p.Len(); i < n; i++ {
+			op, lits := p.Step(i)
+			switch op {
+			case sat.ProofAdd:
+				if !c.rup(lits) {
+					return nil, fmt.Errorf("certify: proof step %d: lemma %v is not RUP", i, lits)
+				}
+				c.addClause(lits)
+				c.stats.Lemmas++
+			case sat.ProofInput:
+				c.addClause(lits)
+				c.stats.Inputs++
+			case sat.ProofDelete:
+				c.deleteClause(lits)
+			default:
+				return nil, fmt.Errorf("certify: proof step %d: unknown op %q", i, op)
+			}
+		}
+	}
+	return &Checker{c: c}, nil
+}
+
+// Stats reports the replay effort so far.
+func (ch *Checker) Stats() CheckStats { return ch.c.stats }
+
+// ConflictUnder reports whether asserting the given literals on the
+// replayed database propagates to a conflict — the check behind UNSAT
+// and core claims. An empty assumption set asks whether the database
+// itself is UP-refutable.
+func (ch *Checker) ConflictUnder(assumps []sat.Lit) bool {
+	neg := make([]sat.Lit, len(assumps))
+	for i, l := range assumps {
+		neg[i] = l.Neg()
+	}
+	// rup asserts the negation of each clause literal, so the clause
+	// ¬a1 ∨ … ∨ ¬ak asserts exactly a1…ak.
+	return ch.c.rup(neg)
+}
+
+// CheckUnsat verifies an unconditional UNSAT claim end-to-end: the
+// proof must replay cleanly and its conclusion must leave the database
+// UP-refutable (the solver logs the empty clause at every root
+// conflict, so a complete proof always ends refutable).
+func CheckUnsat(f *sat.Formula, p *sat.Proof) (CheckStats, error) {
+	if p == nil {
+		return CheckStats{}, fmt.Errorf("certify: UNSAT claim carries no proof")
+	}
+	ch, err := Replay(f, p)
+	if err != nil {
+		return CheckStats{}, err
+	}
+	if !ch.ConflictUnder(nil) {
+		return ch.Stats(), fmt.Errorf("certify: proof replayed but does not derive a contradiction")
+	}
+	return ch.Stats(), nil
+}
+
+// CheckCore verifies an assumption-conditional UNSAT claim: after
+// replaying the proof, asserting the core literals must propagate to a
+// conflict. The solver logs a core claim lemma (¬core) at every
+// assumption failure, which the replay has already RUP-checked, so a
+// truthful core conflicts immediately.
+func CheckCore(f *sat.Formula, p *sat.Proof, core []sat.Lit) (CheckStats, error) {
+	ch, err := Replay(f, p)
+	if err != nil {
+		return CheckStats{}, err
+	}
+	if !ch.ConflictUnder(core) {
+		return ch.Stats(), fmt.Errorf("certify: core %v does not conflict with the clause set under the replayed proof", core)
+	}
+	return ch.Stats(), nil
+}
+
+// CheckModel verifies a SAT claim by direct evaluation: every clause of
+// f must contain a literal the model satisfies. No propagation, no
+// solver state — just the definition of satisfiability.
+func CheckModel(f *sat.Formula, model []bool) error {
+	return CheckModelAssuming(f, model, nil)
+}
+
+// CheckModelAssuming additionally requires every assumption literal to
+// hold under the model.
+func CheckModelAssuming(f *sat.Formula, model []bool, assumps []sat.Lit) error {
+	if model == nil {
+		return fmt.Errorf("certify: SAT claim carries no model")
+	}
+	litTrue := func(l sat.Lit) bool {
+		v := l.Var()
+		return v < len(model) && model[v] == (l > 0)
+	}
+	for i, c := range f.Clauses {
+		satisfied := false
+		for _, l := range c {
+			if litTrue(l) {
+				satisfied = true
+				break
+			}
+		}
+		if !satisfied {
+			return fmt.Errorf("certify: model falsifies clause %d: %v", i, c)
+		}
+	}
+	for _, a := range assumps {
+		if !litTrue(a) {
+			return fmt.Errorf("certify: model violates assumption %v", a)
+		}
+	}
+	return nil
+}
+
+// CheckMUS certifies a shrunk-core conflict story end-to-end:
+//
+//  1. the MUS itself is unsatisfiable with the clause set, by the
+//     solver's own proof (replayed and RUP-checked independently), and
+//  2. the MUS is minimal: for each member, the recorded witness model
+//     satisfies the formula together with the other members — so
+//     removing that member restores satisfiability.
+//
+// witnesses[i] is the model backing the removal of mus[i]; a nil entry
+// leaves that member's minimality unverified (counted in the returned
+// number of spot-checked members), which happens when the shrink was
+// cut short. Witness models are checked against f plus the proof's
+// trusted input clauses — valid because Engage's shrink loop adds no
+// clauses mid-extraction.
+func CheckMUS(f *sat.Formula, p *sat.Proof, mus []sat.Lit, witnesses [][]bool) (spotChecked int, stats CheckStats, err error) {
+	stats, err = CheckCore(f, p, mus)
+	if err != nil {
+		return 0, stats, err
+	}
+	inputs := proofInputs(p)
+	rest := make([]sat.Lit, 0, len(mus))
+	for i, m := range mus {
+		if i >= len(witnesses) || witnesses[i] == nil {
+			continue
+		}
+		rest = rest[:0]
+		for j, other := range mus {
+			if j != i {
+				rest = append(rest, other)
+			}
+		}
+		work := f
+		if len(inputs) > 0 {
+			work = &sat.Formula{NumVars: f.NumVars, Clauses: append(append([]sat.Clause(nil), f.Clauses...), inputs...)}
+		}
+		if werr := CheckModelAssuming(work, witnesses[i], rest); werr != nil {
+			return spotChecked, stats, fmt.Errorf("certify: minimality witness for %v rejected: %w", m, werr)
+		}
+		spotChecked++
+	}
+	return spotChecked, stats, nil
+}
+
+// proofInputs collects the trusted "i" clauses of a proof.
+func proofInputs(p *sat.Proof) []sat.Clause {
+	if p == nil {
+		return nil
+	}
+	var out []sat.Clause
+	for i, n := 0, p.Len(); i < n; i++ {
+		op, lits := p.Step(i)
+		if op == sat.ProofInput {
+			out = append(out, append(sat.Clause(nil), lits...))
+		}
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+package certify_test
+
+import (
+	"testing"
+
+	"engage/internal/certify"
+	"engage/internal/config"
+	"engage/internal/lint"
+	"engage/internal/resource"
+	"engage/internal/spec"
+	"engage/internal/stack"
+	"engage/internal/testlib"
+)
+
+func configured(t *testing.T) (*resource.Registry, *spec.Partial, *spec.Full) {
+	t.Helper()
+	reg, err := testlib.OpenMRSRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial, err := testlib.Fig2Partial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := config.New(reg).Configure(partial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg, partial, full
+}
+
+func codesOf(diags []lint.Diagnostic) map[string]int {
+	out := map[string]int{}
+	for _, d := range diags {
+		out[d.Code]++
+	}
+	return out
+}
+
+func TestCheckPlanAcceptsEngineOutput(t *testing.T) {
+	reg, partial, full := configured(t)
+	if diags := certify.CheckPlan(reg, partial, full); len(diags) != 0 {
+		t.Fatalf("engine output refuted: %v", diags)
+	}
+	// A bare record (no partial) must still verify its self-contained
+	// invariants cleanly.
+	if diags := certify.CheckPlan(reg, nil, full); len(diags) != 0 {
+		t.Fatalf("engine output refuted without partial: %v", diags)
+	}
+}
+
+func TestCheckPlanFlagsCorruptedPort(t *testing.T) {
+	reg, partial, full := configured(t)
+	om := full.MustFind("openmrs")
+	om.Output["url"] = resource.Str("http://evil.example")
+	diags := certify.CheckPlan(reg, partial, full)
+	if codesOf(diags)[lint.CodePlanPort] == 0 {
+		t.Fatalf("corrupted output port not flagged: %v", diags)
+	}
+}
+
+func TestCheckPlanFlagsDroppedInstance(t *testing.T) {
+	reg, partial, full := configured(t)
+	// Drop the tomcat instance: openmrs's inside link dangles and the
+	// hyperedge loses its only deployed target.
+	kept := full.Instances[:0]
+	for _, inst := range full.Instances {
+		if inst.Key.Name != "Tomcat" {
+			kept = append(kept, inst)
+		}
+	}
+	full.Instances = kept
+	got := codesOf(certify.CheckPlan(reg, partial, full))
+	if got[lint.CodePlanClosure] == 0 {
+		t.Errorf("dangling links not flagged as plan-closure: %v", got)
+	}
+	if got[lint.CodePlanConstraint] == 0 {
+		t.Errorf("unsatisfied hyperedge not flagged as plan-constraint: %v", got)
+	}
+}
+
+func TestCheckPlanFlagsWrongMachine(t *testing.T) {
+	reg, partial, full := configured(t)
+	full.MustFind("openmrs").Machine = "nowhere"
+	got := codesOf(certify.CheckPlan(reg, partial, full))
+	if got[lint.CodePlanClosure] == 0 {
+		t.Errorf("machine mismatch not flagged: %v", got)
+	}
+}
+
+func TestCheckPlanFlagsIgnoredOverride(t *testing.T) {
+	reg, partial, full := configured(t)
+	// The partial pins a config value; forging a different value in the
+	// full specification must be refuted against the override.
+	var pinned *spec.PartialInstance
+	for _, pi := range partial.Instances {
+		if len(pi.Config) > 0 {
+			pinned = pi
+			break
+		}
+	}
+	if pinned == nil {
+		t.Skip("fixture has no config override")
+	}
+	inst := full.MustFind(pinned.ID)
+	for name := range pinned.Config {
+		inst.Config[name] = resource.Str("forged")
+		break
+	}
+	got := codesOf(certify.CheckPlan(reg, partial, full))
+	if got[lint.CodePlanPort] == 0 {
+		t.Errorf("ignored override not flagged: %v", got)
+	}
+}
+
+func recordFor(name string, full *spec.Full) *stack.Stack {
+	st := &stack.Stack{Name: name, Version: 1, Desired: full, Bindings: map[string]stack.Binding{}}
+	for _, inst := range full.Instances {
+		st.Bindings[inst.ID] = stack.Binding{
+			Instance:     inst.ID,
+			Machine:      inst.Machine,
+			ManifestPath: stack.ManifestPath(name, inst.ID),
+			Manifest:     stack.ManifestFor(inst),
+		}
+	}
+	return st
+}
+
+func TestCheckStackAcceptsConsistentRecord(t *testing.T) {
+	_, _, full := configured(t)
+	st := recordFor("web", full)
+	if diags := certify.CheckStack(st, nil); len(diags) != 0 {
+		t.Fatalf("consistent record refuted: %v", diags)
+	}
+}
+
+func TestCheckStackFlagsViolations(t *testing.T) {
+	_, _, full := configured(t)
+	st := recordFor("web", full)
+
+	b := st.Bindings["openmrs"]
+	b.Machine = "other"
+	b.ManifestPath = "/tmp/oops.conf"
+	b.Manifest = "stale"
+	st.Bindings["openmrs"] = b
+	st.Bindings["ghost"] = stack.Binding{Instance: "ghost", Machine: "server"}
+	delete(st.Bindings, "tomcat")
+
+	got := codesOf(certify.CheckStack(st, nil))
+	if got[lint.CodePlanBinding] < 5 {
+		t.Fatalf("want at least 5 plan-binding findings (machine, path, manifest, orphan, missing), got %v", got)
+	}
+}
+
+func TestCheckStackFlagsDeadDaemon(t *testing.T) {
+	_, _, full := configured(t)
+	st := recordFor("web", full)
+	b := st.Bindings["openmrs"]
+	b.PID = 4242
+	st.Bindings["openmrs"] = b
+
+	if diags := certify.CheckStack(st, map[string]bool{"openmrs": true}); len(diags) != 0 {
+		t.Fatalf("live daemon refuted: %v", diags)
+	}
+	diags := certify.CheckStack(st, map[string]bool{"openmrs": false})
+	if codesOf(diags)[lint.CodePlanBinding] == 0 {
+		t.Fatalf("dead daemon not flagged: %v", diags)
+	}
+	// Unobserved instances are not judged.
+	if diags := certify.CheckStack(st, map[string]bool{}); len(diags) != 0 {
+		t.Fatalf("unobserved daemon refuted: %v", diags)
+	}
+}

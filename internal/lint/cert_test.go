@@ -1,0 +1,42 @@
+package lint_test
+
+import (
+	"testing"
+
+	"engage/internal/certify"
+	"engage/internal/lint"
+)
+
+// TestUnsatCertificateVerifies: the certificate attached to an unsat
+// explanation must survive independent verification — the MUS is UNSAT
+// by the solver's own replayed proof, and every member's minimality is
+// backed by a witness model.
+func TestUnsatCertificateVerifies(t *testing.T) {
+	reg := parseLib(t, specRDL)
+	rep := lint.Check(reg, unsatPartial(), lint.Options{})
+	if rep.Unsat == nil {
+		t.Fatalf("fixture did not produce an unsat report: %v", rep.Diagnostics)
+	}
+	c := rep.Unsat.Cert
+	if c == nil {
+		t.Fatal("unsat explanation carries no certificate")
+	}
+	if len(c.MUS) != len(rep.Unsat.Core) {
+		t.Fatalf("certificate MUS has %d selectors, story has %d constraints", len(c.MUS), len(rep.Unsat.Core))
+	}
+	spot, _, err := certify.CheckMUS(c.Formula, c.Proof, c.MUS, c.Witnesses)
+	if err != nil {
+		t.Fatalf("certify refuted the lint certificate: %v", err)
+	}
+	if spot != len(c.MUS) {
+		t.Errorf("minimality spot-checked for %d of %d MUS members", spot, len(c.MUS))
+	}
+
+	// Dropping a MUS member must break the core claim: the remaining
+	// selectors are jointly satisfiable, so no conflict can be derived.
+	if len(c.MUS) > 1 {
+		if _, _, err := certify.CheckMUS(c.Formula, c.Proof, c.MUS[1:], c.Witnesses[1:]); err == nil {
+			t.Error("certify accepted a MUS with a member removed")
+		}
+	}
+}

@@ -120,7 +120,7 @@ func (ix *libIndex) membersOf(alt resource.Key) []resource.Key {
 	}
 	ix.nominalConcrete(alt, set)
 	out := make([]resource.Key, 0, len(set))
-	for k := range set {
+	for k := range set { //engage:maporder — collected then sorted below
 		out = append(out, k)
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -203,7 +203,7 @@ func (ix *libIndex) deadResources(opts Options) map[resource.Key]string {
 	// type always has a dependency whose member set is empty or
 	// entirely dead (the live set is closed under union, so a type all
 	// of whose dependencies reach a live member would be live itself).
-	for k := range dead {
+	for k := range dead { //engage:maporder — per-key rewrite, order-free
 		t := ix.reg.MustLookup(k)
 		for _, cd := range t.Deps() {
 			ms := ix.depMembers(cd.Dep)
@@ -247,7 +247,7 @@ func (ix *libIndex) shadowedVersions(dead map[resource.Key]string, rep *Report) 
 		}
 	}
 	nameTargeted := make(map[string]bool)
-	for k, v := range targeted {
+	for k, v := range targeted { //engage:maporder — map-to-map derivation, order-free
 		if v {
 			nameTargeted[k.Name] = true
 		}
@@ -401,7 +401,7 @@ func (ix *libIndex) checkMemberPorts(t *resource.Type, cd resource.ClassedDep, m
 
 func sortedKeys(m map[string]string) []string {
 	out := make([]string, 0, len(m))
-	for k := range m {
+	for k := range m { //engage:maporder — collected then sorted below
 		out = append(out, k)
 	}
 	sort.Strings(out)

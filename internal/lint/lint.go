@@ -100,6 +100,23 @@ const (
 	// CodeNearConflict reports dependency targets that are individually
 	// infeasible although the specification as a whole is satisfiable.
 	CodeNearConflict = "near-conflict"
+	// CodePlanConstraint reports a resolved installation whose chosen
+	// instances violate a hyperedge constraint: a selected source whose
+	// dependency is not satisfied by exactly one selected target
+	// (internal/certify's solver-free plan verification).
+	CodePlanConstraint = "plan-constraint"
+	// CodePlanPort reports a resolved instance whose port values differ
+	// from an independent re-derivation of the propagation semantics.
+	CodePlanPort = "plan-port"
+	// CodePlanClosure reports a resolved installation that is not
+	// dependency-closed: an instance links to a target that is absent,
+	// or sits on a different machine than its container chain implies.
+	CodePlanClosure = "plan-closure"
+	// CodePlanBinding reports a stack record binding that violates its
+	// invariants: unknown instance, missing machine, malformed manifest
+	// path, stale manifest text, or a daemon PID the monitor snapshot
+	// says is dead.
+	CodePlanBinding = "plan-binding"
 )
 
 // codeSeverity fixes the severity of each code.
@@ -115,12 +132,16 @@ var codeSeverity = map[string]Severity{
 	CodeSpecUnsat:          Error,
 	CodeForcedChoice:       Warning,
 	CodeNearConflict:       Warning,
+	CodePlanConstraint:     Error,
+	CodePlanPort:           Error,
+	CodePlanClosure:        Error,
+	CodePlanBinding:        Error,
 }
 
 // Codes returns all diagnostic codes in sorted order.
 func Codes() []string {
 	out := make([]string, 0, len(codeSeverity))
-	for c := range codeSeverity {
+	for c := range codeSeverity { //engage:maporder — collected then sorted below
 		out = append(out, c)
 	}
 	sort.Strings(out)
@@ -276,6 +297,7 @@ func specDiagnostics(reg *resource.Registry, partial *spec.Partial, opts Options
 	}
 	ap := constraint.EncodeAssumable(g, opts.Encoding)
 	inc := sat.StartIncremental(opts.solver(), ap.Formula)
+	startProof(inc)
 	res := inc.SolveAssuming(ap.Selectors)
 	sp.Int("nodes", int64(g.Len())).Int("constraints", int64(len(ap.Selectors)))
 

@@ -353,8 +353,8 @@ func TestCleanLibrary(t *testing.T) {
 
 func TestCodesTable(t *testing.T) {
 	codes := lint.Codes()
-	if len(codes) != 11 {
-		t.Errorf("Codes() = %v, want 11 entries", codes)
+	if len(codes) != 15 {
+		t.Errorf("Codes() = %v, want 15 entries", codes)
 	}
 	for _, c := range codes {
 		if _, ok := lint.CodeSeverity(c); !ok {

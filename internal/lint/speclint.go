@@ -66,6 +66,24 @@ type UnsatExplanation struct {
 	// Core is the MUS: removing any one constraint makes the rest
 	// satisfiable.
 	Core []CoreConstraint `json:"core"`
+	// Cert carries the raw material for independent verification of the
+	// conflict story (internal/certify): the encoded formula, the
+	// solver's proof, the MUS selectors, and per-member minimality
+	// witness models. It is process-local and never serialized.
+	Cert *UnsatCertificate `json:"-"`
+}
+
+// UnsatCertificate backs an UnsatExplanation with checkable evidence:
+// the CNF the story was derived on, the solver's DRAT-style proof
+// (which includes a core-claim lemma for every assumption failure), the
+// MUS in story order, and — aligned with it — the witness model that
+// justified deleting each member during shrinking (nil entries were
+// not probed). internal/certify.CheckMUS consumes exactly this shape.
+type UnsatCertificate struct {
+	Formula   *sat.Formula
+	Proof     *sat.Proof
+	MUS       []sat.Lit
+	Witnesses [][]bool
 }
 
 // Summary renders the explanation on one line, for error messages and
@@ -112,6 +130,7 @@ func ExplainUnsat(reg *resource.Registry, partial *spec.Partial, opts Options) *
 func ExplainGraphUnsat(g *hypergraph.Graph, opts Options) *UnsatExplanation {
 	ap := constraint.EncodeAssumable(g, opts.Encoding)
 	inc := sat.StartIncremental(opts.solver(), ap.Formula)
+	startProof(inc)
 	res := inc.SolveAssuming(ap.Selectors)
 	if res.Status != sat.Unsat {
 		return nil
@@ -119,10 +138,32 @@ func ExplainGraphUnsat(g *hypergraph.Graph, opts Options) *UnsatExplanation {
 	return explainFromSession(g, ap, inc, res.Core)
 }
 
+// lintProofCap bounds proof logs on lint sessions. Spec problems are
+// small; a capped (hence refused) certificate would mean something is
+// deeply wrong, and the cap keeps a pathological encoding from eating
+// memory.
+const lintProofCap = 1 << 20
+
+// startProof turns on proof logging when the session supports it, so
+// every unsat story lint produces arrives with a checkable certificate.
+func startProof(inc sat.IncrementalSolver) {
+	if pl, ok := inc.(sat.ProofLogger); ok {
+		pl.StartProof(lintProofCap)
+	}
+}
+
+// sessionProof extracts the finished proof, nil when logging was off.
+func sessionProof(inc sat.IncrementalSolver) *sat.Proof {
+	if pl, ok := inc.(sat.ProofLogger); ok {
+		return pl.Proof()
+	}
+	return nil
+}
+
 // explainFromSession shrinks an assumption core on a live incremental
 // session and translates the surviving selectors into CoreConstraints.
 func explainFromSession(g *hypergraph.Graph, ap *constraint.AssumableProblem, inc sat.IncrementalSolver, core []sat.Lit) *UnsatExplanation {
-	mus, st := sat.ShrinkCore(inc, core)
+	mus, wit, st := sat.ShrinkCoreWitnessed(inc, core)
 	// Selector variables are allocated in group-creation order; sorting
 	// by variable restores spec-then-edge order for the story.
 	sort.Slice(mus, func(i, j int) bool { return mus[i].Var() < mus[j].Var() })
@@ -131,6 +172,18 @@ func explainFromSession(g *hypergraph.Graph, ap *constraint.AssumableProblem, in
 		Selectors:   len(ap.Selectors),
 		RawCoreSize: len(core),
 		Solves:      st.Solves + 1,
+	}
+	if p := sessionProof(inc); p != nil {
+		cert := &UnsatCertificate{
+			Formula:   ap.Formula,
+			Proof:     p,
+			MUS:       append([]sat.Lit(nil), mus...),
+			Witnesses: make([][]bool, len(mus)),
+		}
+		for i, m := range mus {
+			cert.Witnesses[i] = wit[m]
+		}
+		e.Cert = cert
 	}
 	for _, l := range mus {
 		gr, ok := ap.GroupFor(l)

@@ -13,7 +13,17 @@ import (
 // learned-clause deletion. It also implements IncrementalSource:
 // StartIncremental opens a session whose learned clauses, activity,
 // and saved phases persist across SolveAssuming calls.
-type CDCL struct{}
+//
+// With LogProof set, every solve (and every incremental session opened
+// by StartIncremental) records a DRAT-style derivation log; UNSAT
+// results then carry Result.Proof for independent checking by
+// internal/certify. ProofCap bounds the log's step count (0 =
+// unlimited); a capped-out proof is marked truncated and rejected by
+// checkers.
+type CDCL struct {
+	LogProof bool
+	ProofCap int
+}
 
 // NewCDCL returns a CDCL solver.
 func NewCDCL() *CDCL { return &CDCL{} }
@@ -99,6 +109,11 @@ type cdclState struct {
 	stats  Stats
 	ok     bool
 
+	// Proof logging (see proof.go); nil when logging is off.
+	proof        *Proof      // derivation log (possibly shared across a portfolio)
+	proofShared  bool        // stage steps in proofPending, flush before publish
+	proofPending []proofStep // staged steps awaiting flush (shared mode only)
+
 	// Portfolio hooks (see portfolio.go); all zero outside portfolio
 	// solves, in which case the solver behaves exactly like the
 	// sequential reference.
@@ -118,11 +133,14 @@ type cdclState struct {
 }
 
 // Solve implements Solver.
-func (*CDCL) Solve(f *Formula) Result {
+func (c *CDCL) Solve(f *Formula) Result {
 	s := newState(f.NumVars)
-	for _, c := range f.Clauses {
-		if !s.addClause(c) {
-			return Result{Status: Unsat, Stats: s.stats}
+	if c.LogProof {
+		s.proof = NewProof(c.ProofCap)
+	}
+	for _, cl := range f.Clauses {
+		if !s.addClause(cl) {
+			return Result{Status: Unsat, Stats: s.stats, Proof: s.proof}
 		}
 	}
 	return s.search()
@@ -223,11 +241,18 @@ func (s *cdclState) addClause(c Clause) bool {
 	}
 	switch len(out) {
 	case 0:
+		// The clause is falsified by the root-level assignment, which a
+		// checker re-derives by propagating the full original clauses —
+		// so the empty clause is RUP here.
 		s.ok = false
+		s.logEmptyLemma()
 		return false
 	case 1:
 		s.uncheckedEnqueue(out[0], crefUndef)
 		s.ok = s.propagate() == crefUndef
+		if !s.ok {
+			s.logEmptyLemma()
+		}
 		return s.ok
 	}
 	cl := s.ar.alloc(out, false)
@@ -543,7 +568,7 @@ func (s *cdclState) search() Result {
 	s.core = nil
 	s.cancelled = false
 	if !s.ok {
-		return Result{Status: Unsat, Stats: s.stats}
+		return Result{Status: Unsat, Stats: s.stats, Proof: s.proof}
 	}
 	maxLearnts := len(s.clauses)/3 + 100
 	var restarts int64 // local so incremental calls restart the schedule
@@ -554,7 +579,11 @@ func (s *cdclState) search() Result {
 			return Result{Status: Unknown, Stats: s.stats}
 		}
 		if status != Unknown {
-			return Result{Status: status, Model: model, Core: s.core, Stats: s.stats}
+			res := Result{Status: status, Model: model, Core: s.core, Stats: s.stats}
+			if status == Unsat {
+				res.Proof = s.proof
+			}
+			return res
 		}
 		restarts++
 		s.stats.Restarts++
@@ -567,7 +596,7 @@ func (s *cdclState) search() Result {
 			// A shared clause closed the formula: imported clauses are
 			// implied by the (shared) problem clauses, so this is a
 			// genuine root-level unsatisfiability.
-			return Result{Status: Unsat, Stats: s.stats}
+			return Result{Status: Unsat, Stats: s.stats, Proof: s.proof}
 		}
 	}
 }
@@ -585,6 +614,10 @@ func (s *cdclState) searchOnce(conflictLimit int64, maxLearnts *int) (Status, []
 		// relative to propagation, prompt enough for first-winner wins.
 		if s.stop != nil && s.stop.Load() {
 			s.cancelled = true
+			// Drop staged proof steps promptly: a losing worker's pending
+			// lemmas were never published, so nothing depends on them, and
+			// holding them would keep loser memory alive past cancellation.
+			s.discardProofPending()
 			return Unknown, nil
 		}
 		confl := s.propagate()
@@ -598,9 +631,15 @@ func (s *cdclState) searchOnce(conflictLimit int64, maxLearnts *int) (Status, []
 				// already been propagated past, so a later solve would
 				// never rediscover it).
 				s.ok = false
+				s.logEmptyLemma()
 				return Unsat, nil
 			}
 			learnt, back := s.analyze(confl)
+			// Log before attaching or exporting: a first-UIP clause is RUP
+			// with respect to the clause DB that produced the conflict, and
+			// flush-before-publish needs it in the log ahead of any sibling
+			// import.
+			s.logLemma(learnt)
 			s.backtrackTo(back)
 			if len(learnt) == 1 {
 				s.uncheckedEnqueue(learnt[0], crefUndef)
@@ -635,6 +674,10 @@ func (s *cdclState) searchOnce(conflictLimit int64, maxLearnts *int) (Status, []
 				s.trailLim = append(s.trailLim, len(s.trail))
 			case valFalse:
 				s.core = s.buildCore(p)
+				// Certify the core while it is RUP: asserting the core
+				// assumptions on the current DB propagates to this very
+				// conflict, so the clause ¬core is a checkable lemma.
+				s.logCoreClaim(s.core)
 				return Unsat, nil
 			default:
 				next = p
@@ -717,6 +760,7 @@ func (s *cdclState) reduceDB() {
 		if i < limit || ar.size(c) == 2 || s.locked(c) {
 			keep = append(keep, c)
 		} else {
+			s.logDeleteClause(c)
 			s.detach(c)
 			ar.free(c)
 		}

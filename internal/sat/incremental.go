@@ -48,14 +48,28 @@ func StartIncremental(s Solver, f *Formula) IncrementalSolver {
 
 // StartIncremental implements IncrementalSource: it returns a warm
 // CDCL session seeded with f's clauses.
-func (*CDCL) StartIncremental(f *Formula) IncrementalSolver {
+func (c *CDCL) StartIncremental(f *Formula) IncrementalSolver {
 	in := NewIncremental(f.NumVars)
-	for _, c := range f.Clauses {
-		if !in.AddClause(c) {
+	for _, cl := range f.Clauses {
+		if !in.AddClause(cl) {
 			break
 		}
 	}
+	if c.LogProof {
+		// Logging starts after seeding: f is the proof's base formula,
+		// clauses added later are logged as "i" inputs.
+		in.StartProof(c.ProofCap)
+	}
 	return in
+}
+
+// ProofLogger is implemented by incremental sessions that can record a
+// checkable derivation log (*Incremental does; the cold adapter does
+// not). Callers that want certified UNSAT answers assert against it and
+// degrade gracefully when the session cannot log.
+type ProofLogger interface {
+	StartProof(capSteps int) *Proof
+	Proof() *Proof
 }
 
 // Incremental is the CDCL-backed warm session. The zero value is not
@@ -75,8 +89,36 @@ func NewIncremental(nVars int) *Incremental {
 // decision level 0 first, so clauses can be added between solves.
 func (in *Incremental) AddClause(c Clause) bool {
 	in.s.backtrackTo(0)
+	if in.s.proof != nil && in.s.ok {
+		// Log the clause as given, before simplification: the checker
+		// installs the original and re-derives any level-0 reductions.
+		in.s.logStep(ProofInput, append([]Lit(nil), c...))
+	}
 	return in.s.addClause(c)
 }
+
+// StartProof begins DRAT-style proof logging on the session, bounded to
+// capSteps steps (0 = unlimited), and returns the log. The clauses
+// already in the session form the proof's base formula; certification
+// is only complete if no solve has run yet (lemmas learned before
+// logging are invisible to the checker). Calling it again returns the
+// existing log unchanged.
+func (in *Incremental) StartProof(capSteps int) *Proof {
+	s := in.s
+	if s.proof == nil {
+		s.proof = NewProof(capSteps)
+		if !s.ok {
+			// The seed clauses already closed the formula during
+			// addClause-level propagation, which the checker reproduces:
+			// the empty clause is RUP against the base formula.
+			s.logEmptyLemma()
+		}
+	}
+	return s.proof
+}
+
+// Proof returns the session's derivation log (nil if logging is off).
+func (in *Incremental) Proof() *Proof { return in.s.proof }
 
 // SolveAssuming implements IncrementalSolver. Learned clauses remain
 // sound across calls because assumptions are posted as decisions, not
@@ -87,7 +129,7 @@ func (in *Incremental) SolveAssuming(assumps []Lit) Result {
 	base := s.stats
 	var res Result
 	if !s.ok {
-		res = Result{Status: Unsat}
+		res = Result{Status: Unsat, Proof: s.proof}
 	} else {
 		maxVar := 0
 		for _, a := range assumps {
@@ -117,6 +159,7 @@ func statsDelta(now, base Stats) Stats {
 		Conflicts:    now.Conflicts - base.Conflicts,
 		Learned:      now.Learned - base.Learned,
 		Restarts:     now.Restarts - base.Restarts,
+		ProofSteps:   now.ProofSteps - base.ProofSteps,
 	}
 }
 

@@ -33,9 +33,24 @@ type ShrinkStats struct {
 // answered Unsat for (typically Result.Core); passing a satisfiable set
 // returns it unchanged. Order is preserved from the input.
 func ShrinkCore(inc IncrementalSolver, core []Lit) ([]Lit, ShrinkStats) {
+	mus, _, st := ShrinkCoreWitnessed(inc, core)
+	return mus, st
+}
+
+// ShrinkCoreWitnessed is ShrinkCore, additionally returning the
+// minimality witnesses certification needs: witnesses[probe] is the
+// model of a Sat trial solve that proved probe necessary. Because the
+// final MUS is a subset of every working set the loop ever held, a
+// model satisfying the clause set plus (work \ {probe}) also satisfies
+// the clause set plus (mus \ {probe}) — so each witness independently
+// certifies that dropping its assumption restores satisfiability. An
+// assumption absent from the map (possible only when the solver gave
+// up mid-shrink) has unverified minimality.
+func ShrinkCoreWitnessed(inc IncrementalSolver, core []Lit) ([]Lit, map[Lit][]bool, ShrinkStats) {
 	st := ShrinkStats{InitialSize: len(core)}
 	work := append([]Lit(nil), core...)
 	needed := make(map[Lit]bool, len(work))
+	witnesses := make(map[Lit][]bool, len(work))
 
 	for i := 0; i < len(work); {
 		probe := work[i]
@@ -64,18 +79,20 @@ func ShrinkCore(inc IncrementalSolver, core []Lit) ([]Lit, ShrinkStats) {
 			i = 0 // restart the scan over the (smaller) working set
 		case Sat:
 			// probe is necessary: every remaining assumption set
-			// without it is satisfiable.
+			// without it is satisfiable — and this model is the
+			// checkable evidence.
 			needed[probe] = true
+			witnesses[probe] = res.Model
 			i++
 		default:
 			// Solver gave up: keep the current (sound, possibly
 			// non-minimal) working set.
 			st.FinalSize = len(work)
-			return work, st
+			return work, witnesses, st
 		}
 	}
 	st.FinalSize = len(work)
-	return work, st
+	return work, witnesses, st
 }
 
 // intersectPreservingOrder returns the elements of a that are in b, in

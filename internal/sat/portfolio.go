@@ -91,6 +91,11 @@ func (s *cdclState) exportLearnt(lits []ilit) {
 	if s.exch == nil || len(lits) > exchMaxLen {
 		return
 	}
+	// Flush-before-publish: the shared proof must contain this worker's
+	// staged lemmas (this clause included) before any sibling can import
+	// the clause, so every lemma a sibling later derives from it sits
+	// after it in the log and stays RUP against its prefix.
+	s.flushProof()
 	cp := make([]ilit, len(lits))
 	copy(cp, lits)
 	if s.exch.publish(s.exchID, s.exchSeq, cp) {
@@ -130,11 +135,17 @@ func (s *cdclState) installShared(lits []ilit) {
 	s.sharedIn++
 	switch len(out) {
 	case 0:
+		// The imported clause is falsified by this worker's root
+		// assignment; everything involved is already in the shared log
+		// (exporters flush before publishing), so the empty clause is
+		// RUP against it.
 		s.ok = false
+		s.logEmptyLemma()
 	case 1:
 		s.uncheckedEnqueue(out[0], crefUndef)
 		if s.propagate() != crefUndef {
 			s.ok = false
+			s.logEmptyLemma()
 		}
 	default:
 		cl := s.ar.alloc(out, true)
@@ -226,9 +237,14 @@ func (p *PortfolioResult) TotalStats() Stats {
 		t.Conflicts += w.Stats.Conflicts
 		t.Learned += w.Stats.Learned
 		t.Restarts += w.Stats.Restarts
+		t.ProofSteps += w.Stats.ProofSteps
 	}
 	return t
 }
+
+// testPortfolioHook, when set by a test, observes every worker's final
+// state after the race settles (loser buffer-discard regression test).
+var testPortfolioHook func(states []*cdclState)
 
 // SolvePortfolio races n diversified CDCL workers on f and returns the
 // first answer. The input formula is shared read-only; each worker
@@ -236,6 +252,21 @@ func (p *PortfolioResult) TotalStats() Stats {
 // stop flag; the rest cancel at their next search-loop check and
 // report Status Unknown with their effort so far. f is not mutated.
 func SolvePortfolio(f *Formula, n int) PortfolioResult {
+	return solvePortfolio(f, n, nil)
+}
+
+// SolvePortfolioCertified is SolvePortfolio with DRAT-style proof
+// logging: all workers append to ONE shared log (deletes suppressed,
+// pending steps flushed before every export), so an UNSAT answer
+// carries a proof that is RUP-checkable regardless of which worker won
+// or what it imported. proofCap bounds the log's step count
+// (0 = unlimited). SAT answers are certified by their model alone and
+// carry no proof.
+func SolvePortfolioCertified(f *Formula, n, proofCap int) PortfolioResult {
+	return solvePortfolio(f, n, NewProof(proofCap))
+}
+
+func solvePortfolio(f *Formula, n int, proof *Proof) PortfolioResult {
 	if n < 1 {
 		n = 1
 	}
@@ -273,6 +304,10 @@ func SolvePortfolio(f *Formula, n int) PortfolioResult {
 				s.exchID = i
 				s.exchCursor = make([]int, exchStripes)
 			}
+			if proof != nil {
+				s.proof = proof
+				s.proofShared = n > 1
+			}
 			s.ensureVars(f.NumVars)
 			states[i] = s
 			res := Result{Status: Unsat}
@@ -287,6 +322,12 @@ func SolvePortfolio(f *Formula, n int) PortfolioResult {
 				res = s.search()
 			} else {
 				res.Stats = s.stats
+				res.Proof = s.proof
+			}
+			if res.Status == Unknown {
+				s.discardProofPending()
+			} else {
+				s.flushProof()
 			}
 			results[i] = res
 			if res.Status != Unknown && winner.CompareAndSwap(-1, int32(i)) {
@@ -307,12 +348,17 @@ func SolvePortfolio(f *Formula, n int) PortfolioResult {
 		}
 		pr.Workers[i] = pw
 	}
+	if testPortfolioHook != nil {
+		testPortfolioHook(states)
+	}
 	// Hand the winner's state over as a warm session. Detach it from
 	// the dead portfolio first: the session must not observe the stop
-	// flag or keep importing from siblings that no longer run.
+	// flag or keep importing from siblings that no longer run. With the
+	// siblings gone, subsequent proof steps need no staging either.
 	ws := states[w]
 	ws.stop = nil
 	ws.exch = nil
+	ws.proofShared = false
 	pr.session = &Incremental{s: ws}
 	return pr
 }

@@ -1,0 +1,323 @@
+package sat
+
+// This file implements DRAT-style proof logging for the CDCL solver.
+// While solving, the solver appends every learned clause ("a"), every
+// reduceDB deletion ("d"), and every clause added to an incremental
+// session after logging started ("i") to a Proof. An UNSAT answer then
+// carries a machine-checkable derivation: each "a" lemma is a reverse
+// unit propagation (RUP) consequence of the original formula plus the
+// preceding lemmas, so an independent checker (internal/certify) that
+// knows nothing about CDCL can replay the proof with a dumb
+// unit-propagator and confirm the verdict.
+//
+// Three logging sites make every UNSAT path self-certifying:
+//
+//   - learned clauses (first-UIP, possibly minimized) are RUP at learn
+//     time — they are logged before they are attached or exported;
+//   - a root-level conflict logs the empty clause, the classic DRAT
+//     terminator;
+//   - an assumption failure logs the *core claim*: the clause
+//     ¬a1 ∨ … ∨ ¬ak over the final-conflict core, which is RUP at that
+//     moment (asserting the core assumptions and propagating reproduces
+//     the conflict). The claim persists in the clause DB across later
+//     solves and deletions, so a MUS extracted over many SolveAssuming
+//     calls stays checkable against the finished proof.
+//
+// Portfolio mode shares ONE Proof across all workers. Each worker
+// stages steps in a private pending buffer and flushes it under the
+// proof mutex before publishing any clause to the exchange
+// (flush-before-publish): an imported clause is therefore always
+// already in the shared log ahead of any lemma derived from it, and
+// because RUP is monotone in the clause DB, every logged lemma remains
+// RUP with respect to its log prefix even though the prefix interleaves
+// clauses the deriving worker never saw. Deletions are suppressed in
+// shared mode — worker A deleting its private copy must not delete the
+// logged clause worker B's lemmas still lean on. Cancelled losers
+// discard their pending buffers promptly at the stop-flag check; a
+// pending step is by construction unpublished, so dropping it never
+// invalidates the log.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// ProofOp is one proof step kind.
+type ProofOp byte
+
+// Proof step kinds.
+const (
+	// ProofAdd is a RUP lemma: implied by the original formula plus the
+	// preceding accepted lemmas, checkable by unit propagation alone.
+	ProofAdd ProofOp = 'a'
+	// ProofDelete removes a previously present clause from the checker's
+	// working set (logged by reduceDB in non-shared solves).
+	ProofDelete ProofOp = 'd'
+	// ProofInput is a clause added to an incremental session after
+	// logging started. It is trusted, not derived: the checker installs
+	// it as an axiom, and callers must account for it when judging what
+	// the proof proves.
+	ProofInput ProofOp = 'i'
+)
+
+// proofStep is one staged step in a worker's pending buffer.
+type proofStep struct {
+	op   ProofOp
+	lits []Lit
+}
+
+// Proof is a compact in-memory derivation log. Steps are stored flat
+// (one byte of op plus a literal range per step) and appended under a
+// mutex so portfolio workers can share one sink. A step cap bounds
+// memory on runaway solves; once hit, further appends are dropped and
+// the proof is marked truncated (checkers must reject it).
+type Proof struct {
+	mu        sync.Mutex
+	ops       []byte
+	ends      []int32 // ends[i] = end offset of step i's literals in lits
+	lits      []Lit
+	capSteps  int // 0 = unlimited
+	truncated bool
+}
+
+// NewProof returns an empty proof bounded to capSteps steps
+// (0 = unlimited).
+func NewProof(capSteps int) *Proof {
+	return &Proof{capSteps: capSteps}
+}
+
+// Len reports the number of accepted steps.
+func (p *Proof) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.ops)
+}
+
+// Truncated reports whether the step cap was hit; a truncated proof is
+// incomplete and must be rejected by checkers.
+func (p *Proof) Truncated() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.truncated
+}
+
+// Step returns step i. The returned slice aliases the proof's storage
+// and must not be mutated.
+func (p *Proof) Step(i int) (ProofOp, []Lit) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	start := int32(0)
+	if i > 0 {
+		start = p.ends[i-1]
+	}
+	return ProofOp(p.ops[i]), p.lits[start:p.ends[i]]
+}
+
+// Append records one step outside the solver (tools and tests that
+// construct or mutate proofs); it reports whether the step was accepted
+// (false once the cap is hit). The literal slice is not retained.
+func (p *Proof) Append(op ProofOp, lits []Lit) bool {
+	return p.append(op, append([]Lit(nil), lits...))
+}
+
+// append records one step; it reports whether the step was accepted
+// (false once the cap is hit).
+func (p *Proof) append(op ProofOp, lits []Lit) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.appendLocked(op, lits)
+}
+
+func (p *Proof) appendLocked(op ProofOp, lits []Lit) bool {
+	if p.capSteps > 0 && len(p.ops) >= p.capSteps {
+		p.truncated = true
+		return false
+	}
+	p.ops = append(p.ops, byte(op))
+	p.lits = append(p.lits, lits...)
+	p.ends = append(p.ends, int32(len(p.lits)))
+	return true
+}
+
+// appendSteps records a batch under one lock acquisition, preserving
+// order; it returns how many steps were accepted.
+func (p *Proof) appendSteps(steps []proofStep) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, st := range steps {
+		if !p.appendLocked(st.op, st.lits) {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// proofLine is the JSON-lines wire form of one step.
+type proofLine struct {
+	Op   string `json:"op"`
+	Lits []int  `json:"lits"`
+}
+
+// WriteJSONL writes the proof as JSON lines, one step per line:
+//
+//	{"op":"a","lits":[1,-3]}
+func (p *Proof) WriteJSONL(w io.Writer) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	start := int32(0)
+	for i, op := range p.ops {
+		lits := p.lits[start:p.ends[i]]
+		start = p.ends[i]
+		line := proofLine{Op: string(rune(op)), Lits: make([]int, len(lits))}
+		for j, l := range lits {
+			line.Lits[j] = int(l)
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadProofJSONL parses a proof in the WriteJSONL format.
+func ReadProofJSONL(r io.Reader) (*Proof, error) {
+	p := NewProof(0)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	n := 0
+	for sc.Scan() {
+		n++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var line proofLine
+		if err := json.Unmarshal(raw, &line); err != nil {
+			return nil, fmt.Errorf("proof line %d: %w", n, err)
+		}
+		var op ProofOp
+		switch line.Op {
+		case "a":
+			op = ProofAdd
+		case "d":
+			op = ProofDelete
+		case "i":
+			op = ProofInput
+		default:
+			return nil, fmt.Errorf("proof line %d: unknown op %q", n, line.Op)
+		}
+		lits := make([]Lit, len(line.Lits))
+		for j, l := range line.Lits {
+			if l == 0 {
+				return nil, fmt.Errorf("proof line %d: zero literal", n)
+			}
+			lits[j] = Lit(l)
+		}
+		p.appendLocked(op, lits)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// proofPendingMax bounds a portfolio worker's pending buffer: past it,
+// the buffer is flushed even without a publish, so worker memory stays
+// bounded regardless of how rarely short clauses are exported.
+const proofPendingMax = 256
+
+// logStep records a step: directly into the proof in solo mode, or into
+// the worker's pending buffer in shared (portfolio) mode. lits must be
+// owned by the caller (not alias solver state that later mutates).
+func (s *cdclState) logStep(op ProofOp, lits []Lit) {
+	if s.proof == nil {
+		return
+	}
+	if !s.proofShared {
+		if s.proof.append(op, lits) {
+			s.stats.ProofSteps++
+		}
+		return
+	}
+	s.proofPending = append(s.proofPending, proofStep{op: op, lits: lits})
+	if len(s.proofPending) >= proofPendingMax {
+		s.flushProof()
+	}
+}
+
+// flushProof publishes the pending buffer to the shared proof in order.
+// It must run before any clause is published to the exchange
+// (flush-before-publish) and at the end of an uncancelled solve.
+func (s *cdclState) flushProof() {
+	if s.proof == nil || len(s.proofPending) == 0 {
+		return
+	}
+	s.stats.ProofSteps += int64(s.proof.appendSteps(s.proofPending))
+	s.proofPending = s.proofPending[:0]
+}
+
+// discardProofPending drops staged steps without publishing them. Sound
+// for cancelled portfolio losers: a pending step was never visible to
+// siblings, so nothing in the shared log can depend on it.
+func (s *cdclState) discardProofPending() {
+	s.proofPending = nil
+}
+
+// logLemma records a just-derived clause (internal literals) as a RUP
+// lemma.
+func (s *cdclState) logLemma(lits []ilit) {
+	if s.proof == nil {
+		return
+	}
+	ext := make([]Lit, len(lits))
+	for i, l := range lits {
+		ext[i] = toExternal(l)
+	}
+	s.logStep(ProofAdd, ext)
+}
+
+// logEmptyLemma records the empty clause — the DRAT terminator — and
+// flushes, so the finished proof certifies UNSAT immediately.
+func (s *cdclState) logEmptyLemma() {
+	if s.proof == nil {
+		return
+	}
+	s.logStep(ProofAdd, nil)
+	s.flushProof()
+}
+
+// logCoreClaim records the clause ¬a1 ∨ … ∨ ¬ak over a final-conflict
+// core: RUP at claim time, and the persistent witness that the core
+// assumptions are jointly inconsistent with the clause set.
+func (s *cdclState) logCoreClaim(core []Lit) {
+	if s.proof == nil {
+		return
+	}
+	neg := make([]Lit, len(core))
+	for i, l := range core {
+		neg[i] = l.Neg()
+	}
+	s.logStep(ProofAdd, neg)
+	s.flushProof()
+}
+
+// logDeleteClause records a reduceDB deletion. Suppressed in shared
+// mode: the logged copy may still support another worker's lemmas.
+func (s *cdclState) logDeleteClause(c cref) {
+	if s.proof == nil || s.proofShared {
+		return
+	}
+	lits := s.ar.lits(c)
+	ext := make([]Lit, len(lits))
+	for i, l := range lits {
+		ext[i] = toExternal(l)
+	}
+	s.logStep(ProofDelete, ext)
+}

@@ -140,6 +140,10 @@ type Stats struct {
 	Conflicts    int64
 	Learned      int64
 	Restarts     int64
+	// ProofSteps counts proof steps accepted into the derivation log
+	// (zero when proof logging is off; stops growing once the log's
+	// step cap is hit and the proof is marked truncated).
+	ProofSteps int64
 }
 
 // Result is the outcome of a Solve call. Model is indexed by variable
@@ -155,6 +159,11 @@ type Result struct {
 	// own.
 	Core  []Lit
 	Stats Stats
+	// Proof is the derivation log backing an Unsat verdict, set when
+	// proof logging was enabled (CDCL.LogProof, Incremental.StartProof,
+	// SolvePortfolioCertified). internal/certify replays it against the
+	// original formula with an independent unit-propagator.
+	Proof *Proof
 }
 
 // Solver solves CNF formulas. Implementations: *CDCL, *DPLL.

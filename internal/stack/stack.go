@@ -88,9 +88,11 @@ func ManifestPath(stackName, instanceID string) string {
 	return fmt.Sprintf("/etc/engage/stacks/%s/%s.conf", stackName, instanceID)
 }
 
-// manifestFor renders an instance's resolved configuration as the
+// ManifestFor renders an instance's resolved configuration as the
 // canonical manifest content: key, machine, and sorted config ports.
-func manifestFor(inst *spec.Instance) string {
+// Exported so independent verification (internal/certify) can re-render
+// the expected manifest and compare it against a recorded binding.
+func ManifestFor(inst *spec.Instance) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "key = %s\n", inst.Key)
 	fmt.Fprintf(&b, "machine = %s\n", inst.Machine)
@@ -305,7 +307,7 @@ func (a *Applied) observeBinding(inst *spec.Instance) (Binding, error) {
 		Instance:     inst.ID,
 		Machine:      drv.Ctx.Machine.Name,
 		ManifestPath: ManifestPath(a.Stack.Name, inst.ID),
-		Manifest:     manifestFor(inst),
+		Manifest:     ManifestFor(inst),
 	}
 	if pid, ok := drv.Ctx.PID("daemon"); ok {
 		b.PID = pid

@@ -98,7 +98,7 @@ func (s *Store) List() []Record {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	out := make([]Record, 0, len(s.recs))
-	for _, r := range s.recs {
+	for _, r := range s.recs { //engage:maporder — collected then sorted below
 		out = append(out, r)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
@@ -150,7 +150,7 @@ type fileJSON struct {
 func (s *Store) WriteJSON(w io.Writer) error {
 	s.mu.RLock()
 	out := fileJSON{Seq: s.seq, Records: make([]Record, 0, len(s.recs))}
-	for _, r := range s.recs {
+	for _, r := range s.recs { //engage:maporder — collected then sorted below
 		out.Records = append(out.Records, r)
 	}
 	s.mu.RUnlock()

@@ -192,19 +192,19 @@ func (r *Registry) Snapshot() Snapshot {
 	defer r.mu.Unlock()
 	if len(r.counters) > 0 {
 		s.Counters = make(map[string]int64, len(r.counters))
-		for name, c := range r.counters {
+		for name, c := range r.counters { //engage:maporder — map-to-map copy, order-free
 			s.Counters[name] = c.Value()
 		}
 	}
 	if len(r.gauges) > 0 {
 		s.Gauges = make(map[string]int64, len(r.gauges))
-		for name, g := range r.gauges {
+		for name, g := range r.gauges { //engage:maporder — map-to-map copy, order-free
 			s.Gauges[name] = g.Value()
 		}
 	}
 	if len(r.histograms) > 0 {
 		s.Histograms = make(map[string]HistogramSnapshot, len(r.histograms))
-		for name, h := range r.histograms {
+		for name, h := range r.histograms { //engage:maporder — map-to-map copy, order-free
 			hs := HistogramSnapshot{Count: h.Count(), Sum: h.Sum()}
 			for i := 0; i < histBuckets; i++ {
 				if n := h.buckets[i].Load(); n > 0 {
@@ -286,7 +286,7 @@ func (s Snapshot) MarshalJSON() ([]byte, error) {
 
 func sortedKeys[V any](m map[string]V) []string {
 	keys := make([]string, 0, len(m))
-	for k := range m {
+	for k := range m { //engage:maporder — collected then sorted below
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
@@ -326,13 +326,13 @@ func (r *Registry) Names() []string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	var out []string
-	for name := range r.counters {
+	for name := range r.counters { //engage:maporder — collected then sorted below
 		out = append(out, name)
 	}
-	for name := range r.gauges {
+	for name := range r.gauges { //engage:maporder — collected then sorted below
 		out = append(out, name)
 	}
-	for name := range r.histograms {
+	for name := range r.histograms { //engage:maporder — collected then sorted below
 		out = append(out, name)
 	}
 	sort.Strings(out)

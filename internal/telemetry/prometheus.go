@@ -43,11 +43,14 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		f.lines = append(f.lines, line)
 	}
 
-	for name, v := range s.Counters {
+	// Iterate in sorted name order: a multi-line family (health.state
+	// gauges labelled by instance) must emit its lines deterministically.
+	for _, name := range sortedKeys(s.Counters) {
 		pn := promName(name)
-		add(pn, "counter", fmt.Sprintf("%s %d", pn, v))
+		add(pn, "counter", fmt.Sprintf("%s %d", pn, s.Counters[name]))
 	}
-	for name, v := range s.Gauges {
+	for _, name := range sortedKeys(s.Gauges) {
+		v := s.Gauges[name]
 		if inst, ok := strings.CutPrefix(name, healthStatePrefix); ok {
 			pn := promName("health.state")
 			add(pn, "gauge", fmt.Sprintf(`%s{instance="%s"} %d`, pn, escapeLabel(inst), v))
@@ -56,7 +59,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		pn := promName(name)
 		add(pn, "gauge", fmt.Sprintf("%s %d", pn, v))
 	}
-	for name, hs := range s.Histograms {
+	for _, name := range sortedKeys(s.Histograms) {
+		hs := s.Histograms[name]
 		pn := promName(name)
 		f := &family{typ: "histogram"}
 		fams[pn] = f
@@ -65,7 +69,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		// integers the inclusive upper bound is 2^i - 1. Bucket 0 is
 		// v <= 0.
 		labels := make([]string, 0, len(hs.Buckets))
-		for l := range hs.Buckets {
+		for l := range hs.Buckets { //engage:maporder — collected then sorted below
 			labels = append(labels, l)
 		}
 		sort.Slice(labels, func(i, j int) bool { return bucketExp(labels[i]) < bucketExp(labels[j]) })
@@ -81,7 +85,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	}
 
 	names := make([]string, 0, len(fams))
-	for name := range fams {
+	for name := range fams { //engage:maporder — collected then sorted below
 		names = append(names, name)
 	}
 	sort.Strings(names)

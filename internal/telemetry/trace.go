@@ -98,7 +98,7 @@ func (l *Line) Validate() error {
 	default:
 		return fmt.Errorf("unknown kind %q", l.Kind)
 	}
-	for k, v := range l.Attrs {
+	for k, v := range l.Attrs { //engage:maporder — validation verdict is order-free
 		switch v.(type) {
 		case string, float64, bool, int64, int:
 		default:

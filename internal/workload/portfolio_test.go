@@ -3,6 +3,7 @@ package workload
 import (
 	"testing"
 
+	"engage/internal/certify"
 	"engage/internal/config"
 	"engage/internal/constraint"
 	"engage/internal/hypergraph"
@@ -51,6 +52,9 @@ func TestPortfolioSolveDifferential(t *testing.T) {
 		if res.Status != sat.Sat {
 			t.Fatalf("seed %d: sequential solve: %v", seed, res.Status)
 		}
+		if err := certify.CheckModel(prob.Formula, res.Model); err != nil {
+			t.Fatalf("seed %d: sequential model refuted: %v", seed, err)
+		}
 		want, _, err := sat.CanonicalModel(seq.StartIncremental(prob.Formula), res.Model, order)
 		if err != nil {
 			t.Fatalf("seed %d: canonicalize sequential: %v", seed, err)
@@ -60,6 +64,11 @@ func TestPortfolioSolveDifferential(t *testing.T) {
 			pr := sat.SolvePortfolio(prob.Formula, n)
 			if pr.Result.Status != sat.Sat {
 				t.Fatalf("seed %d n=%d: portfolio solve: %v", seed, n, pr.Result.Status)
+			}
+			// Every portfolio model must survive independent
+			// certification (DESIGN.md §15), not just canonical equality.
+			if err := certify.CheckModel(prob.Formula, pr.Result.Model); err != nil {
+				t.Fatalf("seed %d n=%d: portfolio model refuted: %v", seed, n, err)
 			}
 			got, _, err := sat.CanonicalModel(pr.Session(), pr.Result.Model, order)
 			if err != nil {

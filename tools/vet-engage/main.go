@@ -18,6 +18,19 @@
 //     wall-duration axis. Test files are exempt: they may time
 //     themselves.
 //
+//   - maporder: the output-producing packages (internal/telemetry,
+//     lint, store, certify) promise deterministic output — traces,
+//     diagnostics, snapshots, and verification reports are diffed,
+//     hashed, and replayed. Go map iteration order is randomized, so a
+//     bare `for range` over a map in those packages is an error unless
+//     the line (or the line above it) carries an //engage:maporder
+//     comment asserting the iteration is order-independent (counting,
+//     draining) or immediately sorted. The check resolves map-typed
+//     expressions by type-checking each package alone with stubbed
+//     imports, which covers every in-package map; expressions whose
+//     type cannot be resolved locally are skipped, not guessed at.
+//     Test files are exempt.
+//
 //   - nilguard: disabled telemetry hands out nil *Tracer/*Span/*Event
 //     (and nil metric instruments), and the documented contract is that
 //     every method on them no-ops. That holds only if each exported
@@ -36,6 +49,7 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"go/types"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -57,6 +71,15 @@ var wallclockDirs = map[string]bool{
 	"internal/health": true,
 }
 
+// maporderDirs are the output-producing packages whose emissions must
+// be deterministic.
+var maporderDirs = map[string]bool{
+	"internal/telemetry": true,
+	"internal/lint":      true,
+	"internal/store":     true,
+	"internal/certify":   true,
+}
+
 const nilguardDir = "internal/telemetry"
 
 // nilguardTypes are the receiver types whose exported methods must be
@@ -75,6 +98,8 @@ var wallclockFuncs = map[string]bool{
 }
 
 const allowDirective = "//engage:wallclock"
+
+const maporderDirective = "//engage:maporder"
 
 type finding struct {
 	pos token.Position
@@ -166,7 +191,8 @@ func checkDir(fset *token.FileSet, dir string) ([]finding, error) {
 	rel := filepath.ToSlash(strings.TrimPrefix(filepath.Clean(dir), "./"))
 	wantWallclock := wallclockDirs[rel]
 	wantNilguard := rel == nilguardDir
-	if !wantWallclock && !wantNilguard {
+	wantMaporder := maporderDirs[rel]
+	if !wantWallclock && !wantNilguard && !wantMaporder {
 		return nil, nil
 	}
 	entries, err := os.ReadDir(dir)
@@ -174,6 +200,7 @@ func checkDir(fset *token.FileSet, dir string) ([]finding, error) {
 		return nil, err
 	}
 	var findings []finding
+	var files []*ast.File
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
@@ -188,6 +215,7 @@ func checkDir(fset *token.FileSet, dir string) ([]finding, error) {
 		if err != nil {
 			return nil, err
 		}
+		files = append(files, file)
 		if wantWallclock {
 			findings = append(findings, checkWallclock(fset, file)...)
 		}
@@ -195,7 +223,85 @@ func checkDir(fset *token.FileSet, dir string) ([]finding, error) {
 			findings = append(findings, checkNilGuard(fset, file)...)
 		}
 	}
+	if wantMaporder {
+		findings = append(findings, checkMaporder(fset, files)...)
+	}
 	return findings, nil
+}
+
+// stubImporter satisfies every import with an empty package. Local
+// type checking still resolves all types declared inside the package
+// under inspection, which is all maporder needs.
+type stubImporter struct{ pkgs map[string]*types.Package }
+
+func (s *stubImporter) Import(path string) (*types.Package, error) {
+	if p, ok := s.pkgs[path]; ok {
+		return p, nil
+	}
+	name := path
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		name = path[i+1:]
+	}
+	p := types.NewPackage(path, name)
+	p.MarkComplete()
+	if s.pkgs == nil {
+		s.pkgs = map[string]*types.Package{}
+	}
+	s.pkgs[path] = p
+	return p, nil
+}
+
+// checkMaporder flags `for range` over map-typed expressions outside
+// //engage:maporder allowlisted lines. The package is type-checked in
+// isolation (imports stubbed, errors swallowed): a map whose type
+// cannot be resolved locally is skipped rather than guessed at, so the
+// check never false-positives on cross-package types.
+func checkMaporder(fset *token.FileSet, files []*ast.File) []finding {
+	if len(files) == 0 {
+		return nil
+	}
+	info := &types.Info{Types: map[ast.Expr]types.TypeAndValue{}}
+	conf := types.Config{
+		Importer: &stubImporter{},
+		Error:    func(error) {}, // stubbed imports guarantee errors; keep going
+	}
+	conf.Check(files[0].Name.Name, fset, files, info) //nolint:errcheck — partial info is the point
+
+	var findings []finding
+	for _, file := range files {
+		allowed := map[int]bool{}
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if strings.HasPrefix(c.Text, maporderDirective) {
+					line := fset.Position(c.Pos()).Line
+					allowed[line] = true
+					allowed[line+1] = true
+				}
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := info.Types[rs.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			pos := fset.Position(rs.For)
+			if allowed[pos.Line] {
+				return true
+			}
+			findings = append(findings, finding{pos, fmt.Sprintf(
+				"maporder: range over a map in an output-producing package iterates in random order; sort the keys, or annotate the line with %s",
+				maporderDirective)})
+			return true
+		})
+	}
+	return findings
 }
 
 // checkWallclock flags wall-clock reads outside //engage:wallclock

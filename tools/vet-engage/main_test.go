@@ -182,6 +182,92 @@ func (g *Gauge) Value() int64 {
 	}
 }
 
+func TestMaporderFlagsMapRange(t *testing.T) {
+	fset, file := parse(t, `package lint
+var codes = map[string]int{}
+func emit() {
+	for k := range codes {
+		println(k)
+	}
+}
+`)
+	fs := checkMaporder(fset, []*ast.File{file})
+	if len(fs) != 1 || !strings.Contains(fs[0].msg, "maporder: range over a map") {
+		t.Errorf("findings = %v", messages(fs))
+	}
+	if fs[0].pos.Line != 4 {
+		t.Errorf("line = %d, want 4", fs[0].pos.Line)
+	}
+}
+
+func TestMaporderAllowlist(t *testing.T) {
+	fset, file := parse(t, `package lint
+func keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m { //engage:maporder — collected then sorted below
+		out = append(out, k)
+	}
+	//engage:maporder counting only
+	for range m {
+		_ = out
+	}
+	return out
+}
+`)
+	if fs := checkMaporder(fset, []*ast.File{file}); len(fs) != 0 {
+		t.Errorf("allowlisted ranges flagged: %v", messages(fs))
+	}
+}
+
+func TestMaporderIgnoresNonMaps(t *testing.T) {
+	fset, file := parse(t, `package lint
+func f(xs []int, s string, ch chan int) {
+	for range xs {
+	}
+	for range s {
+	}
+	for range ch {
+	}
+}
+`)
+	if fs := checkMaporder(fset, []*ast.File{file}); len(fs) != 0 {
+		t.Errorf("non-map ranges flagged: %v", messages(fs))
+	}
+}
+
+func TestMaporderNamedMapType(t *testing.T) {
+	// A locally declared named type whose underlying type is a map is
+	// still a map.
+	fset, file := parse(t, `package store
+type records map[string]int
+func f(r records) {
+	for k := range r {
+		println(k)
+	}
+}
+`)
+	fs := checkMaporder(fset, []*ast.File{file})
+	if len(fs) != 1 {
+		t.Errorf("findings = %v", messages(fs))
+	}
+}
+
+func TestMaporderSkipsUnresolvedTypes(t *testing.T) {
+	// Imports are stubbed: a map-typed expression from another package
+	// cannot be resolved locally and must be skipped, not guessed at.
+	fset, file := parse(t, `package lint
+import "engage/internal/other"
+func f() {
+	for k := range other.Things() {
+		println(k)
+	}
+}
+`)
+	if fs := checkMaporder(fset, []*ast.File{file}); len(fs) != 0 {
+		t.Errorf("unresolved range flagged: %v", messages(fs))
+	}
+}
+
 func TestExpandPatterns(t *testing.T) {
 	dirs, err := expand([]string{"."})
 	if err != nil {
